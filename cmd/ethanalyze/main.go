@@ -1,0 +1,121 @@
+// Command ethanalyze post-processes a JSONL dataset produced by
+// ethmeasure and prints the paper's tables and figures — the
+// reproduction of the study's pandas/NumPy analysis phase (§III).
+//
+// Usage:
+//
+//	ethanalyze -in dataset/ [-redundancy-node WE-default]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/analysis"
+	"repro/internal/measure"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "ethanalyze:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w *os.File) error {
+	fs := flag.NewFlagSet("ethanalyze", flag.ContinueOnError)
+	var (
+		in      = fs.String("in", "dataset", "directory of JSONL logs")
+		redNode = fs.String("redundancy-node", "", "node name for Table II (default: skip)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	paths, err := filepath.Glob(filepath.Join(*in, "*.jsonl"))
+	if err != nil {
+		return err
+	}
+	if len(paths) == 0 {
+		return fmt.Errorf("no .jsonl files under %s", *in)
+	}
+	var records []measure.Record
+	for _, path := range paths {
+		f, err := os.Open(path)
+		if err != nil {
+			return fmt.Errorf("open %s: %w", path, err)
+		}
+		recs, err := measure.ReadJSONL(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("parse %s: %w", path, err)
+		}
+		records = append(records, recs...)
+		fmt.Fprintf(w, "loaded %s: %d records\n", path, len(recs))
+	}
+	ds, err := analysis.FromRecords(records)
+	if err != nil {
+		return err
+	}
+	idx, err := analysis.BuildIndex(ds)
+	if err != nil {
+		return err
+	}
+
+	// Network-level figures.
+	if prop, err := analysis.PropagationDelays(idx); err == nil {
+		fmt.Fprintln(w, analysis.RenderPropagation(prop))
+	} else {
+		fmt.Fprintf(w, "figure 1 unavailable: %v\n", err)
+	}
+	if first, err := analysis.FirstObservations(idx); err == nil {
+		fmt.Fprintln(w, analysis.RenderFirstObservations(first))
+	} else {
+		fmt.Fprintf(w, "figure 2 unavailable: %v\n", err)
+	}
+	if pools, err := analysis.PoolFirstObservations(idx, 15); err == nil {
+		fmt.Fprintln(w, analysis.RenderPoolObservations(pools, ds.NodeNames))
+	} else {
+		fmt.Fprintf(w, "figure 3 unavailable: %v\n", err)
+	}
+	if *redNode != "" {
+		if red, err := analysis.Redundancy(idx, *redNode); err == nil {
+			fmt.Fprintln(w, analysis.RenderRedundancy(red))
+		} else {
+			fmt.Fprintf(w, "table II unavailable: %v\n", err)
+		}
+	}
+
+	// Chain-level figures from the reconstructed chain.
+	view, err := analysis.ViewFromIndex(idx)
+	if err != nil {
+		return fmt.Errorf("reconstruct chain: %w", err)
+	}
+	if commit, err := analysis.CommitTimes(idx, view); err == nil {
+		fmt.Fprintln(w, analysis.RenderCommit(commit))
+	} else {
+		fmt.Fprintf(w, "figure 4 unavailable: %v\n", err)
+	}
+	if reorder, err := analysis.Reordering(idx, view); err == nil {
+		fmt.Fprintln(w, analysis.RenderReordering(reorder))
+	} else {
+		fmt.Fprintf(w, "figure 5 unavailable: %v\n", err)
+	}
+	if empty, err := analysis.EmptyBlocks(view); err == nil {
+		fmt.Fprintln(w, analysis.RenderEmptyBlocks(empty, 16))
+	}
+	if forks, err := analysis.Forks(view); err == nil {
+		fmt.Fprintln(w, analysis.RenderForks(forks))
+	}
+	if om, err := analysis.OneMinerForks(view); err == nil {
+		fmt.Fprintln(w, analysis.RenderOneMinerForks(om))
+	}
+	if seq, err := analysis.Sequences(view); err == nil {
+		fmt.Fprintln(w, analysis.RenderSequences(seq, 6, 9))
+		if censor, err := analysis.CensorshipWindows(seq, 6, 13.3); err == nil {
+			fmt.Fprintln(w, analysis.RenderCensorship(censor))
+		}
+	}
+	return nil
+}

@@ -1,0 +1,84 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/measure"
+	"repro/internal/txgen"
+)
+
+// writeDataset runs a small campaign and writes its logs like
+// ethmeasure would.
+func writeDataset(t *testing.T, dir string) {
+	t.Helper()
+	cfg := core.DefaultCampaignConfig(9)
+	cfg.NetworkNodes = 120
+	cfg.Blocks = 60
+	cfg.Measurement = append(core.PaperMeasurementSpecs(30),
+		core.MeasurementSpec{Name: "WE-default", Region: cfg.Measurement[2].Region, Peers: 25})
+	cfg.CaptureTxLinks = true
+	wl := txgen.DefaultConfig()
+	wl.Senders = 50
+	wl.MeanInterArrival = 1000
+	cfg.Workload = &wl
+	res, err := core.RunCampaign(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, node := range res.Nodes {
+		f, err := os.Create(filepath.Join(dir, node.Name()+".jsonl"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := measure.WriteJSONL(f, node.Records()); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestAnalyzeDataset(t *testing.T) {
+	dir := t.TempDir()
+	writeDataset(t, dir)
+	out, err := os.CreateTemp(t.TempDir(), "out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer out.Close()
+	if err := run([]string{"-in", dir, "-redundancy-node", "WE-default"}, out); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := out.Seek(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 1<<20)
+	n, _ := out.Read(buf)
+	text := string(buf[:n])
+	for _, want := range []string{
+		"Figure 1", "Figure 2", "Figure 3", "Table II",
+		"Figure 4", "Figure 5", "Figure 6", "Table III",
+		"One-miner forks", "Figure 7",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("analysis output missing %q:\n%s", want, text[:min(len(text), 2000)])
+		}
+	}
+}
+
+func TestAnalyzeRejectsEmptyDir(t *testing.T) {
+	if err := run([]string{"-in", t.TempDir()}, os.Stdout); err == nil {
+		t.Fatal("empty dir must fail")
+	}
+}
+
+func TestAnalyzeRejectsBadFlags(t *testing.T) {
+	if err := run([]string{"-badflag"}, os.Stdout); err == nil {
+		t.Fatal("bad flag must fail")
+	}
+}

@@ -1,0 +1,85 @@
+// Command ethmeasure runs a measurement campaign over the simulated
+// Ethereum network and writes the collected logs as a JSONL dataset —
+// the reproduction of the paper's data-collection phase (§II).
+//
+// Usage:
+//
+//	ethmeasure -out dataset/ [-seed 42] [-nodes 800] [-blocks 500]
+//	           [-peers 100] [-degree 8] [-txlinks] [-txrate 0]
+//
+// One JSONL file is written per measurement node (NA, EA, WE, CE),
+// mirroring the study's per-machine raw logs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/core"
+	"repro/internal/measure"
+	"repro/internal/sim"
+	"repro/internal/txgen"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "ethmeasure:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("ethmeasure", flag.ContinueOnError)
+	var (
+		out     = fs.String("out", "dataset", "output directory for JSONL logs")
+		seed    = fs.Uint64("seed", 42, "simulation seed")
+		nodes   = fs.Int("nodes", 800, "overlay size")
+		blocks  = fs.Uint64("blocks", 500, "block heights to produce")
+		peers   = fs.Int("peers", 100, "measurement-node peer count")
+		degree  = fs.Int("degree", 8, "overlay dial-out degree")
+		txlinks = fs.Bool("txlinks", false, "record per-block tx hash lists (needed for commit analyses)")
+		txrate  = fs.Float64("txrate", 0, "transaction workload rate in tx/s (0 disables)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg := core.DefaultCampaignConfig(*seed)
+	cfg.NetworkNodes = *nodes
+	cfg.Blocks = *blocks
+	cfg.Degree = *degree
+	cfg.Measurement = core.PaperMeasurementSpecs(*peers)
+	cfg.CaptureTxLinks = *txlinks
+	if *txrate > 0 {
+		wl := txgen.DefaultConfig()
+		wl.MeanInterArrival = sim.Time(1000 / *txrate)
+		cfg.Workload = &wl
+	}
+
+	fmt.Printf("running campaign: %d nodes, %d blocks, seed %d\n", *nodes, *blocks, *seed)
+	res, err := core.RunCampaign(cfg)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		return fmt.Errorf("create output dir: %w", err)
+	}
+	for _, node := range res.Nodes {
+		path := filepath.Join(*out, node.Name()+".jsonl")
+		f, err := os.Create(path)
+		if err != nil {
+			return fmt.Errorf("create %s: %w", path, err)
+		}
+		if err := measure.WriteJSONL(f, node.Records()); err != nil {
+			f.Close()
+			return fmt.Errorf("write %s: %w", path, err)
+		}
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("close %s: %w", path, err)
+		}
+		fmt.Printf("  %s: %d records\n", path, len(node.Records()))
+	}
+	fmt.Printf("transport: %d messages, %d bytes\n", res.MessagesSent, res.BytesSent)
+	return nil
+}

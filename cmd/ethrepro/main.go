@@ -1,0 +1,169 @@
+// Command ethrepro regenerates every table and figure of the paper in
+// one run, printing paper-vs-measured for each (the source of
+// EXPERIMENTS.md).
+//
+// Usage:
+//
+//	ethrepro [-seed 42] [-scale small|medium|paper] [-only F1,F6,...]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "ethrepro:", err)
+		os.Exit(1)
+	}
+}
+
+func parseScale(s string) (experiments.Scale, error) {
+	switch s {
+	case "small":
+		return experiments.ScaleSmall, nil
+	case "medium":
+		return experiments.ScaleMedium, nil
+	case "paper":
+		return experiments.ScalePaper, nil
+	default:
+		return 0, fmt.Errorf("unknown scale %q (small|medium|paper)", s)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("ethrepro", flag.ContinueOnError)
+	var (
+		seed     = fs.Uint64("seed", 42, "simulation seed")
+		scaleStr = fs.String("scale", "small", "experiment scale: small|medium|paper")
+		only     = fs.String("only", "", "comma-separated experiment IDs (default: all)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	scale, err := parseScale(*scaleStr)
+	if err != nil {
+		return err
+	}
+	want := map[string]bool{}
+	for _, id := range strings.Split(*only, ",") {
+		if id = strings.TrimSpace(id); id != "" {
+			want[strings.ToUpper(id)] = true
+		}
+	}
+	selected := func(id string) bool { return len(want) == 0 || want[id] }
+
+	fmt.Printf("ethrepro: seed=%d scale=%s\n\n", *seed, scale)
+	start := time.Now()
+	emit := func(o *experiments.Outcome) {
+		fmt.Printf("== %s: %s ==\n%s\n", o.ID, o.Title, o.Rendered)
+	}
+
+	if selected("T1") {
+		emit(experiments.Table1())
+	}
+	if selected("F1") || selected("F2") || selected("F3") {
+		outs, err := experiments.NetworkExperiments(*seed, scale)
+		if err != nil {
+			return fmt.Errorf("network experiments: %w", err)
+		}
+		for _, o := range outs {
+			if selected(o.ID) {
+				emit(o)
+			}
+		}
+	}
+	if selected("T2") {
+		o, err := experiments.Table2(*seed, scale)
+		if err != nil {
+			return fmt.Errorf("table 2: %w", err)
+		}
+		emit(o)
+	}
+	if selected("F4") || selected("F5") {
+		outs, err := experiments.CommitExperiments(*seed, scale)
+		if err != nil {
+			return fmt.Errorf("commit experiments: %w", err)
+		}
+		for _, o := range outs {
+			if selected(o.ID) {
+				emit(o)
+			}
+		}
+	}
+	if selected("F6") || selected("T3") || selected("S1") || selected("F7") {
+		outs, err := experiments.ChainExperiments(*seed, scale)
+		if err != nil {
+			return fmt.Errorf("chain experiments: %w", err)
+		}
+		for _, o := range outs {
+			if selected(o.ID) {
+				emit(o)
+			}
+		}
+	}
+	if selected("S2") {
+		o, err := experiments.WholeChainExperiment(*seed, scale)
+		if err != nil {
+			return fmt.Errorf("whole-chain experiment: %w", err)
+		}
+		emit(o)
+	}
+	if selected("L1") {
+		o, err := experiments.Lesson1Experiment(*seed, scale)
+		if err != nil {
+			return fmt.Errorf("lesson 1: %w", err)
+		}
+		emit(o)
+	}
+	if selected("W1") {
+		o, err := experiments.WithholdingExperiment(*seed, scale)
+		if err != nil {
+			return fmt.Errorf("withholding: %w", err)
+		}
+		emit(o)
+	}
+	if selected("C1") {
+		o, err := experiments.ConstantinopleExperiment(*seed, scale)
+		if err != nil {
+			return fmt.Errorf("constantinople: %w", err)
+		}
+		emit(o)
+	}
+	if selected("R1") {
+		o, err := experiments.RevenueExperiment(*seed, scale)
+		if err != nil {
+			return fmt.Errorf("revenue: %w", err)
+		}
+		emit(o)
+	}
+	if selected("E1") {
+		o, err := experiments.EmptyBlockSpreadExperiment(*seed, scale)
+		if err != nil {
+			return fmt.Errorf("empty-block scenario: %w", err)
+		}
+		emit(o)
+	}
+	if selected("A1") {
+		o, err := experiments.AblationFanout(*seed, scale)
+		if err != nil {
+			return fmt.Errorf("fanout ablation: %w", err)
+		}
+		emit(o)
+	}
+	if selected("A2") {
+		o, err := experiments.AblationGateways(*seed, scale)
+		if err != nil {
+			return fmt.Errorf("gateway ablation: %w", err)
+		}
+		emit(o)
+	}
+	fmt.Printf("done in %s\n", time.Since(start).Round(time.Millisecond))
+	return nil
+}

@@ -1,0 +1,43 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+func TestParseScale(t *testing.T) {
+	cases := map[string]experiments.Scale{
+		"small":  experiments.ScaleSmall,
+		"medium": experiments.ScaleMedium,
+		"paper":  experiments.ScalePaper,
+	}
+	for in, want := range cases {
+		got, err := parseScale(in)
+		if err != nil || got != want {
+			t.Errorf("%q: %v, %v", in, got, err)
+		}
+	}
+	if _, err := parseScale("gigantic"); err == nil {
+		t.Error("unknown scale must fail")
+	}
+}
+
+func TestRunSelectedExperiments(t *testing.T) {
+	// T1 is static and instant; F1-F3 run one small campaign.
+	if err := run([]string{"-scale", "small", "-only", "T1"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-scale", "small", "-only", "F2", "-seed", "3"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRejectsBadInput(t *testing.T) {
+	if err := run([]string{"-scale", "gigantic"}); err == nil {
+		t.Fatal("bad scale must fail")
+	}
+	if err := run([]string{"-badflag"}); err == nil {
+		t.Fatal("bad flag must fail")
+	}
+}

@@ -1,0 +1,283 @@
+package analysis
+
+import (
+	"sort"
+
+	"repro/internal/types"
+)
+
+// EmptyBlocksResult reproduces Fig. 6 and the §III-C3 headline: empty
+// main-chain blocks overall and per mining pool.
+type EmptyBlocksResult struct {
+	// TotalMain is the number of main-chain blocks considered.
+	TotalMain int
+	// TotalEmpty counts empty main-chain blocks.
+	TotalEmpty int
+	// Fraction is TotalEmpty/TotalMain (paper: 1.45%).
+	Fraction float64
+	// PerPool maps pool -> (mined, empty) counts.
+	PerPool map[string]PoolEmptyCount
+	// Pools lists pools by descending mined count.
+	Pools []string
+}
+
+// PoolEmptyCount pairs a pool's production with its empty-block count.
+type PoolEmptyCount struct {
+	Mined int
+	Empty int
+}
+
+// Rate returns the pool's empty fraction (0 when it mined nothing).
+func (c PoolEmptyCount) Rate() float64 {
+	if c.Mined == 0 {
+		return 0
+	}
+	return float64(c.Empty) / float64(c.Mined)
+}
+
+// EmptyBlocks computes Fig. 6 over a chain view.
+func EmptyBlocks(view *ChainView) (*EmptyBlocksResult, error) {
+	if view == nil || len(view.Main) == 0 {
+		return nil, ErrNoBlocks
+	}
+	res := &EmptyBlocksResult{PerPool: make(map[string]PoolEmptyCount)}
+	for _, meta := range view.Main {
+		res.TotalMain++
+		c := res.PerPool[meta.Miner]
+		c.Mined++
+		if meta.TxCount == 0 {
+			res.TotalEmpty++
+			c.Empty++
+		}
+		res.PerPool[meta.Miner] = c
+	}
+	res.Fraction = float64(res.TotalEmpty) / float64(res.TotalMain)
+	for p := range res.PerPool {
+		res.Pools = append(res.Pools, p)
+	}
+	sort.Slice(res.Pools, func(i, j int) bool {
+		a, b := res.PerPool[res.Pools[i]], res.PerPool[res.Pools[j]]
+		if a.Mined != b.Mined {
+			return a.Mined > b.Mined
+		}
+		return res.Pools[i] < res.Pools[j]
+	})
+	return res, nil
+}
+
+// ForkBranch is one maximal off-main chain segment.
+type ForkBranch struct {
+	// Blocks lists the branch's block hashes from fork point outward.
+	Blocks []types.Hash
+	// Length is len(Blocks); the paper observed 1..3.
+	Length int
+	// Recognized reports whether every block of the branch was
+	// referenced as an uncle by a main block. In the paper's data no
+	// branch longer than 1 was ever recognized.
+	Recognized bool
+	// AnyRecognized reports whether at least one block of the branch
+	// was referenced.
+	AnyRecognized bool
+}
+
+// ForksResult reproduces Table III and the §III-C4 aggregates.
+type ForksResult struct {
+	Branches []ForkBranch
+	// ByLength maps branch length -> (total, recognized) counts.
+	ByLength map[int]ForkLengthCount
+	// MainBlocks / UncleBlocks / UnrecognizedBlocks classify every
+	// observed block as the paper does: 92.81% main, 6.97% recognized
+	// uncles, 0.22% unrecognized.
+	MainBlocks         int
+	UncleBlocks        int
+	UnrecognizedBlocks int
+}
+
+// ForkLengthCount is one Table III row.
+type ForkLengthCount struct {
+	Total        int
+	Recognized   int
+	Unrecognized int
+}
+
+// Forks computes Table III from a chain view: group off-main blocks
+// into parent-linked branches rooted at a main-chain block.
+func Forks(view *ChainView) (*ForksResult, error) {
+	if view == nil || len(view.Main) == 0 {
+		return nil, ErrNoBlocks
+	}
+	res := &ForksResult{ByLength: make(map[int]ForkLengthCount)}
+
+	// children index over off-main blocks.
+	children := make(map[types.Hash][]types.Hash)
+	var roots []types.Hash
+	for h, meta := range view.All {
+		if view.MainSet[h] {
+			res.MainBlocks++
+			continue
+		}
+		if view.UncleRefs[h] {
+			res.UncleBlocks++
+		} else {
+			res.UnrecognizedBlocks++
+		}
+		if view.MainSet[meta.Parent] {
+			roots = append(roots, h)
+		} else {
+			children[meta.Parent] = append(children[meta.Parent], h)
+		}
+	}
+	sort.Slice(roots, func(i, j int) bool { return lessHash(roots[i], roots[j]) })
+	for k := range children {
+		hs := children[k]
+		sort.Slice(hs, func(i, j int) bool { return lessHash(hs[i], hs[j]) })
+	}
+
+	// Each root starts a branch; branches follow the (rare) chains of
+	// off-main children. A fork point with multiple off-main children
+	// forms one branch per child path.
+	var walk func(h types.Hash, acc []types.Hash)
+	walk = func(h types.Hash, acc []types.Hash) {
+		acc = append(acc, h)
+		kids := children[h]
+		if len(kids) == 0 {
+			branch := ForkBranch{Blocks: append([]types.Hash(nil), acc...), Length: len(acc)}
+			branch.Recognized = true
+			for _, bh := range branch.Blocks {
+				if view.UncleRefs[bh] {
+					branch.AnyRecognized = true
+				} else {
+					branch.Recognized = false
+				}
+			}
+			res.Branches = append(res.Branches, branch)
+			c := res.ByLength[branch.Length]
+			c.Total++
+			if branch.Recognized {
+				c.Recognized++
+			} else {
+				c.Unrecognized++
+			}
+			res.ByLength[branch.Length] = c
+			return
+		}
+		for _, kid := range kids {
+			walk(kid, acc)
+		}
+	}
+	for _, root := range roots {
+		walk(root, nil)
+	}
+	return res, nil
+}
+
+// OneMinerForkResult reproduces §III-C5: heights where one miner
+// produced several blocks.
+type OneMinerForkResult struct {
+	// TupleCounts maps tuple size (2, 3, ...) -> number of heights
+	// with that many same-miner blocks.
+	TupleCounts map[int]int
+	// RecognizedFraction is the share of extra versions (in 2- and
+	// 3-tuples) that were referenced as uncles (paper: 98%).
+	RecognizedFraction float64
+	// SameTxSetFraction is the share of one-miner fork pairs whose
+	// versions carry the same transaction set (paper: 56%).
+	SameTxSetFraction float64
+	// FractionOfForks is one-miner forks / all forked heights (paper:
+	// >11% of forks).
+	FractionOfForks float64
+}
+
+// OneMinerForks computes §III-C5 over a chain view. A one-miner fork
+// is a height with >= 2 blocks from the same miner; versions off the
+// main chain are the "extra" blocks.
+func OneMinerForks(view *ChainView) (*OneMinerForkResult, error) {
+	if view == nil || len(view.Main) == 0 {
+		return nil, ErrNoBlocks
+	}
+	type heightKey struct {
+		number uint64
+		miner  string
+	}
+	byHeightMiner := map[heightKey][]BlockMeta{}
+	forkHeights := map[uint64]bool{}
+	for h, meta := range view.All {
+		byHeightMiner[heightKey{meta.Number, meta.Miner}] = append(byHeightMiner[heightKey{meta.Number, meta.Miner}], meta)
+		if !view.MainSet[h] {
+			forkHeights[meta.Number] = true
+		}
+	}
+	res := &OneMinerForkResult{TupleCounts: make(map[int]int)}
+	extrasTotal, extrasRecognized := 0, 0
+	pairsTotal, pairsSameTx := 0, 0
+	oneMinerHeights := 0
+	for _, metas := range byHeightMiner {
+		if len(metas) < 2 {
+			continue
+		}
+		oneMinerHeights++
+		res.TupleCounts[len(metas)]++
+		// Extra versions: the off-main ones.
+		sort.Slice(metas, func(i, j int) bool { return lessHash(metas[i].Hash, metas[j].Hash) })
+		var mainMeta *BlockMeta
+		for i := range metas {
+			if view.MainSet[metas[i].Hash] {
+				mainMeta = &metas[i]
+			}
+		}
+		for i := range metas {
+			if view.MainSet[metas[i].Hash] {
+				continue
+			}
+			if len(metas) <= 3 {
+				extrasTotal++
+				if view.UncleRefs[metas[i].Hash] {
+					extrasRecognized++
+				}
+			}
+			// Same-content comparison against the surviving version
+			// (or the first version when none survived).
+			ref := mainMeta
+			if ref == nil {
+				ref = &metas[0]
+			}
+			if ref.Hash != metas[i].Hash {
+				pairsTotal++
+				if sameTxSet(ref, &metas[i]) {
+					pairsSameTx++
+				}
+			}
+		}
+	}
+	if extrasTotal > 0 {
+		res.RecognizedFraction = float64(extrasRecognized) / float64(extrasTotal)
+	}
+	if pairsTotal > 0 {
+		res.SameTxSetFraction = float64(pairsSameTx) / float64(pairsTotal)
+	}
+	if len(forkHeights) > 0 {
+		res.FractionOfForks = float64(oneMinerHeights) / float64(len(forkHeights))
+	}
+	return res, nil
+}
+
+// sameTxSet compares transaction sets, preferring explicit hash lists
+// and falling back to counts when links were not captured.
+func sameTxSet(a, b *BlockMeta) bool {
+	if len(a.TxHashes) > 0 || len(b.TxHashes) > 0 {
+		if len(a.TxHashes) != len(b.TxHashes) {
+			return false
+		}
+		set := make(map[types.Hash]bool, len(a.TxHashes))
+		for _, h := range a.TxHashes {
+			set[h] = true
+		}
+		for _, h := range b.TxHashes {
+			if !set[h] {
+				return false
+			}
+		}
+		return true
+	}
+	return a.TxCount == b.TxCount
+}

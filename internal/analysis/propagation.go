@@ -1,0 +1,258 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/measure"
+	"repro/internal/stats"
+)
+
+// PropagationResult reproduces Fig. 1: the distribution of block
+// propagation delays, where a block's delay at a node is the gap
+// between that node's first sighting and the block's earliest sighting
+// anywhere (Decker et al.'s method, §II).
+type PropagationResult struct {
+	// DelaysMillis holds one sample per (block, trailing node).
+	DelaysMillis []float64
+	Summary      stats.Summary
+	// Histogram covers [0, 500) ms like the paper's Fig. 1 x-axis.
+	Histogram *stats.Histogram
+}
+
+// PropagationDelays computes Fig. 1 from an index. Blocks seen by
+// fewer than two nodes contribute nothing (no trailing observation
+// exists).
+func PropagationDelays(idx *Index) (*PropagationResult, error) {
+	if idx == nil {
+		return nil, ErrNoBlocks
+	}
+	var samples []float64
+	for _, perNode := range idx.BlockFirst {
+		if len(perNode) < 2 {
+			continue
+		}
+		first, ok := EarliestObservation(perNode)
+		if !ok {
+			continue
+		}
+		for node, obs := range perNode {
+			if node == first.Node {
+				continue
+			}
+			d := float64(obs.Local - first.Local)
+			if d < 0 {
+				// Clock skew can invert order between nodes; the
+				// paper's method clamps these into the error bound.
+				d = 0
+			}
+			samples = append(samples, d)
+		}
+	}
+	if len(samples) == 0 {
+		return nil, ErrNoBlocks
+	}
+	summary, err := stats.Summarize(samples)
+	if err != nil {
+		return nil, err
+	}
+	hist, err := stats.NewHistogram(0, 500, 50)
+	if err != nil {
+		return nil, err
+	}
+	hist.AddAll(samples)
+	return &PropagationResult{DelaysMillis: samples, Summary: summary, Histogram: hist}, nil
+}
+
+// FirstObservationResult reproduces Fig. 2: the share of blocks each
+// measurement node saw first, with NTP-error bars.
+type FirstObservationResult struct {
+	// Share maps node name -> fraction of blocks first seen there.
+	Share map[string]float64
+	// ErrLow / ErrHigh bound the share when observations within the
+	// NTP 90th-percentile offset (10 ms) are ambiguous: ErrLow counts
+	// only unambiguous wins, ErrHigh also grants all ambiguous ones.
+	ErrLow  map[string]float64
+	ErrHigh map[string]float64
+	// Blocks is the number of blocks considered.
+	Blocks int
+}
+
+// FirstObservations computes Fig. 2 over all blocks seen by at least
+// two nodes.
+func FirstObservations(idx *Index) (*FirstObservationResult, error) {
+	if idx == nil {
+		return nil, ErrNoBlocks
+	}
+	wins := map[string]int{}
+	ambiguousWins := map[string]int{}
+	total := 0
+	for _, perNode := range idx.BlockFirst {
+		if len(perNode) < 2 {
+			continue
+		}
+		first, ok := EarliestObservation(perNode)
+		if !ok {
+			continue
+		}
+		total++
+		wins[first.Node]++
+		// Any node within the NTP bound of the winner could actually
+		// have been first.
+		for node, obs := range perNode {
+			if node == first.Node {
+				continue
+			}
+			if obs.Local-first.Local < 2*10 { // 2 * NTPOffsetP90Millis
+				ambiguousWins[node]++
+			}
+		}
+	}
+	if total == 0 {
+		return nil, ErrNoBlocks
+	}
+	res := &FirstObservationResult{
+		Share:   make(map[string]float64),
+		ErrLow:  make(map[string]float64),
+		ErrHigh: make(map[string]float64),
+		Blocks:  total,
+	}
+	for node, w := range wins {
+		res.Share[node] = float64(w) / float64(total)
+	}
+	for node := range wins {
+		res.ErrLow[node] = res.Share[node]
+		res.ErrHigh[node] = float64(wins[node]+ambiguousWins[node]) / float64(total)
+	}
+	for node, amb := range ambiguousWins {
+		if _, ok := wins[node]; !ok {
+			res.ErrHigh[node] = float64(amb) / float64(total)
+		}
+	}
+	return res, nil
+}
+
+// PoolObservationResult reproduces Fig. 3: for each mining pool, the
+// distribution over measurement nodes of who saw that pool's blocks
+// first.
+type PoolObservationResult struct {
+	// Pools lists pools by descending block count.
+	Pools []string
+	// BlockShare is each pool's fraction of all attributed blocks
+	// (Fig. 3's parenthesized computational power proxy).
+	BlockShare map[string]float64
+	// FirstShare maps pool -> node -> fraction of the pool's blocks
+	// first seen at that node.
+	FirstShare map[string]map[string]float64
+	// Blocks counts attributed blocks per pool.
+	Blocks map[string]int
+}
+
+// PoolFirstObservations computes Fig. 3, keeping the topN most
+// productive pools (the paper uses 15).
+func PoolFirstObservations(idx *Index, topN int) (*PoolObservationResult, error) {
+	if idx == nil {
+		return nil, ErrNoBlocks
+	}
+	if topN < 1 {
+		return nil, fmt.Errorf("analysis: topN %d < 1", topN)
+	}
+	wins := map[string]map[string]int{} // pool -> node -> wins
+	counts := map[string]int{}
+	total := 0
+	for h, perNode := range idx.BlockFirst {
+		meta, ok := idx.BlockMeta[h]
+		if !ok || meta.Miner == "" || len(perNode) < 2 {
+			continue
+		}
+		first, ok := EarliestObservation(perNode)
+		if !ok {
+			continue
+		}
+		if wins[meta.Miner] == nil {
+			wins[meta.Miner] = make(map[string]int)
+		}
+		wins[meta.Miner][first.Node]++
+		counts[meta.Miner]++
+		total++
+	}
+	if total == 0 {
+		return nil, ErrNoBlocks
+	}
+	pools := make([]string, 0, len(counts))
+	for p := range counts {
+		pools = append(pools, p)
+	}
+	sort.Slice(pools, func(i, j int) bool {
+		if counts[pools[i]] != counts[pools[j]] {
+			return counts[pools[i]] > counts[pools[j]]
+		}
+		return pools[i] < pools[j]
+	})
+	if len(pools) > topN {
+		pools = pools[:topN]
+	}
+	res := &PoolObservationResult{
+		Pools:      pools,
+		BlockShare: make(map[string]float64),
+		FirstShare: make(map[string]map[string]float64),
+		Blocks:     make(map[string]int),
+	}
+	for _, p := range pools {
+		res.Blocks[p] = counts[p]
+		res.BlockShare[p] = float64(counts[p]) / float64(total)
+		res.FirstShare[p] = make(map[string]float64)
+		for node, w := range wins[p] {
+			res.FirstShare[p][node] = float64(w) / float64(counts[p])
+		}
+	}
+	return res, nil
+}
+
+// RedundancyResult reproduces Table II: how many times a default-
+// configured node receives each block, split by message type.
+type RedundancyResult struct {
+	Announcements stats.Summary
+	WholeBlocks   stats.Summary
+	Combined      stats.Summary
+}
+
+// Redundancy computes Table II for one measurement node (the paper's
+// subsidiary 25-peer node). Every block the node received at least
+// once contributes a sample per category.
+func Redundancy(idx *Index, node string) (*RedundancyResult, error) {
+	if idx == nil {
+		return nil, ErrNoBlocks
+	}
+	var ann, whole, both []float64
+	for _, perNode := range idx.BlockReceptions {
+		perKind, ok := perNode[node]
+		if !ok {
+			continue
+		}
+		a := float64(perKind[measure.KindAnnouncement])
+		w := float64(perKind[measure.KindBlock])
+		if a+w == 0 {
+			continue
+		}
+		ann = append(ann, a)
+		whole = append(whole, w)
+		both = append(both, a+w)
+	}
+	if len(both) == 0 {
+		return nil, fmt.Errorf("analysis: node %q observed no blocks: %w", node, ErrNoBlocks)
+	}
+	annS, err := stats.Summarize(ann)
+	if err != nil {
+		return nil, err
+	}
+	wholeS, err := stats.Summarize(whole)
+	if err != nil {
+		return nil, err
+	}
+	bothS, err := stats.Summarize(both)
+	if err != nil {
+		return nil, err
+	}
+	return &RedundancyResult{Announcements: annS, WholeBlocks: wholeS, Combined: bothS}, nil
+}

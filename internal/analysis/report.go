@@ -1,0 +1,232 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// This file renders each analysis result in the paper's presentation
+// format, for cmd/ethrepro and EXPERIMENTS.md.
+
+// RenderPropagation prints Fig. 1's headline numbers and histogram.
+func RenderPropagation(r *PropagationResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 1 — Block propagation delay (ms)\n")
+	fmt.Fprintf(&b, "  samples=%d median=%.0f mean=%.0f p95=%.0f p99=%.0f\n",
+		r.Summary.Count, r.Summary.Median, r.Summary.Mean, r.Summary.P95, r.Summary.P99)
+	fmt.Fprintf(&b, "  paper:            median=74  mean=109 p95=211  p99=317\n")
+	b.WriteString(r.Histogram.Render(48))
+	return b.String()
+}
+
+// RenderFirstObservations prints Fig. 2.
+func RenderFirstObservations(r *FirstObservationResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 2 — First new-block observations per node (n=%d)\n", r.Blocks)
+	nodes := make([]string, 0, len(r.Share))
+	for n := range r.Share {
+		nodes = append(nodes, n)
+	}
+	sort.Slice(nodes, func(i, j int) bool { return r.Share[nodes[i]] > r.Share[nodes[j]] })
+	for _, n := range nodes {
+		fmt.Fprintf(&b, "  %-4s %6.2f%%  (err bars %.2f%%..%.2f%%)\n",
+			n, r.Share[n]*100, r.ErrLow[n]*100, r.ErrHigh[n]*100)
+	}
+	b.WriteString("  paper: EA ~40%, NA ~10% (4x less likely than EA)\n")
+	return b.String()
+}
+
+// RenderPoolObservations prints Fig. 3.
+func RenderPoolObservations(r *PoolObservationResult, nodes []string) string {
+	var b strings.Builder
+	b.WriteString("Figure 3 — First observation per mining pool and node\n")
+	fmt.Fprintf(&b, "  %-16s %7s", "pool", "share")
+	for _, n := range nodes {
+		fmt.Fprintf(&b, " %6s", n)
+	}
+	b.WriteString("\n")
+	for _, p := range r.Pools {
+		fmt.Fprintf(&b, "  %-16s %6.2f%%", p, r.BlockShare[p]*100)
+		for _, n := range nodes {
+			fmt.Fprintf(&b, " %5.1f%%", r.FirstShare[p][n]*100)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// RenderRedundancy prints Table II.
+func RenderRedundancy(r *RedundancyResult) string {
+	var b strings.Builder
+	b.WriteString("Table II — Redundant block receptions (25-peer node)\n")
+	fmt.Fprintf(&b, "  %-16s %7s %6s %8s %8s\n", "Message Type", "Avg.", "Med.", "Top 10%", "Top 1%")
+	fmt.Fprintf(&b, "  %-16s %7.3f %6.0f %8.0f %8.0f\n", "Announcements",
+		r.Announcements.Mean, r.Announcements.Median, r.Announcements.P90, r.Announcements.P99)
+	fmt.Fprintf(&b, "  %-16s %7.3f %6.0f %8.0f %8.0f\n", "Whole Blocks",
+		r.WholeBlocks.Mean, r.WholeBlocks.Median, r.WholeBlocks.P90, r.WholeBlocks.P99)
+	fmt.Fprintf(&b, "  %-16s %7.3f %6.0f %8.0f %8.0f\n", "Both combined",
+		r.Combined.Mean, r.Combined.Median, r.Combined.P90, r.Combined.P99)
+	b.WriteString("  paper: ann 2.585/2/5/7, whole 7.043/7/10/12, both 9.11/9/12/15\n")
+	return b.String()
+}
+
+// RenderCommit prints Fig. 4's headline values.
+func RenderCommit(r *CommitResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 4 — Transaction inclusion and commit times (s), n=%d\n", r.Txs)
+	med := func(e interface {
+		Value(float64) (float64, error)
+	}) float64 {
+		v, err := e.Value(0.5)
+		if err != nil {
+			return -1
+		}
+		return v
+	}
+	fmt.Fprintf(&b, "  inclusion median: %.0f s\n", med(r.Inclusion))
+	depths := make([]int, 0, len(r.Confirmations))
+	for k := range r.Confirmations {
+		depths = append(depths, k)
+	}
+	sort.Ints(depths)
+	for _, k := range depths {
+		fmt.Fprintf(&b, "  %2d-confirmation median: %.0f s\n", k, med(r.Confirmations[k]))
+	}
+	b.WriteString("  paper: 12-conf median 189 s (2017: 200 s)\n")
+	return b.String()
+}
+
+// RenderReordering prints Fig. 5's headline values.
+func RenderReordering(r *ReorderingResult) string {
+	var b strings.Builder
+	b.WriteString("Figure 5 — Commit delay by observed ordering\n")
+	fmt.Fprintf(&b, "  out-of-order committed txs: %.2f%% (paper: 11.54%%)\n", r.OutOfOrderFraction*100)
+	report := func(label string, e interface {
+		Value(float64) (float64, error)
+		Len() int
+	}) {
+		if e.Len() == 0 {
+			fmt.Fprintf(&b, "  %-12s (no samples)\n", label)
+			return
+		}
+		p50, _ := e.Value(0.5)
+		p90, _ := e.Value(0.9)
+		fmt.Fprintf(&b, "  %-12s median %.0f s, p90 %.0f s (n=%d)\n", label, p50, p90, e.Len())
+	}
+	report("in-order", r.InOrder)
+	report("out-of-order", r.OutOfOrder)
+	b.WriteString("  paper: in-order <189/292 s, out-of-order <192/325 s\n")
+	return b.String()
+}
+
+// RenderEmptyBlocks prints Fig. 6.
+func RenderEmptyBlocks(r *EmptyBlocksResult, topN int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 6 — Empty blocks per pool (total %.2f%%, paper 1.45%%)\n", r.Fraction*100)
+	pools := r.Pools
+	if len(pools) > topN {
+		pools = pools[:topN]
+	}
+	for _, p := range pools {
+		c := r.PerPool[p]
+		fmt.Fprintf(&b, "  %-16s mined %6d empty %5d (%.2f%%)\n", p, c.Mined, c.Empty, c.Rate()*100)
+	}
+	return b.String()
+}
+
+// RenderForks prints Table III.
+func RenderForks(r *ForksResult) string {
+	var b strings.Builder
+	b.WriteString("Table III — Fork types and lengths\n")
+	fmt.Fprintf(&b, "  %-12s %8s %12s %14s\n", "Fork Length", "Total", "Recognized", "Unrecognized")
+	lengths := make([]int, 0, len(r.ByLength))
+	for l := range r.ByLength {
+		lengths = append(lengths, l)
+	}
+	sort.Ints(lengths)
+	for _, l := range lengths {
+		c := r.ByLength[l]
+		fmt.Fprintf(&b, "  %-12d %8d %12d %14d\n", l, c.Total, c.Recognized, c.Unrecognized)
+	}
+	total := r.MainBlocks + r.UncleBlocks + r.UnrecognizedBlocks
+	if total > 0 {
+		fmt.Fprintf(&b, "  blocks: %.2f%% main, %.2f%% uncles, %.2f%% unrecognized (paper: 92.81/6.97/0.22)\n",
+			100*float64(r.MainBlocks)/float64(total),
+			100*float64(r.UncleBlocks)/float64(total),
+			100*float64(r.UnrecognizedBlocks)/float64(total))
+	}
+	b.WriteString("  paper: len1 15,171 (15,100 recognized), len2 404 (0), len3 10 (0)\n")
+	return b.String()
+}
+
+// RenderOneMinerForks prints the §III-C5 findings.
+func RenderOneMinerForks(r *OneMinerForkResult) string {
+	var b strings.Builder
+	b.WriteString("One-miner forks (§III-C5)\n")
+	sizes := make([]int, 0, len(r.TupleCounts))
+	for s := range r.TupleCounts {
+		sizes = append(sizes, s)
+	}
+	sort.Ints(sizes)
+	for _, s := range sizes {
+		fmt.Fprintf(&b, "  %d-tuples: %d\n", s, r.TupleCounts[s])
+	}
+	fmt.Fprintf(&b, "  recognized as uncles: %.0f%% (paper: 98%%)\n", r.RecognizedFraction*100)
+	fmt.Fprintf(&b, "  same transaction set: %.0f%% (paper: 56%%)\n", r.SameTxSetFraction*100)
+	fmt.Fprintf(&b, "  share of fork heights: %.0f%% (paper: >11%%)\n", r.FractionOfForks*100)
+	b.WriteString("  paper: 1,750 pairs, 25 triples, one 4-tuple, one 7-tuple\n")
+	return b.String()
+}
+
+// RenderSequences prints Fig. 7 as a per-pool sequence-length table.
+func RenderSequences(r *SequencesResult, topN, maxLen int) string {
+	var b strings.Builder
+	b.WriteString("Figure 7 — Consecutive main-chain blocks per pool\n")
+	pools := r.TopPools
+	if len(pools) > topN {
+		pools = pools[:topN]
+	}
+	fmt.Fprintf(&b, "  %-16s %6s %7s", "pool", "share", "maxrun")
+	for k := 1; k <= maxLen; k++ {
+		fmt.Fprintf(&b, " %7s", fmt.Sprintf("P<=%d", k))
+	}
+	b.WriteString("\n")
+	for _, p := range pools {
+		share := float64(r.BlockCounts[p]) / float64(r.TotalMain)
+		fmt.Fprintf(&b, "  %-16s %5.1f%% %7d", p, share*100, r.MaxRun[p])
+		for k := 1; k <= maxLen; k++ {
+			fmt.Fprintf(&b, " %6.2f%%", r.CDF(p, k)*100)
+		}
+		b.WriteString("\n")
+	}
+	b.WriteString("  paper: Ethermine 4x 8-block runs, Sparkpool 2x 9-block runs in one month\n")
+	return b.String()
+}
+
+// RenderCensorship prints the §III-D observed-vs-expected comparison.
+func RenderCensorship(rows []CensorshipResult) string {
+	var b strings.Builder
+	b.WriteString("Security (§III-D) — longest sequences: observed vs expected\n")
+	fmt.Fprintf(&b, "  %-16s %6s %4s %9s %10s %12s\n", "pool", "share", "len", "observed", "expected", "censor-window")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "  %-16s %5.1f%% %4d %9d %10.2f %10.0f s\n",
+			r.Pool, r.Share*100, r.Length, r.Observed, r.Expected, r.CensorSeconds)
+	}
+	return b.String()
+}
+
+// RenderWholeChainTail prints the long-horizon sequence census.
+func RenderWholeChainTail(tail map[int]int, blocks int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Whole-chain sequence tail over %d blocks (paper: 102/41/4/1 of len 10/11/12/14)\n", blocks)
+	lengths := make([]int, 0, len(tail))
+	for l := range tail {
+		lengths = append(lengths, l)
+	}
+	sort.Ints(lengths)
+	for _, l := range lengths {
+		fmt.Fprintf(&b, "  len %2d: %d\n", l, tail[l])
+	}
+	return b.String()
+}

@@ -1,0 +1,215 @@
+// Package chain implements the blockchain substrate: a block tree with
+// total-difficulty fork choice, Ethereum's uncle (ommer) rules, a
+// difficulty schedule, and a nonce-ordered transaction pool.
+//
+// The package is deliberately a *tree*, not a list: the paper's fork
+// analysis (§III-C4), one-miner forks (§III-C5) and uncle recognition
+// (Table III) all live in the side branches.
+package chain
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/types"
+)
+
+// Errors returned by the block tree.
+var (
+	ErrUnknownParent = errors.New("chain: unknown parent")
+	ErrDuplicate     = errors.New("chain: duplicate block")
+	ErrBadNumber     = errors.New("chain: block number != parent number + 1")
+	ErrUnknownBlock  = errors.New("chain: unknown block")
+)
+
+// BlockTree stores every observed block, tracks the heaviest
+// (total-difficulty) chain, and answers ancestry and fork queries.
+type BlockTree struct {
+	genesis   types.Hash
+	blocks    map[types.Hash]*types.Block
+	children  map[types.Hash][]types.Hash
+	byHeight  map[uint64][]types.Hash
+	totalDiff map[types.Hash]uint64
+	head      types.Hash
+}
+
+// NewBlockTree creates a tree rooted at the given genesis block. The
+// genesis counts toward total difficulty like any block.
+func NewBlockTree(genesis *types.Block) *BlockTree {
+	h := genesis.Hash()
+	return &BlockTree{
+		genesis:   h,
+		blocks:    map[types.Hash]*types.Block{h: genesis},
+		children:  make(map[types.Hash][]types.Hash),
+		byHeight:  map[uint64][]types.Hash{genesis.Header.Number: {h}},
+		totalDiff: map[types.Hash]uint64{h: genesis.Header.Difficulty},
+		head:      h,
+	}
+}
+
+// NewGenesis builds the canonical genesis block used across the
+// reproduction.
+func NewGenesis(difficulty, gasLimit uint64) *types.Block {
+	return types.NewBlock(types.Header{
+		ParentHash: types.ZeroHash,
+		Number:     0,
+		MinerLabel: "genesis",
+		Difficulty: difficulty,
+		GasLimit:   gasLimit,
+	}, nil, nil)
+}
+
+// Genesis returns the genesis hash.
+func (t *BlockTree) Genesis() types.Hash { return t.genesis }
+
+// Len returns the number of blocks in the tree (including genesis).
+func (t *BlockTree) Len() int { return len(t.blocks) }
+
+// Head returns the tip of the heaviest chain.
+func (t *BlockTree) Head() *types.Block { return t.blocks[t.head] }
+
+// Block returns a block by hash.
+func (t *BlockTree) Block(h types.Hash) (*types.Block, bool) {
+	b, ok := t.blocks[h]
+	return b, ok
+}
+
+// Has reports whether the tree contains a block.
+func (t *BlockTree) Has(h types.Hash) bool {
+	_, ok := t.blocks[h]
+	return ok
+}
+
+// TotalDifficulty returns the cumulative difficulty of the chain
+// ending at h.
+func (t *BlockTree) TotalDifficulty(h types.Hash) (uint64, error) {
+	td, ok := t.totalDiff[h]
+	if !ok {
+		return 0, fmt.Errorf("%w: %s", ErrUnknownBlock, h.Short())
+	}
+	return td, nil
+}
+
+// Add inserts a block. The parent must already be present. The head
+// moves when the new chain is strictly heavier (first-received wins
+// ties, like Geth). It reports whether the head moved.
+func (t *BlockTree) Add(b *types.Block) (reorged bool, err error) {
+	h := b.Hash()
+	if _, dup := t.blocks[h]; dup {
+		return false, fmt.Errorf("%w: %s", ErrDuplicate, h.Short())
+	}
+	parent, ok := t.blocks[b.Header.ParentHash]
+	if !ok {
+		return false, fmt.Errorf("%w: block %s parent %s", ErrUnknownParent, h.Short(), b.Header.ParentHash.Short())
+	}
+	if b.Header.Number != parent.Header.Number+1 {
+		return false, fmt.Errorf("%w: %d after %d", ErrBadNumber, b.Header.Number, parent.Header.Number)
+	}
+	t.blocks[h] = b
+	t.children[b.Header.ParentHash] = append(t.children[b.Header.ParentHash], h)
+	t.byHeight[b.Header.Number] = append(t.byHeight[b.Header.Number], h)
+	td := t.totalDiff[b.Header.ParentHash] + b.Header.Difficulty
+	t.totalDiff[h] = td
+	if td > t.totalDiff[t.head] {
+		t.head = h
+		return true, nil
+	}
+	return false, nil
+}
+
+// AtHeight returns every block hash observed at the given height, in
+// arrival order.
+func (t *BlockTree) AtHeight(n uint64) []types.Hash {
+	hs := t.byHeight[n]
+	out := make([]types.Hash, len(hs))
+	copy(out, hs)
+	return out
+}
+
+// MaxHeight returns the height of the current head.
+func (t *BlockTree) MaxHeight() uint64 { return t.blocks[t.head].Header.Number }
+
+// IsMain reports whether the block at h lies on the heaviest chain.
+func (t *BlockTree) IsMain(h types.Hash) bool {
+	b, ok := t.blocks[h]
+	if !ok {
+		return false
+	}
+	onMain, ok := t.mainAt(b.Header.Number)
+	return ok && onMain == h
+}
+
+// mainAt returns the main-chain hash at a height by walking back from
+// the head.
+func (t *BlockTree) mainAt(n uint64) (types.Hash, bool) {
+	cur := t.head
+	for {
+		b := t.blocks[cur]
+		if b.Header.Number == n {
+			return cur, true
+		}
+		if b.Header.Number < n || cur == t.genesis {
+			return types.Hash{}, false
+		}
+		cur = b.Header.ParentHash
+	}
+}
+
+// MainChain returns the heaviest chain from genesis to head,
+// inclusive.
+func (t *BlockTree) MainChain() []*types.Block {
+	var rev []*types.Block
+	cur := t.head
+	for {
+		b := t.blocks[cur]
+		rev = append(rev, b)
+		if cur == t.genesis {
+			break
+		}
+		cur = b.Header.ParentHash
+	}
+	out := make([]*types.Block, len(rev))
+	for i, b := range rev {
+		out[len(rev)-1-i] = b
+	}
+	return out
+}
+
+// IsAncestor reports whether a is an ancestor of (or equal to) b.
+func (t *BlockTree) IsAncestor(a, b types.Hash) bool {
+	ba, ok := t.blocks[a]
+	if !ok {
+		return false
+	}
+	cur, ok := t.blocks[b]
+	if !ok {
+		return false
+	}
+	for {
+		if cur.Hash() == a {
+			return true
+		}
+		if cur.Header.Number <= ba.Header.Number || cur.Hash() == t.genesis {
+			return false
+		}
+		next, ok := t.blocks[cur.Header.ParentHash]
+		if !ok {
+			return false
+		}
+		cur = next
+	}
+}
+
+// ConfirmationDepth returns how many blocks on the main chain follow
+// the block at h (0 when h is the head). It returns an error when h is
+// not on the main chain.
+func (t *BlockTree) ConfirmationDepth(h types.Hash) (int, error) {
+	b, ok := t.blocks[h]
+	if !ok {
+		return 0, fmt.Errorf("%w: %s", ErrUnknownBlock, h.Short())
+	}
+	if !t.IsMain(h) {
+		return 0, fmt.Errorf("chain: block %s not on main chain", h.Short())
+	}
+	return int(t.MaxHeight() - b.Header.Number), nil
+}

@@ -1,0 +1,167 @@
+package chain
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestNextDifficultyStepRule(t *testing.T) {
+	p := DefaultDifficultyParams()
+	parent := uint64(300_000_000_000)
+	unit := parent / p.BoundDivisor
+	tau := p.AdjustGranularity
+	cases := []struct {
+		gap  sim.Time
+		want uint64
+	}{
+		{0, parent + unit},             // fast: +1 step
+		{tau - 1, parent + unit},       // just under τ: +1
+		{tau, parent},                  // [τ, 2τ): 0 steps
+		{2*tau - 1, parent},            // still 0
+		{2 * tau, parent - unit},       // [2τ, 3τ): -1
+		{5 * tau, parent - 4*unit},     // -4
+		{1000 * tau, parent - 99*unit}, // clamped at -99
+	}
+	for _, c := range cases {
+		got := NextDifficulty(p, parent, c.gap, 100)
+		if got != c.want {
+			t.Errorf("gap %v: want %d, got %d", c.gap, c.want, got)
+		}
+	}
+	// Negative gaps behave like zero.
+	if NextDifficulty(p, parent, -5, 100) != parent+unit {
+		t.Error("negative gap should act like 0")
+	}
+}
+
+func TestNextDifficultyFloor(t *testing.T) {
+	p := DefaultDifficultyParams()
+	got := NextDifficulty(p, p.MinimumDifficulty, 100*p.AdjustGranularity, 10)
+	if got < p.MinimumDifficulty {
+		t.Fatalf("below floor: %d", got)
+	}
+	// Tiny parent difficulty still respects the floor on huge drops.
+	got = NextDifficulty(p, 10, 1000*p.AdjustGranularity, 10)
+	if got != p.MinimumDifficulty {
+		t.Fatalf("tiny parent should clamp to floor: %d", got)
+	}
+	// Zero granularity guard must not divide by zero.
+	pz := p
+	pz.AdjustGranularity = 0
+	if NextDifficulty(pz, 1000, 5, 1) == 0 {
+		t.Fatal("zero granularity must not zero out")
+	}
+}
+
+func TestDifficultyBomb(t *testing.T) {
+	p := DefaultDifficultyParams()
+	p.BombDelayBlocks = 0
+	parent := uint64(300_000_000_000)
+	// Before period 2 the bomb contributes nothing.
+	early := NextDifficulty(p, parent, p.AdjustGranularity, 150_000)
+	pNoBomb := p
+	pNoBomb.BombEnabled = false
+	earlyNoBomb := NextDifficulty(pNoBomb, parent, p.AdjustGranularity, 150_000)
+	if early != earlyNoBomb {
+		t.Fatalf("bomb fired too early: %d vs %d", early, earlyNoBomb)
+	}
+	// Far past the delay the bomb term appears: 2^((n/period)-2).
+	late := NextDifficulty(p, parent, p.AdjustGranularity, 4_000_000)
+	lateNoBomb := NextDifficulty(pNoBomb, parent, p.AdjustGranularity, 4_000_000)
+	if late-lateNoBomb != 1<<38 { // (4M/100k)-2 = 38
+		t.Fatalf("bomb term: %d", late-lateNoBomb)
+	}
+}
+
+func TestDifficultyBombDelayNeutralizes(t *testing.T) {
+	// Constantinople's 5M delay makes the bomb negligible at the
+	// paper's block heights against mainnet-scale difficulty.
+	p := DefaultDifficultyParams()
+	pNoBomb := p
+	pNoBomb.BombEnabled = false
+	parent := uint64(2_500_000_000_000_000)
+	for _, n := range []uint64{7_479_573, 7_680_658} {
+		withBomb := NextDifficulty(p, parent, p.AdjustGranularity, n)
+		noBomb := NextDifficulty(pNoBomb, parent, p.AdjustGranularity, n)
+		if withBomb < noBomb {
+			t.Fatalf("bomb cannot reduce difficulty at %d", n)
+		}
+		if float64(withBomb-noBomb) > 0.01*float64(noBomb) {
+			t.Fatalf("delayed bomb too strong at %d: +%d", n, withBomb-noBomb)
+		}
+	}
+}
+
+func TestDifficultyBombExponentCap(t *testing.T) {
+	p := DefaultDifficultyParams()
+	p.BombDelayBlocks = 0
+	// Periods beyond the cap must not overflow the shift.
+	got := NextDifficulty(p, 1_000_000, p.AdjustGranularity, 100_000*200)
+	if got == 0 {
+		t.Fatal("overflowed")
+	}
+}
+
+func TestDifficultyEquilibrium(t *testing.T) {
+	// Closed-loop simulation of the control system: gaps drawn
+	// exponentially with mean difficulty/hashrate must settle at
+	// τ/ln2 and keep difficulty bounded — the property whose absence
+	// would overflow cumulative difficulty on whole-chain horizons.
+	p := DefaultDifficultyParams()
+	p.BombEnabled = false
+	const d0 = uint64(300_000_000_000)
+	hashrate := float64(d0) / 13300 // difficulty units per ms
+	rng := sim.NewRNG(7)
+	d := d0
+	var gapSum float64
+	const n = 200_000
+	for i := 0; i < n; i++ {
+		mean := float64(d) / hashrate
+		gap := sim.Time(rng.Exponential(mean))
+		gapSum += float64(gap)
+		d = NextDifficulty(p, d, gap, uint64(i+1))
+	}
+	meanGap := gapSum / n
+	if math.Abs(meanGap-13300) > 600 {
+		t.Fatalf("equilibrium mean gap: want ~13300, got %v", meanGap)
+	}
+	if d < d0/3 || d > 3*d0 {
+		t.Fatalf("difficulty drifted: %d (start %d)", d, d0)
+	}
+	// Cumulative difficulty stays far below uint64 range even at
+	// whole-chain length.
+	if float64(d)*7_700_000 > float64(math.MaxUint64)/2 {
+		t.Fatalf("difficulty scale risks overflow: %d", d)
+	}
+}
+
+func TestDifficultyBombRaisesInterval(t *testing.T) {
+	// With the bomb live (no delay, short period), the closed loop's
+	// inter-block time climbs — the pre-Constantinople drift the
+	// paper cites (14.3 s), undone by delaying the bomb (13.3 s).
+	run := func(delay uint64) float64 {
+		p := DefaultDifficultyParams()
+		p.BombDelayBlocks = delay
+		p.BombPeriodBlocks = 10_000
+		const d0 = uint64(300_000_000_000)
+		hashrate := float64(d0) / 13300
+		rng := sim.NewRNG(9)
+		d := d0
+		var gapSum float64
+		const n = 400_000
+		for i := 0; i < n; i++ {
+			mean := float64(d) / hashrate
+			gap := sim.Time(rng.Exponential(mean))
+			gapSum += float64(gap)
+			d = NextDifficulty(p, d, gap, uint64(i+1))
+		}
+		return gapSum / n
+	}
+	bombed := run(0)
+	delayed := run(10_000_000)
+	if bombed <= delayed*1.02 {
+		t.Fatalf("bomb should stretch intervals: %v vs %v", bombed, delayed)
+	}
+}

@@ -1,0 +1,161 @@
+package chain
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/types"
+)
+
+// TestBlockTreeInvariantsProperty grows random block trees (random
+// parents near the tip, random difficulties, occasional deep forks)
+// and checks structural invariants after every insertion batch:
+//
+//  1. the main chain is parent-linked from genesis to head;
+//  2. the head has maximal total difficulty among all blocks;
+//  3. total difficulty along the main chain is strictly increasing;
+//  4. every block's td equals its parent's td plus its difficulty.
+func TestBlockTreeInvariantsProperty(t *testing.T) {
+	for seed := uint64(0); seed < 8; seed++ {
+		rng := sim.NewRNG(seed)
+		g := testGenesis()
+		tree := NewBlockTree(g)
+		all := []*types.Block{g}
+		for i := 0; i < 400; i++ {
+			// Pick a parent biased toward the tip but occasionally
+			// deep (forks).
+			var parent *types.Block
+			if rng.Bernoulli(0.8) {
+				parent = tree.Head()
+			} else {
+				parent = all[rng.IntN(len(all))]
+			}
+			b := types.NewBlock(types.Header{
+				ParentHash: parent.Hash(),
+				Number:     parent.Header.Number + 1,
+				Miner:      types.AddressFromString("m"),
+				MinerLabel: "m",
+				TimeMillis: parent.Header.TimeMillis + uint64(1+rng.IntN(20000)),
+				Difficulty: uint64(500 + rng.IntN(1000)),
+				GasLimit:   8_000_000,
+				Extra:      rng.Uint64(), // force uniqueness
+			}, nil, nil)
+			if _, err := tree.Add(b); err != nil {
+				t.Fatalf("seed %d insert %d: %v", seed, i, err)
+			}
+			all = append(all, b)
+		}
+		checkTreeInvariants(t, tree, all)
+	}
+}
+
+func checkTreeInvariants(t *testing.T, tree *BlockTree, all []*types.Block) {
+	t.Helper()
+	main := tree.MainChain()
+	if main[0].Hash() != tree.Genesis() {
+		t.Fatal("main chain must start at genesis")
+	}
+	if main[len(main)-1].Hash() != tree.Head().Hash() {
+		t.Fatal("main chain must end at head")
+	}
+	headTD, err := tree.TotalDifficulty(tree.Head().Hash())
+	if err != nil {
+		t.Fatal(err)
+	}
+	prevTD := uint64(0)
+	for i, b := range main {
+		if i > 0 {
+			if b.Header.ParentHash != main[i-1].Hash() {
+				t.Fatalf("main chain broken at %d", i)
+			}
+		}
+		td, err := tree.TotalDifficulty(b.Hash())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i > 0 && td <= prevTD {
+			t.Fatalf("td not increasing at %d: %d <= %d", i, td, prevTD)
+		}
+		prevTD = td
+	}
+	for _, b := range all {
+		td, err := tree.TotalDifficulty(b.Hash())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if td > headTD {
+			t.Fatalf("block %s heavier (%d) than head (%d)", b.Hash().Short(), td, headTD)
+		}
+		if b.Hash() == tree.Genesis() {
+			continue
+		}
+		parentTD, err := tree.TotalDifficulty(b.Header.ParentHash)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if td != parentTD+b.Header.Difficulty {
+			t.Fatalf("td accounting broken for %s", b.Hash().Short())
+		}
+	}
+}
+
+// TestTxPoolInvariantsProperty drives a pool with random adds/selects/
+// commits and checks that (a) selections always respect per-sender
+// nonce order against the pool's committed state, (b) Len never goes
+// negative, and (c) committed nonces never regress.
+func TestTxPoolInvariantsProperty(t *testing.T) {
+	for seed := uint64(0); seed < 8; seed++ {
+		rng := sim.NewRNG(100 + seed)
+		pool := NewTxPool()
+		nextBySender := map[types.Address]uint64{}
+		senders := []string{"a", "b", "c", "d"}
+		emitted := map[types.Address]uint64{}
+		for step := 0; step < 300; step++ {
+			switch rng.IntN(3) {
+			case 0: // add a (possibly out-of-order) tx
+				s := types.AddressFromString(senders[rng.IntN(len(senders))])
+				nonce := emitted[s]
+				if rng.Bernoulli(0.2) {
+					nonce += uint64(rng.IntN(3)) // leave a gap
+				}
+				emitted[s] = nonce + 1
+				if _, err := pool.Add(&types.Transaction{
+					Sender: s, To: types.AddressFromString("sink"),
+					Nonce: nonce, GasPrice: uint64(1 + rng.IntN(100)), Gas: types.TxGas,
+				}); err != nil {
+					t.Fatal(err)
+				}
+			case 1: // select and validate ordering
+				sel := pool.Select(uint64(rng.IntN(12)) * types.TxGas)
+				seen := map[types.Address]uint64{}
+				for _, tx := range sel {
+					want, ok := seen[tx.Sender]
+					if !ok {
+						want = pool.NextNonce(tx.Sender)
+					}
+					if tx.Nonce != want {
+						t.Fatalf("seed %d: selection nonce %d, want %d", seed, tx.Nonce, want)
+					}
+					seen[tx.Sender] = want + 1
+				}
+			case 2: // commit a selection
+				sel := pool.Select(uint64(rng.IntN(6)) * types.TxGas)
+				if err := pool.Commit(sel); err != nil {
+					t.Fatalf("seed %d commit: %v", seed, err)
+				}
+				for _, tx := range sel {
+					if pool.NextNonce(tx.Sender) < tx.Nonce+1 {
+						t.Fatal("committed nonce regressed")
+					}
+					if prev, ok := nextBySender[tx.Sender]; ok && tx.Nonce < prev {
+						t.Fatal("commit order regressed")
+					}
+					nextBySender[tx.Sender] = tx.Nonce + 1
+				}
+			}
+			if pool.Len() < 0 || pool.ExecutableCount() > pool.Len() {
+				t.Fatal("pool counters inconsistent")
+			}
+		}
+	}
+}

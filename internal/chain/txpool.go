@@ -1,0 +1,197 @@
+package chain
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/types"
+)
+
+// TxPool is a nonce-ordered transaction pool. It distinguishes
+// executable transactions (next expected nonce for their sender) from
+// queued ones (a nonce gap exists), which is the exact mechanism
+// behind the paper's out-of-order commit penalty (§III-C2): a miner
+// cannot include a transaction until all its predecessors arrived.
+type TxPool struct {
+	pending   map[types.Address]map[uint64]*types.Transaction
+	nextNonce map[types.Address]uint64
+	known     map[types.Hash]bool
+}
+
+// AddStatus describes the outcome of adding a transaction.
+type AddStatus int
+
+// Add outcomes.
+const (
+	// AddedExecutable means the transaction's nonce is the sender's
+	// next expected one; it can be mined immediately.
+	AddedExecutable AddStatus = iota + 1
+	// AddedQueued means a nonce gap exists; the transaction waits for
+	// its predecessors (arrived out of order or predecessors pending).
+	AddedQueued
+	// AddedDuplicate means the exact transaction is already known.
+	AddedDuplicate
+	// AddedStale means the nonce was already consumed on-chain.
+	AddedStale
+)
+
+var errNilTx = errors.New("chain: nil transaction")
+
+// NewTxPool creates an empty pool. Every sender starts at nonce 0.
+func NewTxPool() *TxPool {
+	return &TxPool{
+		pending:   make(map[types.Address]map[uint64]*types.Transaction),
+		nextNonce: make(map[types.Address]uint64),
+		known:     make(map[types.Hash]bool),
+	}
+}
+
+// Add inserts a transaction and classifies it.
+func (p *TxPool) Add(tx *types.Transaction) (AddStatus, error) {
+	if tx == nil {
+		return 0, errNilTx
+	}
+	h := tx.Hash()
+	if p.known[h] {
+		return AddedDuplicate, nil
+	}
+	next := p.nextNonce[tx.Sender]
+	if tx.Nonce < next {
+		return AddedStale, nil
+	}
+	if p.pending[tx.Sender] == nil {
+		p.pending[tx.Sender] = make(map[uint64]*types.Transaction)
+	}
+	if _, exists := p.pending[tx.Sender][tx.Nonce]; exists {
+		// A different tx at the same nonce: keep the first (the
+		// simulation does not model replace-by-fee).
+		return AddedDuplicate, nil
+	}
+	p.pending[tx.Sender][tx.Nonce] = tx
+	p.known[h] = true
+	if tx.Nonce == next {
+		return AddedExecutable, nil
+	}
+	return AddedQueued, nil
+}
+
+// Len returns the number of pending transactions (executable plus
+// queued).
+func (p *TxPool) Len() int {
+	n := 0
+	for _, m := range p.pending {
+		n += len(m)
+	}
+	return n
+}
+
+// ExecutableCount returns how many transactions are minable right now:
+// for each sender, the contiguous nonce run starting at the sender's
+// next expected nonce.
+func (p *TxPool) ExecutableCount() int {
+	n := 0
+	for sender, m := range p.pending {
+		nonce := p.nextNonce[sender]
+		for {
+			if _, ok := m[nonce]; !ok {
+				break
+			}
+			n++
+			nonce++
+		}
+	}
+	return n
+}
+
+// Select returns up to gasLimit worth of executable transactions,
+// highest gas price first, respecting per-sender nonce order. The
+// returned transactions are NOT removed; call Commit once they are
+// included in a mined block.
+func (p *TxPool) Select(gasLimit uint64) []*types.Transaction {
+	// Gather each sender's executable run head.
+	type cursor struct {
+		sender types.Address
+		nonce  uint64
+	}
+	var heads []*types.Transaction
+	cursors := make(map[types.Address]uint64, len(p.pending))
+	for sender, m := range p.pending {
+		nonce := p.nextNonce[sender]
+		if tx, ok := m[nonce]; ok {
+			heads = append(heads, tx)
+			cursors[sender] = nonce
+		}
+	}
+	// Deterministic order: gas price desc, then sender bytes, then
+	// nonce, so identical pools select identical sets.
+	less := func(a, b *types.Transaction) bool {
+		if a.GasPrice != b.GasPrice {
+			return a.GasPrice > b.GasPrice
+		}
+		if a.Sender != b.Sender {
+			return lessAddress(a.Sender, b.Sender)
+		}
+		return a.Nonce < b.Nonce
+	}
+	sort.Slice(heads, func(i, j int) bool { return less(heads[i], heads[j]) })
+
+	var out []*types.Transaction
+	var gasUsed uint64
+	for len(heads) > 0 {
+		tx := heads[0]
+		heads = heads[1:]
+		if gasUsed+tx.Gas > gasLimit {
+			continue
+		}
+		out = append(out, tx)
+		gasUsed += tx.Gas
+		// Advance this sender's cursor; insert its next executable tx
+		// in sorted position.
+		nextNonce := cursors[tx.Sender] + 1
+		if next, ok := p.pending[tx.Sender][nextNonce]; ok {
+			cursors[tx.Sender] = nextNonce
+			idx := sort.Search(len(heads), func(i int) bool { return less(next, heads[i]) })
+			heads = append(heads, nil)
+			copy(heads[idx+1:], heads[idx:])
+			heads[idx] = next
+		}
+	}
+	return out
+}
+
+// Commit removes included transactions and advances sender nonces. It
+// returns an error when a transaction violates nonce order, which
+// would indicate a block built against a different pool state.
+func (p *TxPool) Commit(txs []*types.Transaction) error {
+	for _, tx := range txs {
+		if tx == nil {
+			return errNilTx
+		}
+		next := p.nextNonce[tx.Sender]
+		if tx.Nonce != next {
+			return fmt.Errorf("chain: commit nonce %d for %s, expected %d", tx.Nonce, tx.Sender, next)
+		}
+		delete(p.pending[tx.Sender], tx.Nonce)
+		if len(p.pending[tx.Sender]) == 0 {
+			delete(p.pending, tx.Sender)
+		}
+		p.nextNonce[tx.Sender] = next + 1
+	}
+	return nil
+}
+
+// NextNonce exposes the next expected nonce for a sender.
+func (p *TxPool) NextNonce(sender types.Address) uint64 { return p.nextNonce[sender] }
+
+// Known reports whether the pool has ever accepted this tx hash.
+func (p *TxPool) Known(h types.Hash) bool { return p.known[h] }
+
+func lessAddress(a, b types.Address) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}

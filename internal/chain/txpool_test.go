@@ -1,0 +1,223 @@
+package chain
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/types"
+)
+
+func tx(sender string, nonce, gasPrice uint64) *types.Transaction {
+	return &types.Transaction{
+		Sender:   types.AddressFromString(sender),
+		To:       types.AddressFromString("sink"),
+		Nonce:    nonce,
+		Value:    1,
+		GasPrice: gasPrice,
+		Gas:      types.TxGas,
+	}
+}
+
+func addStatus(t *testing.T, p *TxPool, x *types.Transaction) AddStatus {
+	t.Helper()
+	st, err := p.Add(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func TestTxPoolAddClassification(t *testing.T) {
+	p := NewTxPool()
+	if st := addStatus(t, p, tx("alice", 0, 10)); st != AddedExecutable {
+		t.Fatalf("nonce 0: %v", st)
+	}
+	if st := addStatus(t, p, tx("alice", 2, 10)); st != AddedQueued {
+		t.Fatalf("nonce gap: %v", st)
+	}
+	if st := addStatus(t, p, tx("alice", 0, 10)); st != AddedDuplicate {
+		t.Fatalf("duplicate: %v", st)
+	}
+	if p.Len() != 2 {
+		t.Fatalf("len: %d", p.Len())
+	}
+	if p.ExecutableCount() != 1 {
+		t.Fatalf("executable: %d", p.ExecutableCount())
+	}
+	if _, err := p.Add(nil); err == nil {
+		t.Fatal("nil tx must error")
+	}
+}
+
+func TestTxPoolStaleAfterCommit(t *testing.T) {
+	p := NewTxPool()
+	a0 := tx("alice", 0, 10)
+	addStatus(t, p, a0)
+	if err := p.Commit([]*types.Transaction{a0}); err != nil {
+		t.Fatal(err)
+	}
+	if st := addStatus(t, p, tx("alice", 0, 99)); st != AddedStale {
+		t.Fatalf("stale: %v", st)
+	}
+	if p.NextNonce(types.AddressFromString("alice")) != 1 {
+		t.Fatal("nonce not advanced")
+	}
+}
+
+func TestTxPoolGapFill(t *testing.T) {
+	p := NewTxPool()
+	addStatus(t, p, tx("alice", 1, 10)) // out of order
+	if p.ExecutableCount() != 0 {
+		t.Fatal("gapped tx must not be executable")
+	}
+	addStatus(t, p, tx("alice", 0, 10)) // fills the gap
+	if p.ExecutableCount() != 2 {
+		t.Fatalf("executable after gap fill: %d", p.ExecutableCount())
+	}
+}
+
+func TestSelectRespectsGasLimitAndPrice(t *testing.T) {
+	p := NewTxPool()
+	addStatus(t, p, tx("alice", 0, 5))
+	addStatus(t, p, tx("bob", 0, 50))
+	addStatus(t, p, tx("carol", 0, 20))
+	// Room for exactly two transactions.
+	got := p.Select(2 * types.TxGas)
+	if len(got) != 2 {
+		t.Fatalf("selected %d", len(got))
+	}
+	if got[0].GasPrice != 50 || got[1].GasPrice != 20 {
+		t.Fatalf("price order: %d, %d", got[0].GasPrice, got[1].GasPrice)
+	}
+}
+
+func TestSelectRespectsNonceOrder(t *testing.T) {
+	p := NewTxPool()
+	// alice nonce 1 pays more than nonce 0; selection must still take
+	// 0 before 1.
+	addStatus(t, p, tx("alice", 0, 5))
+	addStatus(t, p, tx("alice", 1, 500))
+	got := p.Select(10 * types.TxGas)
+	if len(got) != 2 {
+		t.Fatalf("selected %d", len(got))
+	}
+	if got[0].Nonce != 0 || got[1].Nonce != 1 {
+		t.Fatalf("nonce order violated: %d, %d", got[0].Nonce, got[1].Nonce)
+	}
+}
+
+func TestSelectSkipsQueuedTail(t *testing.T) {
+	p := NewTxPool()
+	addStatus(t, p, tx("alice", 0, 10))
+	addStatus(t, p, tx("alice", 2, 10)) // gap at 1
+	got := p.Select(10 * types.TxGas)
+	if len(got) != 1 || got[0].Nonce != 0 {
+		t.Fatalf("selected %v", got)
+	}
+}
+
+func TestSelectDoesNotRemove(t *testing.T) {
+	p := NewTxPool()
+	addStatus(t, p, tx("alice", 0, 10))
+	_ = p.Select(10 * types.TxGas)
+	if p.Len() != 1 {
+		t.Fatal("select must not remove")
+	}
+}
+
+func TestCommitErrors(t *testing.T) {
+	p := NewTxPool()
+	addStatus(t, p, tx("alice", 0, 10))
+	if err := p.Commit([]*types.Transaction{tx("alice", 1, 10)}); err == nil {
+		t.Fatal("nonce-skipping commit must error")
+	}
+	if err := p.Commit([]*types.Transaction{nil}); err == nil {
+		t.Fatal("nil tx commit must error")
+	}
+}
+
+func TestCommitUnseenTxAdvancesNonce(t *testing.T) {
+	// A block mined elsewhere can contain txs this pool never saw;
+	// committing them must still advance the sender nonce so later
+	// pool copies stay consistent.
+	p := NewTxPool()
+	if err := p.Commit([]*types.Transaction{tx("alice", 0, 10)}); err != nil {
+		t.Fatal(err)
+	}
+	if p.NextNonce(types.AddressFromString("alice")) != 1 {
+		t.Fatal("nonce not advanced for unseen tx")
+	}
+}
+
+func TestKnown(t *testing.T) {
+	p := NewTxPool()
+	x := tx("alice", 0, 10)
+	if p.Known(x.Hash()) {
+		t.Fatal("unknown tx reported known")
+	}
+	addStatus(t, p, x)
+	if !p.Known(x.Hash()) {
+		t.Fatal("added tx not known")
+	}
+}
+
+func TestSelectDeterministicProperty(t *testing.T) {
+	// Two pools fed the same transactions in different orders must
+	// select the same set (given the same committed state).
+	f := func(seed uint64) bool {
+		txs := []*types.Transaction{
+			tx("a", 0, 7), tx("a", 1, 3), tx("b", 0, 7),
+			tx("c", 0, 9), tx("c", 1, 1), tx("d", 0, 4),
+		}
+		p1 := NewTxPool()
+		p2 := NewTxPool()
+		for _, x := range txs {
+			if _, err := p1.Add(x); err != nil {
+				return false
+			}
+		}
+		// Reverse order into p2.
+		for i := len(txs) - 1; i >= 0; i-- {
+			if _, err := p2.Add(txs[i]); err != nil {
+				return false
+			}
+		}
+		s1 := p1.Select(4 * types.TxGas)
+		s2 := p2.Select(4 * types.TxGas)
+		if len(s1) != len(s2) {
+			return false
+		}
+		for i := range s1 {
+			if s1[i].Hash() != s2[i].Hash() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSelectNonceOrderProperty(t *testing.T) {
+	// Whatever the gas limit, per-sender nonces in a selection must be
+	// contiguous ascending from the pool's next nonce.
+	f := func(prices []uint8, limitBlocks uint8) bool {
+		p := NewTxPool()
+		for i, gp := range prices {
+			if _, err := p.Add(tx("s", uint64(i), uint64(gp)+1)); err != nil {
+				return false
+			}
+		}
+		got := p.Select(uint64(limitBlocks%16) * types.TxGas)
+		for i, x := range got {
+			if x.Nonce != uint64(i) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

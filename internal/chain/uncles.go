@@ -1,0 +1,168 @@
+package chain
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/types"
+)
+
+// Uncle (ommer) validation. Ethereum rewards stale blocks that get
+// referenced by later main-chain blocks; the paper shows (§III-C5)
+// that this mechanism — designed to help small miners — is exploited
+// by large pools mining several versions of the same block. §V
+// proposes restricting it: an uncle is invalid when its miner also
+// mined the main-chain block at the same height. UncleRules captures
+// both the standard protocol and that proposed mitigation, so the
+// Lesson-1 ablation is a one-flag change.
+
+// Uncle validation errors.
+var (
+	ErrUncleIsAncestor    = errors.New("chain: uncle is an ancestor of the including block")
+	ErrUncleTooDeep       = errors.New("chain: uncle exceeds maximum depth")
+	ErrUncleUnknownParent = errors.New("chain: uncle parent not on including chain")
+	ErrUncleAlreadyUsed   = errors.New("chain: uncle already referenced")
+	ErrUncleSelfHeight    = errors.New("chain: uncle miner already mined main block at same height (restricted rule)")
+	ErrTooManyUncles      = errors.New("chain: too many uncles")
+)
+
+// UncleRules parameterizes uncle validity.
+type UncleRules struct {
+	// MaxDepth is how many generations back an uncle's height may lie
+	// (Ethereum: 7).
+	MaxDepth uint64
+	// MaxPerBlock is the per-block uncle reference limit (Ethereum: 2).
+	MaxPerBlock int
+	// RestrictOneMinerUncles enables the paper's §V mitigation:
+	// reject an uncle when the same miner address also produced the
+	// chain block at the uncle's height on the branch being extended.
+	RestrictOneMinerUncles bool
+}
+
+// DefaultUncleRules returns Ethereum's standard parameters with the
+// restriction disabled.
+func DefaultUncleRules() UncleRules {
+	return UncleRules{MaxDepth: types.MaxUncleDepth, MaxPerBlock: types.MaxUnclesPerBlock}
+}
+
+// UncleTracker records which uncle hashes were already referenced on a
+// branch; Ethereum forbids double inclusion. A single global set is a
+// faithful approximation for the simulation because reorgs deep enough
+// to resurrect an uncle reference do not occur at the observed fork
+// lengths (max 3).
+type UncleTracker struct {
+	used map[types.Hash]bool
+}
+
+// NewUncleTracker creates an empty tracker.
+func NewUncleTracker() *UncleTracker {
+	return &UncleTracker{used: make(map[types.Hash]bool)}
+}
+
+// MarkUsed records that an uncle hash was referenced.
+func (u *UncleTracker) MarkUsed(h types.Hash) { u.used[h] = true }
+
+// Used reports whether the hash was already referenced.
+func (u *UncleTracker) Used(h types.Hash) bool { return u.used[h] }
+
+// ValidateUncle checks whether candidate can be referenced as an uncle
+// by a block extending parent (i.e. the new block will have height
+// parent.Number+1). tracker may be nil to skip the double-use check.
+func (t *BlockTree) ValidateUncle(rules UncleRules, parent types.Hash, candidate types.Header, tracker *UncleTracker) error {
+	parentBlock, ok := t.blocks[parent]
+	if !ok {
+		return fmt.Errorf("%w: parent %s", ErrUnknownBlock, parent.Short())
+	}
+	candHash := candidate.Hash()
+	if tracker != nil && tracker.Used(candHash) {
+		return ErrUncleAlreadyUsed
+	}
+	newHeight := parentBlock.Header.Number + 1
+	if candidate.Number >= newHeight {
+		return fmt.Errorf("%w: uncle height %d vs block height %d", ErrUncleTooDeep, candidate.Number, newHeight)
+	}
+	if newHeight-candidate.Number > rules.MaxDepth {
+		return fmt.Errorf("%w: depth %d", ErrUncleTooDeep, newHeight-candidate.Number)
+	}
+	// The uncle must be a side block: a sibling branch of the chain
+	// being extended. Its parent must be an ancestor of the new block,
+	// but the uncle itself must not be.
+	if t.IsAncestor(candHash, parent) {
+		return ErrUncleIsAncestor
+	}
+	if !t.IsAncestor(candidate.ParentHash, parent) {
+		return fmt.Errorf("%w: uncle parent %s", ErrUncleUnknownParent, candidate.ParentHash.Short())
+	}
+	if rules.RestrictOneMinerUncles {
+		chainAt, ok := t.ancestorAt(parent, candidate.Number)
+		if ok {
+			if mainBlock := t.blocks[chainAt]; mainBlock.Header.Miner == candidate.Miner {
+				return ErrUncleSelfHeight
+			}
+		}
+	}
+	return nil
+}
+
+// ancestorAt walks from tip back to the requested height along parent
+// links.
+func (t *BlockTree) ancestorAt(tip types.Hash, n uint64) (types.Hash, bool) {
+	cur, ok := t.blocks[tip]
+	if !ok {
+		return types.Hash{}, false
+	}
+	for {
+		if cur.Header.Number == n {
+			return cur.Hash(), true
+		}
+		if cur.Header.Number < n || cur.Hash() == t.genesis {
+			return types.Hash{}, false
+		}
+		next, ok := t.blocks[cur.Header.ParentHash]
+		if !ok {
+			return types.Hash{}, false
+		}
+		cur = next
+	}
+}
+
+// SelectUncles returns up to rules.MaxPerBlock valid uncle headers for
+// a block extending parent, preferring shallower (more recent) side
+// blocks, mirroring Geth's selection. The tracker, when non-nil, is
+// consulted but NOT updated; callers mark selected uncles used once
+// the block is actually mined.
+func (t *BlockTree) SelectUncles(rules UncleRules, parent types.Hash, tracker *UncleTracker) []types.Header {
+	parentBlock, ok := t.blocks[parent]
+	if !ok {
+		return nil
+	}
+	newHeight := parentBlock.Header.Number + 1
+	var out []types.Header
+	// Scan recent heights from shallow to deep.
+	for depth := uint64(1); depth <= rules.MaxDepth && len(out) < rules.MaxPerBlock; depth++ {
+		if newHeight < depth+1 {
+			break
+		}
+		height := newHeight - depth
+		for _, h := range t.byHeight[height] {
+			if len(out) >= rules.MaxPerBlock {
+				break
+			}
+			cand := t.blocks[h]
+			if err := t.ValidateUncle(rules, parent, cand.Header, tracker); err != nil {
+				continue
+			}
+			dup := false
+			for i := range out {
+				if out[i].Hash() == h {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				out = append(out, cand.Header)
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,54 @@
+package core
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/discovery"
+	"repro/internal/p2p"
+	"repro/internal/sim"
+)
+
+// wireKademlia wires an overlay the way devp2p does: every node gets a
+// random 256-bit identity, the discovery universe bootstraps and
+// converges, and each node dials `degree` peers sampled from its
+// routing table. Because identities carry no geographic structure,
+// the resulting topology is location-independent — the property the
+// paper's §III-B1 analysis rests on.
+func wireKademlia(network *p2p.Network, rng *sim.RNG, degree int) error {
+	if degree < 1 {
+		return fmt.Errorf("core: degree %d < 1", degree)
+	}
+	universe, err := discovery.NewUniverse(discovery.DefaultBucketSize)
+	if err != nil {
+		return err
+	}
+	nodes := network.Nodes()
+	byID := make(map[discovery.NodeID]*p2p.Node, len(nodes))
+	for _, n := range nodes {
+		id := discovery.IDFromLabel("overlay-node-" + strconv.Itoa(int(n.ID())))
+		if err := universe.Join(id); err != nil {
+			return err
+		}
+		byID[id] = n
+	}
+	if err := universe.Bootstrap(rng, 3, 2); err != nil {
+		return err
+	}
+	for id, node := range byID {
+		peers, err := universe.SamplePeers(rng, id, degree)
+		if err != nil {
+			return err
+		}
+		for _, pid := range peers {
+			target, ok := byID[pid]
+			if !ok {
+				continue
+			}
+			// Peer-limit refusals are expected; discovery keeps
+			// candidates available elsewhere.
+			_ = network.Connect(node, target)
+		}
+	}
+	return nil
+}

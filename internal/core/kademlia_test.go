@@ -1,0 +1,57 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// TestKademliaWiringPreservesGeoFindings validates the statistical
+// shortcut: the devp2p-style discovery wiring and uniform random
+// wiring must yield the same geographic conclusions (EA first, NA
+// last), because node identities carry no location structure
+// (§III-B1).
+func TestKademliaWiringPreservesGeoFindings(t *testing.T) {
+	run := func(kademlia bool) map[string]float64 {
+		t.Helper()
+		cfg := smallCampaign(31)
+		cfg.KademliaWiring = kademlia
+		res, err := RunCampaign(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		first, err := analysis.FirstObservations(res.Index)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return first.Share
+	}
+	random := run(false)
+	kademlia := run(true)
+	for _, shares := range []map[string]float64{random, kademlia} {
+		if shares["EA"] < shares["NA"] {
+			t.Fatalf("EA must lead NA under both wirings: %+v", shares)
+		}
+		if shares["EA"] < 0.25 {
+			t.Fatalf("EA share collapsed: %+v", shares)
+		}
+	}
+	// The wirings should agree within a loose band.
+	if diff := random["EA"] - kademlia["EA"]; diff > 0.25 || diff < -0.25 {
+		t.Fatalf("wirings disagree on EA: %v vs %v", random["EA"], kademlia["EA"])
+	}
+}
+
+func TestKademliaWiringConnectsEveryone(t *testing.T) {
+	cfg := smallCampaign(32)
+	cfg.KademliaWiring = true
+	c, err := NewCampaign(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range c.network.Nodes() {
+		if n.PeerCount() == 0 {
+			t.Fatalf("node %d isolated under kademlia wiring", n.ID())
+		}
+	}
+}

@@ -1,0 +1,353 @@
+// Package discovery implements a devp2p-discv4-style Kademlia node
+// table: 256-bit random node identifiers, XOR distance, k-buckets and
+// iterative FindNode lookups.
+//
+// Ethereum derives neighbor relationships from these random IDs, which
+// is why the paper can assert that peer selection is independent of
+// geographic location (§III-B1). The reproduction wires its overlay
+// either uniformly at random (a statistical shortcut) or through this
+// substrate (CampaignConfig.KademliaWiring); a core test checks both
+// wirings produce the same geographic findings, validating the
+// shortcut.
+package discovery
+
+import (
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"math/bits"
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// IDLen is the identifier length in bytes (devp2p: keccak256 of the
+// node key; SHA-256-sized here).
+const IDLen = 32
+
+// NodeID is a 256-bit node identifier.
+type NodeID [IDLen]byte
+
+// DefaultBucketSize is Kademlia's k (devp2p uses 16).
+const DefaultBucketSize = 16
+
+// NumBuckets is the number of distance buckets.
+const NumBuckets = IDLen * 8
+
+// RandomID draws a uniformly random identifier.
+func RandomID(rng *sim.RNG) NodeID {
+	var id NodeID
+	for i := 0; i < IDLen; i += 8 {
+		v := rng.Uint64()
+		for j := 0; j < 8; j++ {
+			id[i+j] = byte(v >> uint(8*j))
+		}
+	}
+	return id
+}
+
+// IDFromLabel derives a deterministic identifier from a label.
+func IDFromLabel(label string) NodeID {
+	return NodeID(sha256.Sum256([]byte(label)))
+}
+
+// LogDist returns the logarithmic XOR distance between two IDs: the
+// bit index (from the top) of the first differing bit, mapped to
+// bucket numbers 1..256; 0 means equal.
+func LogDist(a, b NodeID) int {
+	for i := 0; i < IDLen; i++ {
+		x := a[i] ^ b[i]
+		if x != 0 {
+			return NumBuckets - 8*i - bits.LeadingZeros8(x)
+		}
+	}
+	return 0
+}
+
+// CompareDistance orders two candidate IDs by XOR distance to a
+// target: negative when a is closer, positive when b is closer, zero
+// when equidistant (a == b).
+func CompareDistance(target, a, b NodeID) int {
+	for i := 0; i < IDLen; i++ {
+		da := a[i] ^ target[i]
+		db := b[i] ^ target[i]
+		if da != db {
+			if da < db {
+				return -1
+			}
+			return 1
+		}
+	}
+	return 0
+}
+
+// Table is a Kademlia routing table: one k-sized bucket per
+// logarithmic distance.
+type Table struct {
+	self    NodeID
+	k       int
+	buckets [NumBuckets + 1][]NodeID
+	present map[NodeID]bool
+}
+
+// Table errors.
+var (
+	ErrSelfInsert = errors.New("discovery: cannot insert self")
+	ErrBadK       = errors.New("discovery: bucket size must be >= 1")
+)
+
+// NewTable creates a table for the given node with bucket size k.
+func NewTable(self NodeID, k int) (*Table, error) {
+	if k < 1 {
+		return nil, ErrBadK
+	}
+	return &Table{self: self, k: k, present: make(map[NodeID]bool)}, nil
+}
+
+// Self returns the table owner's ID.
+func (t *Table) Self() NodeID { return t.self }
+
+// Len returns the number of stored IDs.
+func (t *Table) Len() int { return len(t.present) }
+
+// Contains reports whether the table holds id.
+func (t *Table) Contains(id NodeID) bool { return t.present[id] }
+
+// Add inserts an ID into its distance bucket. It reports whether the
+// ID was stored (false for self, duplicates, or a full bucket —
+// classic Kademlia keeps old, live entries).
+func (t *Table) Add(id NodeID) (bool, error) {
+	if id == t.self {
+		return false, ErrSelfInsert
+	}
+	if t.present[id] {
+		return false, nil
+	}
+	b := LogDist(t.self, id)
+	if len(t.buckets[b]) >= t.k {
+		return false, nil
+	}
+	t.buckets[b] = append(t.buckets[b], id)
+	t.present[id] = true
+	return true, nil
+}
+
+// Closest returns up to n stored IDs ordered by XOR distance to
+// target.
+func (t *Table) Closest(target NodeID, n int) []NodeID {
+	if n < 1 {
+		return nil
+	}
+	all := make([]NodeID, 0, len(t.present))
+	for id := range t.present {
+		all = append(all, id)
+	}
+	sort.Slice(all, func(i, j int) bool {
+		return CompareDistance(target, all[i], all[j]) < 0
+	})
+	if len(all) > n {
+		all = all[:n]
+	}
+	return all
+}
+
+// Entries returns every stored ID (unordered but deterministic given
+// identical insert sequences is NOT guaranteed; callers needing
+// determinism should sort).
+func (t *Table) Entries() []NodeID {
+	out := make([]NodeID, 0, len(t.present))
+	for b := range t.buckets {
+		out = append(out, t.buckets[b]...)
+	}
+	return out
+}
+
+// Universe is the simulated discovery network: every participant's
+// table, addressable for iterative lookups. Discovery messages are not
+// latency-modeled — the table converges during a node's long uptime,
+// well before measurements start (§II deploys weeks ahead of
+// analysis).
+type Universe struct {
+	tables map[NodeID]*Table
+	order  []NodeID
+	k      int
+}
+
+// Universe errors.
+var (
+	ErrUnknownNode = errors.New("discovery: unknown node")
+	ErrDuplicate   = errors.New("discovery: duplicate node")
+)
+
+// NewUniverse creates an empty discovery network with bucket size k.
+func NewUniverse(k int) (*Universe, error) {
+	if k < 1 {
+		return nil, ErrBadK
+	}
+	return &Universe{tables: make(map[NodeID]*Table), k: k}, nil
+}
+
+// Join registers a node.
+func (u *Universe) Join(id NodeID) error {
+	if _, dup := u.tables[id]; dup {
+		return fmt.Errorf("%w: %x", ErrDuplicate, id[:4])
+	}
+	table, err := NewTable(id, u.k)
+	if err != nil {
+		return err
+	}
+	u.tables[id] = table
+	u.order = append(u.order, id)
+	return nil
+}
+
+// Len returns the number of joined nodes.
+func (u *Universe) Len() int { return len(u.order) }
+
+// Table returns a node's routing table.
+func (u *Universe) Table(id NodeID) (*Table, error) {
+	t, ok := u.tables[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %x", ErrUnknownNode, id[:4])
+	}
+	return t, nil
+}
+
+// findNode is the remote RPC: ask `who` for its closest entries to
+// target.
+func (u *Universe) findNode(who, target NodeID, n int) []NodeID {
+	t, ok := u.tables[who]
+	if !ok {
+		return nil
+	}
+	return t.Closest(target, n)
+}
+
+// Lookup performs an iterative Kademlia lookup from a node toward a
+// target, returning the k closest IDs found and inserting everything
+// learned into the searcher's table (how discv4 fills buckets).
+func (u *Universe) Lookup(from, target NodeID, alpha int) ([]NodeID, error) {
+	self, ok := u.tables[from]
+	if !ok {
+		return nil, fmt.Errorf("%w: %x", ErrUnknownNode, from[:4])
+	}
+	if alpha < 1 {
+		alpha = 3
+	}
+	asked := map[NodeID]bool{from: true}
+	candidates := self.Closest(target, u.k)
+	for round := 0; round < 24; round++ {
+		progressed := false
+		// Query the alpha closest unasked candidates.
+		queried := 0
+		for _, c := range candidates {
+			if queried >= alpha {
+				break
+			}
+			if asked[c] {
+				continue
+			}
+			asked[c] = true
+			queried++
+			for _, learned := range u.findNode(c, target, u.k) {
+				if learned == from {
+					continue
+				}
+				if _, err := self.Add(learned); err == nil {
+					// Stored or bucket-full; either way it can still
+					// advance the lookup frontier.
+				}
+				candidates = append(candidates, learned)
+				progressed = true
+			}
+		}
+		if queried == 0 || !progressed {
+			break
+		}
+		sort.Slice(candidates, func(i, j int) bool {
+			return CompareDistance(target, candidates[i], candidates[j]) < 0
+		})
+		candidates = dedupIDs(candidates)
+		if len(candidates) > 4*u.k {
+			candidates = candidates[:4*u.k]
+		}
+	}
+	sort.Slice(candidates, func(i, j int) bool {
+		return CompareDistance(target, candidates[i], candidates[j]) < 0
+	})
+	candidates = dedupIDs(candidates)
+	if len(candidates) > u.k {
+		candidates = candidates[:u.k]
+	}
+	return candidates, nil
+}
+
+func dedupIDs(ids []NodeID) []NodeID {
+	seen := make(map[NodeID]bool, len(ids))
+	out := ids[:0]
+	for _, id := range ids {
+		if seen[id] {
+			continue
+		}
+		seen[id] = true
+		out = append(out, id)
+	}
+	return out
+}
+
+// Bootstrap seeds every node with `seeds` random contacts and runs
+// `lookups` iterative self-lookups plus random-target lookups per
+// node, converging the tables the way a long-running devp2p node
+// does.
+func (u *Universe) Bootstrap(rng *sim.RNG, seeds, lookups int) error {
+	n := len(u.order)
+	if n < 2 {
+		return nil
+	}
+	if seeds < 1 {
+		seeds = 1
+	}
+	for _, id := range u.order {
+		table := u.tables[id]
+		for s := 0; s < seeds; s++ {
+			contact := u.order[rng.IntN(n)]
+			if contact == id {
+				continue
+			}
+			if _, err := table.Add(contact); err != nil && !errors.Is(err, ErrSelfInsert) {
+				return err
+			}
+		}
+	}
+	for round := 0; round < lookups; round++ {
+		for _, id := range u.order {
+			target := id
+			if round > 0 {
+				target = RandomID(rng)
+			}
+			if _, err := u.Lookup(id, target, 3); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// SamplePeers draws up to n peer IDs for a node from its converged
+// table, uniformly across stored entries — how a devp2p node picks
+// dial targets. Returns an error for unknown nodes.
+func (u *Universe) SamplePeers(rng *sim.RNG, id NodeID, n int) ([]NodeID, error) {
+	t, ok := u.tables[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %x", ErrUnknownNode, id[:4])
+	}
+	entries := t.Entries()
+	sort.Slice(entries, func(i, j int) bool {
+		return CompareDistance(id, entries[i], entries[j]) < 0
+	})
+	sim.Shuffle(rng, entries)
+	if len(entries) > n {
+		entries = entries[:n]
+	}
+	return entries, nil
+}

@@ -1,0 +1,285 @@
+package discovery
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func TestIDDerivation(t *testing.T) {
+	a := IDFromLabel("node-1")
+	b := IDFromLabel("node-1")
+	c := IDFromLabel("node-2")
+	if a != b || a == c {
+		t.Fatal("label derivation broken")
+	}
+	rng := sim.NewRNG(1)
+	r1 := RandomID(rng)
+	r2 := RandomID(rng)
+	if r1 == r2 {
+		t.Fatal("random IDs collided")
+	}
+}
+
+func TestLogDist(t *testing.T) {
+	var a NodeID
+	if LogDist(a, a) != 0 {
+		t.Fatal("self distance must be 0")
+	}
+	b := a
+	b[IDLen-1] = 1 // lowest bit differs
+	if LogDist(a, b) != 1 {
+		t.Fatalf("lowest-bit distance: %d", LogDist(a, b))
+	}
+	c := a
+	c[0] = 0x80 // highest bit differs
+	if LogDist(a, c) != NumBuckets {
+		t.Fatalf("highest-bit distance: %d", LogDist(a, c))
+	}
+}
+
+func TestLogDistSymmetryProperty(t *testing.T) {
+	f := func(a, b [IDLen]byte) bool {
+		return LogDist(NodeID(a), NodeID(b)) == LogDist(NodeID(b), NodeID(a))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCompareDistanceProperty(t *testing.T) {
+	// Antisymmetry and consistency with equality.
+	f := func(target, a, b [IDLen]byte) bool {
+		x := CompareDistance(NodeID(target), NodeID(a), NodeID(b))
+		y := CompareDistance(NodeID(target), NodeID(b), NodeID(a))
+		if a == b {
+			return x == 0 && y == 0
+		}
+		return x == -y && x != 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTableAdd(t *testing.T) {
+	self := IDFromLabel("self")
+	table, err := NewTable(self, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := table.Add(self); !errors.Is(err, ErrSelfInsert) {
+		t.Fatal("self insert must fail")
+	}
+	a := IDFromLabel("a")
+	ok, err := table.Add(a)
+	if err != nil || !ok {
+		t.Fatalf("add: %v %v", ok, err)
+	}
+	ok, err = table.Add(a)
+	if err != nil || ok {
+		t.Fatal("duplicate must not store")
+	}
+	if !table.Contains(a) || table.Len() != 1 {
+		t.Fatal("table state wrong")
+	}
+	if _, err := NewTable(self, 0); !errors.Is(err, ErrBadK) {
+		t.Fatal("k=0 must fail")
+	}
+}
+
+func TestBucketCapacity(t *testing.T) {
+	self := IDFromLabel("self")
+	table, err := NewTable(self, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := sim.NewRNG(2)
+	stored := 0
+	perBucket := map[int]int{}
+	for i := 0; i < 3000; i++ {
+		id := RandomID(rng)
+		ok, err := table.Add(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok {
+			stored++
+			perBucket[LogDist(self, id)]++
+		}
+	}
+	if stored != table.Len() {
+		t.Fatal("count mismatch")
+	}
+	for b, n := range perBucket {
+		if n > 3 {
+			t.Fatalf("bucket %d overflowed: %d", b, n)
+		}
+	}
+	// Top buckets (~half the ID space each) must be full.
+	if perBucket[NumBuckets] != 3 || perBucket[NumBuckets-1] != 3 {
+		t.Fatalf("top buckets not saturated: %v %v", perBucket[NumBuckets], perBucket[NumBuckets-1])
+	}
+}
+
+func TestClosestOrdering(t *testing.T) {
+	self := IDFromLabel("self")
+	table, err := NewTable(self, DefaultBucketSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := sim.NewRNG(3)
+	for i := 0; i < 500; i++ {
+		if _, err := table.Add(RandomID(rng)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	target := RandomID(rng)
+	got := table.Closest(target, 10)
+	if len(got) != 10 {
+		t.Fatalf("closest: %d", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		if CompareDistance(target, got[i-1], got[i]) > 0 {
+			t.Fatal("closest not ordered")
+		}
+	}
+	if table.Closest(target, 0) != nil {
+		t.Fatal("n=0 must return nil")
+	}
+}
+
+func buildUniverse(t *testing.T, n int, seed uint64) (*Universe, *sim.RNG) {
+	t.Helper()
+	u, err := NewUniverse(DefaultBucketSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := sim.NewRNG(seed)
+	for i := 0; i < n; i++ {
+		if err := u.Join(RandomID(rng)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return u, rng
+}
+
+func TestUniverseJoin(t *testing.T) {
+	u, _ := buildUniverse(t, 10, 4)
+	if u.Len() != 10 {
+		t.Fatalf("len: %d", u.Len())
+	}
+	id := u.order[0]
+	if err := u.Join(id); !errors.Is(err, ErrDuplicate) {
+		t.Fatal("duplicate join must fail")
+	}
+	if _, err := u.Table(id); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := u.Table(IDFromLabel("ghost")); !errors.Is(err, ErrUnknownNode) {
+		t.Fatal("unknown table must fail")
+	}
+	if _, err := NewUniverse(0); !errors.Is(err, ErrBadK) {
+		t.Fatal("k=0 universe must fail")
+	}
+}
+
+func TestBootstrapConverges(t *testing.T) {
+	u, rng := buildUniverse(t, 300, 5)
+	if err := u.Bootstrap(rng, 3, 3); err != nil {
+		t.Fatal(err)
+	}
+	// Every node's table should hold a healthy population.
+	for _, id := range u.order {
+		table := u.tables[id]
+		if table.Len() < 20 {
+			t.Fatalf("node %x table too small: %d", id[:4], table.Len())
+		}
+	}
+}
+
+func TestLookupFindsClosest(t *testing.T) {
+	u, rng := buildUniverse(t, 300, 6)
+	if err := u.Bootstrap(rng, 3, 3); err != nil {
+		t.Fatal(err)
+	}
+	// Ground truth: globally closest nodes to a fresh target.
+	target := RandomID(rng)
+	best := make([]NodeID, len(u.order))
+	copy(best, u.order)
+	for i := 1; i < len(best); i++ {
+		for j := i; j > 0 && CompareDistance(target, best[j], best[j-1]) < 0; j-- {
+			best[j], best[j-1] = best[j-1], best[j]
+		}
+	}
+	got, err := u.Lookup(u.order[0], target, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) == 0 {
+		t.Fatal("lookup returned nothing")
+	}
+	// The lookup's best find should be among the globally closest few
+	// (iterative Kademlia converges to the true closest node with
+	// high probability in a converged network).
+	hit := false
+	for _, b := range best[:5] {
+		if got[0] == b {
+			hit = true
+			break
+		}
+	}
+	if !hit {
+		t.Fatalf("lookup missed the closest region: got %x", got[0][:4])
+	}
+	if _, err := u.Lookup(IDFromLabel("ghost"), target, 3); !errors.Is(err, ErrUnknownNode) {
+		t.Fatal("unknown source must fail")
+	}
+}
+
+func TestSamplePeers(t *testing.T) {
+	u, rng := buildUniverse(t, 200, 7)
+	if err := u.Bootstrap(rng, 3, 2); err != nil {
+		t.Fatal(err)
+	}
+	peers, err := u.SamplePeers(rng, u.order[0], 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(peers) != 10 {
+		t.Fatalf("peers: %d", len(peers))
+	}
+	seen := map[NodeID]bool{}
+	for _, p := range peers {
+		if p == u.order[0] {
+			t.Fatal("sampled self")
+		}
+		if seen[p] {
+			t.Fatal("duplicate peer")
+		}
+		seen[p] = true
+	}
+	if _, err := u.SamplePeers(rng, IDFromLabel("ghost"), 5); !errors.Is(err, ErrUnknownNode) {
+		t.Fatal("unknown node must fail")
+	}
+}
+
+func TestIDsAreLocationIndependentProperty(t *testing.T) {
+	// The premise behind §III-B1: IDs carry no structure, so bucket
+	// distances between any two random IDs concentrate near the top
+	// buckets regardless of who generated them.
+	rng := sim.NewRNG(8)
+	low := 0
+	const n = 10000
+	for i := 0; i < n; i++ {
+		if LogDist(RandomID(rng), RandomID(rng)) < NumBuckets-8 {
+			low++
+		}
+	}
+	// P(dist < 248) = 2^-8 ≈ 0.39%.
+	if frac := float64(low) / n; frac > 0.01 {
+		t.Fatalf("distance distribution skewed: %v", frac)
+	}
+}

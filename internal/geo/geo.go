@@ -1,0 +1,227 @@
+// Package geo models the geographic substrate of the reproduction:
+// world regions, an empirical inter-region latency matrix, log-normal
+// jitter, bandwidth-derived transfer delays, and the NTP clock-offset
+// model the paper quotes for its measurement error (§II).
+//
+// The paper's geographic findings (Figs. 2 and 3) are driven by the
+// asymmetry of Internet backbone latencies between continents; this
+// package encodes that asymmetry from published backbone RTT figures.
+package geo
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Region is a coarse geographic area hosting nodes. The first four are
+// the paper's measurement-node locations.
+type Region int
+
+// Regions of the simulated world.
+const (
+	NorthAmerica Region = iota + 1
+	EasternAsia
+	WesternEurope
+	CentralEurope
+	SouthAmerica
+	Oceania
+)
+
+// NumRegions is the number of modeled regions.
+const NumRegions = 6
+
+// Regions lists every region in a stable order.
+func Regions() []Region {
+	return []Region{NorthAmerica, EasternAsia, WesternEurope, CentralEurope, SouthAmerica, Oceania}
+}
+
+// String returns the paper's abbreviation for the region.
+func (r Region) String() string {
+	switch r {
+	case NorthAmerica:
+		return "NA"
+	case EasternAsia:
+		return "EA"
+	case WesternEurope:
+		return "WE"
+	case CentralEurope:
+		return "CE"
+	case SouthAmerica:
+		return "SA"
+	case Oceania:
+		return "OC"
+	default:
+		return fmt.Sprintf("Region(%d)", int(r))
+	}
+}
+
+// Name returns the paper's long region name.
+func (r Region) Name() string {
+	switch r {
+	case NorthAmerica:
+		return "North America"
+	case EasternAsia:
+		return "Eastern Asia"
+	case WesternEurope:
+		return "Western Europe"
+	case CentralEurope:
+		return "Central Europe"
+	case SouthAmerica:
+		return "South America"
+	case Oceania:
+		return "Oceania"
+	default:
+		return r.String()
+	}
+}
+
+// Valid reports whether r is a known region.
+func (r Region) Valid() bool {
+	return r >= NorthAmerica && r <= Oceania
+}
+
+// baseOneWayMillis holds median one-way backbone delays between
+// regions in milliseconds, derived from published inter-continent RTT
+// measurements (RTT/2, rounded). Intra-region entries model national
+// backbone hops.
+var baseOneWayMillis = [NumRegions + 1][NumRegions + 1]float64{
+	NorthAmerica:  {NorthAmerica: 15, EasternAsia: 75, WesternEurope: 45, CentralEurope: 55, SouthAmerica: 65, Oceania: 80},
+	EasternAsia:   {NorthAmerica: 75, EasternAsia: 16, WesternEurope: 92, CentralEurope: 86, SouthAmerica: 140, Oceania: 60},
+	WesternEurope: {NorthAmerica: 45, EasternAsia: 92, WesternEurope: 8, CentralEurope: 12, SouthAmerica: 95, Oceania: 140},
+	CentralEurope: {NorthAmerica: 55, EasternAsia: 86, WesternEurope: 12, CentralEurope: 9, SouthAmerica: 105, Oceania: 135},
+	SouthAmerica:  {NorthAmerica: 65, EasternAsia: 140, WesternEurope: 95, CentralEurope: 105, SouthAmerica: 25, Oceania: 145},
+	Oceania:       {NorthAmerica: 80, EasternAsia: 60, WesternEurope: 140, CentralEurope: 135, SouthAmerica: 145, Oceania: 20},
+}
+
+// DefaultNodeShare is the fraction of network nodes hosted in each
+// region, following the Ethereum peer geolocation shares reported by
+// Kim et al. (IMC'18): North America and Europe dominate the node
+// population even though Asian pools dominate the hashrate.
+var DefaultNodeShare = map[Region]float64{
+	NorthAmerica:  0.36,
+	EasternAsia:   0.17,
+	WesternEurope: 0.22,
+	CentralEurope: 0.15,
+	SouthAmerica:  0.05,
+	Oceania:       0.05,
+}
+
+// LatencyModel converts a (from, to, message size) triple into a
+// one-way delay sample. It combines the backbone base delay, a
+// log-normal jitter factor, and a bandwidth-proportional transfer
+// term.
+type LatencyModel struct {
+	// JitterSigma is the sigma of the log-normal jitter multiplier
+	// applied to the base delay (mu=0 so the multiplier's median is
+	// 1.0).
+	JitterSigma float64
+	// BytesPerMillisecond models last-mile/backbone throughput. The
+	// paper's measurement hosts had >= 8 Gbps; typical full nodes are
+	// far slower, dominating block transfer time. 1250 B/ms = 10 Mbps.
+	BytesPerMillisecond float64
+	// MinDelayMillis is a floor on any hop (kernel + software stack).
+	MinDelayMillis float64
+	// RetransmitProb is the per-message probability of a TCP loss
+	// episode: the message is not dropped (TCP retransmits) but pays
+	// RetransmitPenaltyMillis plus another base delay. This produces
+	// the heavy right tail of real one-way delays (the paper's Fig. 1
+	// p99 of 317 ms against a 74 ms median).
+	RetransmitProb float64
+	// RetransmitPenaltyMillis approximates a retransmission timeout.
+	RetransmitPenaltyMillis float64
+}
+
+// DefaultLatencyModel returns the model used by all experiments unless
+// overridden.
+func DefaultLatencyModel() LatencyModel {
+	return LatencyModel{
+		JitterSigma:             0.25,
+		BytesPerMillisecond:     1250, // 10 Mbps
+		MinDelayMillis:          1,
+		RetransmitProb:          0.03,
+		RetransmitPenaltyMillis: 180,
+	}
+}
+
+// BaseDelay returns the median one-way backbone delay between two
+// regions, without jitter or transfer time.
+func BaseDelay(from, to Region) (sim.Time, error) {
+	if !from.Valid() || !to.Valid() {
+		return 0, fmt.Errorf("geo: invalid region pair (%v, %v)", from, to)
+	}
+	return sim.Time(baseOneWayMillis[from][to]), nil
+}
+
+// Sample draws a one-way delay for a message of size bytes from one
+// region to another. It returns an error on invalid regions.
+func (m LatencyModel) Sample(rng *sim.RNG, from, to Region, bytes int) (sim.Time, error) {
+	if !from.Valid() || !to.Valid() {
+		return 0, fmt.Errorf("geo: invalid region pair (%v, %v)", from, to)
+	}
+	base := baseOneWayMillis[from][to]
+	jitter := 1.0
+	if m.JitterSigma > 0 {
+		jitter = rng.LogNormal(0, m.JitterSigma)
+	}
+	transfer := 0.0
+	if m.BytesPerMillisecond > 0 && bytes > 0 {
+		transfer = float64(bytes) / m.BytesPerMillisecond
+	}
+	d := base*jitter + transfer
+	if m.RetransmitProb > 0 && rng.Bernoulli(m.RetransmitProb) {
+		// One loss episode: RTO plus a fresh traversal of the path.
+		d += m.RetransmitPenaltyMillis + base
+	}
+	if d < m.MinDelayMillis {
+		d = m.MinDelayMillis
+	}
+	return sim.Time(d), nil
+}
+
+// PlaceNodes assigns n nodes to regions proportionally to share,
+// deterministically (largest-remainder apportionment) so a campaign's
+// topology depends only on its configuration, not on RNG draws.
+func PlaceNodes(n int, share map[Region]float64) ([]Region, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("geo: negative node count %d", n)
+	}
+	regions := Regions()
+	var total float64
+	for _, r := range regions {
+		if share[r] < 0 {
+			return nil, fmt.Errorf("geo: negative share for %v", r)
+		}
+		total += share[r]
+	}
+	if total <= 0 {
+		return nil, fmt.Errorf("geo: no positive region share")
+	}
+	counts := make([]int, len(regions))
+	remainders := make([]float64, len(regions))
+	assigned := 0
+	for i, r := range regions {
+		exact := float64(n) * share[r] / total
+		counts[i] = int(exact)
+		remainders[i] = exact - float64(counts[i])
+		assigned += counts[i]
+	}
+	for assigned < n {
+		best := 0
+		for i := 1; i < len(regions); i++ {
+			if remainders[i] > remainders[best] {
+				best = i
+			}
+		}
+		counts[best]++
+		remainders[best] = -1
+		assigned++
+	}
+	out := make([]Region, 0, n)
+	for i, r := range regions {
+		for k := 0; k < counts[i]; k++ {
+			out = append(out, r)
+		}
+	}
+	return out, nil
+}

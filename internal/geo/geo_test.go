@@ -1,0 +1,261 @@
+package geo
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestRegionStrings(t *testing.T) {
+	cases := map[Region][2]string{
+		NorthAmerica:  {"NA", "North America"},
+		EasternAsia:   {"EA", "Eastern Asia"},
+		WesternEurope: {"WE", "Western Europe"},
+		CentralEurope: {"CE", "Central Europe"},
+		SouthAmerica:  {"SA", "South America"},
+		Oceania:       {"OC", "Oceania"},
+	}
+	for r, want := range cases {
+		if r.String() != want[0] || r.Name() != want[1] {
+			t.Errorf("%d: got %q/%q", r, r.String(), r.Name())
+		}
+		if !r.Valid() {
+			t.Errorf("%v should be valid", r)
+		}
+	}
+	if Region(0).Valid() || Region(99).Valid() {
+		t.Error("invalid regions reported valid")
+	}
+	if Region(99).String() == "" || Region(99).Name() == "" {
+		t.Error("invalid region must still render")
+	}
+	if len(Regions()) != NumRegions {
+		t.Fatalf("Regions(): %d", len(Regions()))
+	}
+}
+
+func TestLatencyMatrixSymmetricAndPositive(t *testing.T) {
+	for _, a := range Regions() {
+		for _, b := range Regions() {
+			ab, err := BaseDelay(a, b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ba, err := BaseDelay(b, a)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ab != ba {
+				t.Errorf("asymmetric delay %v<->%v: %v vs %v", a, b, ab, ba)
+			}
+			if ab <= 0 {
+				t.Errorf("non-positive delay %v->%v: %v", a, b, ab)
+			}
+			if a != b {
+				aa, err := BaseDelay(a, a)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if ab < aa {
+					t.Errorf("inter-region %v->%v (%v) faster than intra %v (%v)", a, b, ab, a, aa)
+				}
+			}
+		}
+	}
+}
+
+func TestLatencyMatrixAsymmetryDrivesGeoFindings(t *testing.T) {
+	// EA is far from both European regions and NA; WE-CE are close.
+	// This is the asymmetry behind Figs. 2-3.
+	weCE, err := BaseDelay(WesternEurope, CentralEurope)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eaWE, err := BaseDelay(EasternAsia, WesternEurope)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eaWE < 4*weCE {
+		t.Errorf("EA-WE (%v) should dwarf WE-CE (%v)", eaWE, weCE)
+	}
+}
+
+func TestBaseDelayInvalid(t *testing.T) {
+	if _, err := BaseDelay(Region(0), NorthAmerica); err == nil {
+		t.Error("invalid from: want error")
+	}
+	if _, err := BaseDelay(NorthAmerica, Region(42)); err == nil {
+		t.Error("invalid to: want error")
+	}
+}
+
+func TestSampleRespectsFloorAndTransfer(t *testing.T) {
+	rng := sim.NewRNG(1)
+	m := LatencyModel{JitterSigma: 0, BytesPerMillisecond: 1000, MinDelayMillis: 1}
+	// Zero-size message: pure base delay.
+	d, err := m.Sample(rng, WesternEurope, WesternEurope, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := BaseDelay(WesternEurope, WesternEurope)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != base {
+		t.Fatalf("no-jitter intra delay: want %v, got %v", base, d)
+	}
+	// 100 KB at 1000 B/ms adds 100 ms.
+	d2, err := m.Sample(rng, WesternEurope, WesternEurope, 100_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2 != base+100 {
+		t.Fatalf("transfer delay: want %v, got %v", base+100, d2)
+	}
+}
+
+func TestSampleJitterDistribution(t *testing.T) {
+	rng := sim.NewRNG(2)
+	m := DefaultLatencyModel()
+	m.RetransmitProb = 0 // isolate the jitter term
+	base, err := BaseDelay(NorthAmerica, EasternAsia)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	const n = 20000
+	for i := 0; i < n; i++ {
+		d, err := m.Sample(rng, NorthAmerica, EasternAsia, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d < sim.Time(m.MinDelayMillis) {
+			t.Fatalf("delay %v below floor", d)
+		}
+		sum += float64(d)
+	}
+	mean := sum / n
+	// Log-normal multiplier with sigma 0.25 has mean exp(sigma^2/2) ~ 1.032.
+	want := float64(base) * math.Exp(0.25*0.25/2)
+	if math.Abs(mean-want) > want*0.05 {
+		t.Fatalf("jittered mean: want ~%v, got %v", want, mean)
+	}
+}
+
+func TestSampleInvalidRegion(t *testing.T) {
+	rng := sim.NewRNG(3)
+	m := DefaultLatencyModel()
+	if _, err := m.Sample(rng, Region(0), NorthAmerica, 0); err == nil {
+		t.Error("invalid region must error")
+	}
+}
+
+func TestPlaceNodesApportionment(t *testing.T) {
+	got, err := PlaceNodes(100, DefaultNodeShare)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 100 {
+		t.Fatalf("placed %d nodes", len(got))
+	}
+	counts := map[Region]int{}
+	for _, r := range got {
+		counts[r]++
+	}
+	// Largest-remainder keeps each region within 1 of its exact share.
+	for r, share := range DefaultNodeShare {
+		exact := share * 100
+		if math.Abs(float64(counts[r])-exact) > 1 {
+			t.Errorf("%v: want ~%v, got %d", r, exact, counts[r])
+		}
+	}
+}
+
+func TestPlaceNodesDeterministic(t *testing.T) {
+	a, err := PlaceNodes(137, DefaultNodeShare)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := PlaceNodes(137, DefaultNodeShare)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("placement not deterministic")
+		}
+	}
+}
+
+func TestPlaceNodesEdgeCases(t *testing.T) {
+	if _, err := PlaceNodes(-1, DefaultNodeShare); err == nil {
+		t.Error("negative count must error")
+	}
+	if _, err := PlaceNodes(10, map[Region]float64{}); err == nil {
+		t.Error("empty share must error")
+	}
+	if _, err := PlaceNodes(10, map[Region]float64{NorthAmerica: -1}); err == nil {
+		t.Error("negative share must error")
+	}
+	got, err := PlaceNodes(0, DefaultNodeShare)
+	if err != nil || len(got) != 0 {
+		t.Errorf("zero nodes: %v, %v", got, err)
+	}
+	single, err := PlaceNodes(5, map[Region]float64{EasternAsia: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range single {
+		if r != EasternAsia {
+			t.Fatal("single-region placement leaked")
+		}
+	}
+}
+
+func TestNTPClockMixture(t *testing.T) {
+	rng := sim.NewRNG(4)
+	const n = 100000
+	within10, within100 := 0, 0
+	signSum := 0
+	for i := 0; i < n; i++ {
+		c := NewClock(rng)
+		off := float64(c.Offset())
+		if math.Abs(off) < NTPOffsetP90Millis {
+			within10++
+		}
+		if math.Abs(off) < NTPOffsetP99Millis {
+			within100++
+		}
+		if math.Abs(off) >= ntpOffsetMaxMillis+1 {
+			t.Fatalf("offset %v beyond tail bound", off)
+		}
+		if off > 0 {
+			signSum++
+		} else if off < 0 {
+			signSum--
+		}
+	}
+	if frac := float64(within10) / n; math.Abs(frac-0.9) > 0.01 {
+		t.Errorf("P(|off|<10ms): want ~0.9, got %v", frac)
+	}
+	if frac := float64(within100) / n; math.Abs(frac-0.99) > 0.005 {
+		t.Errorf("P(|off|<100ms): want ~0.99, got %v", frac)
+	}
+	if math.Abs(float64(signSum))/n > 0.02 {
+		t.Errorf("sign bias: %d", signSum)
+	}
+}
+
+func TestClockRead(t *testing.T) {
+	c := ClockWithOffset(7)
+	if c.Read(100) != 107 {
+		t.Fatalf("read: %v", c.Read(100))
+	}
+	if PerfectClock().Read(55) != 55 {
+		t.Fatal("perfect clock must not skew")
+	}
+	if c.Offset() != 7 {
+		t.Fatalf("offset: %v", c.Offset())
+	}
+}

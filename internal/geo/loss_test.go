@@ -1,0 +1,80 @@
+package geo
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestRetransmitFattensTail(t *testing.T) {
+	rng := sim.NewRNG(11)
+	clean := LatencyModel{JitterSigma: 0.25, BytesPerMillisecond: 1250, MinDelayMillis: 1}
+	lossy := clean
+	lossy.RetransmitProb = 0.05
+	lossy.RetransmitPenaltyMillis = 180
+
+	sample := func(m LatencyModel) (mean float64, over200 int) {
+		var sum float64
+		for i := 0; i < 20000; i++ {
+			d, err := m.Sample(rng, WesternEurope, CentralEurope, 600)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sum += float64(d)
+			if d > 200 {
+				over200++
+			}
+		}
+		return sum / 20000, over200
+	}
+	cleanMean, cleanTail := sample(clean)
+	lossyMean, lossyTail := sample(lossy)
+	if lossyMean <= cleanMean {
+		t.Fatalf("retransmits must raise the mean: %v vs %v", lossyMean, cleanMean)
+	}
+	if lossyTail <= cleanTail {
+		t.Fatalf("retransmits must fatten the tail: %d vs %d", lossyTail, cleanTail)
+	}
+	// ~5% of samples take the penalty: tail count near 1000 of 20000.
+	if lossyTail < 500 || lossyTail > 1600 {
+		t.Fatalf("tail frequency off: %d", lossyTail)
+	}
+}
+
+func TestRetransmitDisabledByDefaultZero(t *testing.T) {
+	rng := sim.NewRNG(12)
+	m := LatencyModel{JitterSigma: 0, BytesPerMillisecond: 0, MinDelayMillis: 1}
+	base, err := BaseDelay(NorthAmerica, NorthAmerica)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		d, err := m.Sample(rng, NorthAmerica, NorthAmerica, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d != base {
+			t.Fatalf("no-jitter no-loss sample must equal base: %v vs %v", d, base)
+		}
+	}
+}
+
+func TestGossipSurvivesHeavyLossDelays(t *testing.T) {
+	// Eugster et al.'s point quoted in §III-A2: gossip redundancy
+	// tolerates faults. Even when every third message suffers a loss
+	// episode, blocks still reach everyone (TCP delays, never drops).
+	// Exercised at the geo layer here; the p2p flood test covers the
+	// protocol side.
+	rng := sim.NewRNG(13)
+	m := DefaultLatencyModel()
+	m.RetransmitProb = 0.33
+	for i := 0; i < 1000; i++ {
+		d, err := m.Sample(rng, EasternAsia, WesternEurope, 80_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d <= 0 {
+			t.Fatal("non-positive delay")
+		}
+	}
+}

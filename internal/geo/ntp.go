@@ -1,0 +1,68 @@
+package geo
+
+import (
+	"math"
+
+	"repro/internal/sim"
+)
+
+// The paper's measurement machines synchronize with NTP, whose error
+// the paper quotes from Murta et al. (GLOBECOM'06): offsets are below
+// 10 ms in 90% of cases and below 100 ms in 99% of cases (§II). The
+// analysis pipeline uses the same bound when drawing Fig. 2's error
+// bars. This file models exactly that mixture.
+
+// NTP error-model constants from the paper.
+const (
+	// NTPOffsetP90Millis bounds 90% of clock offsets.
+	NTPOffsetP90Millis = 10
+	// NTPOffsetP99Millis bounds 99% of clock offsets.
+	NTPOffsetP99Millis = 100
+	// ntpOffsetMaxMillis bounds the remaining 1% tail.
+	ntpOffsetMaxMillis = 250
+)
+
+// Clock is a node-local clock with a fixed NTP synchronization offset
+// from true (simulation) time. Measurement nodes stamp their logs with
+// Clock.Read, reproducing the paper's bounded measurement error.
+type Clock struct {
+	offset sim.Time
+}
+
+// NewClock samples a clock whose offset follows the paper's NTP error
+// mixture: |offset| < 10 ms with probability 0.9, in [10 ms, 100 ms)
+// with probability 0.09, and in [100 ms, 250 ms) with probability
+// 0.01; the sign is uniform.
+func NewClock(rng *sim.RNG) Clock {
+	u := rng.Float64()
+	var magnitude float64
+	switch {
+	case u < 0.90:
+		magnitude = rng.Float64() * NTPOffsetP90Millis
+	case u < 0.99:
+		magnitude = NTPOffsetP90Millis + rng.Float64()*(NTPOffsetP99Millis-NTPOffsetP90Millis)
+	default:
+		magnitude = NTPOffsetP99Millis + rng.Float64()*(ntpOffsetMaxMillis-NTPOffsetP99Millis)
+	}
+	// Truncate toward zero so each tier stays strictly inside its
+	// bound after quantization to whole milliseconds.
+	offset := sim.Time(math.Floor(magnitude))
+	if rng.Bernoulli(0.5) {
+		offset = -offset
+	}
+	return Clock{offset: offset}
+}
+
+// PerfectClock returns a clock with no offset (useful for tests and
+// for ground-truth comparisons).
+func PerfectClock() Clock { return Clock{} }
+
+// ClockWithOffset returns a clock with a fixed offset, for tests.
+func ClockWithOffset(offset sim.Time) Clock { return Clock{offset: offset} }
+
+// Read converts true simulation time into this node's local timestamp.
+func (c Clock) Read(now sim.Time) sim.Time { return now + c.offset }
+
+// Offset exposes the synchronization error (true time subtracted from
+// local time).
+func (c Clock) Offset() sim.Time { return c.offset }

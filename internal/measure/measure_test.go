@@ -1,0 +1,267 @@
+package measure
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/geo"
+	"repro/internal/p2p"
+	"repro/internal/sim"
+	"repro/internal/types"
+)
+
+func buildNetwork(t *testing.T, seed uint64, nodes int) *p2p.Network {
+	t.Helper()
+	net := p2p.NewNetwork(sim.NewEngine(), sim.NewRNG(seed), geo.DefaultLatencyModel())
+	placement, err := geo.PlaceNodes(nodes, geo.DefaultNodeShare)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range placement {
+		if _, err := net.AddNode(r, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := net.WireRandom(6); err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+func testBlock(n uint64, label string, txs []*types.Transaction) *types.Block {
+	return types.NewBlock(types.Header{
+		ParentHash: types.HashBytes([]byte("parent")),
+		Number:     n,
+		Miner:      types.AddressFromString(label),
+		MinerLabel: label,
+		Difficulty: 1000,
+		GasLimit:   8_000_000,
+		GasUsed:    uint64(len(txs)) * types.TxGas,
+	}, txs, nil)
+}
+
+func TestAttachValidation(t *testing.T) {
+	net := buildNetwork(t, 1, 10)
+	if _, err := Attach(nil, Options{Name: "NA", Region: geo.NorthAmerica}, geo.PerfectClock()); err == nil {
+		t.Error("nil network must fail")
+	}
+	if _, err := Attach(net, Options{Region: geo.NorthAmerica}, geo.PerfectClock()); err == nil {
+		t.Error("missing name must fail")
+	}
+	if _, err := Attach(net, Options{Name: "X", Region: geo.Region(99)}, geo.PerfectClock()); err == nil {
+		t.Error("bad region must fail")
+	}
+	m, err := Attach(net, Options{Name: "NA", Region: geo.NorthAmerica, Peers: 5}, geo.PerfectClock())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Name() != "NA" || m.Region() != geo.NorthAmerica || m.Peer().PeerCount() != 5 {
+		t.Fatal("attachment fields wrong")
+	}
+}
+
+func TestObserveBlocksAndAnnouncements(t *testing.T) {
+	net := buildNetwork(t, 2, 60)
+	m, err := Attach(net, Options{Name: "WE", Region: geo.WesternEurope, Peers: 25}, geo.PerfectClock())
+	if err != nil {
+		t.Fatal(err)
+	}
+	blk := testBlock(1, "Ethermine", nil)
+	net.Nodes()[0].InjectBlock(0, blk)
+	net.Engine().Run()
+
+	var blocks, announces int
+	for _, r := range m.Records() {
+		switch r.Kind {
+		case KindBlock:
+			blocks++
+			if r.Miner != "Ethermine" || r.Number != 1 || r.Hash != blk.Hash().String() {
+				t.Fatalf("bad block record: %+v", r)
+			}
+			if r.SizeBytes <= 0 {
+				t.Fatal("block record missing size")
+			}
+		case KindAnnouncement:
+			announces++
+			if r.Hash != blk.Hash().String() {
+				t.Fatal("bad announcement hash")
+			}
+		}
+	}
+	// With 25 peers the node must see several redundant deliveries
+	// (Table II's phenomenon).
+	if blocks+announces < 3 {
+		t.Fatalf("too few receptions: %d blocks, %d announces", blocks, announces)
+	}
+	if m.Blocks()[blk.Hash()] == nil {
+		t.Fatal("full block content not captured")
+	}
+}
+
+func TestObserveTransactions(t *testing.T) {
+	net := buildNetwork(t, 3, 40)
+	m, err := Attach(net, Options{Name: "EA", Region: geo.EasternAsia, Peers: 10}, geo.PerfectClock())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx := &types.Transaction{
+		Sender: types.AddressFromString("alice"),
+		To:     types.AddressFromString("bob"),
+		Nonce:  7, GasPrice: 5, Gas: types.TxGas,
+	}
+	net.Nodes()[0].InjectTx(0, tx)
+	net.Engine().Run()
+	found := false
+	for _, r := range m.Records() {
+		if r.Kind == KindTx {
+			found = true
+			if r.Nonce != 7 || r.Sender != tx.Sender.String() || r.Hash != tx.Hash().String() {
+				t.Fatalf("bad tx record: %+v", r)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no tx records")
+	}
+}
+
+func TestClockSkewAppliedToLocalTime(t *testing.T) {
+	net := buildNetwork(t, 4, 20)
+	m, err := Attach(net, Options{Name: "CE", Region: geo.CentralEurope, Peers: 5}, geo.ClockWithOffset(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.Nodes()[0].InjectBlock(0, testBlock(1, "Sparkpool", nil))
+	net.Engine().Run()
+	if len(m.Records()) == 0 {
+		t.Fatal("no records")
+	}
+	for _, r := range m.Records() {
+		if r.LocalMillis-r.TrueMillis != 42 {
+			t.Fatalf("skew not applied: local %d true %d", r.LocalMillis, r.TrueMillis)
+		}
+		if r.LocalTime() != sim.Time(r.LocalMillis) {
+			t.Fatal("LocalTime helper broken")
+		}
+	}
+}
+
+func TestCaptureTxLinks(t *testing.T) {
+	net := buildNetwork(t, 5, 20)
+	withLinks, err := Attach(net, Options{Name: "A", Region: geo.NorthAmerica, Peers: 5, CaptureTxLinks: true}, geo.PerfectClock())
+	if err != nil {
+		t.Fatal(err)
+	}
+	withoutLinks, err := Attach(net, Options{Name: "B", Region: geo.NorthAmerica, Peers: 5}, geo.PerfectClock())
+	if err != nil {
+		t.Fatal(err)
+	}
+	txs := []*types.Transaction{{
+		Sender: types.AddressFromString("alice"), To: types.AddressFromString("bob"),
+		Nonce: 0, GasPrice: 1, Gas: types.TxGas,
+	}}
+	net.Nodes()[0].InjectBlock(0, testBlock(1, "F2pool2", txs))
+	net.Engine().Run()
+	check := func(m *Node, wantLinks bool) {
+		t.Helper()
+		for _, r := range m.Records() {
+			if r.Kind != KindBlock {
+				continue
+			}
+			if wantLinks && len(r.TxHashes) != 1 {
+				t.Fatalf("%s: missing tx links", m.Name())
+			}
+			if !wantLinks && r.TxHashes != nil {
+				t.Fatalf("%s: unexpected tx links", m.Name())
+			}
+			if r.TxCount != 1 {
+				t.Fatalf("%s: tx count %d", m.Name(), r.TxCount)
+			}
+			return
+		}
+		t.Fatalf("%s: no block records", m.Name())
+	}
+	check(withLinks, true)
+	check(withoutLinks, false)
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	records := []Record{
+		{Node: "NA", Region: "NA", Kind: KindBlock, LocalMillis: 100, TrueMillis: 95,
+			Hash: "0xabc", Number: 7, Miner: "Ethermine", TxCount: 3, Uncles: []string{"0xdef"}},
+		{Node: "EA", Region: "EA", Kind: KindAnnouncement, LocalMillis: 50, Hash: "0xabc"},
+		{Node: "WE", Region: "WE", Kind: KindTx, LocalMillis: 70, Hash: "0x123", Sender: "0xfeed", Nonce: 9},
+	}
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, records); err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(buf.String(), "\n"); lines != 3 {
+		t.Fatalf("lines: %d", lines)
+	}
+	back, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 3 {
+		t.Fatalf("records: %d", len(back))
+	}
+	if back[0].Miner != "Ethermine" || back[0].Number != 7 || len(back[0].Uncles) != 1 {
+		t.Fatalf("block record corrupted: %+v", back[0])
+	}
+	if back[2].Nonce != 9 || back[2].Kind != KindTx {
+		t.Fatalf("tx record corrupted: %+v", back[2])
+	}
+}
+
+func TestReadJSONLSkipsBlanksRejectsGarbage(t *testing.T) {
+	got, err := ReadJSONL(strings.NewReader("\n\n{\"node\":\"NA\",\"kind\":\"block\"}\n\n"))
+	if err != nil || len(got) != 1 {
+		t.Fatalf("blank handling: %v, %d", err, len(got))
+	}
+	if _, err := ReadJSONL(strings.NewReader("{not json}\n")); err == nil {
+		t.Fatal("garbage must error")
+	}
+	if !strings.Contains(err1(ReadJSONL(strings.NewReader("{}\nnope\n"))), "line 2") {
+		t.Fatal("error should name the line")
+	}
+}
+
+func err1(_ []Record, err error) string {
+	if err == nil {
+		return ""
+	}
+	return err.Error()
+}
+
+func TestMeasurementNodeIsProtocolConformant(t *testing.T) {
+	// A measurement node must relay blocks like any peer: a network
+	// where the only path runs through the measurement node still
+	// floods fully.
+	net := p2p.NewNetwork(sim.NewEngine(), sim.NewRNG(6), geo.DefaultLatencyModel())
+	a, err := net.AddNode(geo.NorthAmerica, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := net.AddNode(geo.EasternAsia, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Attach(net, Options{Name: "MID", Region: geo.WesternEurope}, geo.PerfectClock())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Connect(a, m.Peer()); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Connect(m.Peer(), b); err != nil {
+		t.Fatal(err)
+	}
+	blk := testBlock(1, "Nanopool", nil)
+	a.InjectBlock(0, blk)
+	net.Engine().Run()
+	if !b.KnowsBlock(blk.Hash()) {
+		t.Fatal("measurement node failed to relay")
+	}
+}

@@ -1,0 +1,405 @@
+package mining
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/chain"
+	"repro/internal/geo"
+	"repro/internal/sim"
+	"repro/internal/types"
+)
+
+func TestPaperPoolsValid(t *testing.T) {
+	pools := PaperPools()
+	if err := ValidatePools(pools); err != nil {
+		t.Fatal(err)
+	}
+	if len(pools) != 16 {
+		t.Fatalf("pool count: %d", len(pools))
+	}
+	// Spot-check the paper's measured shares.
+	byName := map[string]PoolConfig{}
+	for _, p := range pools {
+		byName[p.Name] = p
+	}
+	if byName["Ethermine"].HashrateShare != 0.2532 {
+		t.Errorf("Ethermine share: %v", byName["Ethermine"].HashrateShare)
+	}
+	if byName["Sparkpool"].HashrateShare != 0.2288 {
+		t.Errorf("Sparkpool share: %v", byName["Sparkpool"].HashrateShare)
+	}
+	if byName["Zhizhu"].EmptyBlockProb < 0.25 {
+		t.Errorf("Zhizhu must mine >25%% empty: %v", byName["Zhizhu"].EmptyBlockProb)
+	}
+	if byName["Nanopool"].EmptyBlockProb != 0 || byName["Miningpoolhub1"].EmptyBlockProb != 0 {
+		t.Error("Nanopool/Miningpoolhub1 mined no empty blocks in the paper")
+	}
+	// Hashrate with an EA gateway should be ~45-55% (drives Fig. 2's
+	// ~40% EA-first share).
+	var eaShare float64
+	for _, p := range pools {
+		for _, r := range p.GatewayRegions {
+			if r == geo.EasternAsia {
+				eaShare += p.HashrateShare
+				break
+			}
+		}
+	}
+	if eaShare < 0.40 || eaShare > 0.60 {
+		t.Errorf("EA-gatewayed hashrate share: %v", eaShare)
+	}
+}
+
+func TestPoolConfigValidate(t *testing.T) {
+	valid := PoolConfig{Name: "X", HashrateShare: 0.5, GatewayRegions: []geo.Region{geo.NorthAmerica}}
+	if err := valid.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []PoolConfig{
+		{Name: "", HashrateShare: 0.5, GatewayRegions: valid.GatewayRegions},
+		{Name: "X", HashrateShare: -0.1, GatewayRegions: valid.GatewayRegions},
+		{Name: "X", HashrateShare: 1.5, GatewayRegions: valid.GatewayRegions},
+		{Name: "X", HashrateShare: 0.5},
+		{Name: "X", HashrateShare: 0.5, GatewayRegions: []geo.Region{geo.Region(77)}},
+		{Name: "X", HashrateShare: 0.5, GatewayRegions: valid.GatewayRegions, EmptyBlockProb: 2},
+		{Name: "X", HashrateShare: 0.5, GatewayRegions: valid.GatewayRegions, SwitchDelayMean: -1},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d should fail", i)
+		}
+	}
+}
+
+func TestValidatePoolsAggregate(t *testing.T) {
+	if err := ValidatePools(nil); err == nil {
+		t.Error("empty registry must fail")
+	}
+	r := []geo.Region{geo.NorthAmerica}
+	if err := ValidatePools([]PoolConfig{
+		{Name: "A", HashrateShare: 0.5, GatewayRegions: r},
+		{Name: "A", HashrateShare: 0.5, GatewayRegions: r},
+	}); err == nil {
+		t.Error("duplicate names must fail")
+	}
+	if err := ValidatePools([]PoolConfig{
+		{Name: "A", HashrateShare: 0.5, GatewayRegions: r},
+	}); err == nil {
+		t.Error("shares not summing to 1 must fail")
+	}
+}
+
+func TestPoolAddressDerivation(t *testing.T) {
+	a := PoolConfig{Name: "Ethermine"}.Address()
+	b := PoolConfig{Name: "Ethermine"}.Address()
+	c := PoolConfig{Name: "Sparkpool"}.Address()
+	if a != b || a == c {
+		t.Fatal("address derivation broken")
+	}
+	if a != types.AddressFromString("Ethermine") {
+		t.Fatal("address must derive from name")
+	}
+}
+
+func runSim(t *testing.T, seed uint64, blocks uint64, mutate func(*Config)) *Simulator {
+	t.Helper()
+	engine := sim.NewEngine()
+	rng := sim.NewRNG(seed)
+	cfg := DefaultConfig()
+	cfg.BlockLimit = blocks
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	s, err := NewSimulator(engine, rng, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	engine.Run()
+	return s
+}
+
+func TestSimulatorConstructorValidation(t *testing.T) {
+	engine := sim.NewEngine()
+	rng := sim.NewRNG(1)
+	if _, err := NewSimulator(nil, rng, DefaultConfig()); err == nil {
+		t.Error("nil engine must fail")
+	}
+	cfg := DefaultConfig()
+	cfg.Pools = nil
+	if _, err := NewSimulator(engine, rng, cfg); err == nil {
+		t.Error("no pools must fail")
+	}
+	cfg = DefaultConfig()
+	cfg.InterBlockMean = 0
+	if _, err := NewSimulator(engine, rng, cfg); err == nil {
+		t.Error("zero interval must fail")
+	}
+	cfg = DefaultConfig()
+	cfg.GasLimit = 0
+	if _, err := NewSimulator(engine, rng, cfg); err == nil {
+		t.Error("zero gas limit must fail")
+	}
+}
+
+func TestSimulatorProducesChain(t *testing.T) {
+	s := runSim(t, 1, 500, nil)
+	if s.Produced() != 500 {
+		t.Fatalf("produced: %d", s.Produced())
+	}
+	main := s.Tree().MainChain()
+	if len(main) < 450 {
+		t.Fatalf("main chain too short: %d (forks ate too much)", len(main))
+	}
+	// Tree contains strictly more blocks than the main chain when
+	// forks occurred; at 500 blocks some forks are near-certain.
+	if s.Tree().Len() <= len(main) {
+		t.Fatal("expected at least one fork block")
+	}
+}
+
+func TestSimulatorInterBlockTime(t *testing.T) {
+	s := runSim(t, 2, 2000, nil)
+	main := s.Tree().MainChain()
+	var gaps []float64
+	for i := 2; i < len(main); i++ {
+		gaps = append(gaps, float64(main[i].Header.TimeMillis-main[i-1].Header.TimeMillis))
+	}
+	var sum float64
+	for _, g := range gaps {
+		sum += g
+	}
+	mean := sum / float64(len(gaps))
+	// Mean inter-block time should be ~13.3 s (slightly above because
+	// forked heights stretch main-chain gaps).
+	if mean < 12000 || mean > 16000 {
+		t.Fatalf("mean inter-block %v ms", mean)
+	}
+}
+
+func TestSimulatorHashrateShares(t *testing.T) {
+	s := runSim(t, 3, 4000, nil)
+	counts := map[string]int{}
+	main := s.Tree().MainChain()
+	for _, b := range main[1:] {
+		counts[b.Header.MinerLabel]++
+	}
+	total := float64(len(main) - 1)
+	if got := float64(counts["Ethermine"]) / total; math.Abs(got-0.2532) > 0.03 {
+		t.Errorf("Ethermine share: %v", got)
+	}
+	if got := float64(counts["Sparkpool"]) / total; math.Abs(got-0.2288) > 0.03 {
+		t.Errorf("Sparkpool share: %v", got)
+	}
+}
+
+func TestSimulatorForkRate(t *testing.T) {
+	s := runSim(t, 4, 5000, nil)
+	tree := s.Tree()
+	main := s.Tree().MainChain()
+	forked := tree.Len() - len(main)
+	rate := float64(forked) / float64(tree.Len()-1)
+	// Paper: ~7.2% of observed blocks were off-main (6.97% uncles +
+	// 0.22% unrecognized). Accept a generous band.
+	if rate < 0.03 || rate > 0.13 {
+		t.Fatalf("fork rate %v outside plausible band", rate)
+	}
+}
+
+func TestSimulatorEmptyBlocks(t *testing.T) {
+	s := runSim(t, 5, 8000, nil)
+	main := s.Tree().MainChain()
+	empty := 0
+	emptyByPool := map[string]int{}
+	byPool := map[string]int{}
+	for _, b := range main[1:] {
+		byPool[b.Header.MinerLabel]++
+		if b.IsEmpty() {
+			empty++
+			emptyByPool[b.Header.MinerLabel]++
+		}
+	}
+	rate := float64(empty) / float64(len(main)-1)
+	// Paper: 1.45% of main blocks are empty.
+	if rate < 0.008 || rate > 0.025 {
+		t.Fatalf("empty rate %v", rate)
+	}
+	if emptyByPool["Nanopool"] != 0 || emptyByPool["Miningpoolhub1"] != 0 {
+		t.Error("zero-empty pools mined empty blocks")
+	}
+	if byPool["Zhizhu"] > 20 {
+		zr := float64(emptyByPool["Zhizhu"]) / float64(byPool["Zhizhu"])
+		if zr < 0.15 {
+			t.Errorf("Zhizhu empty rate %v, want >0.15", zr)
+		}
+	}
+}
+
+func TestSimulatorOneMinerForks(t *testing.T) {
+	s := runSim(t, 6, 6000, nil)
+	tuples := s.MultiVersionTuples()
+	if len(tuples) == 0 {
+		t.Fatal("no one-miner forks at 6000 blocks")
+	}
+	pairs, bigger := 0, 0
+	for _, v := range tuples {
+		switch {
+		case v == 2:
+			pairs++
+		case v > 2:
+			bigger++
+		default:
+			t.Fatalf("tuple of %d", v)
+		}
+	}
+	if pairs == 0 {
+		t.Fatal("no pairs")
+	}
+	// Pairs dominate (paper: 1750 pairs vs 27 larger tuples).
+	if bigger > pairs/10 {
+		t.Fatalf("too many large tuples: %d vs %d pairs", bigger, pairs)
+	}
+	// The extra versions must exist in the tree at the same height as
+	// their primary, mined by the same miner.
+	for primary, n := range tuples {
+		b, ok := s.Tree().Block(primary)
+		if !ok {
+			t.Fatal("primary missing")
+		}
+		sameMinerAtHeight := 0
+		for _, h := range s.Tree().AtHeight(b.Header.Number) {
+			sib, _ := s.Tree().Block(h)
+			if sib.Header.Miner == b.Header.Miner {
+				sameMinerAtHeight++
+			}
+		}
+		if sameMinerAtHeight < n {
+			t.Fatalf("tuple %d but only %d same-miner blocks at height", n, sameMinerAtHeight)
+		}
+	}
+}
+
+func TestSimulatorUnclesReferenced(t *testing.T) {
+	s := runSim(t, 7, 3000, nil)
+	referenced := 0
+	for _, b := range s.Tree().MainChain() {
+		referenced += len(b.Uncles)
+	}
+	if referenced == 0 {
+		t.Fatal("no uncles referenced over 3000 blocks")
+	}
+}
+
+func TestSimulatorOnBlockHook(t *testing.T) {
+	events := 0
+	extendedCount := 0
+	s := runSim(t, 8, 300, func(c *Config) {
+		c.OnBlock = func(ev BlockEvent) {
+			events++
+			if ev.Block == nil || ev.Pool == "" || !ev.Gateway.Valid() {
+				t.Error("malformed event")
+			}
+			if ev.ExtendedHead {
+				extendedCount++
+			}
+		}
+	})
+	if events < 300 {
+		t.Fatalf("events: %d", events)
+	}
+	if extendedCount == 0 || extendedCount > events {
+		t.Fatalf("extended count: %d of %d", extendedCount, events)
+	}
+	_ = s
+}
+
+func TestSimulatorWithTxPool(t *testing.T) {
+	pool := chain.NewTxPool()
+	sender := types.AddressFromString("user")
+	for i := uint64(0); i < 50; i++ {
+		if _, err := pool.Add(&types.Transaction{
+			Sender: sender, To: types.AddressFromString("sink"),
+			Nonce: i, GasPrice: 10, Gas: types.TxGas,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := runSim(t, 9, 50, func(c *Config) { c.TxPool = pool })
+	// All 50 user txs end up in main-chain blocks.
+	found := 0
+	for _, b := range s.Tree().MainChain() {
+		for _, tx := range b.Txs {
+			if tx.Sender == sender {
+				found++
+			}
+		}
+	}
+	if found < 50 {
+		t.Fatalf("only %d/50 txs included", found)
+	}
+}
+
+func TestSimulatorStop(t *testing.T) {
+	engine := sim.NewEngine()
+	rng := sim.NewRNG(10)
+	cfg := DefaultConfig()
+	s, err := NewSimulator(engine, rng, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	engine.RunFor(5 * sim.Minute)
+	produced := s.Produced()
+	if produced == 0 {
+		t.Fatal("nothing produced in 5 minutes")
+	}
+	s.Stop()
+	engine.Run()
+	if s.Produced() > produced {
+		t.Fatalf("produced after stop: %d -> %d", produced, s.Produced())
+	}
+}
+
+func TestSimulatorDeterministicReplay(t *testing.T) {
+	h1 := runSim(t, 11, 400, nil).Tree().Head().Hash()
+	h2 := runSim(t, 11, 400, nil).Tree().Head().Hash()
+	if h1 != h2 {
+		t.Fatal("same seed produced different chains")
+	}
+	h3 := runSim(t, 12, 400, nil).Tree().Head().Hash()
+	if h1 == h3 {
+		t.Fatal("different seeds produced identical chains")
+	}
+}
+
+func TestLesson1AblationReducesOneMinerUncles(t *testing.T) {
+	// With the §V restricted rule, same-miner versions must never be
+	// referenced as uncles by that miner's own chain blocks at the
+	// same height; overall one-miner uncle recognition drops.
+	countOneMinerUncles := func(s *Simulator) int {
+		n := 0
+		tree := s.Tree()
+		for _, b := range tree.MainChain() {
+			for _, u := range b.Uncles {
+				// One-miner uncle: the uncle's miner equals the miner
+				// of the main block at the uncle's height.
+				mainAt := tree.MainChain()[u.Number]
+				if mainAt.Header.Miner == u.Miner {
+					n++
+				}
+			}
+		}
+		return n
+	}
+	standard := runSim(t, 13, 4000, nil)
+	restricted := runSim(t, 13, 4000, func(c *Config) { c.Uncles.RestrictOneMinerUncles = true })
+	stdCount := countOneMinerUncles(standard)
+	resCount := countOneMinerUncles(restricted)
+	if stdCount == 0 {
+		t.Skip("no one-miner uncles in standard run; increase blocks")
+	}
+	if resCount != 0 {
+		t.Fatalf("restricted rule leaked %d one-miner uncles", resCount)
+	}
+}

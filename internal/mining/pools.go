@@ -1,0 +1,149 @@
+// Package mining models Ethereum's mining-pool ecosystem as the paper
+// found it: a handful of pools holding most hashrate, injecting blocks
+// through geographically concentrated gateways, and exhibiting the
+// selfish behaviors the study documents — empty-block mining
+// (§III-C3) and one-miner forks (§III-C5).
+//
+// Block production is a Poisson race: the network-wide inter-block gap
+// is exponential with mean 13.3 s (post-Constantinople) and each
+// block's winner is drawn proportionally to hashrate. Forks emerge
+// from per-pool visibility delays: a pool that has not yet seen the
+// latest head mines on the previous one.
+package mining
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/geo"
+	"repro/internal/sim"
+	"repro/internal/types"
+)
+
+// PoolConfig describes one mining pool's power, geography and
+// policies.
+type PoolConfig struct {
+	// Name is the pool label, e.g. "Ethermine".
+	Name string
+	// HashrateShare is the fraction of total network hashrate
+	// (Fig. 3's parenthesized percentages).
+	HashrateShare float64
+	// GatewayRegions lists the regions where the pool operates block
+	// gateways. Blocks are injected at one of these (uniformly).
+	GatewayRegions []geo.Region
+	// EmptyBlockProb is the per-block probability the pool mines an
+	// empty block (Fig. 6 behavior).
+	EmptyBlockProb float64
+	// MultiVersionProb is the per-block probability the pool also
+	// mines one or more extra versions of the same height
+	// (the paper's one-miner forks).
+	MultiVersionProb float64
+	// MultiVersionSameTxProb is, given a multi-version event, the
+	// probability the versions share the transaction set (the paper
+	// measures 56%, §V).
+	MultiVersionSameTxProb float64
+	// SwitchDelayMean is the mean extra delay between the pool's
+	// gateway seeing a new head and its distributed workers actually
+	// mining on it (stratum round-trips + job distribution). This is
+	// the dominant driver of Ethereum's ~7% uncle rate.
+	SwitchDelayMean sim.Time
+	// Withholder makes the pool run the §III-D block-withholding
+	// strategy: mine privately and release the chain in a burst. No
+	// paper pool is configured this way; the flag exists to validate
+	// the withholding detector against a real attacker.
+	Withholder bool
+}
+
+// Validate checks configuration sanity.
+func (c PoolConfig) Validate() error {
+	if c.Name == "" {
+		return errors.New("mining: pool needs a name")
+	}
+	if c.HashrateShare < 0 || c.HashrateShare > 1 {
+		return fmt.Errorf("mining: pool %s share %v outside [0,1]", c.Name, c.HashrateShare)
+	}
+	if len(c.GatewayRegions) == 0 {
+		return fmt.Errorf("mining: pool %s has no gateway region", c.Name)
+	}
+	for _, r := range c.GatewayRegions {
+		if !r.Valid() {
+			return fmt.Errorf("mining: pool %s has invalid region %v", c.Name, r)
+		}
+	}
+	for _, p := range []float64{c.EmptyBlockProb, c.MultiVersionProb, c.MultiVersionSameTxProb} {
+		if p < 0 || p > 1 {
+			return fmt.Errorf("mining: pool %s probability %v outside [0,1]", c.Name, p)
+		}
+	}
+	if c.SwitchDelayMean < 0 {
+		return fmt.Errorf("mining: pool %s negative switch delay", c.Name)
+	}
+	return nil
+}
+
+// Address returns the pool's coinbase address, derived from its name.
+func (c PoolConfig) Address() types.Address {
+	return types.AddressFromString(c.Name)
+}
+
+// PaperPools returns the 15 pools the paper analyzes plus a diffuse
+// "Remaining" pseudo-pool, with the hashrate shares measured during
+// the study (Fig. 3) and policy parameters calibrated so the
+// reproduction lands on the paper's aggregates: ~1.45% empty blocks
+// overall with Zhizhu above 25% (Fig. 6), Nanopool and Miningpoolhub1
+// at zero, and ~0.9% of heights receiving a second same-miner version
+// (§III-C5).
+//
+// Gateway placement follows the pools' documented operating bases:
+// the large Chinese pools (Sparkpool, F2pool, HuoBi, Uupool, Zhizhu,
+// MiningExpress, Xnpool, Miningpoolhub) gateway in Eastern Asia;
+// Ethermine/Nanopool/DwarfPool/Hiveon and the smaller European pools
+// in Western/Central Europe with some North American presence. The
+// paper's Fig. 3 shows exactly this split driving first-observation
+// asymmetry.
+func PaperPools() []PoolConfig {
+	const switchMean = 850 * sim.Millisecond
+	ea := []geo.Region{geo.EasternAsia}
+	return []PoolConfig{
+		{Name: "Ethermine", HashrateShare: 0.2532, GatewayRegions: []geo.Region{geo.WesternEurope, geo.CentralEurope}, EmptyBlockProb: 0.0234, MultiVersionProb: 0.013, MultiVersionSameTxProb: 0.56, SwitchDelayMean: switchMean},
+		{Name: "Sparkpool", HashrateShare: 0.2288, GatewayRegions: ea, EmptyBlockProb: 0.013, MultiVersionProb: 0.012, MultiVersionSameTxProb: 0.56, SwitchDelayMean: switchMean},
+		{Name: "F2pool2", HashrateShare: 0.1275, GatewayRegions: []geo.Region{geo.EasternAsia, geo.NorthAmerica}, EmptyBlockProb: 0.008, MultiVersionProb: 0.009, MultiVersionSameTxProb: 0.56, SwitchDelayMean: switchMean},
+		{Name: "Nanopool", HashrateShare: 0.1210, GatewayRegions: []geo.Region{geo.WesternEurope, geo.NorthAmerica}, EmptyBlockProb: 0, MultiVersionProb: 0.006, MultiVersionSameTxProb: 0.56, SwitchDelayMean: switchMean},
+		{Name: "Miningpoolhub1", HashrateShare: 0.0561, GatewayRegions: []geo.Region{geo.EasternAsia, geo.NorthAmerica}, EmptyBlockProb: 0, MultiVersionProb: 0.005, MultiVersionSameTxProb: 0.56, SwitchDelayMean: switchMean},
+		{Name: "HuoBi.pro", HashrateShare: 0.0185, GatewayRegions: ea, EmptyBlockProb: 0.02, MultiVersionProb: 0.004, MultiVersionSameTxProb: 0.56, SwitchDelayMean: switchMean},
+		{Name: "Pandapool", HashrateShare: 0.0182, GatewayRegions: []geo.Region{geo.EasternAsia, geo.NorthAmerica}, EmptyBlockProb: 0.015, MultiVersionProb: 0.004, MultiVersionSameTxProb: 0.56, SwitchDelayMean: switchMean},
+		{Name: "DwarfPool1", HashrateShare: 0.0174, GatewayRegions: []geo.Region{geo.CentralEurope}, EmptyBlockProb: 0.01, MultiVersionProb: 0.003, MultiVersionSameTxProb: 0.56, SwitchDelayMean: switchMean},
+		{Name: "Xnpool", HashrateShare: 0.0134, GatewayRegions: ea, EmptyBlockProb: 0.012, MultiVersionProb: 0.003, MultiVersionSameTxProb: 0.56, SwitchDelayMean: switchMean},
+		{Name: "Uupool", HashrateShare: 0.0133, GatewayRegions: ea, EmptyBlockProb: 0.01, MultiVersionProb: 0.003, MultiVersionSameTxProb: 0.56, SwitchDelayMean: switchMean},
+		{Name: "Minerall", HashrateShare: 0.0123, GatewayRegions: []geo.Region{geo.CentralEurope, geo.WesternEurope}, EmptyBlockProb: 0.008, MultiVersionProb: 0.002, MultiVersionSameTxProb: 0.56, SwitchDelayMean: switchMean},
+		{Name: "Firepool", HashrateShare: 0.0122, GatewayRegions: []geo.Region{geo.WesternEurope}, EmptyBlockProb: 0.01, MultiVersionProb: 0.002, MultiVersionSameTxProb: 0.56, SwitchDelayMean: switchMean},
+		{Name: "Zhizhu", HashrateShare: 0.0085, GatewayRegions: ea, EmptyBlockProb: 0.26, MultiVersionProb: 0.002, MultiVersionSameTxProb: 0.56, SwitchDelayMean: switchMean},
+		{Name: "MiningExpress", HashrateShare: 0.0081, GatewayRegions: ea, EmptyBlockProb: 0.05, MultiVersionProb: 0.002, MultiVersionSameTxProb: 0.56, SwitchDelayMean: switchMean},
+		{Name: "Hiveon", HashrateShare: 0.0077, GatewayRegions: []geo.Region{geo.CentralEurope}, EmptyBlockProb: 0.01, MultiVersionProb: 0.002, MultiVersionSameTxProb: 0.56, SwitchDelayMean: switchMean},
+		{Name: "Remaining", HashrateShare: 0.0839, GatewayRegions: []geo.Region{geo.NorthAmerica, geo.WesternEurope, geo.CentralEurope, geo.EasternAsia, geo.SouthAmerica, geo.Oceania}, EmptyBlockProb: 0.01, MultiVersionProb: 0.001, MultiVersionSameTxProb: 0.56, SwitchDelayMean: switchMean},
+	}
+}
+
+// ValidatePools checks a registry: each config valid, shares summing
+// to ~1.
+func ValidatePools(pools []PoolConfig) error {
+	if len(pools) == 0 {
+		return errors.New("mining: empty pool registry")
+	}
+	var total float64
+	seen := make(map[string]bool, len(pools))
+	for _, p := range pools {
+		if err := p.Validate(); err != nil {
+			return err
+		}
+		if seen[p.Name] {
+			return fmt.Errorf("mining: duplicate pool %s", p.Name)
+		}
+		seen[p.Name] = true
+		total += p.HashrateShare
+	}
+	if total < 0.999 || total > 1.001 {
+		return fmt.Errorf("mining: hashrate shares sum to %v, want 1", total)
+	}
+	return nil
+}

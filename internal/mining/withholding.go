@@ -1,0 +1,124 @@
+package mining
+
+import (
+	"repro/internal/chain"
+	"repro/internal/sim"
+	"repro/internal/types"
+)
+
+// Block withholding (§III-D). The paper argues Sparkpool's 9-block
+// sequences were probably honest because the blocks "were not
+// announced all together, like in a block withholding attack, and
+// presented an average inter-block time". To reproduce that argument
+// we need the attack itself: a withholding pool mines a private chain
+// and releases it in a burst, either when it risks losing the race or
+// when its private lead reaches a cap.
+//
+// The observable signature is exactly what the paper describes: a run
+// of same-miner blocks whose release times are bunched together
+// instead of spaced at the mining rate. analysis.DetectWithholding
+// looks for that signature.
+
+// withholdReleaseCap bounds the private chain length before a
+// voluntary release (rewards must eventually be claimed).
+const withholdReleaseCap = 4
+
+// withholdState tracks one withholding pool's private chain.
+type withholdState struct {
+	blocks []*types.Block
+}
+
+// tip returns the private tip, or nil.
+func (w *withholdState) tip() *types.Block {
+	if len(w.blocks) == 0 {
+		return nil
+	}
+	return w.blocks[len(w.blocks)-1]
+}
+
+// mineWithheld builds a private block for a withholding pool and
+// decides whether the cap forces a release.
+func (s *Simulator) mineWithheld(now sim.Time, pool *poolState) {
+	priv := s.withheld[pool.cfg.Name]
+	if priv == nil {
+		priv = &withholdState{}
+		s.withheld[pool.cfg.Name] = priv
+	}
+	parentHash := pool.head
+	parentTime := sim.Time(0)
+	parentDifficulty := uint64(0)
+	parentNumber := uint64(0)
+	if tip := priv.tip(); tip != nil {
+		parentHash = tip.Hash()
+		parentTime = sim.Time(tip.Header.TimeMillis)
+		parentDifficulty = tip.Header.Difficulty
+		parentNumber = tip.Header.Number
+	} else {
+		parent, ok := s.tree.Block(pool.head)
+		if !ok {
+			return
+		}
+		parentTime = sim.Time(parent.Header.TimeMillis)
+		parentDifficulty = parent.Header.Difficulty
+		parentNumber = parent.Header.Number
+	}
+	gap := now - parentTime
+	difficulty := chain.NextDifficulty(s.cfg.Difficulty, parentDifficulty, gap, parentNumber+1)
+	txs := s.buildBody(s.rng.Bernoulli(pool.cfg.EmptyBlockProb))
+	header := types.Header{
+		ParentHash: parentHash,
+		Number:     parentNumber + 1,
+		Miner:      pool.address,
+		MinerLabel: pool.cfg.Name,
+		TimeMillis: uint64(now),
+		Difficulty: difficulty,
+		GasLimit:   s.cfg.GasLimit,
+		GasUsed:    uint64(len(txs)) * types.TxGas,
+	}
+	priv.blocks = append(priv.blocks, types.NewBlock(header, txs, nil))
+	if len(priv.blocks) >= withholdReleaseCap {
+		s.releaseWithheld(now, pool)
+	}
+}
+
+// releaseWithheld publishes a pool's entire private chain at one
+// instant — the burst signature.
+func (s *Simulator) releaseWithheld(now sim.Time, pool *poolState) {
+	priv := s.withheld[pool.cfg.Name]
+	if priv == nil || len(priv.blocks) == 0 {
+		return
+	}
+	blocks := priv.blocks
+	priv.blocks = nil
+	for _, b := range blocks {
+		extended := s.insert(now, b, pool)
+		s.emit(BlockEvent{
+			Now:          now,
+			Block:        b,
+			Pool:         pool.cfg.Name,
+			Gateway:      s.gateway(pool),
+			Version:      0,
+			ExtendedHead: extended,
+		})
+	}
+}
+
+// maybeTriggerReleases releases any private chain whose lead is
+// threatened: the public chain has caught up to (or passed) the
+// private tip's height, so holding longer risks losing everything.
+func (s *Simulator) maybeTriggerReleases(now sim.Time, publicHeight uint64) {
+	for name, priv := range s.withheld {
+		tip := priv.tip()
+		if tip == nil {
+			continue
+		}
+		if publicHeight+1 >= tip.Header.Number {
+			for _, p := range s.pools {
+				if p.cfg.Name == name {
+					s.releaseWithheld(now, p)
+					break
+				}
+			}
+		}
+	}
+}

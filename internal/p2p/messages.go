@@ -1,0 +1,89 @@
+// Package p2p simulates the Ethereum wire protocol's dissemination
+// layer (eth/63 era, matching the paper's Geth build): blocks
+// propagate either as direct NewBlock pushes (header + body) to a
+// square-root subset of peers or as NewBlockHashes announcements to
+// the rest, with announcement receivers pulling unknown blocks via
+// GetBlock. Transactions are broadcast to all peers.
+//
+// Every message carries a realistic serialized size (derived from the
+// RLP encodings in internal/types), which the geo latency model turns
+// into transfer delay. The redundancy the paper measures in Table II
+// is an emergent property of this protocol.
+package p2p
+
+import (
+	"repro/internal/types"
+)
+
+// MsgKind discriminates wire messages.
+type MsgKind int
+
+// Wire message kinds, mirroring the eth/63 protocol subset the study
+// logs.
+const (
+	MsgNewBlock MsgKind = iota + 1
+	MsgNewBlockHashes
+	MsgGetBlock
+	MsgTransactions
+)
+
+// String names the message kind as in the paper's log schema.
+func (k MsgKind) String() string {
+	switch k {
+	case MsgNewBlock:
+		return "NewBlock"
+	case MsgNewBlockHashes:
+		return "NewBlockHashes"
+	case MsgGetBlock:
+		return "GetBlock"
+	case MsgTransactions:
+		return "Transactions"
+	default:
+		return "Unknown"
+	}
+}
+
+// Message is a wire message instance. Exactly one payload field is
+// populated depending on Kind.
+type Message struct {
+	Kind MsgKind
+	// Block is the payload of MsgNewBlock.
+	Block *types.Block
+	// Hashes is the payload of MsgNewBlockHashes.
+	Hashes []types.Hash
+	// Want is the payload of MsgGetBlock.
+	Want types.Hash
+	// Txs is the payload of MsgTransactions.
+	Txs []*types.Transaction
+}
+
+// Wire-size constants for the fixed-size message parts.
+const (
+	msgHeaderBytes    = 16 // devp2p frame overhead
+	hashEntryBytes    = types.HashLen + 1
+	getBlockBodyBytes = types.HashLen
+)
+
+// Size returns the serialized message size in bytes, fed into the
+// latency model's transfer term.
+func (m *Message) Size() int {
+	switch m.Kind {
+	case MsgNewBlock:
+		if m.Block == nil {
+			return msgHeaderBytes
+		}
+		return msgHeaderBytes + m.Block.EncodedSize()
+	case MsgNewBlockHashes:
+		return msgHeaderBytes + len(m.Hashes)*hashEntryBytes
+	case MsgGetBlock:
+		return msgHeaderBytes + getBlockBodyBytes
+	case MsgTransactions:
+		n := msgHeaderBytes
+		for _, tx := range m.Txs {
+			n += tx.EncodedSize()
+		}
+		return n
+	default:
+		return msgHeaderBytes
+	}
+}

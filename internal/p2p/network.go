@@ -1,0 +1,263 @@
+package p2p
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/geo"
+	"repro/internal/sim"
+	"repro/internal/types"
+)
+
+// Network owns the overlay: node registry, random peer wiring, and
+// message transport over the geographic latency model.
+type Network struct {
+	engine  *sim.Engine
+	rng     *sim.RNG
+	latency geo.LatencyModel
+	nodes   map[NodeID]*Node
+	order   []NodeID // insertion order, for deterministic iteration
+	nextID  NodeID
+
+	// MessagesSent counts transport-level sends, for redundancy and
+	// overhead accounting.
+	MessagesSent uint64
+	// BytesSent accumulates serialized payload bytes.
+	BytesSent uint64
+	// Push selects the block dissemination rule (default SqrtPush,
+	// the eth/63 behavior). The fan-out ablation flips this.
+	Push PushPolicy
+}
+
+// PushPolicy selects how a node splits block dissemination between
+// direct pushes and hash announcements.
+type PushPolicy int
+
+// Dissemination policies.
+const (
+	// SqrtPush pushes full blocks to sqrt(peers) and announces to the
+	// rest — the eth/63 rule the paper's network runs.
+	SqrtPush PushPolicy = iota
+	// PushAll sends full blocks to every peer (maximal redundancy,
+	// minimal delay).
+	PushAll
+	// AnnounceOnly sends only hash announcements; every block body
+	// travels via pull (minimal redundancy, extra round trips).
+	AnnounceOnly
+)
+
+// String names the policy.
+func (p PushPolicy) String() string {
+	switch p {
+	case SqrtPush:
+		return "sqrt-push"
+	case PushAll:
+		return "push-all"
+	case AnnounceOnly:
+		return "announce-only"
+	default:
+		return "unknown"
+	}
+}
+
+// Network construction errors.
+var (
+	ErrUnknownNode = errors.New("p2p: unknown node")
+	ErrSelfDial    = errors.New("p2p: node cannot dial itself")
+)
+
+// NewNetwork creates an empty overlay bound to a simulation engine.
+func NewNetwork(engine *sim.Engine, rng *sim.RNG, latency geo.LatencyModel) *Network {
+	return &Network{
+		engine:  engine,
+		rng:     rng,
+		latency: latency,
+		nodes:   make(map[NodeID]*Node),
+	}
+}
+
+// AddNode registers a node in a region. maxPeers bounds how many
+// connections the node accepts (0 = unlimited, the paper's
+// measurement-node setting).
+func (net *Network) AddNode(region geo.Region, maxPeers int) (*Node, error) {
+	if !region.Valid() {
+		return nil, fmt.Errorf("p2p: invalid region %v", region)
+	}
+	net.nextID++
+	n := &Node{
+		id:          net.nextID,
+		region:      region,
+		net:         net,
+		peerSet:     make(map[NodeID]bool),
+		maxPeers:    maxPeers,
+		knownBlocks: make(map[types.Hash]*types.Block),
+		seenHashes:  make(map[types.Hash]bool),
+		knownTxs:    make(map[types.Hash]bool),
+		peerKnows:   make(map[types.Hash]map[NodeID]bool),
+		relay:       true,
+	}
+	net.nodes[n.id] = n
+	net.order = append(net.order, n.id)
+	return n, nil
+}
+
+// Node returns a node by ID.
+func (net *Network) Node(id NodeID) (*Node, error) {
+	n, ok := net.nodes[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrUnknownNode, id)
+	}
+	return n, nil
+}
+
+// Nodes returns all nodes in insertion order.
+func (net *Network) Nodes() []*Node {
+	out := make([]*Node, 0, len(net.order))
+	for _, id := range net.order {
+		out = append(out, net.nodes[id])
+	}
+	return out
+}
+
+// Len returns the number of nodes.
+func (net *Network) Len() int { return len(net.nodes) }
+
+// Engine exposes the simulation engine driving this network.
+func (net *Network) Engine() *sim.Engine { return net.engine }
+
+// Connect wires two nodes bidirectionally. Connecting an already
+// connected pair is a no-op. It fails when either node is at its peer
+// limit or on self-dial.
+func (net *Network) Connect(a, b *Node) error {
+	if a == nil || b == nil {
+		return ErrUnknownNode
+	}
+	if a.id == b.id {
+		return ErrSelfDial
+	}
+	if a.peerSet[b.id] {
+		return nil
+	}
+	if a.maxPeers > 0 && len(a.peers) >= a.maxPeers {
+		return fmt.Errorf("p2p: node %d at peer limit %d", a.id, a.maxPeers)
+	}
+	if b.maxPeers > 0 && len(b.peers) >= b.maxPeers {
+		return fmt.Errorf("p2p: node %d at peer limit %d", b.id, b.maxPeers)
+	}
+	a.peers = append(a.peers, b)
+	b.peers = append(b.peers, a)
+	a.peerSet[b.id] = true
+	b.peerSet[a.id] = true
+	return nil
+}
+
+// WireRandom builds a random overlay where every node dials
+// degree distinct random peers (the union graph has mean degree
+// ~2*degree). Peer-limit-saturated candidates are skipped, mirroring
+// real discovery behavior. The wiring is deterministic for a given
+// RNG state.
+func (net *Network) WireRandom(degree int) error {
+	if degree < 1 {
+		return fmt.Errorf("p2p: degree %d < 1", degree)
+	}
+	n := len(net.order)
+	if n < 2 {
+		return nil
+	}
+	for _, id := range net.order {
+		node := net.nodes[id]
+		attempts := 0
+		dialed := 0
+		for dialed < degree && attempts < 20*degree {
+			attempts++
+			target := net.nodes[net.order[net.rng.IntN(n)]]
+			if target.id == node.id || node.peerSet[target.id] {
+				continue
+			}
+			if node.maxPeers > 0 && len(node.peers) >= node.maxPeers {
+				break
+			}
+			if target.maxPeers > 0 && len(target.peers) >= target.maxPeers {
+				continue
+			}
+			if err := net.Connect(node, target); err != nil {
+				continue
+			}
+			dialed++
+		}
+	}
+	return nil
+}
+
+// ConnectSample connects node to up to k distinct random peers (used
+// to attach measurement nodes with a chosen peer count).
+func (net *Network) ConnectSample(node *Node, k int) error {
+	return net.ConnectSampleBiased(node, k, 0)
+}
+
+// ConnectSampleBiased connects node to up to k distinct peers, with
+// fraction regionBias of candidates drawn from the node's own region
+// and the remainder uniform. Mining-pool gateways peer preferentially
+// with nearby infrastructure (latency-driven peer curation), which
+// regular protocol nodes — selected by random ID — do not.
+func (net *Network) ConnectSampleBiased(node *Node, k int, regionBias float64) error {
+	if node == nil {
+		return ErrUnknownNode
+	}
+	var local, global []NodeID
+	for _, id := range net.order {
+		if id == node.id || node.peerSet[id] {
+			continue
+		}
+		if regionBias > 0 && net.nodes[id].region == node.region {
+			local = append(local, id)
+		} else {
+			global = append(global, id)
+		}
+	}
+	sim.Shuffle(net.rng, local)
+	sim.Shuffle(net.rng, global)
+	connected := 0
+	wantLocal := int(regionBias * float64(k))
+	dial := func(pool []NodeID, want int) []NodeID {
+		for len(pool) > 0 && connected < want {
+			id := pool[0]
+			pool = pool[1:]
+			if err := net.Connect(node, net.nodes[id]); err != nil {
+				continue
+			}
+			connected++
+		}
+		return pool
+	}
+	local = dial(local, wantLocal)
+	global = dial(global, k)
+	// Top up from whichever pool still has candidates.
+	dial(local, k)
+	if connected < k && connected < len(local)+len(global)+connected {
+		// Some candidates refused (peer limits); only report failure
+		// when nothing more could possibly be dialed.
+		if connected == 0 && k > 0 && len(net.order) > 1 {
+			return fmt.Errorf("p2p: connected 0 of %d requested peers", k)
+		}
+	}
+	return nil
+}
+
+// send schedules delivery of msg from a to b at the latency-model
+// sampled arrival time relative to `at`.
+func (net *Network) send(at sim.Time, from, to *Node, msg *Message) {
+	delay, err := net.latency.Sample(net.rng, from.region, to.region, msg.Size())
+	if err != nil {
+		// Regions are validated at AddNode; a failure here is a
+		// programming error and dropping the message would silently
+		// bias measurements, so treat delay as zero instead.
+		delay = 0
+	}
+	net.MessagesSent++
+	net.BytesSent += uint64(msg.Size())
+	fromID := from.id
+	net.engine.ScheduleAt(at+delay, func(now sim.Time) {
+		to.handle(now, fromID, msg)
+	})
+}

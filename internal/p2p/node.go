@@ -1,0 +1,282 @@
+package p2p
+
+import (
+	"math"
+
+	"repro/internal/geo"
+	"repro/internal/sim"
+	"repro/internal/types"
+)
+
+// NodeID identifies a node. Ethereum derives neighbor relationships
+// from random 512-bit node IDs; geographic position plays no role in
+// peer selection (§III-B1), which the simulator mirrors by wiring the
+// overlay uniformly at random.
+type NodeID int
+
+// Observer receives a callback for every message a node accepts from
+// the wire, before protocol processing. The measurement layer hooks
+// here — exactly where the paper's instrumented Geth placed its
+// logging.
+type Observer func(now sim.Time, from NodeID, msg *Message)
+
+// Protocol timing constants, modeling the two-phase Geth behavior:
+// a NewBlock push is relayed after cheap PoW/header validation, while
+// the hash announcement to remaining peers waits for full import
+// (state execution), which in 2019 took a few hundred milliseconds.
+const (
+	blockValidateMillis   = 4
+	blockImportMillis     = 200
+	announceHandleMillis  = 1
+	txValidatePer100Txs   = 1
+	blockRequestRespondMs = 1
+)
+
+// knownPeerCap bounds how many recent blocks a node tracks per-peer
+// knowledge for. Older blocks are no longer in flight, so their
+// suppression state can be dropped.
+const knownPeerCap = 64
+
+// Node is a protocol-conformant network participant: it deduplicates,
+// validates (as a time cost) and relays blocks and transactions, and
+// suppresses sends to peers already known to have an item (Geth's
+// per-peer known-set behavior — the mechanism behind the paper's
+// Table II redundancy profile).
+type Node struct {
+	id     NodeID
+	region geo.Region
+	net    *Network
+
+	peers    []*Node
+	peerSet  map[NodeID]bool
+	maxPeers int // 0 = unlimited (the paper's measurement setting)
+
+	knownBlocks map[types.Hash]*types.Block
+	seenHashes  map[types.Hash]bool // announced or received
+	knownTxs    map[types.Hash]bool
+
+	// peerKnows tracks, for recent blocks, which peers are known to
+	// have them (they sent it to us, or we sent it to them).
+	peerKnows map[types.Hash]map[NodeID]bool
+	knowQueue []types.Hash
+
+	observer Observer
+	// relay controls whether this node forwards what it receives.
+	// Measurement nodes relay like every other node (the paper's
+	// clients are indistinguishable from regular peers); the flag
+	// exists for ablations.
+	relay bool
+}
+
+// ID returns the node identifier.
+func (n *Node) ID() NodeID { return n.id }
+
+// Region returns the node's geographic region.
+func (n *Node) Region() geo.Region { return n.region }
+
+// PeerCount returns the current number of connections.
+func (n *Node) PeerCount() int { return len(n.peers) }
+
+// SetObserver installs a message observer (nil removes it).
+func (n *Node) SetObserver(obs Observer) { n.observer = obs }
+
+// KnowsBlock reports whether the node has the full block.
+func (n *Node) KnowsBlock(h types.Hash) bool {
+	_, ok := n.knownBlocks[h]
+	return ok
+}
+
+// markPeerKnows records that a peer has (or will shortly have) the
+// block, suppressing future sends of it to that peer.
+func (n *Node) markPeerKnows(h types.Hash, peer NodeID) {
+	set, ok := n.peerKnows[h]
+	if !ok {
+		set = make(map[NodeID]bool, 8)
+		n.peerKnows[h] = set
+		n.knowQueue = append(n.knowQueue, h)
+		if len(n.knowQueue) > knownPeerCap {
+			evict := n.knowQueue[0]
+			n.knowQueue = n.knowQueue[1:]
+			delete(n.peerKnows, evict)
+		}
+	}
+	set[peer] = true
+}
+
+func (n *Node) peerKnowsBlock(h types.Hash, peer NodeID) bool {
+	return n.peerKnows[h][peer]
+}
+
+// handle processes one incoming message at virtual time now.
+func (n *Node) handle(now sim.Time, from NodeID, msg *Message) {
+	if n.observer != nil {
+		n.observer(now, from, msg)
+	}
+	switch msg.Kind {
+	case MsgNewBlock:
+		if msg.Block != nil {
+			n.markPeerKnows(msg.Block.Hash(), from)
+		}
+		n.handleNewBlock(now, msg.Block)
+	case MsgNewBlockHashes:
+		n.handleAnnouncement(now, from, msg.Hashes)
+	case MsgGetBlock:
+		n.handleGetBlock(now, from, msg.Want)
+	case MsgTransactions:
+		n.handleTxs(now, from, msg.Txs)
+	}
+}
+
+// InjectBlock makes this node the origin of a freshly mined block
+// (mining-pool gateways call this). The origin skips the import delay
+// before announcing: the miner already executed its own block.
+func (n *Node) InjectBlock(now sim.Time, b *types.Block) {
+	n.relayBlock(now, b, true)
+}
+
+// InjectTx makes this node the origin of a new transaction.
+func (n *Node) InjectTx(now sim.Time, tx *types.Transaction) {
+	n.handleTxs(now, n.id, []*types.Transaction{tx})
+}
+
+func (n *Node) handleNewBlock(now sim.Time, b *types.Block) {
+	n.relayBlock(now, b, false)
+}
+
+// relayBlock runs the two-phase dissemination. origin marks the block
+// miner's own gateway, which pays no import delay before announcing.
+func (n *Node) relayBlock(now sim.Time, b *types.Block, origin bool) {
+	if b == nil {
+		return
+	}
+	h := b.Hash()
+	if _, ok := n.knownBlocks[h]; ok {
+		return
+	}
+	n.knownBlocks[h] = b
+	n.seenHashes[h] = true
+	if !n.relay || len(n.peers) == 0 {
+		return
+	}
+	// Phase 1 — push wave, after cheap validation: full block to a
+	// policy-determined subset of peers not known to have it.
+	candidates := make([]*Node, 0, len(n.peers))
+	for _, peer := range n.peers {
+		if !n.peerKnowsBlock(h, peer.id) {
+			candidates = append(candidates, peer)
+		}
+	}
+	if len(candidates) == 0 {
+		return
+	}
+	var k int
+	switch n.net.Push {
+	case PushAll:
+		k = len(candidates)
+	case AnnounceOnly:
+		k = 0
+	default:
+		k = int(math.Sqrt(float64(len(candidates))))
+		if k < 1 {
+			k = 1
+		}
+	}
+	pushDelay := sim.Time(blockValidateMillis)
+	order := n.net.rng.Perm(len(candidates))
+	for i := 0; i < k && i < len(order); i++ {
+		peer := candidates[order[i]]
+		n.markPeerKnows(h, peer.id)
+		n.net.send(now+pushDelay, n, peer, &Message{Kind: MsgNewBlock, Block: b})
+	}
+	// Phase 2 — announce wave: hash announcements to peers still not
+	// known to have the block. Relayers pay the full-import delay
+	// first (state execution) and announce to a sqrt-bounded subset
+	// (Geth's fetcher rate-limits hash announcements; the paper's
+	// Table II measures a mean announcement in-degree of only 2.585).
+	// The origin — the pool gateway that built the block — already
+	// executed it and announces to all its peers immediately, which
+	// is what pools run gateways for.
+	announceDelay := pushDelay + blockImportMillis
+	if origin {
+		announceDelay = pushDelay
+	}
+	n.net.engine.Schedule(announceDelay, func(later sim.Time) {
+		targets := make([]*Node, 0, len(n.peers))
+		for _, peer := range n.peers {
+			if !n.peerKnowsBlock(h, peer.id) {
+				targets = append(targets, peer)
+			}
+		}
+		if len(targets) == 0 {
+			return
+		}
+		limit := len(targets)
+		if !origin {
+			limit = int(math.Sqrt(float64(len(targets))))
+			if limit < 1 {
+				limit = 1
+			}
+		}
+		order := n.net.rng.Perm(len(targets))
+		for i := 0; i < limit; i++ {
+			peer := targets[order[i]]
+			n.markPeerKnows(h, peer.id)
+			n.net.send(later, n, peer, &Message{Kind: MsgNewBlockHashes, Hashes: []types.Hash{h}})
+		}
+	})
+}
+
+func (n *Node) handleAnnouncement(now sim.Time, from NodeID, hashes []types.Hash) {
+	sender, ok := n.net.nodes[from]
+	if !ok {
+		return
+	}
+	for _, h := range hashes {
+		// The announcer evidently has the block.
+		n.markPeerKnows(h, from)
+		if !n.relay || n.seenHashes[h] {
+			continue
+		}
+		n.seenHashes[h] = true
+		// Pull the unknown block from the announcer.
+		n.net.send(now+announceHandleMillis, n, sender, &Message{Kind: MsgGetBlock, Want: h})
+	}
+}
+
+func (n *Node) handleGetBlock(now sim.Time, from NodeID, want types.Hash) {
+	b, ok := n.knownBlocks[want]
+	if !ok {
+		return
+	}
+	requester, ok := n.net.nodes[from]
+	if !ok {
+		return
+	}
+	n.markPeerKnows(want, from)
+	n.net.send(now+blockRequestRespondMs, n, requester, &Message{Kind: MsgNewBlock, Block: b})
+}
+
+func (n *Node) handleTxs(now sim.Time, from NodeID, txs []*types.Transaction) {
+	var fresh []*types.Transaction
+	for _, tx := range txs {
+		if tx == nil {
+			continue
+		}
+		h := tx.Hash()
+		if n.knownTxs[h] {
+			continue
+		}
+		n.knownTxs[h] = true
+		fresh = append(fresh, tx)
+	}
+	if len(fresh) == 0 || !n.relay {
+		return
+	}
+	delay := sim.Time(1 + len(fresh)/100*txValidatePer100Txs)
+	for _, peer := range n.peers {
+		if peer.id == from {
+			continue
+		}
+		n.net.send(now+delay, n, peer, &Message{Kind: MsgTransactions, Txs: fresh})
+	}
+}

@@ -1,0 +1,217 @@
+package p2p
+
+import (
+	"testing"
+
+	"repro/internal/geo"
+	"repro/internal/sim"
+	"repro/internal/types"
+)
+
+// zeroLatency makes timing assertions exact.
+func zeroLatencyNetwork(t *testing.T, seed uint64) *Network {
+	t.Helper()
+	m := geo.LatencyModel{JitterSigma: 0, BytesPerMillisecond: 0, MinDelayMillis: 1}
+	return NewNetwork(sim.NewEngine(), sim.NewRNG(seed), m)
+}
+
+func TestNoDuplicateSendsToSamePeer(t *testing.T) {
+	net := zeroLatencyNetwork(t, 1)
+	a := addNode(t, net, geo.WesternEurope, 0)
+	b := addNode(t, net, geo.WesternEurope, 0)
+	if err := net.Connect(a, b); err != nil {
+		t.Fatal(err)
+	}
+	blk := testBlock(1, "Ethermine")
+	deliveries := 0
+	b.SetObserver(func(_ sim.Time, _ NodeID, msg *Message) {
+		if msg.Kind == MsgNewBlock || msg.Kind == MsgNewBlockHashes {
+			deliveries++
+		}
+	})
+	a.InjectBlock(0, blk)
+	net.Engine().Run()
+	// With one peer, a pushes once; the announce wave must be fully
+	// suppressed by the push's known-mark.
+	if deliveries != 1 {
+		t.Fatalf("b received %d block messages, want exactly 1", deliveries)
+	}
+}
+
+func TestBidirectionalSuppression(t *testing.T) {
+	// After b receives the block from a, b must not send it back.
+	net := zeroLatencyNetwork(t, 2)
+	a := addNode(t, net, geo.WesternEurope, 0)
+	b := addNode(t, net, geo.WesternEurope, 0)
+	if err := net.Connect(a, b); err != nil {
+		t.Fatal(err)
+	}
+	backToA := 0
+	a.SetObserver(func(_ sim.Time, _ NodeID, msg *Message) {
+		if msg.Kind == MsgNewBlock || msg.Kind == MsgNewBlockHashes {
+			backToA++
+		}
+	})
+	a.InjectBlock(0, testBlock(1, "Sparkpool"))
+	net.Engine().Run()
+	if backToA != 0 {
+		t.Fatalf("block echoed back to its sender %d times", backToA)
+	}
+}
+
+func TestOriginAnnouncesImmediately(t *testing.T) {
+	// The origin's announce wave fires right after validation, while
+	// a relayer's waits for the import delay.
+	net := zeroLatencyNetwork(t, 3)
+	origin := addNode(t, net, geo.WesternEurope, 0)
+	// Enough peers that sqrt(n) pushes leave announce targets.
+	var watchers []*Node
+	for i := 0; i < 16; i++ {
+		w := addNode(t, net, geo.WesternEurope, 0)
+		w.relay = false // pure observers: no relaying noise
+		if err := net.Connect(origin, w); err != nil {
+			t.Fatal(err)
+		}
+		watchers = append(watchers, w)
+	}
+	var firstAnnounce sim.Time = -1
+	for _, w := range watchers {
+		w.SetObserver(func(now sim.Time, _ NodeID, msg *Message) {
+			if msg.Kind == MsgNewBlockHashes && (firstAnnounce < 0 || now < firstAnnounce) {
+				firstAnnounce = now
+			}
+		})
+	}
+	origin.InjectBlock(0, testBlock(1, "F2pool2"))
+	net.Engine().Run()
+	if firstAnnounce < 0 {
+		t.Fatal("no announcements observed")
+	}
+	if firstAnnounce >= blockImportMillis {
+		t.Fatalf("origin announce delayed by import time: %v", firstAnnounce)
+	}
+}
+
+func TestRelayerAnnouncesAfterImport(t *testing.T) {
+	net := zeroLatencyNetwork(t, 4)
+	origin := addNode(t, net, geo.WesternEurope, 0)
+	relay := addNode(t, net, geo.WesternEurope, 0)
+	if err := net.Connect(origin, relay); err != nil {
+		t.Fatal(err)
+	}
+	// The relay has extra observer-only peers so its announce wave
+	// has targets.
+	var watchers []*Node
+	for i := 0; i < 16; i++ {
+		w := addNode(t, net, geo.WesternEurope, 0)
+		w.relay = false
+		if err := net.Connect(relay, w); err != nil {
+			t.Fatal(err)
+		}
+		watchers = append(watchers, w)
+	}
+	var firstAnnounce sim.Time = -1
+	for _, w := range watchers {
+		w.SetObserver(func(now sim.Time, _ NodeID, msg *Message) {
+			if msg.Kind == MsgNewBlockHashes && (firstAnnounce < 0 || now < firstAnnounce) {
+				firstAnnounce = now
+			}
+		})
+	}
+	origin.InjectBlock(0, testBlock(1, "Nanopool"))
+	net.Engine().Run()
+	if firstAnnounce < 0 {
+		t.Fatal("no announcements observed")
+	}
+	if firstAnnounce < blockImportMillis {
+		t.Fatalf("relayer announced before import completed: %v", firstAnnounce)
+	}
+}
+
+func TestKnownPeerEviction(t *testing.T) {
+	// The per-block suppression state is bounded: after more than
+	// knownPeerCap blocks, the oldest entries are dropped.
+	net := zeroLatencyNetwork(t, 5)
+	a := addNode(t, net, geo.WesternEurope, 0)
+	b := addNode(t, net, geo.WesternEurope, 0)
+	if err := net.Connect(a, b); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < knownPeerCap+20; i++ {
+		a.InjectBlock(0, testBlock(uint64(i+1), "Ethermine"))
+		net.Engine().Run()
+	}
+	if len(a.peerKnows) > knownPeerCap {
+		t.Fatalf("suppression state grew to %d entries (cap %d)", len(a.peerKnows), knownPeerCap)
+	}
+	if len(a.knowQueue) > knownPeerCap {
+		t.Fatalf("eviction queue grew to %d", len(a.knowQueue))
+	}
+}
+
+func TestAnnouncementMarksSenderAsKnowing(t *testing.T) {
+	net := zeroLatencyNetwork(t, 6)
+	a := addNode(t, net, geo.WesternEurope, 0)
+	b := addNode(t, net, geo.WesternEurope, 0)
+	if err := net.Connect(a, b); err != nil {
+		t.Fatal(err)
+	}
+	blk := testBlock(1, "HuoBi.pro")
+	h := blk.Hash()
+	// b hears an announcement from a; b must record that a knows the
+	// block even before fetching it.
+	b.handle(0, a.ID(), &Message{Kind: MsgNewBlockHashes, Hashes: []types.Hash{h}})
+	if !b.peerKnowsBlock(h, a.ID()) {
+		t.Fatal("announcement did not mark sender knowledge")
+	}
+}
+
+func TestPushPolicies(t *testing.T) {
+	countKinds := func(policy PushPolicy) (pushes, announces int) {
+		net := zeroLatencyNetwork(t, 7)
+		net.Push = policy
+		origin := addNode(t, net, geo.WesternEurope, 0)
+		for i := 0; i < 16; i++ {
+			w := addNode(t, net, geo.WesternEurope, 0)
+			w.relay = false
+			if err := net.Connect(origin, w); err != nil {
+				t.Fatal(err)
+			}
+			w.SetObserver(func(_ sim.Time, _ NodeID, msg *Message) {
+				switch msg.Kind {
+				case MsgNewBlock:
+					pushes++
+				case MsgNewBlockHashes:
+					announces++
+				}
+			})
+		}
+		origin.InjectBlock(0, testBlock(1, "Zhizhu"))
+		net.Engine().Run()
+		return pushes, announces
+	}
+	sqrtPush, sqrtAnn := countKinds(SqrtPush)
+	allPush, allAnn := countKinds(PushAll)
+	annPush, annAnn := countKinds(AnnounceOnly)
+	if sqrtPush != 4 { // sqrt(16)
+		t.Fatalf("sqrt policy pushed %d", sqrtPush)
+	}
+	if sqrtAnn != 12 {
+		t.Fatalf("sqrt policy announced %d", sqrtAnn)
+	}
+	if allPush != 16 || allAnn != 0 {
+		t.Fatalf("push-all: %d/%d", allPush, allAnn)
+	}
+	// Announce-only: announce wave to all 16; observers don't pull
+	// (relay disabled), so no pushes arrive.
+	if annPush != 0 || annAnn != 16 {
+		t.Fatalf("announce-only: %d/%d", annPush, annAnn)
+	}
+}
+
+func TestPushPolicyString(t *testing.T) {
+	if SqrtPush.String() != "sqrt-push" || PushAll.String() != "push-all" ||
+		AnnounceOnly.String() != "announce-only" || PushPolicy(9).String() != "unknown" {
+		t.Fatal("policy names")
+	}
+}

@@ -1,0 +1,342 @@
+// Package sim provides the deterministic discrete-event engine the
+// whole reproduction runs on: a virtual clock, a binary-heap event
+// queue with stable FIFO ordering among simultaneous events, and
+// seeded random-number streams.
+//
+// The engine substitutes for wall-clock time and the real Internet:
+// every network hop, mining interval and transaction arrival is an
+// event scheduled at a virtual timestamp. A given seed reproduces the
+// exact same run, which makes every experiment in EXPERIMENTS.md
+// replayable.
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"time"
+)
+
+// Time is a virtual timestamp measured in milliseconds since the start
+// of the simulation. Millisecond resolution matches the measurement
+// granularity of the paper's instrumented Geth logs.
+type Time int64
+
+// Millisecond helpers.
+const (
+	Millisecond Time = 1
+	Second           = 1000 * Millisecond
+	Minute           = 60 * Second
+	Hour             = 60 * Minute
+)
+
+// Duration converts the virtual time into a time.Duration.
+func (t Time) Duration() time.Duration {
+	return time.Duration(int64(t)) * time.Millisecond
+}
+
+// Seconds returns the timestamp in (fractional) seconds.
+func (t Time) Seconds() float64 { return float64(t) / 1000 }
+
+// String renders the timestamp as a duration offset.
+func (t Time) String() string { return t.Duration().String() }
+
+// FromDuration converts a wall duration into virtual Time, rounding to
+// milliseconds.
+func FromDuration(d time.Duration) Time {
+	return Time(d.Milliseconds())
+}
+
+// Event is a scheduled callback. Events run exactly once, at their
+// scheduled virtual time.
+type Event func(now Time)
+
+// ErrStopped is returned by Run variants when the engine was halted
+// before the condition was met.
+var ErrStopped = errors.New("sim: engine stopped")
+
+type scheduled struct {
+	at   Time
+	seq  uint64 // tiebreaker: FIFO among equal timestamps
+	call Event
+}
+
+type eventHeap []*scheduled
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any) {
+	item, ok := x.(*scheduled)
+	if !ok {
+		return
+	}
+	*h = append(*h, item)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	item := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return item
+}
+
+// Engine is a single-threaded discrete-event executor. It is not safe
+// for concurrent use; the simulation model is sequential by design so
+// runs are deterministic.
+type Engine struct {
+	now     Time
+	queue   eventHeap
+	seq     uint64
+	stopped bool
+	ran     uint64
+}
+
+// NewEngine creates an engine with the clock at zero.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Processed returns the number of events executed so far.
+func (e *Engine) Processed() uint64 { return e.ran }
+
+// Pending returns the number of scheduled, not yet executed events.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// Schedule runs fn at the given delay from now. Negative delays are
+// clamped to zero (events cannot run in the past).
+func (e *Engine) Schedule(delay Time, fn Event) {
+	if fn == nil {
+		return
+	}
+	if delay < 0 {
+		delay = 0
+	}
+	e.seq++
+	heap.Push(&e.queue, &scheduled{at: e.now + delay, seq: e.seq, call: fn})
+}
+
+// ScheduleAt runs fn at an absolute virtual time. Times in the past
+// are clamped to now.
+func (e *Engine) ScheduleAt(at Time, fn Event) {
+	if at < e.now {
+		at = e.now
+	}
+	e.Schedule(at-e.now, fn)
+}
+
+// Stop halts the engine: the currently executing event finishes, and
+// no further events run until the next Run* call resets the flag.
+func (e *Engine) Stop() { e.stopped = true }
+
+// step executes the next event. It reports false when the queue is
+// empty.
+func (e *Engine) step() bool {
+	if len(e.queue) == 0 {
+		return false
+	}
+	next, ok := heap.Pop(&e.queue).(*scheduled)
+	if !ok {
+		return false
+	}
+	e.now = next.at
+	e.ran++
+	next.call(e.now)
+	return true
+}
+
+// Run executes events until the queue drains or Stop is called.
+func (e *Engine) Run() {
+	e.stopped = false
+	for !e.stopped && e.step() {
+	}
+}
+
+// RunUntil executes events with timestamps <= deadline. The clock is
+// advanced to the deadline even if the queue drains earlier, so
+// repeated RunUntil calls walk time forward monotonically.
+func (e *Engine) RunUntil(deadline Time) {
+	e.stopped = false
+	for !e.stopped {
+		if len(e.queue) == 0 || e.queue[0].at > deadline {
+			break
+		}
+		e.step()
+	}
+	if !e.stopped && e.now < deadline {
+		e.now = deadline
+	}
+}
+
+// RunFor advances the simulation by d from the current time.
+func (e *Engine) RunFor(d Time) { e.RunUntil(e.now + d) }
+
+// RNG is a deterministic random stream with the distribution helpers
+// the simulation model needs. It wraps PCG from math/rand/v2.
+type RNG struct {
+	r *rand.Rand
+}
+
+// NewRNG creates a deterministic stream from a 64-bit seed.
+func NewRNG(seed uint64) *RNG {
+	return &RNG{r: rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15))}
+}
+
+// Fork derives an independent child stream. Using labeled forks keeps
+// subsystem randomness independent of event interleaving: adding events
+// to one subsystem does not perturb another's draws.
+func (g *RNG) Fork(label string) *RNG {
+	h := uint64(14695981039346656037)
+	for _, c := range []byte(label) {
+		h ^= uint64(c)
+		h *= 1099511628211
+	}
+	return NewRNG(g.r.Uint64() ^ h)
+}
+
+// Float64 returns a uniform sample in [0, 1).
+func (g *RNG) Float64() float64 { return g.r.Float64() }
+
+// IntN returns a uniform sample in [0, n). n must be > 0.
+func (g *RNG) IntN(n int) int { return g.r.IntN(n) }
+
+// Uint64 returns a uniform 64-bit sample.
+func (g *RNG) Uint64() uint64 { return g.r.Uint64() }
+
+// NormFloat64 returns a standard normal sample.
+func (g *RNG) NormFloat64() float64 { return g.r.NormFloat64() }
+
+// Exponential samples an exponential distribution with the given mean.
+// It is the arrival law for both block production (Poisson mining
+// race) and transaction submission.
+func (g *RNG) Exponential(mean float64) float64 {
+	if mean <= 0 {
+		return 0
+	}
+	return g.r.ExpFloat64() * mean
+}
+
+// ExpTime samples an exponential inter-arrival as a virtual duration.
+func (g *RNG) ExpTime(mean Time) Time {
+	return Time(math.Round(g.Exponential(float64(mean))))
+}
+
+// LogNormal samples a log-normal distribution parameterized by the
+// underlying normal's mu and sigma. Internet one-way-delay jitter is
+// classically log-normal.
+func (g *RNG) LogNormal(mu, sigma float64) float64 {
+	return math.Exp(mu + sigma*g.r.NormFloat64())
+}
+
+// Bernoulli returns true with probability p.
+func (g *RNG) Bernoulli(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return g.r.Float64() < p
+}
+
+// Zipf draws from a Zipf distribution over [0, n) with exponent s > 1,
+// used to skew transaction-sender activity (a few accounts produce
+// most traffic). For repeated draws with the same parameters prefer
+// NewZipf, which precomputes the CDF.
+func (g *RNG) Zipf(n int, s float64) int {
+	if n <= 1 {
+		return 0
+	}
+	return NewZipf(g, n, s).Sample()
+}
+
+// Zipf is a precomputed discrete Zipf sampler over [0, n).
+type Zipf struct {
+	rng *RNG
+	cdf []float64
+}
+
+// NewZipf builds a sampler with exponent s over [0, n). Degenerate
+// parameters (n <= 1) yield a sampler that always returns 0.
+func NewZipf(rng *RNG, n int, s float64) *Zipf {
+	z := &Zipf{rng: rng}
+	if n <= 1 {
+		return z
+	}
+	z.cdf = make([]float64, n)
+	var acc float64
+	for k := 1; k <= n; k++ {
+		acc += 1 / math.Pow(float64(k), s)
+		z.cdf[k-1] = acc
+	}
+	return z
+}
+
+// Sample draws one index.
+func (z *Zipf) Sample() int {
+	if len(z.cdf) == 0 {
+		return 0
+	}
+	u := z.rng.Float64() * z.cdf[len(z.cdf)-1]
+	lo, hi := 0, len(z.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// WeightedChoice draws an index proportionally to weights. It returns
+// an error when no weight is positive.
+func (g *RNG) WeightedChoice(weights []float64) (int, error) {
+	var total float64
+	for _, w := range weights {
+		if w > 0 {
+			total += w
+		}
+	}
+	if total <= 0 {
+		return 0, fmt.Errorf("sim: weighted choice over non-positive weights %v", weights)
+	}
+	u := g.r.Float64() * total
+	var acc float64
+	for i, w := range weights {
+		if w <= 0 {
+			continue
+		}
+		acc += w
+		if u <= acc {
+			return i, nil
+		}
+	}
+	// Floating-point slack: return the last positive-weight index.
+	for i := len(weights) - 1; i >= 0; i-- {
+		if weights[i] > 0 {
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("sim: weighted choice fell through")
+}
+
+// Perm returns a random permutation of [0, n).
+func (g *RNG) Perm(n int) []int { return g.r.Perm(n) }
+
+// Shuffle permutes xs in place.
+func Shuffle[T any](g *RNG, xs []T) {
+	g.r.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+}

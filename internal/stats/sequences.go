@@ -1,0 +1,104 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// The helpers in this file implement the probabilistic model the paper
+// uses in §III-D to compare observed consecutive-block sequences with
+// their theoretical likelihood: a pool holding fraction p of the
+// hashrate mines each block independently with probability p, so a
+// sequence of k consecutive blocks has probability p^k, and over a
+// chain of n blocks roughly n*p^k such sequences are expected.
+
+// SequenceProbability returns p^k: the probability that a pool with
+// hashrate share p mines k consecutive blocks starting at a given
+// height. It returns an error when p is outside [0,1] or k < 1.
+func SequenceProbability(p float64, k int) (float64, error) {
+	if p < 0 || p > 1 || math.IsNaN(p) {
+		return 0, fmt.Errorf("stats: hashrate share %v outside [0,1]", p)
+	}
+	if k < 1 {
+		return 0, fmt.Errorf("stats: sequence length %d < 1", k)
+	}
+	return math.Pow(p, float64(k)), nil
+}
+
+// ExpectedSequences returns the expected number of k-length runs of a
+// pool with share p over a chain of n blocks, using the paper's
+// first-order estimate n * p^k (§III-D computes Ethermine's expected
+// 8-block sequences as 2e-5 * 201,086 ≈ 4 exactly this way).
+func ExpectedSequences(p float64, k, n int) (float64, error) {
+	prob, err := SequenceProbability(p, k)
+	if err != nil {
+		return 0, err
+	}
+	if n < 0 {
+		return 0, fmt.Errorf("stats: chain length %d < 0", n)
+	}
+	return prob * float64(n), nil
+}
+
+// MonthsUntilSequence returns the expected number of month-long
+// observation windows (blocksPerMonth blocks each) until one k-length
+// sequence by a pool with share p is expected, i.e.
+// 1 / (blocksPerMonth * p^k). The paper computes Sparkpool's 9-block
+// sequence this way ("at least three months").
+func MonthsUntilSequence(p float64, k, blocksPerMonth int) (float64, error) {
+	expected, err := ExpectedSequences(p, k, blocksPerMonth)
+	if err != nil {
+		return 0, err
+	}
+	if expected == 0 {
+		return math.Inf(1), nil
+	}
+	return 1 / expected, nil
+}
+
+// RunLengths scans a sequence of labels and returns, per label, the
+// multiset of maximal-run lengths, e.g. labels a,a,b,a yields
+// {a:[2,1], b:[1]}. The analysis pipeline feeds main-chain miner
+// labels through this to build Fig. 7.
+func RunLengths(labels []string) map[string][]int {
+	out := make(map[string][]int)
+	if len(labels) == 0 {
+		return out
+	}
+	cur := labels[0]
+	run := 1
+	for _, l := range labels[1:] {
+		if l == cur {
+			run++
+			continue
+		}
+		out[cur] = append(out[cur], run)
+		cur = l
+		run = 1
+	}
+	out[cur] = append(out[cur], run)
+	return out
+}
+
+// MaxRun returns the longest run in a run-length multiset, or 0 when
+// the set is empty.
+func MaxRun(runs []int) int {
+	max := 0
+	for _, r := range runs {
+		if r > max {
+			max = r
+		}
+	}
+	return max
+}
+
+// CountRunsAtLeast returns how many runs are >= k.
+func CountRunsAtLeast(runs []int, k int) int {
+	n := 0
+	for _, r := range runs {
+		if r >= k {
+			n++
+		}
+	}
+	return n
+}

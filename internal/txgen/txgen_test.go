@@ -1,0 +1,242 @@
+package txgen
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geo"
+	"repro/internal/sim"
+	"repro/internal/types"
+)
+
+type emittedTx struct {
+	now    sim.Time
+	tx     *types.Transaction
+	origin geo.Region
+}
+
+func collect(t *testing.T, seed uint64, mutate func(*Config)) (*Generator, []emittedTx) {
+	t.Helper()
+	engine := sim.NewEngine()
+	rng := sim.NewRNG(seed)
+	var got []emittedTx
+	cfg := DefaultConfig()
+	cfg.Limit = 5000
+	cfg.Submit = func(now sim.Time, tx *types.Transaction, origin geo.Region) {
+		got = append(got, emittedTx{now, tx, origin})
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	g, err := NewGenerator(engine, rng, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Start()
+	engine.Run()
+	return g, got
+}
+
+func TestGeneratorValidation(t *testing.T) {
+	engine := sim.NewEngine()
+	rng := sim.NewRNG(1)
+	ok := DefaultConfig()
+	ok.Submit = func(sim.Time, *types.Transaction, geo.Region) {}
+	bad := []func(*Config){
+		func(c *Config) { c.Submit = nil },
+		func(c *Config) { c.Senders = 0 },
+		func(c *Config) { c.MeanInterArrival = 0 },
+		func(c *Config) { c.OutOfOrderProb = 1.5 },
+		func(c *Config) { c.ZipfExponent = 1.0 },
+	}
+	for i, mutate := range bad {
+		cfg := ok
+		mutate(&cfg)
+		if _, err := NewGenerator(engine, rng, cfg); err == nil {
+			t.Errorf("case %d should fail", i)
+		}
+	}
+	if _, err := NewGenerator(nil, rng, ok); err == nil {
+		t.Error("nil engine should fail")
+	}
+	if _, err := NewGenerator(engine, rng, ok); err != nil {
+		t.Errorf("valid config failed: %v", err)
+	}
+}
+
+func TestGeneratorEmitsLimit(t *testing.T) {
+	g, got := collect(t, 2, nil)
+	// Held releases already in flight may emit a few past the limit.
+	if g.Emitted() < 5000 || g.Emitted() > 5100 {
+		t.Fatalf("emitted %d", g.Emitted())
+	}
+	if uint64(len(got)) != g.Emitted() || uint64(len(g.Records())) != g.Emitted() {
+		t.Fatalf("collected %d records %d emitted %d", len(got), len(g.Records()), g.Emitted())
+	}
+}
+
+func TestGeneratorArrivalRate(t *testing.T) {
+	_, got := collect(t, 3, nil)
+	span := got[len(got)-1].now - got[0].now
+	rate := float64(len(got)) / span.Seconds()
+	// ~8.3 tx/s (the held-back path adds some spread).
+	if rate < 6 || rate > 11 {
+		t.Fatalf("rate: %v tx/s", rate)
+	}
+}
+
+func TestNoncesPerSenderAreCompleteAndUnique(t *testing.T) {
+	_, got := collect(t, 4, nil)
+	perSender := map[types.Address]map[uint64]bool{}
+	maxNonce := map[types.Address]uint64{}
+	for _, e := range got {
+		m := perSender[e.tx.Sender]
+		if m == nil {
+			m = map[uint64]bool{}
+			perSender[e.tx.Sender] = m
+		}
+		if m[e.tx.Nonce] {
+			t.Fatalf("duplicate nonce %d for %s", e.tx.Nonce, e.tx.Sender)
+		}
+		m[e.tx.Nonce] = true
+		if e.tx.Nonce > maxNonce[e.tx.Sender] {
+			maxNonce[e.tx.Sender] = e.tx.Nonce
+		}
+	}
+	// Every nonce from 0..max must exist (no permanent gaps after the
+	// engine drained: held txs were all released).
+	for sender, m := range perSender {
+		for n := uint64(0); n <= maxNonce[sender]; n++ {
+			if !m[n] {
+				t.Fatalf("sender %s missing nonce %d", sender, n)
+			}
+		}
+	}
+}
+
+func TestOutOfOrderFraction(t *testing.T) {
+	_, got := collect(t, 5, nil)
+	// A tx is observed out of order when some earlier emission from
+	// the same sender carried a higher nonce.
+	maxSeen := map[types.Address]int64{}
+	ooo := 0
+	for _, e := range got {
+		prev, seen := maxSeen[e.tx.Sender]
+		if seen && int64(e.tx.Nonce) < prev {
+			ooo++
+		}
+		if int64(e.tx.Nonce) > prev || !seen {
+			maxSeen[e.tx.Sender] = int64(e.tx.Nonce)
+		}
+	}
+	frac := float64(ooo) / float64(len(got))
+	// Paper: 11.54%. The generator is calibrated to land nearby.
+	if math.Abs(frac-0.115) > 0.03 {
+		t.Fatalf("out-of-order fraction: %v", frac)
+	}
+}
+
+func TestOutOfOrderDisabled(t *testing.T) {
+	_, got := collect(t, 6, func(c *Config) { c.OutOfOrderProb = 0 })
+	maxSeen := map[types.Address]int64{}
+	for _, e := range got {
+		prev, seen := maxSeen[e.tx.Sender]
+		if seen && int64(e.tx.Nonce) < prev {
+			t.Fatal("out-of-order emission with prob 0")
+		}
+		maxSeen[e.tx.Sender] = int64(e.tx.Nonce)
+	}
+}
+
+func TestHeldRecordsFlagged(t *testing.T) {
+	g, _ := collect(t, 7, nil)
+	held := 0
+	for _, r := range g.Records() {
+		if r.Held {
+			held++
+		}
+	}
+	if held == 0 {
+		t.Fatal("no held emissions recorded")
+	}
+}
+
+func TestSenderSkew(t *testing.T) {
+	_, got := collect(t, 8, nil)
+	counts := map[types.Address]int{}
+	for _, e := range got {
+		counts[e.tx.Sender]++
+	}
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	mean := float64(len(got)) / float64(len(counts))
+	if float64(max) < 3*mean {
+		t.Fatalf("no Zipf skew: max %d vs mean %v", max, mean)
+	}
+}
+
+func TestOriginsDispersed(t *testing.T) {
+	_, got := collect(t, 9, nil)
+	regions := map[geo.Region]int{}
+	for _, e := range got {
+		regions[e.origin]++
+	}
+	if len(regions) < 4 {
+		t.Fatalf("origins concentrated in %d regions", len(regions))
+	}
+}
+
+func TestGasPricesPositiveAndSpread(t *testing.T) {
+	_, got := collect(t, 10, nil)
+	distinct := map[uint64]bool{}
+	for _, e := range got {
+		if e.tx.GasPrice == 0 {
+			t.Fatal("zero gas price")
+		}
+		distinct[e.tx.GasPrice] = true
+	}
+	if len(distinct) < 100 {
+		t.Fatalf("gas prices not spread: %d distinct", len(distinct))
+	}
+}
+
+func TestStopHaltsGeneration(t *testing.T) {
+	engine := sim.NewEngine()
+	rng := sim.NewRNG(11)
+	cfg := DefaultConfig()
+	count := 0
+	cfg.Submit = func(sim.Time, *types.Transaction, geo.Region) { count++ }
+	g, err := NewGenerator(engine, rng, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Start()
+	engine.RunFor(10 * sim.Second)
+	g.Stop()
+	engine.Run()
+	final := g.Emitted()
+	if final == 0 {
+		t.Fatal("nothing emitted")
+	}
+	// Held releases may still fire after stop, but no new arrivals.
+	if uint64(count) != final {
+		t.Fatalf("callback count %d vs emitted %d", count, final)
+	}
+}
+
+func TestDeterministicReplay(t *testing.T) {
+	_, a := collect(t, 12, nil)
+	_, b := collect(t, 12, nil)
+	if len(a) != len(b) {
+		t.Fatal("replay length mismatch")
+	}
+	for i := range a {
+		if a[i].tx.Hash() != b[i].tx.Hash() || a[i].now != b[i].now {
+			t.Fatalf("replay diverged at %d", i)
+		}
+	}
+}

@@ -1,0 +1,245 @@
+package types
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/rlp"
+)
+
+// Header carries the consensus-relevant fields of a block. TimeMillis
+// is the miner-stamped creation time in simulation milliseconds
+// (Ethereum stamps seconds; the simulator needs millisecond resolution
+// for propagation-delay work).
+type Header struct {
+	ParentHash Hash
+	Number     uint64
+	Miner      Address
+	// MinerLabel is the human-readable pool name (e.g. "Ethermine").
+	// The real chain carries only the coinbase address; explorers
+	// reverse-map it to a pool. Carrying the label alongside saves the
+	// reproduction that reverse-mapping step without changing any
+	// finding.
+	MinerLabel string
+	TimeMillis uint64
+	Difficulty uint64
+	GasLimit   uint64
+	GasUsed    uint64
+	TxRoot     Hash
+	UncleRoot  Hash
+	// Extra disambiguates deliberately distinct block versions mined
+	// by the same pool at the same height with the same transaction
+	// set (the paper's one-miner forks, §III-C5).
+	Extra uint64
+}
+
+// Block is a full block: header plus transaction body plus referenced
+// uncle (ommer) headers.
+type Block struct {
+	Header Header
+	Txs    []*Transaction
+	Uncles []Header
+
+	hash    Hash
+	hashed  bool
+	sizeB   int
+	sizeSet bool
+}
+
+// MaxUnclesPerBlock is Ethereum's limit of uncle references per block.
+const MaxUnclesPerBlock = 2
+
+// MaxUncleDepth is the maximum height distance at which an uncle can
+// still be referenced (Ethereum: 7 generations).
+const MaxUncleDepth = 7
+
+var errBlockShape = errors.New("types: block RLP shape mismatch")
+
+// NewBlock assembles a block and pre-computes its hash.
+func NewBlock(header Header, txs []*Transaction, uncles []Header) *Block {
+	header.TxRoot = txRoot(txs)
+	header.UncleRoot = uncleRoot(uncles)
+	b := &Block{Header: header, Txs: txs, Uncles: uncles}
+	b.Hash()
+	return b
+}
+
+// txRoot derives a commitment over the transaction list. A flat hash
+// over the concatenated tx hashes stands in for the Merkle-Patricia
+// root; it provides the same property the study needs (same tx set =>
+// same root), which drives the one-miner-fork same-content analysis.
+func txRoot(txs []*Transaction) Hash {
+	buf := make([]byte, 0, len(txs)*HashLen)
+	for _, tx := range txs {
+		h := tx.Hash()
+		buf = append(buf, h[:]...)
+	}
+	return HashBytes(buf)
+}
+
+func uncleRoot(uncles []Header) Hash {
+	buf := make([]byte, 0, len(uncles)*HashLen)
+	for i := range uncles {
+		h := uncles[i].Hash()
+		buf = append(buf, h[:]...)
+	}
+	return HashBytes(buf)
+}
+
+// Hash returns the header hash, computing and caching it on first use.
+func (b *Block) Hash() Hash {
+	if !b.hashed {
+		b.hash = b.Header.Hash()
+		b.hashed = true
+	}
+	return b.hash
+}
+
+// Hash returns the content hash of the header's RLP encoding.
+func (h *Header) Hash() Hash {
+	return HashBytes(rlp.Encode(h.rlpItem()))
+}
+
+// EncodedSize returns the full serialized block size in bytes
+// (header + body), which the network model converts into transfer
+// time. The value is cached.
+func (b *Block) EncodedSize() int {
+	if !b.sizeSet {
+		b.sizeB = rlp.EncodedLen(b.rlpItem())
+		b.sizeSet = true
+	}
+	return b.sizeB
+}
+
+// IsEmpty reports whether the block carries no transactions (the
+// paper's §III-C3 selfish-mining signal).
+func (b *Block) IsEmpty() bool { return len(b.Txs) == 0 }
+
+func (h *Header) rlpItem() rlp.Item {
+	return rlp.List(
+		rlp.String(h.ParentHash[:]),
+		rlp.Uint(h.Number),
+		rlp.String(h.Miner[:]),
+		rlp.String([]byte(h.MinerLabel)),
+		rlp.Uint(h.TimeMillis),
+		rlp.Uint(h.Difficulty),
+		rlp.Uint(h.GasLimit),
+		rlp.Uint(h.GasUsed),
+		rlp.String(h.TxRoot[:]),
+		rlp.String(h.UncleRoot[:]),
+		rlp.Uint(h.Extra),
+	)
+}
+
+func (b *Block) rlpItem() rlp.Item {
+	txItems := make([]rlp.Item, len(b.Txs))
+	for i, tx := range b.Txs {
+		txItems[i] = tx.rlpItem()
+	}
+	uncleItems := make([]rlp.Item, len(b.Uncles))
+	for i := range b.Uncles {
+		uncleItems[i] = b.Uncles[i].rlpItem()
+	}
+	return rlp.List(b.Header.rlpItem(), rlp.List(txItems...), rlp.List(uncleItems...))
+}
+
+// EncodeBlock serializes a block to RLP.
+func EncodeBlock(b *Block) []byte { return rlp.Encode(b.rlpItem()) }
+
+// DecodeBlock parses a block from its RLP encoding.
+func DecodeBlock(raw []byte) (*Block, error) {
+	it, err := rlp.Decode(raw)
+	if err != nil {
+		return nil, fmt.Errorf("decode block: %w", err)
+	}
+	parts, err := it.AsList()
+	if err != nil {
+		return nil, fmt.Errorf("decode block: %w", err)
+	}
+	if len(parts) != 3 {
+		return nil, fmt.Errorf("%w: %d parts", errBlockShape, len(parts))
+	}
+	header, err := headerFromItem(parts[0])
+	if err != nil {
+		return nil, err
+	}
+	txItems, err := parts[1].AsList()
+	if err != nil {
+		return nil, fmt.Errorf("decode block txs: %w", err)
+	}
+	txs := make([]*Transaction, len(txItems))
+	for i, ti := range txItems {
+		tx, err := txFromItem(ti)
+		if err != nil {
+			return nil, fmt.Errorf("decode block tx %d: %w", i, err)
+		}
+		txs[i] = tx
+	}
+	uncleItems, err := parts[2].AsList()
+	if err != nil {
+		return nil, fmt.Errorf("decode block uncles: %w", err)
+	}
+	uncles := make([]Header, len(uncleItems))
+	for i, ui := range uncleItems {
+		u, err := headerFromItem(ui)
+		if err != nil {
+			return nil, fmt.Errorf("decode block uncle %d: %w", i, err)
+		}
+		uncles[i] = u
+	}
+	// Verify body integrity against the header commitments, like a
+	// real client: a block whose body does not match its header roots
+	// is malformed.
+	if got := txRoot(txs); got != header.TxRoot {
+		return nil, fmt.Errorf("%w: tx root mismatch", errBlockShape)
+	}
+	if got := uncleRoot(uncles); got != header.UncleRoot {
+		return nil, fmt.Errorf("%w: uncle root mismatch", errBlockShape)
+	}
+	blk := &Block{Header: header, Txs: txs, Uncles: uncles}
+	blk.Hash()
+	return blk, nil
+}
+
+func headerFromItem(it rlp.Item) (Header, error) {
+	fields, err := it.AsList()
+	if err != nil {
+		return Header{}, fmt.Errorf("decode header: %w", err)
+	}
+	if len(fields) != 11 {
+		return Header{}, fmt.Errorf("%w: header has %d fields", errBlockShape, len(fields))
+	}
+	var h Header
+	if err := copyHash(&h.ParentHash, fields[0]); err != nil {
+		return Header{}, fmt.Errorf("decode header parent: %w", err)
+	}
+	if h.Number, err = fields[1].AsUint(); err != nil {
+		return Header{}, fmt.Errorf("decode header number: %w", err)
+	}
+	if err := copyAddress(&h.Miner, fields[2]); err != nil {
+		return Header{}, fmt.Errorf("decode header miner: %w", err)
+	}
+	label, err := fields[3].AsBytes()
+	if err != nil {
+		return Header{}, fmt.Errorf("decode header label: %w", err)
+	}
+	h.MinerLabel = string(label)
+	uints := []*uint64{&h.TimeMillis, &h.Difficulty, &h.GasLimit, &h.GasUsed}
+	for i, dst := range uints {
+		v, err := fields[4+i].AsUint()
+		if err != nil {
+			return Header{}, fmt.Errorf("decode header field %d: %w", 4+i, err)
+		}
+		*dst = v
+	}
+	if err := copyHash(&h.TxRoot, fields[8]); err != nil {
+		return Header{}, fmt.Errorf("decode header txroot: %w", err)
+	}
+	if err := copyHash(&h.UncleRoot, fields[9]); err != nil {
+		return Header{}, fmt.Errorf("decode header uncleroot: %w", err)
+	}
+	if h.Extra, err = fields[10].AsUint(); err != nil {
+		return Header{}, fmt.Errorf("decode header extra: %w", err)
+	}
+	return h, nil
+}

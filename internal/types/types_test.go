@@ -1,0 +1,66 @@
+package types
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestHashBytesDeterministic(t *testing.T) {
+	a := HashBytes([]byte("hello"))
+	b := HashBytes([]byte("hello"))
+	if a != b {
+		t.Fatal("same input must hash equal")
+	}
+	c := HashBytes([]byte("hellp"))
+	if a == c {
+		t.Fatal("different input must hash different")
+	}
+}
+
+func TestHashString(t *testing.T) {
+	h := HashBytes([]byte("x"))
+	s := h.String()
+	if !strings.HasPrefix(s, "0x") || len(s) != 2+2*HashLen {
+		t.Fatalf("bad hash string %q", s)
+	}
+	if len(h.Short()) != 8 {
+		t.Fatalf("short form: %q", h.Short())
+	}
+}
+
+func TestZeroHash(t *testing.T) {
+	if !ZeroHash.IsZero() {
+		t.Fatal("zero hash must report zero")
+	}
+	if HashBytes(nil).IsZero() {
+		t.Fatal("sha256(nil) must not be zero")
+	}
+}
+
+func TestAddressFromString(t *testing.T) {
+	a := AddressFromString("Ethermine")
+	b := AddressFromString("Ethermine")
+	c := AddressFromString("Sparkpool")
+	if a != b {
+		t.Fatal("address derivation must be deterministic")
+	}
+	if a == c {
+		t.Fatal("different labels must map to different addresses")
+	}
+	if !strings.HasPrefix(a.String(), "0x") {
+		t.Fatalf("bad address string %q", a.String())
+	}
+}
+
+func TestAddressCollisionProperty(t *testing.T) {
+	f := func(a, b string) bool {
+		if a == b {
+			return AddressFromString(a) == AddressFromString(b)
+		}
+		return AddressFromString(a) != AddressFromString(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
