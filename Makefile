@@ -1,0 +1,45 @@
+# Make targets are the single entry points for humans and CI
+# (.github/workflows/ci.yml calls exactly these).
+
+GO ?= go
+
+.PHONY: build test test-full race bench bench-smoke bench-baseline fmt fmt-check vet
+
+build:
+	$(GO) build ./...
+
+# Fast tier: the CI gate. Heavy workload campaigns downshift or skip
+# under -short; run test-full for the complete suite.
+test:
+	$(GO) test -short ./...
+
+test-full:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race -short ./...
+
+bench:
+	$(GO) test -bench=. -benchmem -run='^$$' .
+
+# One iteration per benchmark: proves every target still executes.
+bench-smoke:
+	$(GO) test -bench=. -benchtime=1x -run='^$$' .
+
+# Regenerate the committed benchmark snapshot. Two steps so a failing
+# benchmark aborts instead of being laundered into a partial snapshot.
+bench-baseline:
+	@set -e; tmp=$$(mktemp); trap 'rm -f "$$tmp"' EXIT; \
+	$(GO) test -bench=. -benchtime=1x -run='^$$' . > "$$tmp"; \
+	$(GO) run ./cmd/benchjson < "$$tmp" > BENCH_baseline.json; \
+	echo "wrote BENCH_baseline.json"
+
+fmt:
+	gofmt -w .
+
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...

@@ -1,8 +1,10 @@
 // Package repro's top-level benchmark harness: one testing.B target
 // per table and figure in the paper's evaluation, plus the ablations
-// called out in DESIGN.md §5. Each benchmark regenerates its artifact
-// at small scale per iteration; run cmd/ethrepro -scale medium for the
-// paper-scale numbers recorded in EXPERIMENTS.md.
+// called out in DESIGN.md §5 and the parallel campaign runner itself.
+// Benchmarks select their experiment from the registry — the same path
+// cmd/ethrepro takes — and regenerate the artifact at small scale per
+// iteration; run cmd/ethrepro -scale medium for the paper-scale
+// numbers recorded in EXPERIMENTS.md.
 //
 //	go test -bench=. -benchmem
 package repro
@@ -17,8 +19,30 @@ import (
 // varying per iteration so caches cannot hide work.
 func benchSeed(i int) uint64 { return 42 + uint64(i) }
 
+// runSpec resolves id in the experiment registry (by spec or outcome
+// ID) and executes it, returning the outcomes keyed by ID.
+func runSpec(b *testing.B, id string, seed uint64) map[string]*experiments.Outcome {
+	b.Helper()
+	spec, ok := experiments.Lookup(id)
+	if !ok {
+		b.Fatalf("experiment %s not registered", id)
+	}
+	outs, err := spec.Run(seed, experiments.ScaleSmall)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := make(map[string]*experiments.Outcome, len(outs))
+	for _, o := range outs {
+		m[o.ID] = o
+	}
+	return m
+}
+
 func reportMetrics(b *testing.B, o *experiments.Outcome, keys ...string) {
 	b.Helper()
+	if o == nil {
+		b.Fatal("missing outcome")
+	}
 	for _, k := range keys {
 		if v, ok := o.Metrics[k]; ok {
 			b.ReportMetric(v, k)
@@ -26,63 +50,40 @@ func reportMetrics(b *testing.B, o *experiments.Outcome, keys ...string) {
 	}
 }
 
-func findOutcome(b *testing.B, outs []*experiments.Outcome, id string) *experiments.Outcome {
+// benchOutcome regenerates outcome id per iteration and reports the
+// chosen headline metrics from the last one.
+func benchOutcome(b *testing.B, id string, keys ...string) {
 	b.Helper()
-	for _, o := range outs {
-		if o.ID == id {
-			return o
+	for i := 0; i < b.N; i++ {
+		m := runSpec(b, id, benchSeed(i))
+		if i == b.N-1 {
+			reportMetrics(b, m[id], keys...)
 		}
 	}
-	b.Fatalf("missing outcome %s", id)
-	return nil
 }
 
 // BenchmarkFigure1PropagationDelay regenerates Fig. 1 (block
 // propagation delay distribution).
 func BenchmarkFigure1PropagationDelay(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		outs, err := experiments.NetworkExperiments(benchSeed(i), experiments.ScaleSmall)
-		if err != nil {
-			b.Fatal(err)
-		}
-		if i == b.N-1 {
-			reportMetrics(b, findOutcome(b, outs, "F1"), "median_ms", "p99_ms")
-		}
-	}
+	benchOutcome(b, "F1", "median_ms", "p99_ms")
 }
 
 // BenchmarkFigure2FirstObservation regenerates Fig. 2 (first
 // observation share per region).
 func BenchmarkFigure2FirstObservation(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		outs, err := experiments.NetworkExperiments(benchSeed(i), experiments.ScaleSmall)
-		if err != nil {
-			b.Fatal(err)
-		}
-		if i == b.N-1 {
-			reportMetrics(b, findOutcome(b, outs, "F2"), "EA_share", "NA_share")
-		}
-	}
+	benchOutcome(b, "F2", "EA_share", "NA_share")
 }
 
 // BenchmarkFigure3PoolInfluence regenerates Fig. 3 (first observation
 // per mining pool and region).
 func BenchmarkFigure3PoolInfluence(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		outs, err := experiments.NetworkExperiments(benchSeed(i), experiments.ScaleSmall)
-		if err != nil {
-			b.Fatal(err)
-		}
-		if i == b.N-1 {
-			reportMetrics(b, findOutcome(b, outs, "F3"), "sparkpool_EA_first")
-		}
-	}
+	benchOutcome(b, "F3", "sparkpool_EA_first")
 }
 
 // BenchmarkTable1Infrastructure renders Table I (static configuration).
 func BenchmarkTable1Infrastructure(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if experiments.Table1().Rendered == "" {
+		if runSpec(b, "T1", benchSeed(i))["T1"].Rendered == "" {
 			b.Fatal("empty table")
 		}
 	}
@@ -91,208 +92,108 @@ func BenchmarkTable1Infrastructure(b *testing.B) {
 // BenchmarkTable2Redundancy regenerates Table II (redundant block
 // receptions at a default 25-peer node).
 func BenchmarkTable2Redundancy(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		o, err := experiments.Table2(benchSeed(i), experiments.ScaleSmall)
-		if err != nil {
-			b.Fatal(err)
-		}
-		if i == b.N-1 {
-			reportMetrics(b, o, "combined_mean", "announce_mean", "whole_mean")
-		}
-	}
+	benchOutcome(b, "T2", "combined_mean", "announce_mean", "whole_mean")
 }
 
 // BenchmarkFigure4CommitTime regenerates Fig. 4 (transaction inclusion
 // and k-confirmation commit times).
 func BenchmarkFigure4CommitTime(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		outs, err := experiments.CommitExperiments(benchSeed(i), experiments.ScaleSmall)
-		if err != nil {
-			b.Fatal(err)
-		}
-		if i == b.N-1 {
-			reportMetrics(b, findOutcome(b, outs, "F4"), "inclusion_median_s", "conf12_median_s")
-		}
-	}
+	benchOutcome(b, "F4", "inclusion_median_s", "conf12_median_s")
 }
 
 // BenchmarkFigure5Reordering regenerates Fig. 5 (in-order vs
 // out-of-order commit delay).
 func BenchmarkFigure5Reordering(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		outs, err := experiments.CommitExperiments(benchSeed(i), experiments.ScaleSmall)
-		if err != nil {
-			b.Fatal(err)
-		}
-		if i == b.N-1 {
-			reportMetrics(b, findOutcome(b, outs, "F5"), "ooo_fraction")
-		}
-	}
+	benchOutcome(b, "F5", "ooo_fraction")
 }
 
 // BenchmarkFigure6EmptyBlocks regenerates Fig. 6 (empty blocks per
 // mining pool).
 func BenchmarkFigure6EmptyBlocks(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		outs, err := experiments.ChainExperiments(benchSeed(i), experiments.ScaleSmall)
-		if err != nil {
-			b.Fatal(err)
-		}
-		if i == b.N-1 {
-			reportMetrics(b, findOutcome(b, outs, "F6"), "empty_fraction", "zhizhu_rate")
-		}
-	}
+	benchOutcome(b, "F6", "empty_fraction", "zhizhu_rate")
 }
 
 // BenchmarkTable3Forks regenerates Table III (fork lengths and
 // recognition).
 func BenchmarkTable3Forks(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		outs, err := experiments.ChainExperiments(benchSeed(i), experiments.ScaleSmall)
-		if err != nil {
-			b.Fatal(err)
-		}
-		if i == b.N-1 {
-			reportMetrics(b, findOutcome(b, outs, "T3"), "len1_total", "len2_total")
-		}
-	}
+	benchOutcome(b, "T3", "len1_total", "len2_total")
 }
 
 // BenchmarkOneMinerForks regenerates the §III-C5 one-miner fork
 // analysis.
 func BenchmarkOneMinerForks(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		outs, err := experiments.ChainExperiments(benchSeed(i), experiments.ScaleSmall)
-		if err != nil {
-			b.Fatal(err)
-		}
-		if i == b.N-1 {
-			reportMetrics(b, findOutcome(b, outs, "S1"), "pairs", "recognized_fraction", "same_tx_fraction")
-		}
-	}
+	benchOutcome(b, "S1", "pairs", "recognized_fraction", "same_tx_fraction")
 }
 
 // BenchmarkFigure7Sequences regenerates Fig. 7 (consecutive sequences
 // per pool with the censorship comparison).
 func BenchmarkFigure7Sequences(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		outs, err := experiments.ChainExperiments(benchSeed(i), experiments.ScaleSmall)
-		if err != nil {
-			b.Fatal(err)
-		}
-		if i == b.N-1 {
-			reportMetrics(b, findOutcome(b, outs, "F7"), "max_run", "ethermine_max_run")
-		}
-	}
+	benchOutcome(b, "F7", "max_run", "ethermine_max_run")
 }
 
 // BenchmarkSecurityWholeChain regenerates the §III-D long-horizon
 // sequence census.
 func BenchmarkSecurityWholeChain(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		o, err := experiments.WholeChainExperiment(benchSeed(i), experiments.ScaleSmall)
-		if err != nil {
-			b.Fatal(err)
-		}
-		if i == b.N-1 {
-			reportMetrics(b, o, "blocks")
-		}
-	}
+	benchOutcome(b, "S2", "blocks")
 }
 
 // BenchmarkLesson1UncleRule ablates the §V restricted uncle rule.
 func BenchmarkLesson1UncleRule(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		o, err := experiments.Lesson1Experiment(benchSeed(i), experiments.ScaleSmall)
-		if err != nil {
-			b.Fatal(err)
-		}
-		if i == b.N-1 {
-			reportMetrics(b, o, "standard_recognized", "restricted_recognized")
-		}
-	}
+	benchOutcome(b, "L1", "standard_recognized", "restricted_recognized")
 }
 
 // BenchmarkAblationFanout compares dissemination policies (DESIGN.md
 // §5.1).
 func BenchmarkAblationFanout(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		o, err := experiments.AblationFanout(benchSeed(i), experiments.ScaleSmall)
-		if err != nil {
-			b.Fatal(err)
-		}
-		if i == b.N-1 {
-			reportMetrics(b, o, "sqrt-push_receptions", "push-all_receptions")
-		}
-	}
+	benchOutcome(b, "A1", "sqrt-push_receptions", "push-all_receptions")
 }
 
 // BenchmarkAblationGateways compares gateway placements (DESIGN.md
 // §5.2).
 func BenchmarkAblationGateways(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		o, err := experiments.AblationGateways(benchSeed(i), experiments.ScaleSmall)
-		if err != nil {
-			b.Fatal(err)
-		}
-		if i == b.N-1 {
-			reportMetrics(b, o, "paper_EA", "dispersed_EA")
-		}
-	}
+	benchOutcome(b, "A2", "paper_EA", "dispersed_EA")
 }
 
 // BenchmarkWithholdingDetection regenerates the §III-D burst test on
 // honest and attacked chains.
 func BenchmarkWithholdingDetection(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		o, err := experiments.WithholdingExperiment(benchSeed(i), experiments.ScaleSmall)
-		if err != nil {
-			b.Fatal(err)
-		}
-		if i == b.N-1 {
-			reportMetrics(b, o, "honest_flagged", "attacker_flagged")
-		}
-	}
+	benchOutcome(b, "W1", "honest_flagged", "attacker_flagged")
 }
 
 // BenchmarkConstantinopleBombDelay regenerates the §III-C1 bomb-delay
 // ablation (pre- vs post-Constantinople inter-block time).
 func BenchmarkConstantinopleBombDelay(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		o, err := experiments.ConstantinopleExperiment(benchSeed(i), experiments.ScaleSmall)
-		if err != nil {
-			b.Fatal(err)
-		}
-		if i == b.N-1 {
-			reportMetrics(b, o, "bombed_interblock_s", "delayed_interblock_s")
-		}
-	}
+	benchOutcome(b, "C1", "bombed_interblock_s", "delayed_interblock_s")
 }
 
 // BenchmarkEmptyBlockSpread regenerates the §III-C3 spread scenario
 // (commit delay under widespread empty-block mining).
 func BenchmarkEmptyBlockSpread(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		o, err := experiments.EmptyBlockSpreadExperiment(benchSeed(i), experiments.ScaleSmall)
-		if err != nil {
-			b.Fatal(err)
-		}
-		if i == b.N-1 {
-			reportMetrics(b, o, "today_p90_s", "spread_p90_s")
-		}
-	}
+	benchOutcome(b, "E1", "today_p90_s", "spread_p90_s")
 }
 
 // BenchmarkRevenueAccounting regenerates the incentive accounting
 // behind §III-C3 and §III-C5.
 func BenchmarkRevenueAccounting(b *testing.B) {
+	benchOutcome(b, "R1", "one_miner_eth", "empty_fee_fraction")
+}
+
+// BenchmarkCampaignRunner measures the parallel campaign runner
+// end-to-end: the network and redundancy campaigns, two repeats each,
+// fanned across workers.
+func BenchmarkCampaignRunner(b *testing.B) {
+	specs, err := experiments.Select([]string{"network", "T2"})
+	if err != nil {
+		b.Fatal(err)
+	}
 	for i := 0; i < b.N; i++ {
-		o, err := experiments.RevenueExperiment(benchSeed(i), experiments.ScaleSmall)
+		_, err := experiments.Run(specs, experiments.RunnerConfig{
+			Seed:    benchSeed(i),
+			Scale:   experiments.ScaleSmall,
+			Repeats: 2,
+		})
 		if err != nil {
 			b.Fatal(err)
-		}
-		if i == b.N-1 {
-			reportMetrics(b, o, "one_miner_eth", "empty_fee_fraction")
 		}
 	}
 }

@@ -1,0 +1,103 @@
+// Command benchjson converts `go test -bench` output on stdin into a
+// JSON snapshot: one entry per benchmark with its iteration count and
+// every reported metric (ns/op, B/op, custom ReportMetric values).
+// The Makefile's bench-baseline target uses it to (re)generate
+// BENCH_baseline.json, a committed human reference refreshed manually
+// (CI's bench-smoke job only proves every target still executes; it
+// does not compare against the baseline).
+//
+//	go test -bench=. -benchtime=1x -run='^$' . | benchjson > BENCH_baseline.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Entry is one benchmark result.
+type Entry struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+func main() {
+	entries, err := parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	out, err := json.MarshalIndent(entries, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	fmt.Println(string(out))
+}
+
+// stripProcSuffix removes a trailing -<digits> GOMAXPROCS suffix,
+// leaving hyphens inside the benchmark name (sub-benchmarks like
+// /sqrt-push) intact.
+func stripProcSuffix(name string) string {
+	i := strings.LastIndex(name, "-")
+	if i < 0 || i == len(name)-1 {
+		return name
+	}
+	for _, c := range name[i+1:] {
+		if c < '0' || c > '9' {
+			return name
+		}
+	}
+	return name[:i]
+}
+
+// parse extracts benchmark lines ("BenchmarkX-8  1  123 ns/op ...")
+// from mixed `go test` output.
+func parse(r io.Reader) ([]Entry, error) {
+	var entries []Entry
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 || len(fields)%2 != 0 {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		e := Entry{
+			// Strip the -GOMAXPROCS suffix so snapshots diff cleanly
+			// across machines.
+			Name:       stripProcSuffix(fields[0]),
+			Iterations: iters,
+			Metrics:    map[string]float64{},
+		}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			e.Metrics[fields[i+1]] = v
+		}
+		entries = append(entries, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(entries) == 0 {
+		return nil, fmt.Errorf("no benchmark lines found on stdin")
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].Name < entries[j].Name })
+	return entries, nil
+}

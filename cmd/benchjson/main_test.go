@@ -1,0 +1,60 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseBenchOutput(t *testing.T) {
+	in := `goos: linux
+goarch: amd64
+pkg: repro
+BenchmarkFigure1PropagationDelay-8   	       1	 712345678 ns/op	        41.00 median_ms	       390.0 p99_ms
+BenchmarkTable1Infrastructure-8      	       1	      1234 ns/op
+PASS
+ok  	repro	145.2s
+`
+	entries, err := parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 {
+		t.Fatalf("entries: %d", len(entries))
+	}
+	// Sorted by name; GOMAXPROCS suffix stripped.
+	if entries[0].Name != "BenchmarkFigure1PropagationDelay" {
+		t.Fatalf("name: %s", entries[0].Name)
+	}
+	if entries[0].Iterations != 1 {
+		t.Fatalf("iterations: %d", entries[0].Iterations)
+	}
+	if entries[0].Metrics["ns/op"] != 712345678 || entries[0].Metrics["median_ms"] != 41 {
+		t.Fatalf("metrics: %v", entries[0].Metrics)
+	}
+	if entries[1].Name != "BenchmarkTable1Infrastructure" || entries[1].Metrics["ns/op"] != 1234 {
+		t.Fatalf("second entry: %+v", entries[1])
+	}
+}
+
+func TestStripProcSuffix(t *testing.T) {
+	cases := map[string]string{
+		"BenchmarkFoo-8":              "BenchmarkFoo",
+		"BenchmarkFoo-128":            "BenchmarkFoo",
+		"BenchmarkFoo":                "BenchmarkFoo",
+		"BenchmarkFanout/sqrt-push-8": "BenchmarkFanout/sqrt-push",
+		"BenchmarkFanout/sqrt-push":   "BenchmarkFanout/sqrt-push",
+		"BenchmarkTrailingDash-":      "BenchmarkTrailingDash-",
+		"BenchmarkMixedSuffix-8x":     "BenchmarkMixedSuffix-8x",
+	}
+	for in, want := range cases {
+		if got := stripProcSuffix(in); got != want {
+			t.Errorf("%q: got %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestParseRejectsEmptyInput(t *testing.T) {
+	if _, err := parse(strings.NewReader("PASS\nok\n")); err == nil {
+		t.Fatal("no benchmark lines must fail")
+	}
+}

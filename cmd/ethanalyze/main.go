@@ -1,10 +1,13 @@
 // Command ethanalyze post-processes a JSONL dataset produced by
 // ethmeasure and prints the paper's tables and figures — the
-// reproduction of the study's pandas/NumPy analysis phase (§III).
+// reproduction of the study's pandas/NumPy analysis phase (§III). It
+// also reads experiment-campaign run directories written by
+// ethrepro -out and prints their cross-repeat aggregation.
 //
 // Usage:
 //
 //	ethanalyze -in dataset/ [-redundancy-node WE-default]
+//	ethanalyze -run paper_runs/run1
 package main
 
 import (
@@ -14,6 +17,7 @@ import (
 	"path/filepath"
 
 	"repro/internal/analysis"
+	"repro/internal/experiments"
 	"repro/internal/measure"
 )
 
@@ -29,9 +33,13 @@ func run(args []string, w *os.File) error {
 	var (
 		in      = fs.String("in", "dataset", "directory of JSONL logs")
 		redNode = fs.String("redundancy-node", "", "node name for Table II (default: skip)")
+		runDir  = fs.String("run", "", "ethrepro run directory to summarize instead of JSONL logs")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *runDir != "" {
+		return analyzeRun(*runDir, w)
 	}
 	paths, err := filepath.Glob(filepath.Join(*in, "*.jsonl"))
 	if err != nil {
@@ -117,5 +125,25 @@ func run(args []string, w *os.File) error {
 			fmt.Fprintln(w, analysis.RenderCensorship(censor))
 		}
 	}
+	return nil
+}
+
+// analyzeRun summarizes an ethrepro campaign directory: per-run status
+// and the cross-repeat metric aggregation.
+func analyzeRun(dir string, w *os.File) error {
+	report, err := experiments.ReadArtifacts(dir)
+	if err != nil {
+		return err
+	}
+	failed := 0
+	for _, res := range report.Results {
+		if res.Err != nil {
+			failed++
+			fmt.Fprintf(w, "%-8s repeat %d (seed %d): FAILED: %v\n",
+				res.Spec.ID, res.Repeat, res.Seed, res.Err)
+		}
+	}
+	fmt.Fprintf(w, "campaign %s: %d runs, %d failed\n\n", dir, len(report.Results), failed)
+	fmt.Fprint(w, report.RenderSummary())
 	return nil
 }

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/experiments"
 	"repro/internal/measure"
 	"repro/internal/txgen"
 )
@@ -68,6 +69,51 @@ func TestAnalyzeDataset(t *testing.T) {
 		if !strings.Contains(text, want) {
 			t.Fatalf("analysis output missing %q:\n%s", want, text[:min(len(text), 2000)])
 		}
+	}
+}
+
+func TestAnalyzeRunDirectory(t *testing.T) {
+	// Build a campaign run directory like ethrepro -out would (T1 is
+	// static, so this is instant) and summarize it.
+	specs, err := experiments.Select([]string{"T1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := experiments.Run(specs, experiments.RunnerConfig{
+		Seed: 42, Scale: experiments.ScaleSmall, Repeats: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(t.TempDir(), "run")
+	if err := experiments.WriteArtifacts(dir, report); err != nil {
+		t.Fatal(err)
+	}
+
+	out, err := os.CreateTemp(t.TempDir(), "out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer out.Close()
+	if err := run([]string{"-run", dir}, out); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := out.Seek(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 1<<20)
+	n, _ := out.Read(buf)
+	text := string(buf[:n])
+	for _, want := range []string{"2 runs, 0 failed", "Campaign summary", "machines"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("run summary missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestAnalyzeRejectsMissingRunDir(t *testing.T) {
+	if err := run([]string{"-run", filepath.Join(t.TempDir(), "nope")}, os.Stdout); err == nil {
+		t.Fatal("missing run dir must fail")
 	}
 }
 

@@ -1,15 +1,22 @@
-// Command ethrepro regenerates every table and figure of the paper in
-// one run, printing paper-vs-measured for each (the source of
-// EXPERIMENTS.md).
+// Command ethrepro regenerates the paper's tables and figures by
+// running the registered experiments as a parallel campaign: every
+// (experiment, repeat) pair fans across a worker pool, outcomes are
+// aggregated (mean/std across repeats), and CSV/JSON artifacts are
+// written per run directory. Results are byte-identical at any
+// -parallel setting: each run's seed derives only from the base seed,
+// the experiment ID and the repeat index.
 //
 // Usage:
 //
-//	ethrepro [-seed 42] [-scale small|medium|paper] [-only F1,F6,...]
+//	ethrepro [-seed 42] [-scale small|medium|paper] [-only F1,chain,...]
+//	         [-parallel N] [-repeats N] [-out paper_runs/run1] [-list]
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
@@ -18,152 +25,99 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "ethrepro:", err)
 		os.Exit(1)
 	}
 }
 
-func parseScale(s string) (experiments.Scale, error) {
-	switch s {
-	case "small":
-		return experiments.ScaleSmall, nil
-	case "medium":
-		return experiments.ScaleMedium, nil
-	case "paper":
-		return experiments.ScalePaper, nil
-	default:
-		return 0, fmt.Errorf("unknown scale %q (small|medium|paper)", s)
-	}
-}
-
-func run(args []string) error {
+func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("ethrepro", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		seed     = fs.Uint64("seed", 42, "simulation seed")
+		seed     = fs.Uint64("seed", 42, "campaign base seed")
 		scaleStr = fs.String("scale", "small", "experiment scale: small|medium|paper")
-		only     = fs.String("only", "", "comma-separated experiment IDs (default: all)")
+		only     = fs.String("only", "", "comma-separated experiment or outcome IDs (default: all)")
+		parallel = fs.Int("parallel", 0, "concurrent experiments (0 = GOMAXPROCS)")
+		repeats  = fs.Int("repeats", 1, "independent repeats per experiment")
+		outDir   = fs.String("out", "", "run directory for CSV/JSON artifacts (default: none)")
+		list     = fs.Bool("list", false, "list registered experiments and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	scale, err := parseScale(*scaleStr)
+	if *list {
+		fmt.Fprint(stdout, renderRegistry())
+		return nil
+	}
+	scale, err := experiments.ParseScale(*scaleStr)
 	if err != nil {
 		return err
 	}
-	want := map[string]bool{}
+	var ids []string
 	for _, id := range strings.Split(*only, ",") {
 		if id = strings.TrimSpace(id); id != "" {
-			want[strings.ToUpper(id)] = true
+			ids = append(ids, id)
 		}
 	}
-	selected := func(id string) bool { return len(want) == 0 || want[id] }
+	specs, err := experiments.Select(ids)
+	if err != nil {
+		return err
+	}
 
-	fmt.Printf("ethrepro: seed=%d scale=%s\n\n", *seed, scale)
+	// The parallel setting must not appear on stdout: stdout is
+	// byte-identical across -parallel values, which is the campaign's
+	// determinism contract.
+	fmt.Fprintf(stdout, "ethrepro: seed=%d scale=%s repeats=%d specs=%d\n\n",
+		*seed, scale, max(*repeats, 1), len(specs))
+	fmt.Fprintf(stderr, "ethrepro: parallel=%d\n",
+		experiments.EffectiveParallel(*parallel, len(specs), *repeats))
 	start := time.Now()
-	emit := func(o *experiments.Outcome) {
-		fmt.Printf("== %s: %s ==\n%s\n", o.ID, o.Title, o.Rendered)
+	report, runErr := experiments.Run(specs, experiments.RunnerConfig{
+		Seed:     *seed,
+		Scale:    scale,
+		Repeats:  *repeats,
+		Parallel: *parallel,
+		// Progress (completion order, wall-clock) goes to stderr so
+		// stdout stays deterministic across -parallel settings.
+		OnResult: func(r experiments.Result) {
+			status := "ok"
+			if r.Err != nil {
+				status = "FAILED: " + r.Err.Error()
+			}
+			fmt.Fprintf(stderr, "ethrepro: %-8s repeat %d  %8s  %s\n",
+				r.Spec.ID, r.Repeat, r.Elapsed.Round(time.Millisecond), status)
+		},
+	})
+	if report != nil {
+		emitReport(stdout, report)
 	}
+	if *outDir != "" && report != nil {
+		if err := experiments.WriteArtifacts(*outDir, report); err != nil {
+			// Keep the campaign failure visible alongside the write
+			// failure.
+			return errors.Join(runErr, err)
+		}
+		fmt.Fprintf(stdout, "artifacts written to %s\n", *outDir)
+	}
+	fmt.Fprintf(stderr, "ethrepro: done in %s\n", time.Since(start).Round(time.Millisecond))
+	return runErr
+}
 
-	if selected("T1") {
-		emit(experiments.Table1())
+// emitReport prints the rendered outcomes (first repeat, registration
+// order) and the cross-repeat summary.
+func emitReport(w io.Writer, report *experiments.Report) {
+	fmt.Fprint(w, report.RenderOutcomes())
+	if report.Repeats > 1 {
+		fmt.Fprint(w, report.RenderSummary())
 	}
-	if selected("F1") || selected("F2") || selected("F3") {
-		outs, err := experiments.NetworkExperiments(*seed, scale)
-		if err != nil {
-			return fmt.Errorf("network experiments: %w", err)
-		}
-		for _, o := range outs {
-			if selected(o.ID) {
-				emit(o)
-			}
-		}
+}
+
+// renderRegistry prints the experiment registry table (-list).
+func renderRegistry() string {
+	out := fmt.Sprintf("%-10s %-22s %s\n", "id", "produces", "title")
+	for _, s := range experiments.Specs() {
+		out += fmt.Sprintf("%-10s %-22s %s\n", s.ID, strings.Join(s.Produces, ","), s.Title)
 	}
-	if selected("T2") {
-		o, err := experiments.Table2(*seed, scale)
-		if err != nil {
-			return fmt.Errorf("table 2: %w", err)
-		}
-		emit(o)
-	}
-	if selected("F4") || selected("F5") {
-		outs, err := experiments.CommitExperiments(*seed, scale)
-		if err != nil {
-			return fmt.Errorf("commit experiments: %w", err)
-		}
-		for _, o := range outs {
-			if selected(o.ID) {
-				emit(o)
-			}
-		}
-	}
-	if selected("F6") || selected("T3") || selected("S1") || selected("F7") {
-		outs, err := experiments.ChainExperiments(*seed, scale)
-		if err != nil {
-			return fmt.Errorf("chain experiments: %w", err)
-		}
-		for _, o := range outs {
-			if selected(o.ID) {
-				emit(o)
-			}
-		}
-	}
-	if selected("S2") {
-		o, err := experiments.WholeChainExperiment(*seed, scale)
-		if err != nil {
-			return fmt.Errorf("whole-chain experiment: %w", err)
-		}
-		emit(o)
-	}
-	if selected("L1") {
-		o, err := experiments.Lesson1Experiment(*seed, scale)
-		if err != nil {
-			return fmt.Errorf("lesson 1: %w", err)
-		}
-		emit(o)
-	}
-	if selected("W1") {
-		o, err := experiments.WithholdingExperiment(*seed, scale)
-		if err != nil {
-			return fmt.Errorf("withholding: %w", err)
-		}
-		emit(o)
-	}
-	if selected("C1") {
-		o, err := experiments.ConstantinopleExperiment(*seed, scale)
-		if err != nil {
-			return fmt.Errorf("constantinople: %w", err)
-		}
-		emit(o)
-	}
-	if selected("R1") {
-		o, err := experiments.RevenueExperiment(*seed, scale)
-		if err != nil {
-			return fmt.Errorf("revenue: %w", err)
-		}
-		emit(o)
-	}
-	if selected("E1") {
-		o, err := experiments.EmptyBlockSpreadExperiment(*seed, scale)
-		if err != nil {
-			return fmt.Errorf("empty-block scenario: %w", err)
-		}
-		emit(o)
-	}
-	if selected("A1") {
-		o, err := experiments.AblationFanout(*seed, scale)
-		if err != nil {
-			return fmt.Errorf("fanout ablation: %w", err)
-		}
-		emit(o)
-	}
-	if selected("A2") {
-		o, err := experiments.AblationGateways(*seed, scale)
-		if err != nil {
-			return fmt.Errorf("gateway ablation: %w", err)
-		}
-		emit(o)
-	}
-	fmt.Printf("done in %s\n", time.Since(start).Round(time.Millisecond))
-	return nil
+	return out
 }

@@ -1,43 +1,75 @@
 package main
 
 import (
+	"bytes"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
 	"testing"
-
-	"repro/internal/experiments"
 )
 
-func TestParseScale(t *testing.T) {
-	cases := map[string]experiments.Scale{
-		"small":  experiments.ScaleSmall,
-		"medium": experiments.ScaleMedium,
-		"paper":  experiments.ScalePaper,
+func TestListRegistry(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-list"}, &out, io.Discard); err != nil {
+		t.Fatal(err)
 	}
-	for in, want := range cases {
-		got, err := parseScale(in)
-		if err != nil || got != want {
-			t.Errorf("%q: %v, %v", in, got, err)
+	for _, want := range []string{"network", "F1,F2,F3", "chain", "W1"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("registry listing missing %q:\n%s", want, out.String())
 		}
-	}
-	if _, err := parseScale("gigantic"); err == nil {
-		t.Error("unknown scale must fail")
 	}
 }
 
 func TestRunSelectedExperiments(t *testing.T) {
-	// T1 is static and instant; F1-F3 run one small campaign.
-	if err := run([]string{"-scale", "small", "-only", "T1"}); err != nil {
+	// T1 is static and instant.
+	var out bytes.Buffer
+	if err := run([]string{"-scale", "small", "-only", "T1"}, &out, io.Discard); err != nil {
 		t.Fatal(err)
 	}
-	if err := run([]string{"-scale", "small", "-only", "F2", "-seed", "3"}); err != nil {
+	if !strings.Contains(out.String(), "Table I") {
+		t.Fatalf("missing Table I:\n%s", out.String())
+	}
+	if testing.Short() {
+		return
+	}
+	// F2 resolves to the shared network spec and runs one campaign.
+	out.Reset()
+	if err := run([]string{"-scale", "small", "-only", "F2", "-seed", "3"}, &out, io.Discard); err != nil {
 		t.Fatal(err)
+	}
+	for _, want := range []string{"Figure 1", "Figure 2", "Figure 3"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("network spec output missing %q", want)
+		}
+	}
+}
+
+func TestRunWritesArtifacts(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "run1")
+	var out bytes.Buffer
+	if err := run([]string{"-only", "T1", "-repeats", "2", "-out", dir}, &out, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []string{"manifest.json", "outcomes.json", "rendered.txt",
+		filepath.Join("csv", "outcomes.csv"), filepath.Join("csv", "summary.csv")} {
+		if _, err := os.Stat(filepath.Join(dir, f)); err != nil {
+			t.Fatalf("missing artifact %s: %v", f, err)
+		}
+	}
+	if !strings.Contains(out.String(), "Campaign summary") {
+		t.Fatalf("repeats > 1 must print the summary:\n%s", out.String())
 	}
 }
 
 func TestRunRejectsBadInput(t *testing.T) {
-	if err := run([]string{"-scale", "gigantic"}); err == nil {
+	if err := run([]string{"-scale", "gigantic"}, io.Discard, io.Discard); err == nil {
 		t.Fatal("bad scale must fail")
 	}
-	if err := run([]string{"-badflag"}); err == nil {
+	if err := run([]string{"-badflag"}, io.Discard, io.Discard); err == nil {
 		t.Fatal("bad flag must fail")
+	}
+	if err := run([]string{"-only", "NOPE"}, io.Discard, io.Discard); err == nil {
+		t.Fatal("unknown experiment must fail")
 	}
 }

@@ -1,5 +1,6 @@
-// Quickstart: run a small geo-distributed measurement campaign and
-// print the block propagation picture (the paper's Fig. 1 and Fig. 2).
+// Quickstart: run the paper's geo-distribution experiments (Figs. 1-2
+// territory) through the experiment registry and the parallel campaign
+// runner — the same substrate behind cmd/ethrepro.
 //
 //	go run ./examples/quickstart
 package main
@@ -8,8 +9,7 @@ import (
 	"fmt"
 	"log"
 
-	"repro/internal/analysis"
-	"repro/internal/core"
+	"repro/internal/experiments"
 )
 
 func main() {
@@ -19,31 +19,33 @@ func main() {
 }
 
 func run() error {
-	// A campaign = simulated Ethereum network + mining pools + four
-	// instrumented measurement nodes (NA, EA, WE, CE), exactly the
-	// study's setup scaled down.
-	cfg := core.DefaultCampaignConfig(42)
-	cfg.NetworkNodes = 300
-	cfg.Blocks = 200
-
-	fmt.Println("running measurement campaign (300 nodes, 200 blocks)...")
-	result, err := core.RunCampaign(cfg)
+	// Select by outcome ID: "F1" resolves to the shared network
+	// campaign (the paper derives Figs. 1-3 from one month of logs, so
+	// the registry runs it once). Add "T2" for the redundancy table.
+	specs, err := experiments.Select([]string{"F1", "T2"})
 	if err != nil {
 		return err
 	}
-	fmt.Printf("collected %d log records from %d measurement nodes\n\n",
-		len(result.Dataset.Records), len(result.Nodes))
 
-	prop, err := analysis.PropagationDelays(result.Index)
+	const repeats = 2 // repeats feed the mean/std aggregation below
+	workers := experiments.EffectiveParallel(0, len(specs), repeats)
+	fmt.Printf("running %d experiments x%d repeats across %d workers...\n\n",
+		len(specs), repeats, workers)
+	report, err := experiments.Run(specs, experiments.RunnerConfig{
+		Seed:     42,
+		Scale:    experiments.ScaleSmall,
+		Repeats:  repeats,
+		Parallel: workers,
+		OnResult: func(r experiments.Result) {
+			fmt.Printf("  %-8s repeat %d done in %s\n", r.Spec.ID, r.Repeat, r.Elapsed.Round(1e6))
+		},
+	})
 	if err != nil {
 		return err
 	}
-	fmt.Println(analysis.RenderPropagation(prop))
 
-	first, err := analysis.FirstObservations(result.Index)
-	if err != nil {
-		return err
-	}
-	fmt.Println(analysis.RenderFirstObservations(first))
+	fmt.Println()
+	fmt.Print(report.RenderOutcomes())
+	fmt.Print(report.RenderSummary())
 	return nil
 }

@@ -1,0 +1,210 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+)
+
+// Artifact file names inside a run directory (the paper_runs/<stamp>
+// layout: machine-readable CSV/JSON plus the rendered tables).
+const (
+	ManifestFile = "manifest.json"
+	OutcomesJSON = "outcomes.json"
+	RenderedFile = "rendered.txt"
+	CSVDir       = "csv"
+	OutcomesCSV  = "outcomes.csv"
+	SummaryCSV   = "summary.csv"
+)
+
+// runArtifact is the JSON form of one (spec, repeat) result.
+type runArtifact struct {
+	Spec    string     `json:"spec"`
+	Repeat  int        `json:"repeat"`
+	Seed    uint64     `json:"seed"`
+	Error   string     `json:"error,omitempty"`
+	Outcome []*Outcome `json:"outcomes,omitempty"`
+}
+
+// reportArtifact is the JSON form of a whole campaign.
+type reportArtifact struct {
+	Seed      uint64          `json:"seed"`
+	Scale     string          `json:"scale"`
+	Repeats   int             `json:"repeats"`
+	Runs      []runArtifact   `json:"runs"`
+	Summaries []MetricSummary `json:"summaries"`
+}
+
+// WriteArtifacts persists a campaign report under dir:
+//
+//	dir/manifest.json   — seed, scale, repeats, selected specs
+//	dir/outcomes.json   — every run's outcomes and the aggregation
+//	dir/rendered.txt    — the paper-style tables (first repeat)
+//	dir/csv/outcomes.csv — one row per (spec, repeat, outcome, metric)
+//	dir/csv/summary.csv  — cross-repeat mean/std per (outcome, metric)
+//
+// Every file is a pure function of the report, so artifacts are
+// byte-identical however many workers produced the report.
+func WriteArtifacts(dir string, r *Report) error {
+	if err := os.MkdirAll(filepath.Join(dir, CSVDir), 0o755); err != nil {
+		return fmt.Errorf("experiments: create run dir: %w", err)
+	}
+	if err := writeManifest(dir, r); err != nil {
+		return err
+	}
+	if err := writeOutcomesJSON(dir, r); err != nil {
+		return err
+	}
+	if err := writeRendered(dir, r); err != nil {
+		return err
+	}
+	if err := writeOutcomesCSV(dir, r); err != nil {
+		return err
+	}
+	return writeSummaryCSV(dir, r)
+}
+
+func writeJSON(path string, v any) error {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return fmt.Errorf("experiments: marshal %s: %w", filepath.Base(path), err)
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+func writeManifest(dir string, r *Report) error {
+	specIDs := []string{}
+	seen := map[string]bool{}
+	for _, res := range r.Results {
+		if !seen[res.Spec.ID] {
+			seen[res.Spec.ID] = true
+			specIDs = append(specIDs, res.Spec.ID)
+		}
+	}
+	return writeJSON(filepath.Join(dir, ManifestFile), map[string]any{
+		"seed":    r.Seed,
+		"scale":   r.Scale.String(),
+		"repeats": r.Repeats,
+		"specs":   specIDs,
+	})
+}
+
+func writeOutcomesJSON(dir string, r *Report) error {
+	art := reportArtifact{
+		Seed:      r.Seed,
+		Scale:     r.Scale.String(),
+		Repeats:   r.Repeats,
+		Runs:      make([]runArtifact, 0, len(r.Results)),
+		Summaries: r.Summaries,
+	}
+	for _, res := range r.Results {
+		run := runArtifact{
+			Spec:    res.Spec.ID,
+			Repeat:  res.Repeat,
+			Seed:    res.Seed,
+			Outcome: res.Outcomes,
+		}
+		if res.Err != nil {
+			run.Error = res.Err.Error()
+		}
+		art.Runs = append(art.Runs, run)
+	}
+	return writeJSON(filepath.Join(dir, OutcomesJSON), art)
+}
+
+func writeRendered(dir string, r *Report) error {
+	out := r.RenderOutcomes() + r.RenderSummary()
+	return os.WriteFile(filepath.Join(dir, RenderedFile), []byte(out), 0o644)
+}
+
+func writeCSV(path string, rows [][]string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("experiments: create %s: %w", filepath.Base(path), err)
+	}
+	w := csv.NewWriter(f)
+	if err := w.WriteAll(rows); err != nil {
+		f.Close()
+		return fmt.Errorf("experiments: write %s: %w", filepath.Base(path), err)
+	}
+	return f.Close()
+}
+
+func fmtFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+func writeOutcomesCSV(dir string, r *Report) error {
+	rows := [][]string{{"spec", "repeat", "seed", "outcome", "metric", "value"}}
+	for _, res := range r.Results {
+		if res.Err != nil {
+			continue
+		}
+		for _, o := range res.Outcomes {
+			metrics := make([]string, 0, len(o.Metrics))
+			for m := range o.Metrics {
+				metrics = append(metrics, m)
+			}
+			sort.Strings(metrics)
+			for _, m := range metrics {
+				rows = append(rows, []string{
+					res.Spec.ID,
+					strconv.Itoa(res.Repeat),
+					strconv.FormatUint(res.Seed, 10),
+					o.ID, m, fmtFloat(o.Metrics[m]),
+				})
+			}
+		}
+	}
+	return writeCSV(filepath.Join(dir, CSVDir, OutcomesCSV), rows)
+}
+
+func writeSummaryCSV(dir string, r *Report) error {
+	rows := [][]string{{"outcome", "metric", "n", "mean", "std", "min", "max"}}
+	for _, s := range r.Summaries {
+		rows = append(rows, []string{
+			s.OutcomeID, s.Metric, strconv.Itoa(s.N),
+			fmtFloat(s.Mean), fmtFloat(s.StdDev), fmtFloat(s.Min), fmtFloat(s.Max),
+		})
+	}
+	return writeCSV(filepath.Join(dir, CSVDir, SummaryCSV), rows)
+}
+
+// ReadArtifacts loads a run directory written by WriteArtifacts back
+// into a Report (cmd/ethanalyze's campaign mode). Spec fields carry
+// only the recorded ID — the Run function is not reconstructed.
+func ReadArtifacts(dir string) (*Report, error) {
+	data, err := os.ReadFile(filepath.Join(dir, OutcomesJSON))
+	if err != nil {
+		return nil, fmt.Errorf("experiments: read artifacts: %w", err)
+	}
+	var art reportArtifact
+	if err := json.Unmarshal(data, &art); err != nil {
+		return nil, fmt.Errorf("experiments: parse %s: %w", OutcomesJSON, err)
+	}
+	scale, err := ParseScale(art.Scale)
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{
+		Seed:      art.Seed,
+		Scale:     scale,
+		Repeats:   art.Repeats,
+		Summaries: art.Summaries,
+	}
+	for _, run := range art.Runs {
+		res := Result{
+			Spec:     Spec{ID: run.Spec},
+			Repeat:   run.Repeat,
+			Seed:     run.Seed,
+			Outcomes: run.Outcome,
+		}
+		if run.Error != "" {
+			res.Err = fmt.Errorf("%s", run.Error)
+		}
+		rep.Results = append(rep.Results, res)
+	}
+	return rep, nil
+}

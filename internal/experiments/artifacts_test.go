@@ -1,0 +1,132 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func fakeReport(t *testing.T) *Report {
+	t.Helper()
+	specs := []Spec{fakeSpec("X1"), fakeSpec("X2")}
+	rep, err := Run(specs, RunnerConfig{Seed: 11, Scale: ScaleSmall, Repeats: 3, Parallel: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+func TestWriteAndReadArtifacts(t *testing.T) {
+	rep := fakeReport(t)
+	dir := filepath.Join(t.TempDir(), "run")
+	if err := WriteArtifacts(dir, rep); err != nil {
+		t.Fatal(err)
+	}
+
+	back, err := ReadArtifacts(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Seed != rep.Seed || back.Scale != rep.Scale || back.Repeats != rep.Repeats {
+		t.Fatalf("header mismatch: %+v", back)
+	}
+	if !reflect.DeepEqual(back.Summaries, rep.Summaries) {
+		t.Fatalf("summaries round-trip:\n%+v\n%+v", back.Summaries, rep.Summaries)
+	}
+	if len(back.Results) != len(rep.Results) {
+		t.Fatalf("results: %d vs %d", len(back.Results), len(rep.Results))
+	}
+	for i, res := range back.Results {
+		orig := rep.Results[i]
+		if res.Spec.ID != orig.Spec.ID || res.Repeat != orig.Repeat || res.Seed != orig.Seed {
+			t.Fatalf("result %d mismatch: %+v vs %+v", i, res, orig)
+		}
+		if !reflect.DeepEqual(res.Outcomes, orig.Outcomes) {
+			t.Fatalf("outcomes %d diverged", i)
+		}
+	}
+
+	// rendered.txt carries the first repeat's tables plus the summary.
+	rendered, err := os.ReadFile(filepath.Join(dir, RenderedFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"== X1:", "== X2:", "Campaign summary"} {
+		if !strings.Contains(string(rendered), want) {
+			t.Fatalf("rendered.txt missing %q:\n%s", want, rendered)
+		}
+	}
+}
+
+func readCSV(t *testing.T, path string) [][]string {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	rows, err := csv.NewReader(f).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rows
+}
+
+func TestArtifactCSVLayout(t *testing.T) {
+	rep := fakeReport(t)
+	dir := filepath.Join(t.TempDir(), "run")
+	if err := WriteArtifacts(dir, rep); err != nil {
+		t.Fatal(err)
+	}
+
+	outcomes := readCSV(t, filepath.Join(dir, CSVDir, OutcomesCSV))
+	wantHeader := []string{"spec", "repeat", "seed", "outcome", "metric", "value"}
+	if !reflect.DeepEqual(outcomes[0], wantHeader) {
+		t.Fatalf("outcomes header: %v", outcomes[0])
+	}
+	// 2 specs x 3 repeats x 1 metric.
+	if len(outcomes) != 1+6 {
+		t.Fatalf("outcome rows: %d", len(outcomes)-1)
+	}
+
+	summary := readCSV(t, filepath.Join(dir, CSVDir, SummaryCSV))
+	if !reflect.DeepEqual(summary[0], []string{"outcome", "metric", "n", "mean", "std", "min", "max"}) {
+		t.Fatalf("summary header: %v", summary[0])
+	}
+	if len(summary) != 1+2 {
+		t.Fatalf("summary rows: %d", len(summary)-1)
+	}
+}
+
+func TestWriteArtifactsDeterministic(t *testing.T) {
+	rep := fakeReport(t)
+	dirs := []string{filepath.Join(t.TempDir(), "a"), filepath.Join(t.TempDir(), "b")}
+	for _, d := range dirs {
+		if err := WriteArtifacts(d, rep); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, name := range []string{ManifestFile, OutcomesJSON, RenderedFile,
+		filepath.Join(CSVDir, OutcomesCSV), filepath.Join(CSVDir, SummaryCSV)} {
+		a, err := os.ReadFile(filepath.Join(dirs[0], name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := os.ReadFile(filepath.Join(dirs[1], name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(a) != string(b) {
+			t.Fatalf("%s not deterministic", name)
+		}
+	}
+}
+
+func TestReadArtifactsRejectsMissingDir(t *testing.T) {
+	if _, err := ReadArtifacts(filepath.Join(t.TempDir(), "nope")); err == nil {
+		t.Fatal("missing dir must fail")
+	}
+}

@@ -30,6 +30,20 @@ const (
 	ScalePaper
 )
 
+// ParseScale parses a scale name as accepted by the CLIs.
+func ParseScale(s string) (Scale, error) {
+	switch s {
+	case "small":
+		return ScaleSmall, nil
+	case "medium":
+		return ScaleMedium, nil
+	case "paper":
+		return ScalePaper, nil
+	default:
+		return 0, fmt.Errorf("unknown scale %q (small|medium|paper)", s)
+	}
+}
+
 // String names the scale.
 func (s Scale) String() string {
 	switch s {

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"strings"
+	"sync"
 	"testing"
 )
 
@@ -9,31 +10,67 @@ import (
 // reproduction must preserve — at small scale. Absolute values are
 // checked against generous bands; EXPERIMENTS.md records the
 // medium-scale numbers.
+//
+// Experiments are selected from the registry (the same path
+// cmd/ethrepro takes) and campaigns shared by several figures run
+// once, memoized across the tests that assert on them.
+
+// specOutcomes runs the registered spec at seed 42 / ScaleSmall,
+// memoizing per spec ID so figure tests sharing a campaign don't rerun
+// it.
+var specOutcomes = func() func(t *testing.T, specID string) map[string]*Outcome {
+	var mu sync.Mutex
+	type cached struct {
+		m   map[string]*Outcome
+		err error
+	}
+	cache := map[string]*cached{}
+	return func(t *testing.T, specID string) map[string]*Outcome {
+		t.Helper()
+		mu.Lock()
+		defer mu.Unlock()
+		c, ok := cache[specID]
+		if !ok {
+			c = &cached{}
+			cache[specID] = c
+			spec, found := Lookup(specID)
+			if !found {
+				t.Fatalf("spec %s not registered", specID)
+			}
+			var outs []*Outcome
+			outs, c.err = spec.Run(42, ScaleSmall)
+			if c.err == nil {
+				c.m = map[string]*Outcome{}
+				for _, o := range outs {
+					c.m[o.ID] = o
+				}
+			}
+		}
+		if c.err != nil {
+			t.Fatal(c.err)
+		}
+		return c.m
+	}
+}()
 
 func networkOutcomes(t *testing.T) map[string]*Outcome {
 	t.Helper()
-	outs, err := NetworkExperiments(42, ScaleSmall)
-	if err != nil {
-		t.Fatal(err)
-	}
-	m := map[string]*Outcome{}
-	for _, o := range outs {
-		m[o.ID] = o
-	}
-	return m
+	return specOutcomes(t, "network")
 }
 
 func chainOutcomes(t *testing.T) map[string]*Outcome {
 	t.Helper()
-	outs, err := ChainExperiments(42, ScaleSmall)
-	if err != nil {
-		t.Fatal(err)
+	return specOutcomes(t, "chain")
+}
+
+// skipInShort gates the transaction-workload campaigns (tens of
+// seconds each) out of `go test -short` — the CI tier — while keeping
+// them in the full suite.
+func skipInShort(t *testing.T) {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("workload campaign is too slow for -short; run the full suite")
 	}
-	m := map[string]*Outcome{}
-	for _, o := range outs {
-		m[o.ID] = o
-	}
-	return m
 }
 
 func TestFigure1Shape(t *testing.T) {
@@ -87,10 +124,7 @@ func TestFigure3Shape(t *testing.T) {
 }
 
 func TestTable2Shape(t *testing.T) {
-	o, err := Table2(42, ScaleSmall)
-	if err != nil {
-		t.Fatal(err)
-	}
+	o := specOutcomes(t, "T2")["T2"]
 	ann := o.Metrics["announce_mean"]
 	whole := o.Metrics["whole_mean"]
 	combined := o.Metrics["combined_mean"]
@@ -108,19 +142,9 @@ func TestTable2Shape(t *testing.T) {
 }
 
 func TestFigure4And5Shape(t *testing.T) {
-	outs, err := CommitExperiments(42, ScaleSmall)
-	if err != nil {
-		t.Fatal(err)
-	}
-	var f4, f5 *Outcome
-	for _, o := range outs {
-		switch o.ID {
-		case "F4":
-			f4 = o
-		case "F5":
-			f5 = o
-		}
-	}
+	skipInShort(t)
+	m := specOutcomes(t, "commit")
+	f4, f5 := m["F4"], m["F5"]
 	if f4 == nil || f5 == nil {
 		t.Fatal("missing outcomes")
 	}
@@ -234,10 +258,7 @@ func TestFigure7Shape(t *testing.T) {
 }
 
 func TestWholeChainShape(t *testing.T) {
-	o, err := WholeChainExperiment(42, ScaleSmall)
-	if err != nil {
-		t.Fatal(err)
-	}
+	o := specOutcomes(t, "S2")["S2"]
 	if o.Metrics["blocks"] < 90_000 {
 		t.Fatalf("whole-chain run too short: %v", o.Metrics["blocks"])
 	}
@@ -249,10 +270,7 @@ func TestWholeChainShape(t *testing.T) {
 }
 
 func TestLesson1Shape(t *testing.T) {
-	o, err := Lesson1Experiment(42, ScaleSmall)
-	if err != nil {
-		t.Fatal(err)
-	}
+	o := specOutcomes(t, "L1")["L1"]
 	std := o.Metrics["standard_recognized"]
 	res := o.Metrics["restricted_recognized"]
 	if std <= 0 {
@@ -265,10 +283,7 @@ func TestLesson1Shape(t *testing.T) {
 }
 
 func TestAblationFanoutShape(t *testing.T) {
-	o, err := AblationFanout(42, ScaleSmall)
-	if err != nil {
-		t.Fatal(err)
-	}
+	o := specOutcomes(t, "A1")["A1"]
 	// Push-all floods more copies than sqrt-push; announce-only the
 	// fewest direct bodies (it trades redundancy for pull latency).
 	if o.Metrics["push-all_receptions"] <= o.Metrics["sqrt-push_receptions"] {
@@ -282,10 +297,7 @@ func TestAblationFanoutShape(t *testing.T) {
 }
 
 func TestAblationGatewaysShape(t *testing.T) {
-	o, err := AblationGateways(42, ScaleSmall)
-	if err != nil {
-		t.Fatal(err)
-	}
+	o := specOutcomes(t, "A2")["A2"]
 	// Dispersing every pool's gateways erases most of EA's advantage.
 	if o.Metrics["dispersed_EA"] >= o.Metrics["paper_EA"] {
 		t.Fatalf("dispersed EA %v should fall below paper EA %v",
@@ -297,5 +309,19 @@ func TestScaleString(t *testing.T) {
 	if ScaleSmall.String() != "small" || ScaleMedium.String() != "medium" ||
 		ScalePaper.String() != "paper" || Scale(0).String() != "unknown" {
 		t.Fatal("scale names")
+	}
+}
+
+func TestParseScale(t *testing.T) {
+	for name, want := range map[string]Scale{
+		"small": ScaleSmall, "medium": ScaleMedium, "paper": ScalePaper,
+	} {
+		got, err := ParseScale(name)
+		if err != nil || got != want {
+			t.Errorf("%q: %v, %v", name, got, err)
+		}
+	}
+	if _, err := ParseScale("gigantic"); err == nil {
+		t.Error("unknown scale must fail")
 	}
 }

@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegistryCoversEveryOutcome(t *testing.T) {
+	// Every paper artifact the old ad-hoc API produced must remain
+	// reachable through the registry.
+	want := []string{"T1", "F1", "F2", "F3", "T2", "F4", "F5", "F6", "T3",
+		"S1", "F7", "S2", "L1", "W1", "C1", "E1", "R1", "A1", "A2"}
+	seen := map[string]string{}
+	for _, s := range Specs() {
+		if len(s.Produces) == 0 {
+			t.Errorf("spec %s produces nothing", s.ID)
+		}
+		if s.Run == nil {
+			t.Errorf("spec %s has no runner", s.ID)
+		}
+		for _, p := range s.Produces {
+			if prev, dup := seen[p]; dup {
+				t.Errorf("outcome %s claimed by both %s and %s", p, prev, s.ID)
+			}
+			seen[p] = s.ID
+		}
+	}
+	for _, id := range want {
+		if seen[id] == "" {
+			t.Errorf("outcome %s not produced by any spec", id)
+		}
+	}
+}
+
+func TestLookupByOutcomeAndSpecID(t *testing.T) {
+	s, ok := Lookup("f2")
+	if !ok || s.ID != "network" {
+		t.Fatalf("lookup f2: %v %v", s.ID, ok)
+	}
+	s, ok = Lookup("CHAIN")
+	if !ok || s.ID != "chain" {
+		t.Fatalf("lookup CHAIN: %v %v", s.ID, ok)
+	}
+	if _, ok := Lookup("F99"); ok {
+		t.Fatal("unknown outcome must miss")
+	}
+}
+
+func TestSelect(t *testing.T) {
+	all, err := Select(nil)
+	if err != nil || len(all) != len(Specs()) {
+		t.Fatalf("empty selection must return all: %d, %v", len(all), err)
+	}
+	// F1 and F3 share the network campaign: dedup to one spec, and
+	// registration order is preserved.
+	got, err := Select([]string{"F3", "T1", "F1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].ID != "T1" || got[1].ID != "network" {
+		ids := make([]string, len(got))
+		for i, s := range got {
+			ids[i] = s.ID
+		}
+		t.Fatalf("selection: %v", ids)
+	}
+	if _, err := Select([]string{"nope"}); err == nil ||
+		!strings.Contains(err.Error(), "unknown experiment") {
+		t.Fatalf("unknown id must fail with the known list, got %v", err)
+	}
+}
+
+func TestKnownIDs(t *testing.T) {
+	ids := KnownIDs()
+	has := map[string]bool{}
+	for _, id := range ids {
+		if has[id] {
+			t.Fatalf("duplicate id %s", id)
+		}
+		has[id] = true
+	}
+	for _, want := range []string{"network", "chain", "commit", "F1", "T1", "W1"} {
+		if !has[want] {
+			t.Fatalf("KnownIDs missing %s: %v", want, ids)
+		}
+	}
+}

@@ -1,0 +1,259 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fakeSpec returns a spec whose single outcome is a pure function of
+// its seed, so determinism tests can compare across worker counts
+// without running real campaigns.
+func fakeSpec(id string) Spec {
+	return Spec{
+		ID: id, Title: "fake " + id, Produces: []string{id},
+		Run: func(seed uint64, sc Scale) ([]*Outcome, error) {
+			return []*Outcome{{
+				ID:       id,
+				Title:    "fake " + id,
+				Rendered: fmt.Sprintf("%s@%d\n", id, seed),
+				Metrics:  map[string]float64{"seed_mod": float64(seed % 1000)},
+			}}, nil
+		},
+	}
+}
+
+// stripElapsed zeroes the wall-clock fields so reports can be compared
+// structurally.
+func stripElapsed(r *Report) {
+	for i := range r.Results {
+		r.Results[i].Elapsed = 0
+	}
+}
+
+func TestSeedForDerivation(t *testing.T) {
+	if SeedFor(42, "network", 0) != SeedFor(42, "network", 0) {
+		t.Fatal("SeedFor must be deterministic")
+	}
+	seen := map[uint64]string{}
+	for _, spec := range []string{"network", "chain", "T2", "W1"} {
+		for r := 0; r < 5; r++ {
+			for _, base := range []uint64{0, 1, 42} {
+				s := SeedFor(base, spec, r)
+				key := fmt.Sprintf("%s/%d/%d", spec, r, base)
+				if prev, dup := seen[s]; dup {
+					t.Fatalf("seed collision: %s and %s both derive %d", prev, key, s)
+				}
+				seen[s] = key
+			}
+		}
+	}
+}
+
+func TestRunnerDeterministicAcrossParallelism(t *testing.T) {
+	specs := []Spec{fakeSpec("X1"), fakeSpec("X2"), fakeSpec("X3"), fakeSpec("X4")}
+	workerCounts := []int{1, 4, 16}
+	// Serialized (artifact-level) comparison: Spec.Run is a func and
+	// never reflect.DeepEqual, but everything an artifact records must
+	// be byte-identical across worker counts.
+	var serialized []string
+	for _, workers := range workerCounts {
+		rep, err := Run(specs, RunnerConfig{Seed: 7, Scale: ScaleSmall, Repeats: 3, Parallel: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		stripElapsed(rep)
+		data, err := json.Marshal(rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		serialized = append(serialized, string(data))
+	}
+	for i := 1; i < len(serialized); i++ {
+		if serialized[0] != serialized[i] {
+			t.Fatalf("report diverged between parallel=1 and parallel=%d", workerCounts[i])
+		}
+	}
+}
+
+func TestRunnerAggregatesAcrossRepeats(t *testing.T) {
+	spec := fakeSpec("X1")
+	rep, err := Run([]Spec{spec}, RunnerConfig{Seed: 9, Repeats: 4, Parallel: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Summaries) != 1 {
+		t.Fatalf("summaries: %+v", rep.Summaries)
+	}
+	s := rep.Summaries[0]
+	if s.OutcomeID != "X1" || s.Metric != "seed_mod" || s.N != 4 {
+		t.Fatalf("summary: %+v", s)
+	}
+	var want float64
+	for r := 0; r < 4; r++ {
+		want += float64(SeedFor(9, "X1", r) % 1000)
+	}
+	want /= 4
+	if math.Abs(s.Mean-want) > 1e-9 {
+		t.Fatalf("mean %v, want %v", s.Mean, want)
+	}
+	if s.Min > s.Mean || s.Max < s.Mean || s.StdDev < 0 {
+		t.Fatalf("inconsistent summary: %+v", s)
+	}
+}
+
+func TestRunnerStreamsEveryResult(t *testing.T) {
+	specs := []Spec{fakeSpec("X1"), fakeSpec("X2")}
+	var mu sync.Mutex
+	got := map[string]int{}
+	_, err := Run(specs, RunnerConfig{Seed: 1, Repeats: 3, Parallel: 4,
+		OnResult: func(r Result) {
+			mu.Lock()
+			got[r.Spec.ID]++
+			mu.Unlock()
+		}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got["X1"] != 3 || got["X2"] != 3 {
+		t.Fatalf("streamed counts: %v", got)
+	}
+}
+
+func TestRunnerReportsFailuresWithoutAborting(t *testing.T) {
+	bad := Spec{ID: "bad", Produces: []string{"bad"},
+		Run: func(seed uint64, sc Scale) ([]*Outcome, error) {
+			return nil, fmt.Errorf("boom")
+		}}
+	rep, err := Run([]Spec{bad, fakeSpec("X1")}, RunnerConfig{Seed: 1, Repeats: 2, Parallel: 2})
+	if err == nil {
+		t.Fatal("failed runs must surface an error")
+	}
+	if rep == nil {
+		t.Fatal("report must survive failures")
+	}
+	okRuns, failed := 0, 0
+	for _, r := range rep.Results {
+		if r.Err != nil {
+			failed++
+		} else {
+			okRuns++
+		}
+	}
+	if failed != 2 || okRuns != 2 {
+		t.Fatalf("failed=%d ok=%d", failed, okRuns)
+	}
+	// Aggregation covers only the successful runs.
+	if len(rep.Summaries) != 1 || rep.Summaries[0].N != 2 {
+		t.Fatalf("summaries: %+v", rep.Summaries)
+	}
+}
+
+func TestRenderOutcomesFallsBackPastFailedRepeat(t *testing.T) {
+	// A spec whose repeat 0 fails must still render from its first
+	// successful repeat (derived seeds differ per repeat, so a single
+	// repeat can fail alone).
+	flaky := Spec{ID: "flaky", Produces: []string{"flaky"},
+		Run: func(seed uint64, sc Scale) ([]*Outcome, error) {
+			if seed == SeedFor(3, "flaky", 0) {
+				return nil, fmt.Errorf("repeat-0 failure")
+			}
+			return []*Outcome{{ID: "flaky", Title: "flaky", Rendered: "survived\n",
+				Metrics: map[string]float64{"v": 1}}}, nil
+		}}
+	rep, err := Run([]Spec{flaky}, RunnerConfig{Seed: 3, Repeats: 2, Parallel: 1})
+	if err == nil {
+		t.Fatal("repeat-0 failure must surface")
+	}
+	out := rep.RenderOutcomes()
+	if !strings.Contains(out, "survived") {
+		t.Fatalf("first successful repeat not rendered:\n%s", out)
+	}
+	if strings.Count(out, "survived") != 1 {
+		t.Fatalf("spec rendered more than once:\n%s", out)
+	}
+}
+
+func TestEffectiveParallel(t *testing.T) {
+	if got := EffectiveParallel(4, 3, 2); got != 4 {
+		t.Fatalf("explicit request: %d", got)
+	}
+	if got := EffectiveParallel(100, 3, 2); got != 6 {
+		t.Fatalf("clamp to job count: %d", got)
+	}
+	if got := EffectiveParallel(0, 1000, 1); got < 1 {
+		t.Fatalf("default must be positive: %d", got)
+	}
+	if got := EffectiveParallel(8, 2, 0); got != 2 {
+		t.Fatalf("repeats <= 0 means 1: %d", got)
+	}
+}
+
+func TestRunnerRejectsEmptySelection(t *testing.T) {
+	if _, err := Run(nil, RunnerConfig{Seed: 1}); err == nil {
+		t.Fatal("empty spec list must fail")
+	}
+}
+
+func TestRunnerActuallyRunsConcurrently(t *testing.T) {
+	// Four 50 ms specs at parallel=4 must overlap: well under the
+	// 200 ms serial time.
+	var inFlight, peak atomic.Int32
+	slow := func(id string) Spec {
+		return Spec{ID: id, Produces: []string{id},
+			Run: func(seed uint64, sc Scale) ([]*Outcome, error) {
+				cur := inFlight.Add(1)
+				for {
+					p := peak.Load()
+					if cur <= p || peak.CompareAndSwap(p, cur) {
+						break
+					}
+				}
+				time.Sleep(50 * time.Millisecond)
+				inFlight.Add(-1)
+				return []*Outcome{{ID: id, Metrics: map[string]float64{"v": 1}}}, nil
+			}}
+	}
+	specs := []Spec{slow("S1x"), slow("S2x"), slow("S3x"), slow("S4x")}
+	if _, err := Run(specs, RunnerConfig{Seed: 1, Parallel: 4}); err != nil {
+		t.Fatal(err)
+	}
+	// Peak in-flight count proves overlap without a wall-clock bound
+	// (which would flake on loaded CI runners).
+	if peak.Load() < 2 {
+		t.Fatalf("peak concurrency %d", peak.Load())
+	}
+}
+
+// TestRealSpecByteIdenticalAcrossParallelism runs a real (cheap)
+// campaign spec at two worker counts and requires identical artifacts
+// — the acceptance bar for cmd/ethrepro -parallel.
+func TestRealSpecByteIdenticalAcrossParallelism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real campaigns are too slow for -short")
+	}
+	specs, err := Select([]string{"network", "T2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(workers int) string {
+		rep, err := Run(specs, RunnerConfig{Seed: 42, Scale: ScaleSmall, Repeats: 2, Parallel: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		stripElapsed(rep)
+		data, err := json.Marshal(rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(data)
+	}
+	if run(1) != run(4) {
+		t.Fatal("real campaign diverged between parallel=1 and parallel=4")
+	}
+}

@@ -6,10 +6,7 @@ import (
 )
 
 func TestWithholdingExperimentShape(t *testing.T) {
-	o, err := WithholdingExperiment(42, ScaleSmall)
-	if err != nil {
-		t.Fatal(err)
-	}
+	o := specOutcomes(t, "W1")["W1"]
 	// The paper's argument requires both directions: honest sequences
 	// pass the burst test, a real withholder fails it.
 	if o.Metrics["honest_flagged"] != 0 {
@@ -27,10 +24,7 @@ func TestWithholdingExperimentShape(t *testing.T) {
 }
 
 func TestConstantinopleExperimentShape(t *testing.T) {
-	o, err := ConstantinopleExperiment(42, ScaleSmall)
-	if err != nil {
-		t.Fatal(err)
-	}
+	o := specOutcomes(t, "C1")["C1"]
 	bombed := o.Metrics["bombed_interblock_s"]
 	delayed := o.Metrics["delayed_interblock_s"]
 	// The delayed regime sits at the 13.3 s equilibrium; the live
@@ -45,10 +39,8 @@ func TestConstantinopleExperimentShape(t *testing.T) {
 }
 
 func TestEmptyBlockSpreadShape(t *testing.T) {
-	o, err := EmptyBlockSpreadExperiment(42, ScaleSmall)
-	if err != nil {
-		t.Fatal(err)
-	}
+	skipInShort(t) // two workload campaigns, ~1 min
+	o := specOutcomes(t, "E1")["E1"]
 	// Widespread empty mining must lengthen the inclusion tail.
 	if o.Metrics["spread_p90_s"] <= o.Metrics["today_p90_s"] {
 		t.Fatalf("spread p90 %v should exceed today's %v",
@@ -60,10 +52,7 @@ func TestEmptyBlockSpreadShape(t *testing.T) {
 }
 
 func TestRevenueExperimentShape(t *testing.T) {
-	o, err := RevenueExperiment(42, ScaleSmall)
-	if err != nil {
-		t.Fatal(err)
-	}
+	o := specOutcomes(t, "R1")["R1"]
 	if o.Metrics["one_miner_eth"] <= 0 {
 		t.Fatal("one-miner uncle income must be positive under the standard rule")
 	}

@@ -1,0 +1,54 @@
+package stats
+
+import "math"
+
+// Accumulator computes running mean, variance and extrema over a
+// stream of samples without retaining them (Welford's algorithm). It
+// backs the experiment runner's cross-repeat aggregation, where
+// outcomes arrive one at a time from concurrent workers.
+//
+// The zero value is ready to use.
+type Accumulator struct {
+	n        int
+	mean, m2 float64
+	min, max float64
+}
+
+// Add folds one sample into the accumulator.
+func (a *Accumulator) Add(x float64) {
+	a.n++
+	if a.n == 1 {
+		a.min, a.max = x, x
+	} else {
+		if x < a.min {
+			a.min = x
+		}
+		if x > a.max {
+			a.max = x
+		}
+	}
+	d := x - a.mean
+	a.mean += d / float64(a.n)
+	a.m2 += d * (x - a.mean)
+}
+
+// N returns the number of samples added.
+func (a *Accumulator) N() int { return a.n }
+
+// Mean returns the running arithmetic mean (0 with no samples).
+func (a *Accumulator) Mean() float64 { return a.mean }
+
+// StdDev returns the sample standard deviation (n-1 denominator,
+// matching Summarize); 0 with fewer than two samples.
+func (a *Accumulator) StdDev() float64 {
+	if a.n < 2 {
+		return 0
+	}
+	return math.Sqrt(a.m2 / float64(a.n-1))
+}
+
+// Min returns the smallest sample (0 with no samples).
+func (a *Accumulator) Min() float64 { return a.min }
+
+// Max returns the largest sample (0 with no samples).
+func (a *Accumulator) Max() float64 { return a.max }

@@ -1,0 +1,42 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAccumulatorMatchesSummarize(t *testing.T) {
+	xs := []float64{3, 1, 4, 1, 5, 9, 2, 6, 5, 3.5}
+	var acc Accumulator
+	for _, x := range xs {
+		acc.Add(x)
+	}
+	want, err := Summarize(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc.N() != want.Count {
+		t.Fatalf("n: %d vs %d", acc.N(), want.Count)
+	}
+	if math.Abs(acc.Mean()-want.Mean) > 1e-12 {
+		t.Fatalf("mean: %v vs %v", acc.Mean(), want.Mean)
+	}
+	if math.Abs(acc.StdDev()-want.StdDev) > 1e-12 {
+		t.Fatalf("std: %v vs %v", acc.StdDev(), want.StdDev)
+	}
+	if acc.Min() != want.Min || acc.Max() != want.Max {
+		t.Fatalf("extrema: [%v, %v] vs [%v, %v]", acc.Min(), acc.Max(), want.Min, want.Max)
+	}
+}
+
+func TestAccumulatorEdgeCases(t *testing.T) {
+	var empty Accumulator
+	if empty.N() != 0 || empty.Mean() != 0 || empty.StdDev() != 0 {
+		t.Fatal("zero value must report zeros")
+	}
+	var one Accumulator
+	one.Add(-2.5)
+	if one.Mean() != -2.5 || one.StdDev() != 0 || one.Min() != -2.5 || one.Max() != -2.5 {
+		t.Fatalf("single sample: %+v", one)
+	}
+}
