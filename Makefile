@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test test-full race bench bench-smoke bench-baseline fmt fmt-check vet
+.PHONY: build test test-full race bench bench-smoke bench-baseline fmt fmt-check vet examples validate-scenarios
 
 build:
 	$(GO) build ./...
@@ -33,6 +33,23 @@ bench-baseline:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' . > "$$tmp"; \
 	$(GO) run ./cmd/benchjson < "$$tmp" > BENCH_baseline.json; \
 	echo "wrote BENCH_baseline.json"
+
+# Build and execute every example program, downscaled (-short): each
+# is a documented entry point, so CI proves they all still run.
+examples:
+	@set -e; for d in examples/*/; do \
+		[ -f "$$d/main.go" ] || continue; \
+		echo "== go run ./$$d -short"; \
+		$(GO) run "./$$d" -short; \
+	done
+
+# Parse, validate and compile every shipped scenario file (sweep
+# expansion included) without running the campaigns.
+validate-scenarios:
+	@set -e; for f in examples/scenarios/*.json; do \
+		echo "== validate $$f"; \
+		$(GO) run ./cmd/ethrepro -scenario "$$f" -list >/dev/null; \
+	done
 
 fmt:
 	gofmt -w .

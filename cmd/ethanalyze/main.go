@@ -11,6 +11,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -19,6 +20,7 @@ import (
 	"repro/internal/analysis"
 	"repro/internal/experiments"
 	"repro/internal/measure"
+	"repro/internal/scenario"
 )
 
 func main() {
@@ -129,11 +131,38 @@ func run(args []string, w *os.File) error {
 }
 
 // analyzeRun summarizes an ethrepro campaign directory: per-run status
-// and the cross-repeat metric aggregation.
+// and the cross-repeat metric aggregation. Scenario campaigns embed
+// their resolved scenarios; those runs are labeled by variant.
 func analyzeRun(dir string, w *os.File) error {
 	report, err := experiments.ReadArtifacts(dir)
 	if err != nil {
 		return err
+	}
+	sets, err := scenario.ReadArtifact(dir)
+	switch {
+	case errors.Is(err, os.ErrNotExist):
+		// Built-in campaign; nothing to label.
+	case err != nil:
+		return err
+	default:
+		// A partial -only run records the full scenario but executes a
+		// subset of its variants; flag the ones without results.
+		ran := map[string]bool{}
+		for _, res := range report.Results {
+			ran[res.Spec.ID] = true
+		}
+		for _, set := range sets {
+			fmt.Fprintf(w, "scenario %s (%s mode, %d variant(s))\n",
+				set.Base.Name, set.Base.RunMode(), len(set.Variants))
+			for _, v := range set.Variants {
+				note := ""
+				if !ran[v.ID()] {
+					note = "  (not run)"
+				}
+				fmt.Fprintf(w, "  %s%s\n", v.ID(), note)
+			}
+		}
+		fmt.Fprintln(w)
 	}
 	failed := 0
 	for _, res := range report.Results {

@@ -6,10 +6,19 @@
 // -parallel setting: each run's seed derives only from the base seed,
 // the experiment ID and the repeat index.
 //
+// Declarative scenario files (see EXPERIMENTS.md and
+// examples/scenarios/) compile into additional registry specs at
+// startup: -scenario loads one or more files, expands their parameter
+// sweeps into variants, and registers each variant alongside the
+// built-ins, so -list, -only, -repeats and -out all apply to them.
+// Run directories for scenario campaigns embed the resolved scenario
+// (scenario.json) for replay.
+//
 // Usage:
 //
 //	ethrepro [-seed 42] [-scale small|medium|paper] [-only F1,chain,...]
-//	         [-parallel N] [-repeats N] [-out paper_runs/run1] [-list]
+//	         [-parallel N] [-repeats N] [-out paper_runs/run1]
+//	         [-scenario file.json,...] [-list]
 package main
 
 import (
@@ -18,10 +27,12 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/scenario"
 )
 
 func main() {
@@ -41,13 +52,18 @@ func run(args []string, stdout, stderr io.Writer) error {
 		parallel = fs.Int("parallel", 0, "concurrent experiments (0 = GOMAXPROCS)")
 		repeats  = fs.Int("repeats", 1, "independent repeats per experiment")
 		outDir   = fs.String("out", "", "run directory for CSV/JSON artifacts (default: none)")
+		scenFlag = fs.String("scenario", "", "comma-separated scenario files to compile into the registry")
 		list     = fs.Bool("list", false, "list registered experiments and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	sets, all, err := loadScenarios(*scenFlag)
+	if err != nil {
+		return err
+	}
 	if *list {
-		fmt.Fprint(stdout, renderRegistry())
+		fmt.Fprint(stdout, renderRegistry(all))
 		return nil
 	}
 	scale, err := experiments.ParseScale(*scaleStr)
@@ -60,9 +76,37 @@ func run(args []string, stdout, stderr io.Writer) error {
 			ids = append(ids, id)
 		}
 	}
-	specs, err := experiments.Select(ids)
+	// -scenario without -only runs the scenario's variants, not the
+	// whole registry: that is what pointing the tool at a file means.
+	if len(ids) == 0 && len(sets) > 0 {
+		for _, set := range sets {
+			for _, v := range set.Variants {
+				ids = append(ids, v.ID())
+			}
+		}
+	}
+	specs, err := experiments.SelectIn(all, ids)
 	if err != nil {
 		return err
+	}
+	// Scenario side effects (the repeats suggestion and the embedded
+	// scenario.json) apply only to scenarios whose variants actually
+	// run — -only may have excluded them.
+	sets = activeSets(sets, specs)
+	// A scenario's suggested repeat count applies unless -repeats was
+	// given explicitly.
+	repeatsSet := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "repeats" {
+			repeatsSet = true
+		}
+	})
+	if !repeatsSet {
+		for _, set := range sets {
+			if set.Base.Repeats > *repeats {
+				*repeats = set.Base.Repeats
+			}
+		}
 	}
 
 	// The parallel setting must not appear on stdout: stdout is
@@ -98,6 +142,19 @@ func run(args []string, stdout, stderr io.Writer) error {
 			// failure.
 			return errors.Join(runErr, err)
 		}
+		if len(sets) > 0 {
+			// Embed the resolved scenarios so the run directory is
+			// replayable without the original files.
+			if err := scenario.WriteArtifact(*outDir, sets); err != nil {
+				return errors.Join(runErr, err)
+			}
+		} else {
+			// A reused run directory must not keep a stale scenario
+			// embedding from an earlier campaign.
+			if err := os.Remove(filepath.Join(*outDir, scenario.ArtifactFile)); err != nil && !errors.Is(err, os.ErrNotExist) {
+				return errors.Join(runErr, err)
+			}
+		}
 		fmt.Fprintf(stdout, "artifacts written to %s\n", *outDir)
 	}
 	fmt.Fprintf(stderr, "ethrepro: done in %s\n", time.Since(start).Round(time.Millisecond))
@@ -113,10 +170,57 @@ func emitReport(w io.Writer, report *experiments.Report) {
 	}
 }
 
-// renderRegistry prints the experiment registry table (-list).
-func renderRegistry() string {
+// loadScenarios parses and compiles every scenario file named by the
+// comma-separated flag value, merging the variants with the built-in
+// registry under Register's collision rules (without mutating it, so
+// run stays re-entrant).
+func loadScenarios(flagValue string) ([]*scenario.Set, []experiments.Spec, error) {
+	all := experiments.Specs()
+	var sets []*scenario.Set
+	for _, path := range strings.Split(flagValue, ",") {
+		if path = strings.TrimSpace(path); path == "" {
+			continue
+		}
+		set, err := scenario.Load(path)
+		if err != nil {
+			return nil, nil, err
+		}
+		specs, err := set.Compile()
+		if err != nil {
+			return nil, nil, fmt.Errorf("%s: %w", path, err)
+		}
+		if all, err = experiments.Merge(all, specs...); err != nil {
+			return nil, nil, fmt.Errorf("%s: %w", path, err)
+		}
+		sets = append(sets, set)
+	}
+	return sets, all, nil
+}
+
+// activeSets filters scenario sets down to those with at least one
+// variant among the selected specs.
+func activeSets(sets []*scenario.Set, specs []experiments.Spec) []*scenario.Set {
+	selected := make(map[string]bool, len(specs))
+	for _, sp := range specs {
+		selected[sp.ID] = true
+	}
+	var out []*scenario.Set
+	for _, set := range sets {
+		for _, v := range set.Variants {
+			if selected[v.ID()] {
+				out = append(out, set)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// renderRegistry prints the experiment registry table (-list),
+// including any compiled scenario variants.
+func renderRegistry(specs []experiments.Spec) string {
 	out := fmt.Sprintf("%-10s %-22s %s\n", "id", "produces", "title")
-	for _, s := range experiments.Specs() {
+	for _, s := range specs {
 		out += fmt.Sprintf("%-10s %-22s %s\n", s.ID, strings.Join(s.Produces, ","), s.Title)
 	}
 	return out

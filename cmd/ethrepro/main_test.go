@@ -73,3 +73,100 @@ func TestRunRejectsBadInput(t *testing.T) {
 		t.Fatal("unknown experiment must fail")
 	}
 }
+
+// writeScenario drops a scenario document into a temp file.
+func writeScenario(t *testing.T, name, doc string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name+".json")
+	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestScenarioListAndRun(t *testing.T) {
+	path := writeScenario(t, "cli-sweep", `{
+	  "name": "cli-sweep",
+	  "mode": "chain",
+	  "chain": {"blocks": 200, "inter_block_ms": 13300},
+	  "outputs": ["forks"],
+	  "repeats": 2,
+	  "sweep": {"axes": [{"field": "chain.inter_block_ms", "values": [9000, 13300]}]}
+	}`)
+
+	// -list shows the compiled variants alongside the built-ins.
+	var out bytes.Buffer
+	if err := run([]string{"-scenario", path, "-list"}, &out, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"network", "cli-sweep@inter_block_ms=9000", "cli-sweep@inter_block_ms=13300"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("scenario listing missing %q:\n%s", want, out.String())
+		}
+	}
+
+	// -scenario without -only runs only the variants; the scenario's
+	// repeats suggestion applies; the run dir embeds the scenario.
+	dir := filepath.Join(t.TempDir(), "run")
+	out.Reset()
+	if err := run([]string{"-scenario", path, "-scale", "small", "-out", dir}, &out, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "specs=2") {
+		t.Fatalf("expected only the 2 variants selected:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "repeats=2") {
+		t.Fatalf("scenario repeats suggestion not applied:\n%s", out.String())
+	}
+	if _, err := os.Stat(filepath.Join(dir, "scenario.json")); err != nil {
+		t.Fatalf("run dir missing scenario artifact: %v", err)
+	}
+
+	// Reusing the run directory without -scenario must not leave the
+	// stale embedding behind to mislabel the new campaign.
+	out.Reset()
+	if err := run([]string{"-only", "T1", "-out", dir}, &out, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "scenario.json")); err == nil {
+		t.Fatal("stale scenario.json survived a non-scenario rerun")
+	}
+}
+
+// TestScenarioExcludedByOnly: when -only selects no scenario variant,
+// the scenario must leave no trace on the run — no repeats suggestion,
+// no embedded scenario.json.
+func TestScenarioExcludedByOnly(t *testing.T) {
+	path := writeScenario(t, "excluded", `{
+	  "name": "excluded",
+	  "mode": "chain",
+	  "chain": {"blocks": 100},
+	  "repeats": 3
+	}`)
+	dir := filepath.Join(t.TempDir(), "run")
+	var out bytes.Buffer
+	if err := run([]string{"-scenario", path, "-only", "T1", "-out", dir}, &out, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "repeats=1") {
+		t.Fatalf("excluded scenario's repeats suggestion applied:\n%s", out.String())
+	}
+	if _, err := os.Stat(filepath.Join(dir, "scenario.json")); err == nil {
+		t.Fatal("run dir embeds a scenario that did not run")
+	}
+}
+
+func TestScenarioRejectsBadFile(t *testing.T) {
+	if err := run([]string{"-scenario", "no-such-file.json", "-list"}, io.Discard, io.Discard); err == nil {
+		t.Fatal("missing scenario file must fail")
+	}
+	path := writeScenario(t, "bad", `{"name": "bad", "mode": "chain", "chain": {"blocks": 0}}`)
+	if err := run([]string{"-scenario", path, "-list"}, io.Discard, io.Discard); err == nil {
+		t.Fatal("invalid scenario must fail")
+	}
+	// A scenario name colliding with a built-in spec is rejected.
+	path = writeScenario(t, "collide", `{"name": "network", "mode": "chain", "chain": {"blocks": 10}}`)
+	if err := run([]string{"-scenario", path, "-list"}, io.Discard, io.Discard); err == nil {
+		t.Fatal("registry collision must fail")
+	}
+}

@@ -3,10 +3,11 @@
 // re-load them from disk and run the analysis pipeline on the files
 // alone, the way a third party would reuse the published dataset.
 //
-//	go run ./examples/dataset
+//	go run ./examples/dataset [-short]
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 	"os"
@@ -17,7 +18,11 @@ import (
 	"repro/internal/measure"
 )
 
+// short downsizes the campaign for CI smoke runs (make examples).
+var short = flag.Bool("short", false, "run a downscaled demo")
+
 func main() {
+	flag.Parse()
 	if err := run(); err != nil {
 		log.Fatal(err)
 	}
@@ -34,6 +39,10 @@ func run() error {
 	cfg := core.DefaultCampaignConfig(5)
 	cfg.NetworkNodes = 250
 	cfg.Blocks = 150
+	if *short {
+		cfg.NetworkNodes = 100
+		cfg.Blocks = 50
+	}
 	result, err := core.RunCampaign(cfg)
 	if err != nil {
 		return err

@@ -3,10 +3,11 @@
 // observed versus theoretically expected, and what that means for the
 // 12-block confirmation rule.
 //
-//	go run ./examples/finality
+//	go run ./examples/finality [-short]
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
@@ -15,7 +16,11 @@ import (
 	"repro/internal/stats"
 )
 
+// short downsizes the run for CI smoke runs (make examples).
+var short = flag.Bool("short", false, "run a downscaled demo")
+
 func main() {
+	flag.Parse()
 	if err := run(); err != nil {
 		log.Fatal(err)
 	}
@@ -24,7 +29,10 @@ func main() {
 func run() error {
 	// One paper-month of blocks, chain-level only (no network needed
 	// for sequence statistics).
-	const blocks = 201_086
+	blocks := uint64(201_086)
+	if *short {
+		blocks = 20_000
+	}
 	fmt.Printf("simulating one month of mining (%d blocks)...\n\n", blocks)
 	res, err := core.RunChainOnly(123, blocks, nil)
 	if err != nil {

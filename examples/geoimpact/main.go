@@ -2,10 +2,11 @@
 // and demonstrate its cause by re-running the same campaign with every
 // pool's gateways dispersed across all regions.
 //
-//	go run ./examples/geoimpact
+//	go run ./examples/geoimpact [-short]
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
@@ -14,7 +15,11 @@ import (
 	"repro/internal/geo"
 )
 
+// short downsizes both campaigns for CI smoke runs (make examples).
+var short = flag.Bool("short", false, "run a downscaled demo")
+
 func main() {
+	flag.Parse()
 	if err := run(); err != nil {
 		log.Fatal(err)
 	}
@@ -24,6 +29,10 @@ func campaign(disperse bool) (*core.CampaignResult, error) {
 	cfg := core.DefaultCampaignConfig(7)
 	cfg.NetworkNodes = 300
 	cfg.Blocks = 250
+	if *short {
+		cfg.NetworkNodes = 120
+		cfg.Blocks = 80
+	}
 	if disperse {
 		everywhere := geo.Regions()
 		for i := range cfg.Mining.Pools {

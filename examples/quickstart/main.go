@@ -2,17 +2,22 @@
 // territory) through the experiment registry and the parallel campaign
 // runner — the same substrate behind cmd/ethrepro.
 //
-//	go run ./examples/quickstart
+//	go run ./examples/quickstart [-short]
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
 	"repro/internal/experiments"
 )
 
+// short downsizes the campaign for CI smoke runs (make examples).
+var short = flag.Bool("short", false, "run a downscaled demo")
+
 func main() {
+	flag.Parse()
 	if err := run(); err != nil {
 		log.Fatal(err)
 	}
@@ -27,7 +32,10 @@ func run() error {
 		return err
 	}
 
-	const repeats = 2 // repeats feed the mean/std aggregation below
+	repeats := 2 // repeats feed the mean/std aggregation below
+	if *short {
+		repeats = 1
+	}
 	workers := experiments.EffectiveParallel(0, len(specs), repeats)
 	fmt.Printf("running %d experiments x%d repeats across %d workers...\n\n",
 		len(specs), repeats, workers)

@@ -4,10 +4,11 @@
 // uncles whose miner already owns the main block at that height) and
 // show it removes the one-miner reward.
 //
-//	go run ./examples/selfish
+//	go run ./examples/selfish [-short]
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
@@ -16,7 +17,11 @@ import (
 	"repro/internal/mining"
 )
 
+// short downsizes both runs for CI smoke runs (make examples).
+var short = flag.Bool("short", false, "run a downscaled demo")
+
 func main() {
+	flag.Parse()
 	if err := run(); err != nil {
 		log.Fatal(err)
 	}
@@ -27,13 +32,17 @@ func analyze(restrict bool) error {
 	if restrict {
 		label = "restricted uncle rule (paper §V)"
 	}
-	res, err := core.RunChainOnly(99, 40_000, func(c *mining.Config) {
+	blocks := uint64(40_000)
+	if *short {
+		blocks = 10_000
+	}
+	res, err := core.RunChainOnly(99, blocks, func(c *mining.Config) {
 		c.Uncles.RestrictOneMinerUncles = restrict
 	})
 	if err != nil {
 		return err
 	}
-	fmt.Printf("=== %s (40,000 blocks) ===\n", label)
+	fmt.Printf("=== %s (%d blocks) ===\n", label, blocks)
 
 	empty, err := analysis.EmptyBlocks(res.View)
 	if err != nil {

@@ -34,6 +34,21 @@ type WithholdingVerdict struct {
 	Flagged bool
 }
 
+// Calibrated detector settings, shared by the registry's W1 spec and
+// scenario-file withholding outputs. Runs of >= 4 with a 0.04 ratio
+// keep the burst test's false-positive rate at zero while trivially
+// catching real releases: honest same-miner runs bottom out near
+// ratio 0.06 (quick follow-ups during blind windows), whereas a burst
+// release has zero intra-run gaps.
+const (
+	// DefaultWithholdingMinRun is the minimum same-miner run length
+	// the detector examines.
+	DefaultWithholdingMinRun = 4
+	// DefaultWithholdingBurstRatio is the flagging threshold on
+	// MeanIntraGap / GlobalMeanGap.
+	DefaultWithholdingBurstRatio = 0.04
+)
+
 // WithholdingResult aggregates all examined runs.
 type WithholdingResult struct {
 	Verdicts []WithholdingVerdict

@@ -119,6 +119,44 @@ func init() {
 	})
 }
 
+// Register adds a spec compiled at runtime (scenario files) to the
+// registry, alongside the built-in paper specs. Unlike init-time
+// registration it reports collisions as errors: scenario names come
+// from user files, not code. Both the spec ID and every produced
+// outcome ID must be new — an outcome collision would make Lookup
+// ambiguous. Callers that must stay re-entrant (CLI test harnesses)
+// should compose with Merge instead of mutating the registry.
+func Register(s Spec) error {
+	merged, err := Merge(registry, s)
+	if err != nil {
+		return err
+	}
+	registry = merged
+	return nil
+}
+
+// Merge appends runtime specs to a base list under the same collision
+// rules as Register, without touching the global registry.
+func Merge(base []Spec, extra ...Spec) ([]Spec, error) {
+	out := make([]Spec, len(base), len(base)+len(extra))
+	copy(out, base)
+	for _, s := range extra {
+		if s.ID == "" {
+			return nil, fmt.Errorf("experiments: spec needs an ID")
+		}
+		if s.Run == nil {
+			return nil, fmt.Errorf("experiments: spec %s needs a Run function", s.ID)
+		}
+		for _, id := range append([]string{s.ID}, s.Produces...) {
+			if _, taken := LookupIn(out, id); taken {
+				return nil, fmt.Errorf("experiments: %q already registered", id)
+			}
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
 // Specs returns every registered spec in registration order.
 func Specs() []Spec {
 	out := make([]Spec, len(registry))
@@ -126,11 +164,17 @@ func Specs() []Spec {
 	return out
 }
 
-// Lookup finds a spec by its ID or by an outcome ID it produces
-// (case-insensitive), so callers can ask for "F1" and get the shared
-// network campaign.
+// Lookup finds a registered spec by its ID or by an outcome ID it
+// produces (case-insensitive), so callers can ask for "F1" and get
+// the shared network campaign.
 func Lookup(id string) (Spec, bool) {
-	for _, s := range registry {
+	return LookupIn(registry, id)
+}
+
+// LookupIn is Lookup over an explicit spec list (registry built-ins
+// merged with runtime-compiled scenario specs).
+func LookupIn(specs []Spec, id string) (Spec, bool) {
+	for _, s := range specs {
 		if strings.EqualFold(s.ID, id) {
 			return s, true
 		}
@@ -143,24 +187,30 @@ func Lookup(id string) (Spec, bool) {
 	return Spec{}, false
 }
 
-// Select resolves a list of spec or outcome IDs to the matching specs,
-// deduplicated, in registration order. An empty list selects every
-// spec. Unknown IDs are an error listing the valid names.
+// Select resolves a list of spec or outcome IDs against the registry.
 func Select(ids []string) ([]Spec, error) {
+	return SelectIn(Specs(), ids)
+}
+
+// SelectIn resolves a list of spec or outcome IDs to the matching
+// specs from the given list, deduplicated, in list order. An empty
+// list of IDs selects every spec. Unknown IDs are an error listing
+// the valid names.
+func SelectIn(specs []Spec, ids []string) ([]Spec, error) {
 	if len(ids) == 0 {
-		return Specs(), nil
+		return specs, nil
 	}
-	want := make(map[string]bool, len(registry))
+	want := make(map[string]bool, len(specs))
 	for _, id := range ids {
-		s, ok := Lookup(strings.TrimSpace(id))
+		s, ok := LookupIn(specs, strings.TrimSpace(id))
 		if !ok {
 			return nil, fmt.Errorf("experiments: unknown experiment %q (known: %s)",
-				id, strings.Join(KnownIDs(), ", "))
+				id, strings.Join(knownIDsIn(specs), ", "))
 		}
 		want[s.ID] = true
 	}
 	var out []Spec
-	for _, s := range registry {
+	for _, s := range specs {
 		if want[s.ID] {
 			out = append(out, s)
 		}
@@ -168,12 +218,16 @@ func Select(ids []string) ([]Spec, error) {
 	return out, nil
 }
 
-// KnownIDs returns every selectable name: spec IDs plus the outcome
-// IDs they produce, sorted.
+// KnownIDs returns every selectable registry name: spec IDs plus the
+// outcome IDs they produce, sorted.
 func KnownIDs() []string {
+	return knownIDsIn(registry)
+}
+
+func knownIDsIn(specs []Spec) []string {
 	seen := map[string]bool{}
 	var ids []string
-	for _, s := range registry {
+	for _, s := range specs {
 		for _, id := range append([]string{s.ID}, s.Produces...) {
 			if !seen[id] {
 				seen[id] = true

@@ -8,7 +8,6 @@ import (
 	"repro/internal/geo"
 	"repro/internal/mining"
 	"repro/internal/rewards"
-	"repro/internal/sim"
 )
 
 // WithholdingExperiment reproduces §III-D's exoneration argument: the
@@ -18,13 +17,10 @@ import (
 // real withholding attacker, and applies the same detector to both.
 func WithholdingExperiment(seed uint64, sc Scale) (*Outcome, error) {
 	blocks := chainScale(sc) / 4
-	// Runs of >= 4 and a 0.04 ratio keep the burst test's false-
-	// positive rate at zero while trivially catching real releases:
-	// honest same-miner runs bottom out near ratio 0.06 (quick
-	// follow-ups during blind windows), whereas a burst release has
-	// zero intra-run gaps.
-	const minRun = 4
-	const threshold = 0.04
+	// See analysis.DefaultWithholdingMinRun for the calibration
+	// rationale; scenario-file withholding outputs share it.
+	const minRun = analysis.DefaultWithholdingMinRun
+	const threshold = analysis.DefaultWithholdingBurstRatio
 
 	honest, err := core.RunChainOnly(seed, blocks, nil)
 	if err != nil {
@@ -38,9 +34,9 @@ func WithholdingExperiment(seed uint64, sc Scale) (*Outcome, error) {
 	attacked, err := core.RunChainOnly(seed, blocks, func(c *mining.Config) {
 		c.Pools = []mining.PoolConfig{
 			{Name: "Attacker", HashrateShare: 0.30, GatewayRegions: []geo.Region{geo.EasternAsia},
-				SwitchDelayMean: 850 * sim.Millisecond, Withholder: true},
+				SwitchDelayMean: mining.DefaultSwitchDelay, Withholder: true},
 			{Name: "Honest", HashrateShare: 0.70, GatewayRegions: []geo.Region{geo.WesternEurope},
-				SwitchDelayMean: 850 * sim.Millisecond},
+				SwitchDelayMean: mining.DefaultSwitchDelay},
 		}
 	})
 	if err != nil {

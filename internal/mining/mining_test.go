@@ -2,6 +2,7 @@ package mining
 
 import (
 	"math"
+	"strings"
 	"testing"
 
 	"repro/internal/chain"
@@ -401,5 +402,52 @@ func TestLesson1AblationReducesOneMinerUncles(t *testing.T) {
 	}
 	if resCount != 0 {
 		t.Fatalf("restricted rule leaked %d one-miner uncles", resCount)
+	}
+}
+
+// TestValidatePoolsScenarioConfigs is table-driven coverage for the
+// error paths scenario-supplied registries (internal/scenario) hit:
+// each case is one way a user-written pool list can be wrong.
+func TestValidatePoolsScenarioConfigs(t *testing.T) {
+	na := []geo.Region{geo.NorthAmerica}
+	we := []geo.Region{geo.WesternEurope}
+	pool := func(name string, share float64, regions []geo.Region) PoolConfig {
+		return PoolConfig{Name: name, HashrateShare: share, GatewayRegions: regions}
+	}
+	cases := []struct {
+		name    string
+		pools   []PoolConfig
+		wantErr string
+	}{
+		{"valid pair", []PoolConfig{pool("A", 0.6, na), pool("B", 0.4, we)}, ""},
+		{"valid within tolerance", []PoolConfig{pool("A", 0.5004, na), pool("B", 0.5, we)}, ""},
+		{"empty registry", nil, "empty pool registry"},
+		{"shares under 1", []PoolConfig{pool("A", 0.5, na), pool("B", 0.4, we)}, "sum to"},
+		{"shares over 1", []PoolConfig{pool("A", 0.7, na), pool("B", 0.4, we)}, "sum to"},
+		{"duplicate names", []PoolConfig{pool("A", 0.5, na), pool("A", 0.5, we)}, "duplicate pool"},
+		{"unnamed pool", []PoolConfig{pool("", 1, na)}, "needs a name"},
+		{"share above 1", []PoolConfig{pool("A", 1.5, na), pool("B", -0.5, we)}, "outside [0,1]"},
+		{"no gateway regions", []PoolConfig{pool("A", 1, nil)}, "no gateway region"},
+		{"invalid gateway region", []PoolConfig{pool("A", 1, []geo.Region{geo.Region(99)})}, "invalid region"},
+		{"bad probability", []PoolConfig{
+			{Name: "A", HashrateShare: 1, GatewayRegions: na, MultiVersionProb: 1.2},
+		}, "outside [0,1]"},
+		{"negative switch delay", []PoolConfig{
+			{Name: "A", HashrateShare: 1, GatewayRegions: na, SwitchDelayMean: -1},
+		}, "negative switch delay"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := ValidatePools(tc.pools)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("want error containing %q, got: %v", tc.wantErr, err)
+			}
+		})
 	}
 }

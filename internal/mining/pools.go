@@ -86,6 +86,13 @@ func (c PoolConfig) Address() types.Address {
 	return types.AddressFromString(c.Name)
 }
 
+// DefaultSwitchDelay is the calibrated mean stratum switch delay
+// (gateway sees a new head -> distributed workers mine on it) behind
+// Ethereum's ~7% uncle rate. Shared by PaperPools, the registry's
+// attacker specs and scenario-file pools so a recalibration moves
+// every consumer together.
+const DefaultSwitchDelay = 850 * sim.Millisecond
+
 // PaperPools returns the 15 pools the paper analyzes plus a diffuse
 // "Remaining" pseudo-pool, with the hashrate shares measured during
 // the study (Fig. 3) and policy parameters calibrated so the
@@ -102,7 +109,7 @@ func (c PoolConfig) Address() types.Address {
 // paper's Fig. 3 shows exactly this split driving first-observation
 // asymmetry.
 func PaperPools() []PoolConfig {
-	const switchMean = 850 * sim.Millisecond
+	const switchMean = DefaultSwitchDelay
 	ea := []geo.Region{geo.EasternAsia}
 	return []PoolConfig{
 		{Name: "Ethermine", HashrateShare: 0.2532, GatewayRegions: []geo.Region{geo.WesternEurope, geo.CentralEurope}, EmptyBlockProb: 0.0234, MultiVersionProb: 0.013, MultiVersionSameTxProb: 0.56, SwitchDelayMean: switchMean},

@@ -1,0 +1,90 @@
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// ArtifactFile is the run-directory file embedding the resolved
+// scenarios alongside experiments.WriteArtifacts' outputs, so a
+// campaign directory is replayable: re-parsing the embedded source
+// reproduces the exact spec set that generated the results.
+const ArtifactFile = "scenario.json"
+
+// artifactEntry is one scenario file's record.
+type artifactEntry struct {
+	// Path is the source file path at run time (informational).
+	Path string `json:"path,omitempty"`
+	// Source is the original document, sweep included — the replay
+	// input.
+	Source json.RawMessage `json:"source"`
+	// Variants records the expansion: IDs, bindings and each fully
+	// resolved scenario.
+	Variants []artifactVariant `json:"variants"`
+}
+
+type artifactVariant struct {
+	ID       string    `json:"id"`
+	Bindings []Binding `json:"bindings,omitempty"`
+	Resolved Scenario  `json:"resolved"`
+}
+
+// WriteArtifact persists the sets into dir/scenario.json.
+func WriteArtifact(dir string, sets []*Set) error {
+	entries := make([]artifactEntry, 0, len(sets))
+	for _, set := range sets {
+		e := artifactEntry{Path: set.Path, Source: set.Source}
+		for _, v := range set.Variants {
+			e.Variants = append(e.Variants, artifactVariant{
+				ID: v.ID(), Bindings: v.Bindings, Resolved: v.Scenario,
+			})
+		}
+		entries = append(entries, e)
+	}
+	data, err := json.MarshalIndent(map[string]any{"scenarios": entries}, "", "  ")
+	if err != nil {
+		return fmt.Errorf("scenario: marshal artifact: %w", err)
+	}
+	return os.WriteFile(filepath.Join(dir, ArtifactFile), append(data, '\n'), 0o644)
+}
+
+// ReadArtifact loads dir/scenario.json back into Sets by re-parsing
+// each embedded source document — the returned sets compile to the
+// same specs that produced the run. os.ErrNotExist passes through
+// for directories written without scenarios.
+func ReadArtifact(dir string) ([]*Set, error) {
+	data, err := os.ReadFile(filepath.Join(dir, ArtifactFile))
+	if err != nil {
+		return nil, err
+	}
+	var art struct {
+		Scenarios []artifactEntry `json:"scenarios"`
+	}
+	if err := json.Unmarshal(data, &art); err != nil {
+		return nil, fmt.Errorf("scenario: parse %s: %w", ArtifactFile, err)
+	}
+	sets := make([]*Set, 0, len(art.Scenarios))
+	for _, e := range art.Scenarios {
+		set, err := Parse(e.Source)
+		if err != nil {
+			return nil, fmt.Errorf("scenario: replay %s: %w", e.Path, err)
+		}
+		set.Path = e.Path
+		// Cross-check the recorded expansion against the re-parse:
+		// a mismatch means the artifact was edited by hand.
+		if len(set.Variants) != len(e.Variants) {
+			return nil, fmt.Errorf("scenario: %s records %d variants, source expands to %d",
+				e.Path, len(e.Variants), len(set.Variants))
+		}
+		for i, v := range set.Variants {
+			if v.ID() != e.Variants[i].ID {
+				return nil, fmt.Errorf("scenario: %s variant %d: recorded %s, source expands to %s",
+					e.Path, i, e.Variants[i].ID, v.ID())
+			}
+		}
+		sets = append(sets, set)
+	}
+	return sets, nil
+}

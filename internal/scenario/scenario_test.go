@@ -1,0 +1,202 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+)
+
+// minimalChain is a valid chain-mode document.
+const minimalChain = `{
+  "name": "mini",
+  "mode": "chain",
+  "chain": {"blocks": 100}
+}`
+
+// minimalNetwork is a valid network-mode document with custom pools.
+const minimalNetwork = `{
+  "name": "net",
+  "network": {"nodes": 40},
+  "chain": {"blocks": 30},
+  "pools": [
+    {"name": "A", "share": 0.6, "gateways": ["EA"]},
+    {"name": "B", "share": 0.4, "gateways": ["WE"]}
+  ]
+}`
+
+func TestParseMinimal(t *testing.T) {
+	set, err := Parse([]byte(minimalChain))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(set.Variants) != 1 {
+		t.Fatalf("variants: %d", len(set.Variants))
+	}
+	v := set.Variants[0]
+	if v.ID() != "mini" {
+		t.Errorf("ID: %s", v.ID())
+	}
+	if got := v.Scenario.outputs(); len(got) != 2 || got[0] != "forks" {
+		t.Errorf("chain default outputs: %v", got)
+	}
+
+	set, err = Parse([]byte(minimalNetwork))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := set.Variants[0].Scenario.outputs(); got[0] != "propagation" {
+		t.Errorf("network default outputs: %v", got)
+	}
+}
+
+func TestParseRejectsUnknownFields(t *testing.T) {
+	doc := `{"name": "x", "mode": "chain", "chain": {"blocks": 10}, "typo_field": 1}`
+	if _, err := Parse([]byte(doc)); err == nil {
+		t.Fatal("unknown top-level field must fail")
+	}
+	doc = `{"name": "x", "mode": "chain", "chain": {"blocks": 10, "blockss": 20}}`
+	if _, err := Parse([]byte(doc)); err == nil {
+		t.Fatal("unknown nested field must fail")
+	}
+}
+
+// TestValidateInvariants is the table-driven error-path coverage for
+// scenario-supplied configurations (ISSUE 2 satellite): each case
+// mutates a valid scenario into one specific invalid state.
+func TestValidateInvariants(t *testing.T) {
+	pools := []PoolSection{
+		{Name: "A", Share: 0.6, Gateways: []string{"EA"}},
+		{Name: "B", Share: 0.4, Gateways: []string{"WE"}},
+	}
+	valid := func() Scenario {
+		return Scenario{
+			Name:    "ok",
+			Mode:    ModeNetwork,
+			Network: &NetworkSection{Nodes: 40},
+			Chain:   &ChainSection{Blocks: 30},
+			Pools:   append([]PoolSection(nil), pools...),
+		}
+	}
+	cases := []struct {
+		name    string
+		mutate  func(*Scenario)
+		wantErr string
+	}{
+		{"valid", func(s *Scenario) {}, ""},
+		{"bad name", func(s *Scenario) { s.Name = "Has Spaces" }, "must match"},
+		{"reserved separator in name", func(s *Scenario) { s.Name = "a@b" }, "must match"},
+		{"bad mode", func(s *Scenario) { s.Mode = "hybrid" }, "unknown mode"},
+		{"no blocks", func(s *Scenario) { s.Chain = nil }, "chain.blocks"},
+		{"negative interblock", func(s *Scenario) { s.Chain.InterBlockMS = -1 }, "inter_block_ms"},
+		{"shares not summing to 1", func(s *Scenario) { s.Pools[0].Share = 0.3 }, "sum to"},
+		{"duplicate pool names", func(s *Scenario) { s.Pools[1].Name = "A" }, "duplicate pool"},
+		{"share out of range", func(s *Scenario) { s.Pools[0].Share = 1.6; s.Pools[1].Share = -0.6 }, "outside [0,1]"},
+		{"pool without gateway", func(s *Scenario) { s.Pools[0].Gateways = nil }, "no gateway"},
+		{"unknown gateway region", func(s *Scenario) { s.Pools[0].Gateways = []string{"XX"} }, "unknown region"},
+		{"normalize with zero sum", func(s *Scenario) {
+			s.NormalizeShares = true
+			s.Pools[0].Share, s.Pools[1].Share = 0, 0
+		}, "positive share sum"},
+		{"overlay too small", func(s *Scenario) { s.Network.Nodes = 5 }, "too small"},
+		{"bad push policy", func(s *Scenario) { s.Network.Push = "flood" }, "push policy"},
+		{"node shares not summing", func(s *Scenario) {
+			s.Network.NodeShare = map[string]float64{"NA": 0.5, "EA": 0.1}
+		}, "node shares sum"},
+		{"zero-node measurement region", func(s *Scenario) {
+			s.Network.NodeShare = map[string]float64{"NA": 0.5, "EA": 0.5}
+			s.Measurement = []MeasurementSection{{Name: "WE", Region: "WE"}}
+		}, "zero-node region"},
+		{"zero-node gateway region", func(s *Scenario) {
+			// Pool B gateways in WE, which hosts no nodes here.
+			s.Network.NodeShare = map[string]float64{"NA": 0.5, "EA": 0.5}
+			s.Measurement = []MeasurementSection{{Name: "M", Region: "NA"}}
+		}, "gateways in zero-node region"},
+		{"zero-node default measurement region", func(s *Scenario) {
+			s.Network.NodeShare = map[string]float64{"EA": 1}
+			s.Pools[1].Gateways = []string{"EA"}
+		}, "default measurement node"},
+		{"duplicate measurement node", func(s *Scenario) {
+			s.Measurement = []MeasurementSection{
+				{Name: "M", Region: "NA"}, {Name: "M", Region: "EA"},
+			}
+		}, "duplicate measurement"},
+		{"unknown output", func(s *Scenario) { s.Outputs = []string{"heatmap"} }, "unknown output"},
+		{"duplicate output", func(s *Scenario) { s.Outputs = []string{"forks", "forks"} }, "listed twice"},
+		{"workload-only output without workload", func(s *Scenario) {
+			s.Outputs = []string{"commit_times"}
+		}, "needs a workload"},
+		{"chain-only output in network mode", func(s *Scenario) {
+			s.Outputs = []string{"withholding"}
+		}, "unavailable in network mode"},
+		{"network section in chain mode", func(s *Scenario) { s.Mode = ModeChain }, "chain mode takes no"},
+		{"bad scale name", func(s *Scenario) { s.ScaleFactors = map[string]float64{"huge": 2} }, "unknown scale"},
+		{"non-positive scale factor", func(s *Scenario) { s.ScaleFactors = map[string]float64{"paper": 0} }, "must be > 0"},
+		{"negative repeats", func(s *Scenario) { s.Repeats = -1 }, "negative repeats"},
+		{"negative workload parameter", func(s *Scenario) {
+			s.Workload = &WorkloadSection{Senders: -5}
+		}, "negative workload"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := valid()
+			tc.mutate(&s)
+			err := s.Validate()
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("want error containing %q, got nil", tc.wantErr)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("want error containing %q, got: %v", tc.wantErr, err)
+			}
+		})
+	}
+}
+
+func TestNormalizeShares(t *testing.T) {
+	s := Scenario{
+		Name:  "norm",
+		Mode:  ModeChain,
+		Chain: &ChainSection{Blocks: 10},
+		Pools: []PoolSection{
+			{Name: "A", Share: 0.3, Gateways: []string{"EA"}},
+			{Name: "B", Share: 0.7, Gateways: []string{"WE"}},
+			{Name: "C", Share: 0.5, Gateways: []string{"NA"}},
+		},
+		NormalizeShares: true,
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	pools, err := s.pools()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, p := range pools {
+		sum += p.HashrateShare
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Fatalf("normalized shares sum to %v", sum)
+	}
+	if a := pools[0].HashrateShare; a < 0.199 || a > 0.201 {
+		t.Errorf("pool A share: %v, want ~0.2", a)
+	}
+}
+
+func TestDefaultPoolsAreThePapers(t *testing.T) {
+	set, err := Parse([]byte(minimalChain))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pools, err := set.Variants[0].Scenario.pools()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pools) != 16 {
+		t.Fatalf("default pools: %d, want the paper's 16", len(pools))
+	}
+}

@@ -1,0 +1,452 @@
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Expansion caps: a sweep is a campaign description, not a fuzzer.
+const (
+	maxAxes          = 4
+	maxValuesPerAxis = 64
+	maxVariants      = 256
+)
+
+// Sweep expands one scenario file into a grid of variants: the
+// cartesian product of its axes, each axis binding one field of the
+// scenario document to a list (or arithmetic range) of values.
+type Sweep struct {
+	// Axes are combined as a grid, in order: the last axis varies
+	// fastest.
+	Axes []Axis `json:"axes"`
+}
+
+// Axis binds one field to a value list.
+type Axis struct {
+	// Field is a dot path into the scenario document, e.g.
+	// "network.degree", "chain.blocks" or "pools.Attacker.share"
+	// (array elements are addressed by index or by their "name"
+	// field). The path must exist in the document, so typos fail at
+	// parse time.
+	Field string `json:"field"`
+	// Values lists explicit values (usually numbers).
+	Values []any `json:"values,omitempty"`
+	// From/To/Step generate an inclusive arithmetic range instead.
+	From *float64 `json:"from,omitempty"`
+	To   *float64 `json:"to,omitempty"`
+	Step *float64 `json:"step,omitempty"`
+}
+
+// Binding is one applied axis value.
+type Binding struct {
+	// Field is the axis dot path.
+	Field string `json:"field"`
+	// Value is the bound value.
+	Value any `json:"value"`
+}
+
+// Variant is one expanded scenario: the base document with a sweep
+// grid point applied.
+type Variant struct {
+	// Scenario is the resolved, validated description.
+	Scenario Scenario
+	// Bindings are the applied axis values, in axis order (empty for
+	// a sweep-free file).
+	Bindings []Binding
+}
+
+// Set is a parsed scenario file: the source document plus every
+// expanded variant.
+type Set struct {
+	// Path is the source file, when loaded from disk (informational).
+	Path string
+	// Source is the original document, compacted — re-parsing it
+	// reproduces the Set (the replay contract).
+	Source json.RawMessage
+	// Base is the sweep-free scenario (the document without "sweep").
+	Base Scenario
+	// Sweep is the expansion request, if any.
+	Sweep *Sweep
+	// Variants are the expanded scenarios, grid order.
+	Variants []*Variant
+}
+
+// Load reads and parses a scenario file.
+func Load(path string) (*Set, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	set, err := Parse(data)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: %s: %w", path, err)
+	}
+	set.Path = path
+	return set, nil
+}
+
+// Parse decodes a scenario document, expands its sweep and validates
+// every variant.
+func Parse(data []byte) (*Set, error) {
+	var doc map[string]any
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.UseNumber()
+	if err := dec.Decode(&doc); err != nil {
+		return nil, fmt.Errorf("parse: %w", err)
+	}
+
+	set := &Set{}
+	var compact bytes.Buffer
+	if err := json.Compact(&compact, data); err != nil {
+		return nil, err
+	}
+	set.Source = append(json.RawMessage(nil), compact.Bytes()...)
+
+	if raw, ok := doc["sweep"]; ok {
+		sw, err := decodeStrict[Sweep](raw)
+		if err != nil {
+			return nil, fmt.Errorf("sweep: %w", err)
+		}
+		set.Sweep = &sw
+		delete(doc, "sweep")
+	}
+
+	base, err := decodeStrict[Scenario](doc)
+	if err != nil {
+		return nil, err
+	}
+	set.Base = base
+
+	grid, err := expand(set.Sweep)
+	if err != nil {
+		return nil, err
+	}
+	for _, bindings := range grid {
+		v, err := bind(doc, bindings)
+		if err != nil {
+			return nil, err
+		}
+		if err := v.Scenario.Validate(); err != nil {
+			return nil, fmt.Errorf("variant %s: %w", v.ID(), err)
+		}
+		set.Variants = append(set.Variants, v)
+	}
+	ids := map[string]bool{}
+	for _, v := range set.Variants {
+		id := v.ID()
+		if ids[id] {
+			return nil, fmt.Errorf("sweep produces duplicate variant %s (axes must differ in value)", id)
+		}
+		ids[id] = true
+		// The name pattern reserves the ID separators, but axis labels
+		// and bound values land in IDs verbatim — a separator or
+		// whitespace there (a swept string, a "1e+11" number literal,
+		// a pool named "a,b") would make the ID ambiguous or break
+		// -only selection.
+		labels := axisLabels(v.Bindings)
+		for i, b := range v.Bindings {
+			for _, part := range []string{labels[i], formatValue(b.Value)} {
+				if strings.ContainsAny(part, "@+=,/ \t\r\n") {
+					return nil, fmt.Errorf("sweep: axis %s renders %q into the variant ID, which contains a reserved character (@+=,/ or whitespace)", b.Field, part)
+				}
+			}
+		}
+	}
+	return set, nil
+}
+
+// decodeStrict re-marshals a generic value into T, rejecting unknown
+// fields so schema typos fail loudly. UseNumber keeps untyped values
+// (sweep axis values) as json.Number literals: converting them to
+// float64 would render large integers in scientific notation inside
+// variant IDs and lose precision above 2^53.
+func decodeStrict[T any](v any) (T, error) {
+	var out T
+	data, err := json.Marshal(v)
+	if err != nil {
+		return out, err
+	}
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	dec.UseNumber()
+	if err := dec.Decode(&out); err != nil {
+		return out, err
+	}
+	return out, nil
+}
+
+// expand produces the grid of binding combinations (a single empty
+// combination for sweep-free files).
+func expand(sw *Sweep) ([][]Binding, error) {
+	if sw == nil {
+		return [][]Binding{nil}, nil
+	}
+	if len(sw.Axes) == 0 {
+		return nil, fmt.Errorf("sweep: needs at least one axis")
+	}
+	if len(sw.Axes) > maxAxes {
+		return nil, fmt.Errorf("sweep: %d axes exceeds the limit of %d", len(sw.Axes), maxAxes)
+	}
+	axes := make([][]any, len(sw.Axes))
+	total := 1
+	fields := map[string]bool{}
+	for i, ax := range sw.Axes {
+		// A repeated field would make later bindings silently
+		// overwrite earlier ones while the IDs claim both values ran.
+		if fields[ax.Field] {
+			return nil, fmt.Errorf("sweep: field %q appears on two axes", ax.Field)
+		}
+		fields[ax.Field] = true
+		vals, err := ax.values()
+		if err != nil {
+			return nil, err
+		}
+		axes[i] = vals
+		total *= len(vals)
+		if total > maxVariants {
+			return nil, fmt.Errorf("sweep: expansion exceeds %d variants", maxVariants)
+		}
+	}
+	grid := make([][]Binding, 0, total)
+	idx := make([]int, len(axes))
+	for {
+		bindings := make([]Binding, len(axes))
+		for i, ax := range sw.Axes {
+			bindings[i] = Binding{Field: ax.Field, Value: axes[i][idx[i]]}
+		}
+		grid = append(grid, bindings)
+		// Odometer increment, last axis fastest.
+		i := len(idx) - 1
+		for ; i >= 0; i-- {
+			idx[i]++
+			if idx[i] < len(axes[i]) {
+				break
+			}
+			idx[i] = 0
+		}
+		if i < 0 {
+			return grid, nil
+		}
+	}
+}
+
+// values resolves an axis to its value list.
+func (ax Axis) values() ([]any, error) {
+	if ax.Field == "" {
+		return nil, fmt.Errorf("sweep: axis needs a field")
+	}
+	if len(ax.Values) > 0 {
+		if ax.From != nil || ax.To != nil || ax.Step != nil {
+			return nil, fmt.Errorf("sweep: axis %s sets both values and from/to/step", ax.Field)
+		}
+		if len(ax.Values) > maxValuesPerAxis {
+			return nil, fmt.Errorf("sweep: axis %s exceeds %d values", ax.Field, maxValuesPerAxis)
+		}
+		return ax.Values, nil
+	}
+	if ax.From == nil || ax.To == nil || ax.Step == nil {
+		return nil, fmt.Errorf("sweep: axis %s needs values or from/to/step", ax.Field)
+	}
+	from, to, step := *ax.From, *ax.To, *ax.Step
+	if step <= 0 {
+		return nil, fmt.Errorf("sweep: axis %s step must be > 0", ax.Field)
+	}
+	if to < from {
+		return nil, fmt.Errorf("sweep: axis %s has to < from", ax.Field)
+	}
+	// Bound the span in float space before converting: extreme
+	// from/to/step combinations must fail the limit check, not
+	// overflow the int conversion.
+	span := (to - from) / step
+	if !(span >= 0) || span > float64(maxValuesPerAxis) {
+		return nil, fmt.Errorf("sweep: axis %s expands to over %d values", ax.Field, maxValuesPerAxis)
+	}
+	n := int(math.Floor(span+1e-9)) + 1
+	if n > maxValuesPerAxis {
+		return nil, fmt.Errorf("sweep: axis %s expands to %d values (limit %d)", ax.Field, n, maxValuesPerAxis)
+	}
+	// The range is documented inclusive: a step that never lands on
+	// "to" would silently drop the endpoint the user asked for.
+	if last := from + float64(n-1)*step; math.Abs(to-last) > 1e-9*(math.Abs(to)+math.Abs(step)+1) {
+		return nil, fmt.Errorf("sweep: axis %s range is inclusive but step %v never reaches to=%v (last value %v)", ax.Field, step, to, last)
+	}
+	vals := make([]any, 0, n)
+	for i := 0; i < n; i++ {
+		// Round away float accumulation so 0.1+0.2 sweeps produce
+		// clean variant IDs.
+		v := math.Round((from+float64(i)*step)*1e9) / 1e9
+		vals = append(vals, v)
+	}
+	return vals, nil
+}
+
+// bind deep-copies the document, applies the bindings and decodes the
+// result into a Variant.
+func bind(doc map[string]any, bindings []Binding) (*Variant, error) {
+	resolved := deepCopy(doc).(map[string]any)
+	for _, b := range bindings {
+		if err := setPath(resolved, b.Field, b.Value); err != nil {
+			return nil, fmt.Errorf("sweep: axis %s: %w", b.Field, err)
+		}
+	}
+	sc, err := decodeStrict[Scenario](resolved)
+	if err != nil {
+		return nil, err
+	}
+	return &Variant{Scenario: sc, Bindings: bindings}, nil
+}
+
+// deepCopy clones a decoded JSON value.
+func deepCopy(v any) any {
+	switch t := v.(type) {
+	case map[string]any:
+		out := make(map[string]any, len(t))
+		for k, e := range t {
+			out[k] = deepCopy(e)
+		}
+		return out
+	case []any:
+		out := make([]any, len(t))
+		for i, e := range t {
+			out[i] = deepCopy(e)
+		}
+		return out
+	default:
+		return v
+	}
+}
+
+// setPath sets a dot-path field of a decoded JSON document. Array
+// segments accept an index or the value of an element's "name" field.
+// The full path must already exist so typos are rejected.
+func setPath(doc any, path string, value any) error {
+	segs := strings.Split(path, ".")
+	cur := doc
+	for i, seg := range segs {
+		last := i == len(segs)-1
+		switch node := cur.(type) {
+		case map[string]any:
+			next, ok := node[seg]
+			if !ok {
+				return fmt.Errorf("field %q not found at %q", path, seg)
+			}
+			if last {
+				node[seg] = value
+				return nil
+			}
+			cur = next
+		case []any:
+			if idx, err := strconv.Atoi(seg); err == nil {
+				if idx < 0 || idx >= len(node) {
+					return fmt.Errorf("field %q: index %d out of range", path, idx)
+				}
+				if last {
+					node[idx] = value
+					return nil
+				}
+				cur = node[idx]
+				continue
+			}
+			found := false
+			for _, e := range node {
+				if m, ok := e.(map[string]any); ok {
+					if name, _ := m["name"].(string); name == seg {
+						if last {
+							return fmt.Errorf("field %q: cannot replace whole element %q", path, seg)
+						}
+						cur = m
+						found = true
+						break
+					}
+				}
+			}
+			if !found {
+				return fmt.Errorf("field %q: no array element named %q", path, seg)
+			}
+		default:
+			return fmt.Errorf("field %q: %q is not an object or array", path, segs[i-1])
+		}
+	}
+	return nil
+}
+
+// ID is the variant's registry identifier: the scenario name, plus
+// "@axis=value" bindings joined by "+" for sweep variants. The
+// separators are reserved by the name pattern, so variant IDs never
+// collide with scenario names; Parse additionally rejects bound
+// values that would put a comma or whitespace in the ID, keeping
+// every variant selectable via -only (which splits on commas).
+func (v *Variant) ID() string {
+	if len(v.Bindings) == 0 {
+		return v.Scenario.Name
+	}
+	return v.Scenario.Name + "@" + v.bindingSuffix()
+}
+
+// bindingSuffix renders the bindings as "a=1+b=2".
+func (v *Variant) bindingSuffix() string {
+	labels := axisLabels(v.Bindings)
+	parts := make([]string, 0, len(v.Bindings))
+	for i, b := range v.Bindings {
+		parts = append(parts, labels[i]+"="+formatValue(b.Value))
+	}
+	return strings.Join(parts, "+")
+}
+
+// axisLabels abbreviates each axis path to its final segment, pulling
+// in parent segments until no two axes share a label — so sweeping
+// pools.Attacker.share against pools.Honest.share yields
+// "Attacker.share" and "Honest.share", not two ambiguous "share"s.
+func axisLabels(bindings []Binding) []string {
+	labels := make([]string, len(bindings))
+	segs := make([][]string, len(bindings))
+	depth := make([]int, len(bindings))
+	for i, b := range bindings {
+		segs[i] = strings.Split(b.Field, ".")
+		depth[i] = 1
+	}
+	for {
+		counts := map[string]int{}
+		for i := range bindings {
+			labels[i] = strings.Join(segs[i][len(segs[i])-depth[i]:], ".")
+			counts[labels[i]]++
+		}
+		grown := false
+		for i := range bindings {
+			if counts[labels[i]] > 1 && depth[i] < len(segs[i]) {
+				depth[i]++
+				grown = true
+			}
+		}
+		if !grown {
+			return labels
+		}
+	}
+}
+
+// formatValue renders a bound value compactly and deterministically.
+// Floats use 'f' so large range values never pick up the scientific
+// notation whose '+' would collide with the binding separator.
+func formatValue(v any) string {
+	switch t := v.(type) {
+	case float64:
+		return strconv.FormatFloat(t, 'f', -1, 64)
+	case json.Number:
+		return t.String()
+	case string:
+		return t
+	case bool:
+		return strconv.FormatBool(t)
+	default:
+		data, err := json.Marshal(v)
+		if err != nil {
+			return fmt.Sprintf("%v", v)
+		}
+		return string(data)
+	}
+}

@@ -1,0 +1,188 @@
+package scenario
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// sweepDoc builds a chain-mode document with the given sweep block.
+func sweepDoc(sweep string) string {
+	return fmt.Sprintf(`{
+  "name": "sw",
+  "description": "sweep test fixture",
+  "mode": "chain",
+  "chain": {"blocks": 100, "inter_block_ms": 13300},
+  "pools": [
+    {"name": "A", "share": 0.6, "gateways": ["EA"], "empty_block_prob": 0.1},
+    {"name": "B", "share": 0.4, "gateways": ["WE"]}
+  ],
+  "normalize_shares": true,
+  "sweep": %s
+}`, sweep)
+}
+
+func TestSweepGridExpansion(t *testing.T) {
+	set, err := Parse([]byte(sweepDoc(`{
+	  "axes": [
+	    {"field": "pools.A.share", "values": [0.5, 0.6]},
+	    {"field": "chain.inter_block_ms", "values": [9000, 13300, 20000]}
+	  ]}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(set.Variants) != 6 {
+		t.Fatalf("variants: %d, want 6", len(set.Variants))
+	}
+	// Grid order: first axis outermost, last axis fastest.
+	wantIDs := []string{
+		"sw@share=0.5+inter_block_ms=9000",
+		"sw@share=0.5+inter_block_ms=13300",
+		"sw@share=0.5+inter_block_ms=20000",
+		"sw@share=0.6+inter_block_ms=9000",
+		"sw@share=0.6+inter_block_ms=13300",
+		"sw@share=0.6+inter_block_ms=20000",
+	}
+	for i, v := range set.Variants {
+		if v.ID() != wantIDs[i] {
+			t.Errorf("variant %d: %s, want %s", i, v.ID(), wantIDs[i])
+		}
+	}
+	// Bindings actually land in the decoded scenarios.
+	if got := set.Variants[0].Scenario.Pools[0].Share; got != 0.5 {
+		t.Errorf("bound share: %v", got)
+	}
+	if got := set.Variants[2].Scenario.Chain.InterBlockMS; got != 20000 {
+		t.Errorf("bound inter_block_ms: %v", got)
+	}
+	// The base scenario keeps the file's literal values.
+	if set.Base.Pools[0].Share != 0.6 {
+		t.Errorf("base mutated: %v", set.Base.Pools[0].Share)
+	}
+}
+
+func TestSweepRangeAxis(t *testing.T) {
+	set, err := Parse([]byte(sweepDoc(`{
+	  "axes": [{"field": "pools.A.empty_block_prob", "from": 0.1, "to": 0.3, "step": 0.1}]}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(set.Variants) != 3 {
+		t.Fatalf("variants: %d, want 3", len(set.Variants))
+	}
+	// Float accumulation must not leak into IDs (0.30000000000000004).
+	if got := set.Variants[2].ID(); got != "sw@empty_block_prob=0.3" {
+		t.Errorf("range ID: %s", got)
+	}
+}
+
+// TestSweepLargeIntegerValues: explicit values keep their JSON
+// literal form in IDs — no scientific notation (whose '+' would
+// collide with the binding separator) and no float53 precision loss.
+func TestSweepLargeIntegerValues(t *testing.T) {
+	set, err := Parse([]byte(sweepDoc(`{
+	  "axes": [{"field": "chain.blocks", "values": [1000000]}]}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := set.Variants[0].ID(); got != "sw@blocks=1000000" {
+		t.Errorf("large integer ID: %s", got)
+	}
+	if got := set.Variants[0].Scenario.Chain.Blocks; got != 1000000 {
+		t.Errorf("bound blocks: %d", got)
+	}
+	// Range axes compute float64 values; those must not render in
+	// scientific notation either.
+	set, err = Parse([]byte(sweepDoc(`{
+	  "axes": [{"field": "chain.blocks", "from": 10000000, "to": 20000000, "step": 10000000}]}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := set.Variants[0].ID(); got != "sw@blocks=10000000" {
+		t.Errorf("large range-value ID: %s", got)
+	}
+}
+
+func TestSweepErrors(t *testing.T) {
+	cases := []struct {
+		name, sweep, wantErr string
+	}{
+		{"unknown field", `{"axes": [{"field": "chain.blockss", "values": [1]}]}`, "not found"},
+		{"unknown pool name", `{"axes": [{"field": "pools.Z.share", "values": [1]}]}`, "no array element"},
+		{"no values or range", `{"axes": [{"field": "chain.blocks"}]}`, "needs values or"},
+		{"both values and range", `{"axes": [{"field": "chain.blocks", "values": [1], "from": 1, "to": 2, "step": 1}]}`, "both values and"},
+		{"zero step", `{"axes": [{"field": "chain.blocks", "from": 1, "to": 2, "step": 0}]}`, "step must be > 0"},
+		{"reversed range", `{"axes": [{"field": "chain.blocks", "from": 5, "to": 1, "step": 1}]}`, "to < from"},
+		{"empty axes", `{"axes": []}`, "at least one axis"},
+		{"missing axis field", `{"axes": [{"values": [1]}]}`, "needs a field"},
+		{"duplicate values", `{"axes": [{"field": "chain.blocks", "values": [50, 50]}]}`, "duplicate variant"},
+		{"overflowing range", `{"axes": [{"field": "chain.blocks", "from": 0, "to": 1e300, "step": 1e-300}]}`, "expands to over"},
+		{"comma in bound string", `{"axes": [{"field": "description", "values": ["a,b"]}]}`, "reserved character"},
+		{"separator in bound literal", `{"axes": [{"field": "description", "values": ["1e+11"]}]}`, "reserved character"},
+		{"outcome separator in bound string", `{"axes": [{"field": "description", "values": ["x/forks"]}]}`, "reserved character"},
+		{"repeated axis field", `{"axes": [
+			{"field": "chain.blocks", "values": [50, 60]},
+			{"field": "chain.blocks", "values": [70]}]}`, "appears on two axes"},
+		{"range missing its endpoint", `{"axes": [{"field": "pools.A.share", "from": 0, "to": 0.5, "step": 0.2}]}`, "never reaches"},
+		{"invalid variant", `{"axes": [{"field": "pools.A.empty_block_prob", "values": [-0.5]}]}`, "outside [0,1]"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse([]byte(sweepDoc(tc.sweep)))
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("want error containing %q, got: %v", tc.wantErr, err)
+			}
+		})
+	}
+}
+
+func TestSweepVariantCap(t *testing.T) {
+	// 5 axes exceeds maxAxes.
+	var axes []string
+	for i := 0; i < 5; i++ {
+		axes = append(axes, `{"field": "chain.blocks", "values": [1]}`)
+	}
+	_, err := Parse([]byte(sweepDoc(`{"axes": [` + strings.Join(axes, ",") + `]}`)))
+	if err == nil || !strings.Contains(err.Error(), "axes exceeds") {
+		t.Fatalf("axis cap: %v", err)
+	}
+}
+
+// TestSweepAmbiguousLeafLabels: axes whose paths end in the same
+// segment must keep enough parent context to stay distinguishable in
+// variant IDs.
+func TestSweepAmbiguousLeafLabels(t *testing.T) {
+	set, err := Parse([]byte(sweepDoc(`{
+	  "axes": [
+	    {"field": "pools.A.share", "values": [0.5]},
+	    {"field": "pools.B.share", "values": [0.5]}
+	  ]}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := set.Variants[0].ID(); got != "sw@A.share=0.5+B.share=0.5" {
+		t.Errorf("ambiguous leaves not disambiguated: %s", got)
+	}
+}
+
+func TestSetPathArrayIndex(t *testing.T) {
+	doc := map[string]any{
+		"pools": []any{
+			map[string]any{"name": "A", "share": 0.5},
+			map[string]any{"name": "B", "share": 0.5},
+		},
+	}
+	if err := setPath(doc, "pools.1.share", 0.9); err != nil {
+		t.Fatal(err)
+	}
+	got := doc["pools"].([]any)[1].(map[string]any)["share"]
+	if got != 0.9 {
+		t.Errorf("indexed set: %v", got)
+	}
+	if err := setPath(doc, "pools.7.share", 0.9); err == nil {
+		t.Error("out-of-range index must fail")
+	}
+	if err := setPath(doc, "pools.A", 1.0); err == nil {
+		t.Error("replacing a whole named element must fail")
+	}
+}
