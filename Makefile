@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test test-full race bench bench-smoke bench-baseline fmt fmt-check vet examples validate-scenarios
+.PHONY: build test test-full race bench bench-smoke bench-compare bench-baseline fmt fmt-check vet examples examples-full validate-scenarios
 
 build:
 	$(GO) build ./...
@@ -26,6 +26,14 @@ bench:
 bench-smoke:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' .
 
+# Run every benchmark once and diff against the committed baseline;
+# fails on any >20% ns/op regression (improvements always pass).
+bench-compare:
+	@set -e; tmp=$$(mktemp); trap 'rm -f "$$tmp" "$$tmp.json"' EXIT; \
+	$(GO) test -bench=. -benchtime=1x -run='^$$' . > "$$tmp"; \
+	$(GO) run ./cmd/benchjson < "$$tmp" > "$$tmp.json"; \
+	$(GO) run ./cmd/benchjson -compare BENCH_baseline.json "$$tmp.json"
+
 # Regenerate the committed benchmark snapshot. Two steps so a failing
 # benchmark aborts instead of being laundered into a partial snapshot.
 bench-baseline:
@@ -41,6 +49,15 @@ examples:
 		[ -f "$$d/main.go" ] || continue; \
 		echo "== go run ./$$d -short"; \
 		$(GO) run "./$$d" -short; \
+	done
+
+# Full-size examples: every example at its full (non -short) scale,
+# including the complete 10,000-node stress scenario.
+examples-full:
+	@set -e; for d in examples/*/; do \
+		[ -f "$$d/main.go" ] || continue; \
+		echo "== go run ./$$d"; \
+		$(GO) run "./$$d"; \
 	done
 
 # Parse, validate and compile every shipped scenario file (sweep

@@ -2,16 +2,25 @@
 // JSON snapshot: one entry per benchmark with its iteration count and
 // every reported metric (ns/op, B/op, custom ReportMetric values).
 // The Makefile's bench-baseline target uses it to (re)generate
-// BENCH_baseline.json, a committed human reference refreshed manually
-// (CI's bench-smoke job only proves every target still executes; it
-// does not compare against the baseline).
+// BENCH_baseline.json, a committed reference snapshot.
 //
 //	go test -bench=. -benchtime=1x -run='^$' . | benchjson > BENCH_baseline.json
+//
+// Compare mode diffs two snapshots and fails on ns/op regressions —
+// the Makefile's bench-compare target and the CI perf gate:
+//
+//	benchjson -compare [-threshold 0.20] old.json new.json
+//
+// Exit status is non-zero when any benchmark present in both files
+// regressed by more than the threshold (default 20%). Improvements
+// and new benchmarks never fail; benchmarks missing from the new
+// snapshot are reported as a warning.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"io"
 	"os"
@@ -28,6 +37,26 @@ type Entry struct {
 }
 
 func main() {
+	var (
+		compare   = flag.Bool("compare", false, "compare two snapshots: benchjson -compare old.json new.json")
+		threshold = flag.Float64("threshold", 0.20, "maximum tolerated fractional ns/op regression in -compare mode")
+	)
+	flag.Parse()
+	if *compare {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "benchjson: -compare needs exactly two snapshot files (old.json new.json)")
+			os.Exit(2)
+		}
+		ok, err := runCompare(os.Stdout, flag.Arg(0), flag.Arg(1), *threshold)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(2)
+		}
+		if !ok {
+			os.Exit(1)
+		}
+		return
+	}
 	entries, err := parse(os.Stdin)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
@@ -39,6 +68,71 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Println(string(out))
+}
+
+// loadSnapshot reads a snapshot file written by the default mode.
+func loadSnapshot(path string) (map[string]Entry, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var entries []Entry
+	if err := json.Unmarshal(data, &entries); err != nil {
+		return nil, fmt.Errorf("parse %s: %w", path, err)
+	}
+	byName := make(map[string]Entry, len(entries))
+	for _, e := range entries {
+		byName[e.Name] = e
+	}
+	return byName, nil
+}
+
+// runCompare diffs new against old on ns/op, printing one line per
+// shared benchmark. It reports ok=false when any regression exceeds
+// threshold.
+func runCompare(w io.Writer, oldPath, newPath string, threshold float64) (bool, error) {
+	oldBy, err := loadSnapshot(oldPath)
+	if err != nil {
+		return false, err
+	}
+	newBy, err := loadSnapshot(newPath)
+	if err != nil {
+		return false, err
+	}
+	names := make([]string, 0, len(oldBy))
+	for name := range oldBy {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	regressions := 0
+	for _, name := range names {
+		oldE := oldBy[name]
+		newE, ok := newBy[name]
+		if !ok {
+			fmt.Fprintf(w, "WARN  %-36s missing from %s\n", name, newPath)
+			continue
+		}
+		oldNs, okOld := oldE.Metrics["ns/op"]
+		newNs, okNew := newE.Metrics["ns/op"]
+		if !okOld || !okNew || oldNs <= 0 {
+			continue
+		}
+		delta := newNs/oldNs - 1
+		status := "ok   "
+		if delta > threshold {
+			status = "REGR "
+			regressions++
+		}
+		fmt.Fprintf(w, "%s %-36s %14.0f -> %14.0f ns/op  %+7.1f%%\n",
+			status, name, oldNs, newNs, delta*100)
+	}
+	if regressions > 0 {
+		fmt.Fprintf(w, "\n%d benchmark(s) regressed more than %.0f%% vs %s\n",
+			regressions, threshold*100, oldPath)
+		return false, nil
+	}
+	fmt.Fprintf(w, "\nno ns/op regression beyond %.0f%% vs %s\n", threshold*100, oldPath)
+	return true, nil
 }
 
 // stripProcSuffix removes a trailing -<digits> GOMAXPROCS suffix,

@@ -1,6 +1,9 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -56,5 +59,72 @@ func TestStripProcSuffix(t *testing.T) {
 func TestParseRejectsEmptyInput(t *testing.T) {
 	if _, err := parse(strings.NewReader("PASS\nok\n")); err == nil {
 		t.Fatal("no benchmark lines must fail")
+	}
+}
+
+// writeSnapshot writes a snapshot file for compare-mode tests.
+func writeSnapshot(t *testing.T, entries []Entry) string {
+	t.Helper()
+	data, err := json.Marshal(entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "snap.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCompareMode(t *testing.T) {
+	old := writeSnapshot(t, []Entry{
+		{Name: "BenchmarkA", Metrics: map[string]float64{"ns/op": 1000}},
+		{Name: "BenchmarkB", Metrics: map[string]float64{"ns/op": 1000}},
+		{Name: "BenchmarkGone", Metrics: map[string]float64{"ns/op": 50}},
+	})
+
+	// Improvement + small regression within threshold: passes.
+	within := writeSnapshot(t, []Entry{
+		{Name: "BenchmarkA", Metrics: map[string]float64{"ns/op": 300}},  // 3x faster
+		{Name: "BenchmarkB", Metrics: map[string]float64{"ns/op": 1150}}, // +15%
+		{Name: "BenchmarkNew", Metrics: map[string]float64{"ns/op": 9}},
+	})
+	var out strings.Builder
+	ok, err := runCompare(&out, old, within, 0.20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatalf("within-threshold compare failed:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "BenchmarkGone") {
+		t.Error("missing benchmark not warned about")
+	}
+
+	// A >20% regression fails.
+	regressed := writeSnapshot(t, []Entry{
+		{Name: "BenchmarkA", Metrics: map[string]float64{"ns/op": 1300}}, // +30%
+		{Name: "BenchmarkB", Metrics: map[string]float64{"ns/op": 900}},
+	})
+	out.Reset()
+	ok, err = runCompare(&out, old, regressed, 0.20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatalf("regression not detected:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "REGR ") || !strings.Contains(out.String(), "BenchmarkA") {
+		t.Errorf("regression report missing offender:\n%s", out.String())
+	}
+
+	// A wider threshold tolerates the same delta.
+	out.Reset()
+	ok, err = runCompare(&out, old, regressed, 0.50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("50% threshold should tolerate a 30% regression")
 	}
 }

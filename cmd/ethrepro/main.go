@@ -16,7 +16,7 @@
 //
 // Usage:
 //
-//	ethrepro [-seed 42] [-scale small|medium|paper] [-only F1,chain,...]
+//	ethrepro [-seed 42] [-scale small|medium|paper|stress] [-only F1,chain,...]
 //	         [-parallel N] [-repeats N] [-out paper_runs/run1]
 //	         [-scenario file.json,...] [-list]
 package main
@@ -47,7 +47,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fs.SetOutput(stderr)
 	var (
 		seed     = fs.Uint64("seed", 42, "campaign base seed")
-		scaleStr = fs.String("scale", "small", "experiment scale: small|medium|paper")
+		scaleStr = fs.String("scale", "small", "experiment scale: small|medium|paper|stress")
 		only     = fs.String("only", "", "comma-separated experiment or outcome IDs (default: all)")
 		parallel = fs.Int("parallel", 0, "concurrent experiments (0 = GOMAXPROCS)")
 		repeats  = fs.Int("repeats", 1, "independent repeats per experiment")

@@ -28,7 +28,14 @@ func RenderFirstObservations(r *FirstObservationResult) string {
 	for n := range r.Share {
 		nodes = append(nodes, n)
 	}
-	sort.Slice(nodes, func(i, j int) bool { return r.Share[nodes[i]] > r.Share[nodes[j]] })
+	// Ties broken by name: equal shares must render in one canonical
+	// order or the artifact byte-identity contract breaks across runs.
+	sort.Slice(nodes, func(i, j int) bool {
+		if r.Share[nodes[i]] != r.Share[nodes[j]] {
+			return r.Share[nodes[i]] > r.Share[nodes[j]]
+		}
+		return nodes[i] < nodes[j]
+	})
 	for _, n := range nodes {
 		fmt.Fprintf(&b, "  %-4s %6.2f%%  (err bars %.2f%%..%.2f%%)\n",
 			n, r.Share[n]*100, r.ErrLow[n]*100, r.ErrHigh[n]*100)

@@ -1,0 +1,127 @@
+package analysis
+
+import (
+	"repro/internal/measure"
+	"repro/internal/types"
+)
+
+// IndexFromStreams builds the observation Index directly from
+// streaming measurement nodes, bypassing record materialization
+// entirely: no Record structs, no hex round-trips, no O(receptions)
+// log. It produces exactly the Index BuildIndex would compute from the
+// same nodes' raw logs — the streaming aggregates are the per-node
+// fixpoints of BuildIndex's scan — so every downstream analysis is
+// unchanged, byte for byte.
+func IndexFromStreams(nodes []*measure.Node) (*Index, error) {
+	if len(nodes) == 0 {
+		return nil, ErrNoNodes
+	}
+	idx := &Index{
+		BlockFirst:      make(map[types.Hash]map[string]Observation),
+		BlockReceptions: make(map[types.Hash]map[string]map[measure.RecordKind]int),
+		TxFirst:         make(map[types.Hash]map[string]Observation),
+		TxMeta:          make(map[types.Hash]TxMeta),
+		BlockMeta:       make(map[types.Hash]BlockMeta),
+	}
+	observed := false
+	for _, n := range nodes {
+		name := n.Name()
+		for h, o := range n.BlockObservations() {
+			observed = true
+			perNode := idx.BlockFirst[h]
+			if perNode == nil {
+				perNode = make(map[string]Observation)
+				idx.BlockFirst[h] = perNode
+			}
+			perNode[name] = Observation{Node: name, Local: o.FirstLocal, Kind: o.FirstKind}
+			perRecv := idx.BlockReceptions[h]
+			if perRecv == nil {
+				perRecv = make(map[string]map[measure.RecordKind]int)
+				idx.BlockReceptions[h] = perRecv
+			}
+			perKind := make(map[measure.RecordKind]int, 2)
+			if o.Blocks > 0 {
+				perKind[measure.KindBlock] = o.Blocks
+			}
+			if o.Announces > 0 {
+				perKind[measure.KindAnnouncement] = o.Announces
+			}
+			perRecv[name] = perKind
+		}
+		for h, o := range n.TxObservations() {
+			observed = true
+			perNode := idx.TxFirst[h]
+			if perNode == nil {
+				perNode = make(map[string]Observation)
+				idx.TxFirst[h] = perNode
+			}
+			perNode[name] = Observation{Node: name, Local: o.FirstLocal, Kind: measure.KindTx}
+			if _, ok := idx.TxMeta[h]; !ok {
+				idx.TxMeta[h] = TxMeta{Sender: o.Sender, Nonce: o.Nonce}
+			}
+		}
+	}
+	// Block skeletons come straight from the retained bodies — the
+	// same content a raw-log scan would reparse from the first full
+	// reception's record (meta is a pure function of the block, so
+	// which node supplies it is immaterial).
+	for _, n := range nodes {
+		links := n.CaptureTxLinks()
+		for h, b := range n.Blocks() {
+			if _, ok := idx.BlockMeta[h]; ok {
+				continue
+			}
+			idx.BlockMeta[h] = metaFromBlockLinks(b, links)
+		}
+	}
+	if !observed {
+		return nil, measure.ErrEmptyLog
+	}
+	if len(idx.BlockFirst) == 0 {
+		return nil, ErrNoBlocks
+	}
+	return idx, nil
+}
+
+// metaFromBlockLinks is metaFromBlock with the tx hash list gated on
+// the node's capture setting, mirroring what the node's records would
+// have carried.
+func metaFromBlockLinks(b *types.Block, captureTxLinks bool) BlockMeta {
+	meta := BlockMeta{
+		Hash:    b.Hash(),
+		Parent:  b.Header.ParentHash,
+		Number:  b.Header.Number,
+		Miner:   b.Header.MinerLabel,
+		TxCount: len(b.Txs),
+		Size:    b.EncodedSize(),
+		Extra:   b.Header.Extra,
+	}
+	for i := range b.Uncles {
+		meta.Uncles = append(meta.Uncles, b.Uncles[i].Hash())
+	}
+	if captureTxLinks {
+		for _, tx := range b.Txs {
+			meta.TxHashes = append(meta.TxHashes, tx.Hash())
+		}
+	}
+	return meta
+}
+
+// MergeNodeMeta builds a record-free Dataset shell (node names and
+// retained block bodies) for streaming campaigns, where the raw log
+// was never materialized.
+func MergeNodeMeta(nodes []*measure.Node) (*Dataset, error) {
+	if len(nodes) == 0 {
+		return nil, ErrNoNodes
+	}
+	ds := &Dataset{Blocks: make(map[types.Hash]*types.Block)}
+	for _, n := range nodes {
+		ds.NodeNames = append(ds.NodeNames, n.Name())
+		for h, b := range n.Blocks() {
+			if _, ok := ds.Blocks[h]; !ok {
+				ds.Blocks[h] = b
+			}
+		}
+	}
+	return ds, nil
+}

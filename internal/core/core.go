@@ -86,6 +86,15 @@ type CampaignConfig struct {
 	// PerfectClocks disables NTP error (for ground-truth validation
 	// runs); the default samples the paper's NTP mixture.
 	PerfectClocks bool
+	// Streaming makes measurement nodes fold receptions into O(items)
+	// aggregates instead of retaining raw Records: campaign memory
+	// stays O(blocks + transactions) rather than O(receptions), and
+	// the analysis index is built without materializing a log. The
+	// resulting Index — and every analysis on it — is identical to the
+	// raw-log path; only CampaignResult.Dataset.Records is empty. Use
+	// the default (false) when the raw JSONL log itself is the product
+	// (cmd/ethmeasure).
+	Streaming bool
 	// CaptureTxLinks records per-block transaction hash lists,
 	// required for commit-time analyses.
 	CaptureTxLinks bool
@@ -223,6 +232,7 @@ func NewCampaign(cfg CampaignConfig) (*Campaign, error) {
 			Region:         spec.Region,
 			Peers:          peers,
 			CaptureTxLinks: cfg.CaptureTxLinks,
+			Streaming:      cfg.Streaming,
 		}, clock)
 		if err != nil {
 			return nil, fmt.Errorf("core: attach %s: %w", spec.Name, err)
@@ -342,13 +352,29 @@ func (c *Campaign) Run() (*CampaignResult, error) {
 	// run then drains propagation events and held releases.
 	c.engine.Run()
 
-	ds, err := analysis.MergeNodes(c.nodes)
-	if err != nil {
-		return nil, fmt.Errorf("core: merge logs: %w", err)
-	}
-	idx, err := analysis.BuildIndex(ds)
-	if err != nil {
-		return nil, fmt.Errorf("core: index logs: %w", err)
+	var (
+		ds  *analysis.Dataset
+		idx *analysis.Index
+		err error
+	)
+	if c.cfg.Streaming {
+		ds, err = analysis.MergeNodeMeta(c.nodes)
+		if err != nil {
+			return nil, fmt.Errorf("core: merge logs: %w", err)
+		}
+		idx, err = analysis.IndexFromStreams(c.nodes)
+		if err != nil {
+			return nil, fmt.Errorf("core: index logs: %w", err)
+		}
+	} else {
+		ds, err = analysis.MergeNodes(c.nodes)
+		if err != nil {
+			return nil, fmt.Errorf("core: merge logs: %w", err)
+		}
+		idx, err = analysis.BuildIndex(ds)
+		if err != nil {
+			return nil, fmt.Errorf("core: index logs: %w", err)
+		}
 	}
 	view, err := analysis.ViewFromIndex(idx)
 	if err != nil {

@@ -1,0 +1,111 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/sim"
+	"repro/internal/txgen"
+)
+
+// TestStreamingMatchesRawLog runs the identical campaign once in
+// raw-log mode and once streaming and asserts every analysis output
+// derived from the index is byte-identical — the determinism contract
+// that lets the experiment registry run streaming unconditionally.
+func TestStreamingMatchesRawLog(t *testing.T) {
+	run := func(streaming bool) *CampaignResult {
+		t.Helper()
+		cfg := DefaultCampaignConfig(7)
+		cfg.NetworkNodes = 60
+		cfg.Blocks = 40
+		cfg.Degree = 5
+		cfg.Measurement = PaperMeasurementSpecs(20)
+		cfg.CaptureTxLinks = true
+		cfg.Streaming = streaming
+		wl := txgen.DefaultConfig()
+		wl.Senders = 50
+		wl.MeanInterArrival = 400 * sim.Millisecond
+		cfg.Workload = &wl
+		res, err := RunCampaign(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	raw := run(false)
+	str := run(true)
+
+	if len(raw.Dataset.Records) == 0 {
+		t.Fatal("raw-log campaign kept no records")
+	}
+	if len(str.Dataset.Records) != 0 {
+		t.Fatal("streaming campaign retained records")
+	}
+	if len(raw.Dataset.NodeNames) != len(str.Dataset.NodeNames) {
+		t.Fatalf("node names differ: %v vs %v", raw.Dataset.NodeNames, str.Dataset.NodeNames)
+	}
+	// Both modes list nodes in attach order — the order must match
+	// element for element, not just in length.
+	for i := range raw.Dataset.NodeNames {
+		if raw.Dataset.NodeNames[i] != str.Dataset.NodeNames[i] {
+			t.Fatalf("node name order diverged: %v vs %v",
+				raw.Dataset.NodeNames, str.Dataset.NodeNames)
+		}
+	}
+
+	type render func(*CampaignResult) (string, error)
+	renders := map[string]render{
+		"propagation": func(r *CampaignResult) (string, error) {
+			p, err := analysis.PropagationDelays(r.Index)
+			if err != nil {
+				return "", err
+			}
+			return analysis.RenderPropagation(p), nil
+		},
+		"first_observation": func(r *CampaignResult) (string, error) {
+			f, err := analysis.FirstObservations(r.Index)
+			if err != nil {
+				return "", err
+			}
+			return analysis.RenderFirstObservations(f), nil
+		},
+		"redundancy": func(r *CampaignResult) (string, error) {
+			red, err := analysis.Redundancy(r.Index, "WE")
+			if err != nil {
+				return "", err
+			}
+			return analysis.RenderRedundancy(red), nil
+		},
+		"commit_times": func(r *CampaignResult) (string, error) {
+			c, err := analysis.CommitTimes(r.Index, r.View)
+			if err != nil {
+				return "", err
+			}
+			return analysis.RenderCommit(c), nil
+		},
+		"reordering": func(r *CampaignResult) (string, error) {
+			re, err := analysis.Reordering(r.Index, r.View)
+			if err != nil {
+				return "", err
+			}
+			return analysis.RenderReordering(re), nil
+		},
+	}
+	for name, f := range renders {
+		a, err := f(raw)
+		if err != nil {
+			t.Fatalf("%s (raw): %v", name, err)
+		}
+		b, err := f(str)
+		if err != nil {
+			t.Fatalf("%s (streaming): %v", name, err)
+		}
+		if a != b {
+			t.Errorf("%s diverged between raw-log and streaming modes:\nraw:\n%s\nstreaming:\n%s", name, a, b)
+		}
+	}
+	if raw.MessagesSent != str.MessagesSent || raw.BytesSent != str.BytesSent {
+		t.Errorf("transport totals diverged: %d/%d vs %d/%d",
+			raw.MessagesSent, raw.BytesSent, str.MessagesSent, str.BytesSent)
+	}
+}

@@ -28,6 +28,10 @@ const (
 	ScaleMedium
 	// ScalePaper approaches the paper's block counts where feasible.
 	ScalePaper
+	// ScaleStress pushes the overlay an order of magnitude past the
+	// paper's sizing (10k nodes on the network experiments) to
+	// exercise the hot path at the limit of the hardware.
+	ScaleStress
 )
 
 // ParseScale parses a scale name as accepted by the CLIs.
@@ -39,8 +43,10 @@ func ParseScale(s string) (Scale, error) {
 		return ScaleMedium, nil
 	case "paper":
 		return ScalePaper, nil
+	case "stress":
+		return ScaleStress, nil
 	default:
-		return 0, fmt.Errorf("unknown scale %q (small|medium|paper)", s)
+		return 0, fmt.Errorf("unknown scale %q (small|medium|paper|stress)", s)
 	}
 }
 
@@ -53,6 +59,8 @@ func (s Scale) String() string {
 		return "medium"
 	case ScalePaper:
 		return "paper"
+	case ScaleStress:
+		return "stress"
 	default:
 		return "unknown"
 	}
@@ -78,6 +86,11 @@ func networkScale(sc Scale) (nodes int, blocks uint64, peers int) {
 		return 800, 500, 0
 	case ScalePaper:
 		return 2000, 1500, 0
+	case ScaleStress:
+		// An order of magnitude past the paper's overlay: the pooled
+		// event engine holds this in memory because measurement is
+		// streaming and per-node caches are bounded.
+		return 10_000, 200, 0
 	default:
 		return 250, 150, 0
 	}
@@ -86,10 +99,8 @@ func networkScale(sc Scale) (nodes int, blocks uint64, peers int) {
 // chainScale returns chain-only block counts per scale.
 func chainScale(sc Scale) uint64 {
 	switch sc {
-	case ScaleMedium:
+	case ScaleMedium, ScalePaper, ScaleStress:
 		return 201_086 // the paper's one-month main-chain length
-	case ScalePaper:
-		return 201_086
 	default:
 		return 20_000
 	}
@@ -103,18 +114,23 @@ func wholeChainScale(sc Scale) uint64 {
 		return 1_000_000
 	case ScalePaper:
 		return 7_680_658
+	case ScaleStress:
+		return 2_000_000
 	default:
 		return 100_000
 	}
 }
 
-// networkCampaign runs the shared Figs. 1-3 campaign.
+// networkCampaign runs the shared Figs. 1-3 campaign. Registry
+// campaigns always run streaming: the analyses consume the index, not
+// the raw log, so memory stays O(items) at any scale.
 func networkCampaign(seed uint64, sc Scale) (*core.CampaignResult, error) {
 	nodes, blocks, peers := networkScale(sc)
 	cfg := core.DefaultCampaignConfig(seed)
 	cfg.NetworkNodes = nodes
 	cfg.Blocks = blocks
 	cfg.Measurement = core.PaperMeasurementSpecs(peers)
+	cfg.Streaming = true
 	return core.RunCampaign(cfg)
 }
 
@@ -192,6 +208,7 @@ func Table2(seed uint64, sc Scale) (*Outcome, error) {
 	cfg := core.DefaultCampaignConfig(seed)
 	cfg.NetworkNodes = nodes
 	cfg.Blocks = blocks
+	cfg.Streaming = true
 	// One default-configuration node alongside the four primaries,
 	// exactly like the paper's subsidiary measurement.
 	cfg.Measurement = append(core.PaperMeasurementSpecs(0),
@@ -229,6 +246,9 @@ func workloadCampaign(seed uint64, sc Scale, mutate func(*mining.Config)) (*core
 	case ScalePaper:
 		cfg.NetworkNodes = 400
 		cfg.Blocks = 800
+	case ScaleStress:
+		cfg.NetworkNodes = 1000
+		cfg.Blocks = 1200
 	default:
 		cfg.NetworkNodes = 100
 		cfg.Blocks = 150
@@ -236,6 +256,7 @@ func workloadCampaign(seed uint64, sc Scale, mutate func(*mining.Config)) (*core
 	cfg.Degree = 6
 	cfg.Measurement = core.PaperMeasurementSpecs(30)
 	cfg.CaptureTxLinks = true
+	cfg.Streaming = true
 	wl := txgen.DefaultConfig()
 	wl.Senders = 600
 	wl.MeanInterArrival = 500 * sim.Millisecond // ~2 tx/s, ~26 tx/block
@@ -492,6 +513,7 @@ func AblationFanout(seed uint64, sc Scale) (*Outcome, error) {
 		cfg := core.DefaultCampaignConfig(seed)
 		cfg.NetworkNodes = nodes
 		cfg.Blocks = blocks
+		cfg.Streaming = true
 		cfg.Measurement = append(core.PaperMeasurementSpecs(40),
 			core.MeasurementSpec{Name: "D25", Region: geo.WesternEurope, Peers: 25})
 		cfg.Push = policy
@@ -533,6 +555,7 @@ func AblationGateways(seed uint64, sc Scale) (*Outcome, error) {
 		cfg := core.DefaultCampaignConfig(seed)
 		cfg.NetworkNodes = nodes
 		cfg.Blocks = blocks
+		cfg.Streaming = true
 		cfg.Measurement = core.PaperMeasurementSpecs(peers)
 		if disperse {
 			everywhere := geo.Regions()

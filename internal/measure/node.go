@@ -10,8 +10,36 @@ import (
 	"repro/internal/types"
 )
 
+// BlockObservation is the streaming aggregate for one block at one
+// node: the earliest local sighting (and its message kind) plus
+// per-kind reception counts — exactly what analysis.BuildIndex
+// derives for the node from its raw log.
+type BlockObservation struct {
+	FirstLocal sim.Time
+	FirstKind  RecordKind
+	// Blocks counts full-block receptions, Announces hash
+	// announcements.
+	Blocks    int
+	Announces int
+}
+
+// TxObservation is the streaming aggregate for one transaction at one
+// node: earliest local sighting plus the identity the reordering
+// analysis needs.
+type TxObservation struct {
+	FirstLocal sim.Time
+	Sender     string
+	Nonce      uint64
+}
+
 // Node is an instrumented measurement client: a regular network peer
 // whose ingress is logged with a local (NTP-skewed) clock.
+//
+// In the default (raw log) mode every reception appends a Record, like
+// the study's JSONL logs. In streaming mode the node instead folds
+// each reception into O(1) per-item aggregates, so campaign memory is
+// O(blocks + transactions) rather than O(receptions) — the difference
+// between a 600 GB log and a running summary.
 type Node struct {
 	name  string
 	peer  *p2p.Node
@@ -19,6 +47,11 @@ type Node struct {
 
 	records []Record
 	blocks  map[types.Hash]*types.Block
+
+	streaming bool
+	blockObs  map[types.Hash]*BlockObservation
+	txObs     map[types.Hash]*TxObservation
+
 	// captureTxLinks controls whether block records carry the full
 	// transaction hash list (needed for commit-time analysis; costs
 	// log volume, like the original raw logs' 600 GB).
@@ -40,6 +73,11 @@ type Options struct {
 	MaxPeers int
 	// CaptureTxLinks records each block's transaction hash list.
 	CaptureTxLinks bool
+	// Streaming folds receptions into per-item aggregates instead of
+	// retaining raw Records (Records() then returns nil; use
+	// analysis.IndexFromStreams). Memory stays O(items) rather than
+	// O(receptions).
+	Streaming bool
 }
 
 // Attach creates a measurement node, joins it to the network with the
@@ -67,9 +105,16 @@ func Attach(net *p2p.Network, opts Options, clock geo.Clock) (*Node, error) {
 		peer:           peer,
 		clock:          clock,
 		blocks:         make(map[types.Hash]*types.Block),
+		streaming:      opts.Streaming,
 		captureTxLinks: opts.CaptureTxLinks,
 	}
-	peer.SetObserver(m.observe)
+	if opts.Streaming {
+		m.blockObs = make(map[types.Hash]*BlockObservation)
+		m.txObs = make(map[types.Hash]*TxObservation)
+		peer.SetObserver(m.observeStream)
+	} else {
+		peer.SetObserver(m.observe)
+	}
 	return m, nil
 }
 
@@ -86,8 +131,24 @@ func (m *Node) Peer() *p2p.Node { return m.peer }
 func (m *Node) Clock() geo.Clock { return m.clock }
 
 // Records returns the log lines collected so far (not copied: the log
-// can be large; callers must not mutate).
+// can be large; callers must not mutate). Streaming nodes keep no raw
+// log and return nil.
 func (m *Node) Records() []Record { return m.records }
+
+// Streaming reports whether the node aggregates instead of logging.
+func (m *Node) Streaming() bool { return m.streaming }
+
+// CaptureTxLinks reports whether block observations carry tx hash
+// lists.
+func (m *Node) CaptureTxLinks() bool { return m.captureTxLinks }
+
+// BlockObservations returns the streaming per-block aggregates (nil
+// in raw-log mode). The map is shared; callers must not mutate.
+func (m *Node) BlockObservations() map[types.Hash]*BlockObservation { return m.blockObs }
+
+// TxObservations returns the streaming per-transaction aggregates
+// (nil in raw-log mode). The map is shared; callers must not mutate.
+func (m *Node) TxObservations() map[types.Hash]*TxObservation { return m.txObs }
 
 // Blocks returns the full content of every block observed, keyed by
 // hash. The map is shared; callers must not mutate.
@@ -155,5 +216,63 @@ func (m *Node) observe(now sim.Time, from p2p.NodeID, msg *p2p.Message) {
 	default:
 		// GetBlock requests carry no measurement value; the study's
 		// logs track blocks, announcements and transactions.
+	}
+}
+
+// observeStream is the streaming instrumentation hook: fold each
+// reception into the per-item aggregates. The earliest-sighting rule
+// matches analysis.BuildIndex's noteFirst exactly (strictly earlier
+// local time wins; ties keep the first reception), so the index built
+// from these aggregates is identical to one built from raw records.
+func (m *Node) observeStream(now sim.Time, from p2p.NodeID, msg *p2p.Message) {
+	local := m.clock.Read(now)
+	switch msg.Kind {
+	case p2p.MsgNewBlock:
+		b := msg.Block
+		if b == nil {
+			return
+		}
+		h := b.Hash()
+		o := m.blockObs[h]
+		if o == nil {
+			o = &BlockObservation{FirstLocal: local, FirstKind: KindBlock}
+			m.blockObs[h] = o
+		} else if local < o.FirstLocal {
+			o.FirstLocal = local
+			o.FirstKind = KindBlock
+		}
+		o.Blocks++
+		if _, seen := m.blocks[h]; !seen {
+			m.blocks[h] = b
+		}
+	case p2p.MsgNewBlockHashes:
+		for _, h := range msg.Hashes {
+			o := m.blockObs[h]
+			if o == nil {
+				o = &BlockObservation{FirstLocal: local, FirstKind: KindAnnouncement}
+				m.blockObs[h] = o
+			} else if local < o.FirstLocal {
+				o.FirstLocal = local
+				o.FirstKind = KindAnnouncement
+			}
+			o.Announces++
+		}
+	case p2p.MsgTransactions:
+		for _, tx := range msg.Txs {
+			if tx == nil {
+				continue
+			}
+			h := tx.Hash()
+			o := m.txObs[h]
+			if o == nil {
+				m.txObs[h] = &TxObservation{
+					FirstLocal: local,
+					Sender:     tx.Sender.String(),
+					Nonce:      tx.Nonce,
+				}
+			} else if local < o.FirstLocal {
+				o.FirstLocal = local
+			}
+		}
 	}
 }

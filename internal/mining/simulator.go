@@ -103,7 +103,19 @@ type Simulator struct {
 	tree    *chain.BlockTree
 	tracker *chain.UncleTracker
 	pools   []*poolState
-	weights []float64
+	// sampler picks the winning pool per race, precomputed from the
+	// hashrate shares (one uniform draw + binary search per block
+	// instead of an O(pools) scan).
+	sampler *sim.Weighted
+	// raceTimer drives the Poisson race: one pooled timer handle,
+	// rescheduled per win and cancelled by Stop — no tombstone events.
+	raceTimer *sim.Timer
+
+	// visSlab holds pending per-pool head-visibility updates for the
+	// typed event path; entries are refcounted across the pools that
+	// share one block's update and recycled through visFree.
+	visSlab []visUpdate
+	visFree []int32
 
 	produced   uint64
 	fillerSeq  uint64
@@ -111,6 +123,15 @@ type Simulator struct {
 	doneFired  bool
 	multiTuple map[types.Hash]int // primary hash -> total versions
 	withheld   map[string]*withholdState
+}
+
+// visUpdate is one block's deferred visibility: pools that see the
+// block after gateway + switch delay adopt it as head if it is still
+// the heaviest they know.
+type visUpdate struct {
+	td   uint64
+	head types.Hash
+	refs int
 }
 
 // ErrNoPools indicates an empty registry.
@@ -145,6 +166,7 @@ func NewSimulator(engine *sim.Engine, rng *sim.RNG, cfg Config) (*Simulator, err
 		multiTuple: make(map[types.Hash]int),
 		withheld:   make(map[string]*withholdState),
 	}
+	weights := make([]float64, 0, len(cfg.Pools))
 	for _, pc := range cfg.Pools {
 		s.pools = append(s.pools, &poolState{
 			cfg:     pc,
@@ -152,8 +174,15 @@ func NewSimulator(engine *sim.Engine, rng *sim.RNG, cfg Config) (*Simulator, err
 			headTD:  genesis.Header.Difficulty,
 			address: pc.Address(),
 		})
-		s.weights = append(s.weights, pc.HashrateShare)
+		weights = append(weights, pc.HashrateShare)
 	}
+	sampler, err := sim.NewWeighted(weights)
+	if err != nil {
+		// ValidatePools guarantees shares sum to ~1.
+		return nil, fmt.Errorf("mining: pool shares: %w", err)
+	}
+	s.sampler = sampler
+	s.raceTimer = engine.NewTimer(s.raceWin)
 	return s, nil
 }
 
@@ -182,9 +211,12 @@ func (s *Simulator) Start() {
 	s.scheduleNext()
 }
 
-// Stop halts further block production (already scheduled wins still
-// fire but produce nothing).
-func (s *Simulator) Stop() { s.stopped = true }
+// Stop halts further block production: the pending race win is
+// cancelled outright instead of firing as a dead event.
+func (s *Simulator) Stop() {
+	s.stopped = true
+	s.raceTimer.Stop()
+}
 
 func (s *Simulator) scheduleNext() {
 	if s.stopped {
@@ -202,14 +234,17 @@ func (s *Simulator) scheduleNext() {
 	if mean < 1 {
 		mean = 1
 	}
-	gap := s.rng.ExpTime(mean)
-	s.engine.Schedule(gap, func(now sim.Time) {
-		if s.stopped || (s.cfg.BlockLimit > 0 && s.produced >= s.cfg.BlockLimit) {
-			return
-		}
-		s.mineOne(now)
-		s.scheduleNext()
-	})
+	s.raceTimer.Reset(s.rng.ExpTime(mean))
+}
+
+// raceWin is the race timer's callback: execute one win, schedule the
+// next.
+func (s *Simulator) raceWin(now sim.Time) {
+	if s.stopped || (s.cfg.BlockLimit > 0 && s.produced >= s.cfg.BlockLimit) {
+		return
+	}
+	s.mineOne(now)
+	s.scheduleNext()
 }
 
 func (s *Simulator) fireDone(now sim.Time) {
@@ -224,11 +259,7 @@ func (s *Simulator) fireDone(now sim.Time) {
 // mineOne executes one win of the mining race.
 func (s *Simulator) mineOne(now sim.Time) {
 	s.produced++
-	idx, err := s.rng.WeightedChoice(s.weights)
-	if err != nil {
-		return // validated at construction; unreachable
-	}
-	pool := s.pools[idx]
+	pool := s.pools[s.sampler.Sample(s.rng)]
 	if pool.cfg.Withholder {
 		s.mineWithheld(now, pool)
 		return
@@ -345,21 +376,42 @@ func (s *Simulator) insert(now sim.Time, b *types.Block, miner *poolState) bool 
 		miner.headTD = td
 	}
 	// Other pools see it after gateway propagation plus their switch
-	// delay.
-	for _, q := range s.pools {
-		if q == miner {
-			continue
+	// delay. The update is a typed event over a refcounted slab entry
+	// shared by every pool — no per-pool closure.
+	if len(s.pools) > 1 {
+		var idx int32
+		if n := len(s.visFree); n > 0 {
+			idx = s.visFree[n-1]
+			s.visFree = s.visFree[:n-1]
+		} else {
+			s.visSlab = append(s.visSlab, visUpdate{})
+			idx = int32(len(s.visSlab) - 1)
 		}
-		q := q
-		delay := s.cfg.GatewayDelay + s.rng.ExpTime(q.cfg.SwitchDelayMean)
-		s.engine.Schedule(delay, func(sim.Time) {
-			if td > q.headTD {
-				q.head = b.Hash()
-				q.headTD = td
+		s.visSlab[idx] = visUpdate{td: td, head: b.Hash(), refs: len(s.pools) - 1}
+		for pi, q := range s.pools {
+			if q == miner {
+				continue
 			}
-		})
+			delay := s.cfg.GatewayDelay + s.rng.ExpTime(q.cfg.SwitchDelayMean)
+			s.engine.ScheduleCall(delay, s, uint64(pi), uint64(idx))
+		}
 	}
 	return reorged
+}
+
+// HandleEvent implements sim.Handler: apply one pool's deferred
+// head-visibility update (a = pool index, b = visSlab index).
+func (s *Simulator) HandleEvent(_ sim.Time, a, b uint64) {
+	q := s.pools[a]
+	u := &s.visSlab[b]
+	if u.td > q.headTD {
+		q.head = u.head
+		q.headTD = u.td
+	}
+	u.refs--
+	if u.refs == 0 {
+		s.visFree = append(s.visFree, int32(b))
+	}
 }
 
 func (s *Simulator) gateway(p *poolState) geo.Region {

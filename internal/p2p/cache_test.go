@@ -1,0 +1,123 @@
+package p2p
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/geo"
+	"repro/internal/sim"
+	"repro/internal/types"
+)
+
+// TestBlockCacheBounded relays far more blocks than blockCacheCap and
+// verifies the body cache stays bounded while the dedup ground truth
+// (haveBlocks) keeps every hash.
+func TestBlockCacheBounded(t *testing.T) {
+	net := zeroLatencyNetwork(t, 3)
+	a := addNode(t, net, geo.WesternEurope, 0)
+	b := addNode(t, net, geo.WesternEurope, 0)
+	if err := net.Connect(a, b); err != nil {
+		t.Fatal(err)
+	}
+	total := blockCacheCap + 200
+	for i := 0; i < total; i++ {
+		a.InjectBlock(sim.Time(i), testBlock(uint64(i+1), "Ethermine"))
+		net.Engine().Run()
+	}
+	if len(a.knownBlocks) > blockCacheCap {
+		t.Fatalf("body cache grew to %d entries (cap %d)", len(a.knownBlocks), blockCacheCap)
+	}
+	if len(a.haveBlocks) != total {
+		t.Fatalf("haveBlocks has %d hashes, want %d", len(a.haveBlocks), total)
+	}
+	// Eviction is FIFO: the most recent blocks are still servable, the
+	// oldest are not — but both still count as known (no re-relay).
+	newest := testBlock(uint64(total), "Ethermine").Hash()
+	if _, ok := a.knownBlocks[newest]; !ok {
+		t.Fatal("newest block evicted from body cache")
+	}
+	oldest := testBlock(1, "Ethermine").Hash()
+	if _, ok := a.knownBlocks[oldest]; ok {
+		t.Fatal("oldest block survived past the cap")
+	}
+	if !a.KnowsBlock(oldest) {
+		t.Fatal("evicted block must still be known (dedup)")
+	}
+}
+
+// TestMessagePoolReuse drives repeated dissemination and checks the
+// network recycles message structs instead of growing the pool per
+// send.
+func TestMessagePoolReuse(t *testing.T) {
+	net := zeroLatencyNetwork(t, 4)
+	nodes := make([]*Node, 8)
+	for i := range nodes {
+		nodes[i] = addNode(t, net, geo.WesternEurope, 0)
+	}
+	for i := 1; i < len(nodes); i++ {
+		if err := net.Connect(nodes[0], nodes[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 50; i++ {
+		nodes[0].InjectBlock(sim.Time(i*1000), testBlock(uint64(i+1), "F2Pool"))
+		net.Engine().Run()
+	}
+	// All in-flight messages were delivered and released; the free
+	// pool now holds every message ever allocated.
+	allocated := len(net.msgFree)
+	if allocated == 0 {
+		t.Fatal("no pooled messages after 50 dissemination rounds")
+	}
+	if uint64(allocated) == net.MessagesSent {
+		t.Fatalf("pool holds %d messages for %d sends: no reuse happened",
+			allocated, net.MessagesSent)
+	}
+	if len(net.delivFree) != len(net.deliv) {
+		t.Fatalf("delivery slab leak: %d slots, %d free", len(net.deliv), len(net.delivFree))
+	}
+	if len(net.annFree) != len(net.ann) {
+		t.Fatalf("announce slab leak: %d slots, %d free", len(net.ann), len(net.annFree))
+	}
+}
+
+// TestPooledMessagePayloadIntegrity checks that recycled announcement
+// messages carry the right hash even when many are in flight at once
+// (the inline hash1 buffer must be per-message, not shared).
+func TestPooledMessagePayloadIntegrity(t *testing.T) {
+	net := zeroLatencyNetwork(t, 5)
+	hub := addNode(t, net, geo.WesternEurope, 0)
+	var leaves []*Node
+	for i := 0; i < 30; i++ {
+		n := addNode(t, net, geo.WesternEurope, 0)
+		if err := net.Connect(hub, n); err != nil {
+			t.Fatal(err)
+		}
+		leaves = append(leaves, n)
+	}
+	want := map[types.Hash]bool{}
+	seen := map[types.Hash]int{}
+	for _, n := range leaves {
+		n.SetObserver(func(_ sim.Time, _ NodeID, msg *Message) {
+			if msg.Kind == MsgNewBlockHashes {
+				for _, h := range msg.Hashes {
+					seen[h]++
+				}
+			}
+		})
+	}
+	for i := 0; i < 10; i++ {
+		blk := testBlock(uint64(i+1), fmt.Sprintf("Pool%d", i))
+		want[blk.Hash()] = true
+		hub.InjectBlock(sim.Time(i), blk)
+	}
+	net.Engine().Run()
+	for h, n := range seen {
+		if !want[h] {
+			t.Fatalf("announcement carried unknown hash %v (%d times) — pooled payload corrupted", h, n)
+		}
+	}
+	if len(seen) == 0 {
+		t.Fatal("no announcements observed")
+	}
+}

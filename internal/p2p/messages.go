@@ -45,6 +45,11 @@ func (k MsgKind) String() string {
 
 // Message is a wire message instance. Exactly one payload field is
 // populated depending on Kind.
+//
+// Messages on the hot path are pooled: the network recycles a message
+// as soon as the receiving node's handler (and its observer) returns.
+// Observers must therefore copy — never retain — a message or its
+// payload slices.
 type Message struct {
 	Kind MsgKind
 	// Block is the payload of MsgNewBlock.
@@ -55,6 +60,11 @@ type Message struct {
 	Want types.Hash
 	// Txs is the payload of MsgTransactions.
 	Txs []*types.Transaction
+
+	// hash1 backs the common single-hash announcement so each send
+	// does not allocate a one-element slice. (The sender travels in
+	// the pooled delivery slot, not in the message.)
+	hash1 [1]types.Hash
 }
 
 // Wire-size constants for the fixed-size message parts.

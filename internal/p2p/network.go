@@ -11,6 +11,13 @@ import (
 
 // Network owns the overlay: node registry, random peer wiring, and
 // message transport over the geographic latency model.
+//
+// Transport is allocation-free in the steady state: messages and
+// delivery slots come from free lists, deliveries and deferred
+// announce waves are dispatched through the engine's typed-handler
+// path (no closure per send), and fan-out selection reuses shared
+// scratch buffers. The engine is single-threaded, so one scratch set
+// per network is safe.
 type Network struct {
 	engine  *sim.Engine
 	rng     *sim.RNG
@@ -27,7 +34,41 @@ type Network struct {
 	// Push selects the block dissemination rule (default SqrtPush,
 	// the eth/63 behavior). The fan-out ablation flips this.
 	Push PushPolicy
+
+	// Pooled transport state (see HandleEvent).
+	msgFree   []*Message
+	deliv     []delivery
+	delivFree []int32
+	ann       []announce
+	annFree   []int32
+
+	// Shared fan-out scratch: candidate peers and permutation order.
+	candBuf  []*Node
+	orderBuf []int
+	// knowPool recycles per-block peer-knowledge sets evicted by the
+	// nodes' suppression caches.
+	knowPool []map[NodeID]bool
 }
+
+// delivery is one in-flight message: destination, sender and payload.
+type delivery struct {
+	to   *Node
+	from NodeID
+	msg  *Message
+}
+
+// announce is one deferred announce wave (relayBlock's phase 2).
+type announce struct {
+	node   *Node
+	hash   types.Hash
+	origin bool
+}
+
+// Typed event opcodes for HandleEvent.
+const (
+	opDeliver uint64 = iota
+	opAnnounce
+)
 
 // PushPolicy selects how a node splits block dissemination between
 // direct pushes and hash announcements.
@@ -90,6 +131,7 @@ func (net *Network) AddNode(region geo.Region, maxPeers int) (*Node, error) {
 		net:         net,
 		peerSet:     make(map[NodeID]bool),
 		maxPeers:    maxPeers,
+		haveBlocks:  make(map[types.Hash]bool),
 		knownBlocks: make(map[types.Hash]*types.Block),
 		seenHashes:  make(map[types.Hash]bool),
 		knownTxs:    make(map[types.Hash]bool),
@@ -244,10 +286,38 @@ func (net *Network) ConnectSampleBiased(node *Node, k int, regionBias float64) e
 	return nil
 }
 
+// newMessage takes a message from the pool (or allocates the pool's
+// first copies). The caller fills exactly the payload field its kind
+// requires; every other payload field is zero.
+func (net *Network) newMessage(kind MsgKind) *Message {
+	if n := len(net.msgFree); n > 0 {
+		m := net.msgFree[n-1]
+		net.msgFree = net.msgFree[:n-1]
+		m.Kind = kind
+		return m
+	}
+	return &Message{Kind: kind}
+}
+
+// releaseMessage recycles a delivered message. Payload slices are
+// dropped, not reused: a transaction batch is shared by every fan-out
+// copy, so its backing array must never be rewritten. The inline
+// single-hash buffer is owned by the message and is safely rewritten
+// on reuse.
+func (net *Network) releaseMessage(m *Message) {
+	m.Block = nil
+	m.Hashes = nil
+	m.Txs = nil
+	m.Want = types.Hash{}
+	net.msgFree = append(net.msgFree, m)
+}
+
 // send schedules delivery of msg from a to b at the latency-model
-// sampled arrival time relative to `at`.
+// sampled arrival time relative to `at`. The delivery is a typed
+// engine event referencing a pooled delivery slot — no closure.
 func (net *Network) send(at sim.Time, from, to *Node, msg *Message) {
-	delay, err := net.latency.Sample(net.rng, from.region, to.region, msg.Size())
+	size := msg.Size()
+	delay, err := net.latency.Sample(net.rng, from.region, to.region, size)
 	if err != nil {
 		// Regions are validated at AddNode; a failure here is a
 		// programming error and dropping the message would silently
@@ -255,9 +325,76 @@ func (net *Network) send(at sim.Time, from, to *Node, msg *Message) {
 		delay = 0
 	}
 	net.MessagesSent++
-	net.BytesSent += uint64(msg.Size())
-	fromID := from.id
-	net.engine.ScheduleAt(at+delay, func(now sim.Time) {
-		to.handle(now, fromID, msg)
-	})
+	net.BytesSent += uint64(size)
+	var idx int32
+	if n := len(net.delivFree); n > 0 {
+		idx = net.delivFree[n-1]
+		net.delivFree = net.delivFree[:n-1]
+	} else {
+		net.deliv = append(net.deliv, delivery{})
+		idx = int32(len(net.deliv) - 1)
+	}
+	net.deliv[idx] = delivery{to: to, from: from.id, msg: msg}
+	net.engine.ScheduleCallAt(at+delay, net, opDeliver, uint64(idx))
+}
+
+// scheduleAnnounce queues a node's deferred announce wave (relay
+// phase 2) through the typed dispatch path.
+func (net *Network) scheduleAnnounce(delay sim.Time, n *Node, h types.Hash, origin bool) {
+	var idx int32
+	if k := len(net.annFree); k > 0 {
+		idx = net.annFree[k-1]
+		net.annFree = net.annFree[:k-1]
+	} else {
+		net.ann = append(net.ann, announce{})
+		idx = int32(len(net.ann) - 1)
+	}
+	net.ann[idx] = announce{node: n, hash: h, origin: origin}
+	net.engine.ScheduleCall(delay, net, opAnnounce, uint64(idx))
+}
+
+// HandleEvent implements sim.Handler: it dispatches the network's two
+// typed event kinds. Slots are freed before the callee runs so nested
+// sends can immediately reuse them.
+func (net *Network) HandleEvent(now sim.Time, op, idx uint64) {
+	switch op {
+	case opDeliver:
+		d := net.deliv[idx]
+		net.deliv[idx] = delivery{}
+		net.delivFree = append(net.delivFree, int32(idx))
+		d.to.handle(now, d.from, d.msg)
+		net.releaseMessage(d.msg)
+	case opAnnounce:
+		a := net.ann[idx]
+		net.ann[idx] = announce{}
+		net.annFree = append(net.annFree, int32(idx))
+		a.node.announceWave(now, a.hash, a.origin)
+	}
+}
+
+// fanoutOrder fills the shared permutation scratch with a random
+// ordering of [0, n), drawing exactly as rng.Perm(n) would.
+func (net *Network) fanoutOrder(n int) []int {
+	if cap(net.orderBuf) < n {
+		net.orderBuf = make([]int, n)
+	}
+	buf := net.orderBuf[:n]
+	net.rng.PermInto(buf)
+	return buf
+}
+
+// getKnowSet / putKnowSet recycle the per-block peer-knowledge sets
+// bounded by the nodes' suppression caches.
+func (net *Network) getKnowSet() map[NodeID]bool {
+	if n := len(net.knowPool); n > 0 {
+		s := net.knowPool[n-1]
+		net.knowPool = net.knowPool[:n-1]
+		return s
+	}
+	return make(map[NodeID]bool, 8)
+}
+
+func (net *Network) putKnowSet(s map[NodeID]bool) {
+	clear(s)
+	net.knowPool = append(net.knowPool, s)
 }

@@ -37,6 +37,14 @@ const (
 // suppression state can be dropped.
 const knownPeerCap = 64
 
+// blockCacheCap bounds how many recent full-block bodies a node
+// retains for serving GetBlock pulls, evicted FIFO in insertion order
+// (deterministic). Pulls only ever target blocks still propagating —
+// seconds old, a handful of heights deep — so a four-digit cap is far
+// outside the in-flight window while keeping per-node memory O(cap)
+// instead of O(chain length).
+const blockCacheCap = 1024
+
 // Node is a protocol-conformant network participant: it deduplicates,
 // validates (as a time cost) and relays blocks and transactions, and
 // suppresses sends to peers already known to have an item (Geth's
@@ -51,7 +59,13 @@ type Node struct {
 	peerSet  map[NodeID]bool
 	maxPeers int // 0 = unlimited (the paper's measurement setting)
 
+	// haveBlocks is the permanent received-block set (one hash per
+	// block — the dedup ground truth). knownBlocks caches the most
+	// recent blockCacheCap bodies for GetBlock serving; blockQueue is
+	// its FIFO eviction order.
+	haveBlocks  map[types.Hash]bool
 	knownBlocks map[types.Hash]*types.Block
+	blockQueue  []types.Hash
 	seenHashes  map[types.Hash]bool // announced or received
 	knownTxs    map[types.Hash]bool
 
@@ -80,10 +94,22 @@ func (n *Node) PeerCount() int { return len(n.peers) }
 // SetObserver installs a message observer (nil removes it).
 func (n *Node) SetObserver(obs Observer) { n.observer = obs }
 
-// KnowsBlock reports whether the node has the full block.
+// KnowsBlock reports whether the node has received the full block.
 func (n *Node) KnowsBlock(h types.Hash) bool {
-	_, ok := n.knownBlocks[h]
-	return ok
+	return n.haveBlocks[h]
+}
+
+// rememberBlock records full-block receipt and caches the body for
+// GetBlock serving, evicting the oldest cached body past the cap.
+func (n *Node) rememberBlock(h types.Hash, b *types.Block) {
+	n.haveBlocks[h] = true
+	n.knownBlocks[h] = b
+	n.blockQueue = append(n.blockQueue, h)
+	if len(n.blockQueue) > blockCacheCap {
+		evict := n.blockQueue[0]
+		n.blockQueue = n.blockQueue[1:]
+		delete(n.knownBlocks, evict)
+	}
 }
 
 // markPeerKnows records that a peer has (or will shortly have) the
@@ -91,13 +117,16 @@ func (n *Node) KnowsBlock(h types.Hash) bool {
 func (n *Node) markPeerKnows(h types.Hash, peer NodeID) {
 	set, ok := n.peerKnows[h]
 	if !ok {
-		set = make(map[NodeID]bool, 8)
+		set = n.net.getKnowSet()
 		n.peerKnows[h] = set
 		n.knowQueue = append(n.knowQueue, h)
 		if len(n.knowQueue) > knownPeerCap {
 			evict := n.knowQueue[0]
 			n.knowQueue = n.knowQueue[1:]
-			delete(n.peerKnows, evict)
+			if old, ok := n.peerKnows[evict]; ok {
+				delete(n.peerKnows, evict)
+				n.net.putKnowSet(old)
+			}
 		}
 	}
 	set[peer] = true
@@ -150,22 +179,25 @@ func (n *Node) relayBlock(now sim.Time, b *types.Block, origin bool) {
 		return
 	}
 	h := b.Hash()
-	if _, ok := n.knownBlocks[h]; ok {
+	if n.haveBlocks[h] {
 		return
 	}
-	n.knownBlocks[h] = b
+	n.rememberBlock(h, b)
 	n.seenHashes[h] = true
 	if !n.relay || len(n.peers) == 0 {
 		return
 	}
 	// Phase 1 — push wave, after cheap validation: full block to a
-	// policy-determined subset of peers not known to have it.
-	candidates := make([]*Node, 0, len(n.peers))
+	// policy-determined subset of peers not known to have it. The
+	// candidate and permutation buffers are network-shared scratch;
+	// both are fully consumed before this function returns.
+	candidates := n.net.candBuf[:0]
 	for _, peer := range n.peers {
 		if !n.peerKnowsBlock(h, peer.id) {
 			candidates = append(candidates, peer)
 		}
 	}
+	n.net.candBuf = candidates[:0]
 	if len(candidates) == 0 {
 		return
 	}
@@ -182,48 +214,59 @@ func (n *Node) relayBlock(now sim.Time, b *types.Block, origin bool) {
 		}
 	}
 	pushDelay := sim.Time(blockValidateMillis)
-	order := n.net.rng.Perm(len(candidates))
+	order := n.net.fanoutOrder(len(candidates))
 	for i := 0; i < k && i < len(order); i++ {
 		peer := candidates[order[i]]
 		n.markPeerKnows(h, peer.id)
-		n.net.send(now+pushDelay, n, peer, &Message{Kind: MsgNewBlock, Block: b})
+		m := n.net.newMessage(MsgNewBlock)
+		m.Block = b
+		n.net.send(now+pushDelay, n, peer, m)
 	}
-	// Phase 2 — announce wave: hash announcements to peers still not
-	// known to have the block. Relayers pay the full-import delay
-	// first (state execution) and announce to a sqrt-bounded subset
-	// (Geth's fetcher rate-limits hash announcements; the paper's
-	// Table II measures a mean announcement in-degree of only 2.585).
-	// The origin — the pool gateway that built the block — already
-	// executed it and announces to all its peers immediately, which
-	// is what pools run gateways for.
+	// Phase 2 — announce wave (announceWave): hash announcements to
+	// peers still not known to have the block. Relayers pay the
+	// full-import delay first (state execution). The origin — the pool
+	// gateway that built the block — already executed it and announces
+	// immediately, which is what pools run gateways for.
 	announceDelay := pushDelay + blockImportMillis
 	if origin {
 		announceDelay = pushDelay
 	}
-	n.net.engine.Schedule(announceDelay, func(later sim.Time) {
-		targets := make([]*Node, 0, len(n.peers))
-		for _, peer := range n.peers {
-			if !n.peerKnowsBlock(h, peer.id) {
-				targets = append(targets, peer)
-			}
+	n.net.scheduleAnnounce(announceDelay, n, h, origin)
+}
+
+// announceWave is dissemination phase 2, fired through the typed
+// dispatch path after the import delay: announce to a sqrt-bounded
+// subset of the peers still not known to have the block (Geth's
+// fetcher rate-limits hash announcements; the paper's Table II
+// measures a mean announcement in-degree of only 2.585). The origin
+// gateway announces to all of them.
+func (n *Node) announceWave(now sim.Time, h types.Hash, origin bool) {
+	targets := n.net.candBuf[:0]
+	for _, peer := range n.peers {
+		if !n.peerKnowsBlock(h, peer.id) {
+			targets = append(targets, peer)
 		}
-		if len(targets) == 0 {
-			return
+	}
+	n.net.candBuf = targets[:0]
+	if len(targets) == 0 {
+		return
+	}
+	limit := len(targets)
+	if !origin {
+		limit = int(math.Sqrt(float64(len(targets))))
+		if limit < 1 {
+			limit = 1
 		}
-		limit := len(targets)
-		if !origin {
-			limit = int(math.Sqrt(float64(len(targets))))
-			if limit < 1 {
-				limit = 1
-			}
-		}
-		order := n.net.rng.Perm(len(targets))
-		for i := 0; i < limit; i++ {
-			peer := targets[order[i]]
-			n.markPeerKnows(h, peer.id)
-			n.net.send(later, n, peer, &Message{Kind: MsgNewBlockHashes, Hashes: []types.Hash{h}})
-		}
-	})
+	}
+	order := n.net.fanoutOrder(len(targets))
+	for i := 0; i < limit; i++ {
+		peer := targets[order[i]]
+		n.markPeerKnows(h, peer.id)
+		m := n.net.newMessage(MsgNewBlockHashes)
+		m.hash1[0] = h
+		m.Hashes = m.hash1[:1]
+		n.net.send(now, n, peer, m)
+	}
 }
 
 func (n *Node) handleAnnouncement(now sim.Time, from NodeID, hashes []types.Hash) {
@@ -239,7 +282,9 @@ func (n *Node) handleAnnouncement(now sim.Time, from NodeID, hashes []types.Hash
 		}
 		n.seenHashes[h] = true
 		// Pull the unknown block from the announcer.
-		n.net.send(now+announceHandleMillis, n, sender, &Message{Kind: MsgGetBlock, Want: h})
+		m := n.net.newMessage(MsgGetBlock)
+		m.Want = h
+		n.net.send(now+announceHandleMillis, n, sender, m)
 	}
 }
 
@@ -253,7 +298,9 @@ func (n *Node) handleGetBlock(now sim.Time, from NodeID, want types.Hash) {
 		return
 	}
 	n.markPeerKnows(want, from)
-	n.net.send(now+blockRequestRespondMs, n, requester, &Message{Kind: MsgNewBlock, Block: b})
+	m := n.net.newMessage(MsgNewBlock)
+	m.Block = b
+	n.net.send(now+blockRequestRespondMs, n, requester, m)
 }
 
 func (n *Node) handleTxs(now sim.Time, from NodeID, txs []*types.Transaction) {
@@ -277,6 +324,11 @@ func (n *Node) handleTxs(now sim.Time, from NodeID, txs []*types.Transaction) {
 		if peer.id == from {
 			continue
 		}
-		n.net.send(now+delay, n, peer, &Message{Kind: MsgTransactions, Txs: fresh})
+		// Each peer gets its own pooled message; the fresh batch slice
+		// is shared by every copy (released messages drop, never
+		// rewrite, it).
+		m := n.net.newMessage(MsgTransactions)
+		m.Txs = fresh
+		n.net.send(now+delay, n, peer, m)
 	}
 }

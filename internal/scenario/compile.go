@@ -156,6 +156,10 @@ func (v *Variant) campaignConfig(seed uint64, sc experiments.Scale) (core.Campai
 	}
 	cfg.NetworkNodes = nodes
 	cfg.Blocks = s.scaledBlocks(sc)
+	// Scenario campaigns consume the analysis index, never the raw
+	// log, so they always run streaming — memory stays O(items) even
+	// for stress-scale overlays.
+	cfg.Streaming = true
 	if s.Network.Degree > 0 {
 		cfg.Degree = s.Network.Degree
 	}

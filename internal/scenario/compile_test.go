@@ -152,6 +152,29 @@ func TestScaleFactors(t *testing.T) {
 	}
 }
 
+// TestStressScaleFactor covers the 1k-10k-node stress knob: the
+// default stress multiplier is 8x, and a file override wins.
+func TestStressScaleFactor(t *testing.T) {
+	s := Scenario{
+		Name:  "st",
+		Mode:  ModeChain,
+		Chain: &ChainSection{Blocks: 1000},
+	}
+	if got := s.scaledBlocks(experiments.ScaleStress); got != 8000 {
+		t.Errorf("default stress blocks: %d, want 8000", got)
+	}
+	s.ScaleFactors = map[string]float64{"stress": 1}
+	if got := s.scaledBlocks(experiments.ScaleStress); got != 1000 {
+		t.Errorf("overridden stress blocks: %d, want 1000", got)
+	}
+	if _, err := experiments.ParseScale("stress"); err != nil {
+		t.Errorf("ParseScale(stress): %v", err)
+	}
+	if experiments.ScaleStress.String() != "stress" {
+		t.Errorf("ScaleStress renders as %q", experiments.ScaleStress)
+	}
+}
+
 // TestOutputCatalogConsistent ensures every cataloged output name is
 // actually implemented by a compile function (and vice versa for mode
 // support): each output is requested in a scenario for its supported

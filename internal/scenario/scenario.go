@@ -74,10 +74,10 @@ type Scenario struct {
 	// Repeats suggests a repeat count to the runner; ethrepro uses it
 	// when -repeats is not given explicitly.
 	Repeats int `json:"repeats,omitempty"`
-	// ScaleFactors maps scale names (small|medium|paper) to
+	// ScaleFactors maps scale names (small|medium|paper|stress) to
 	// multipliers applied to node and block counts. The file's
 	// literal numbers are the medium scale; defaults are
-	// {small: 0.25, medium: 1, paper: 2}.
+	// {small: 0.25, medium: 1, paper: 2, stress: 8}.
 	ScaleFactors map[string]float64 `json:"scale_factors,omitempty"`
 }
 
@@ -156,11 +156,15 @@ type WorkloadSection struct {
 	MeanGasPrice       uint64   `json:"mean_gas_price,omitempty"`
 }
 
-// Default scale multipliers: the file's literal sizes are medium.
+// Default scale multipliers: the file's literal sizes are medium. The
+// stress tier is the 1k-10k-node knob: a scenario written at ~1k
+// nodes reaches 10k-node territory via `ethrepro -scale stress`
+// without a separate file.
 var defaultScaleFactors = map[string]float64{
 	"small":  0.25,
 	"medium": 1,
 	"paper":  2,
+	"stress": 8,
 }
 
 // RunMode returns the effective execution mode (Mode, defaulted).

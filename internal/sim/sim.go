@@ -11,7 +11,6 @@
 package sim
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 	"math"
@@ -57,44 +56,44 @@ type Event func(now Time)
 // before the condition was met.
 var ErrStopped = errors.New("sim: engine stopped")
 
-type scheduled struct {
-	at   Time
-	seq  uint64 // tiebreaker: FIFO among equal timestamps
-	call Event
+// Handler is the typed fast path for hot event producers: instead of
+// allocating a closure per event, a subsystem implements Handler once
+// and schedules (handler, a, b) triples via ScheduleCall. The two
+// uint64 arguments typically carry an opcode and an index into a
+// caller-owned slab.
+type Handler interface {
+	HandleEvent(now Time, a, b uint64)
 }
 
-type eventHeap []*scheduled
+// slot is one event's inline storage. Slots live in a free-listed
+// arena; the heap orders slot indices, so scheduling an event
+// allocates nothing once the arena has warmed up.
+type slot struct {
+	at  Time
+	seq uint64 // tiebreaker: FIFO among equal timestamps
+	pos int32  // current heap position, -1 when not queued
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any) {
-	item, ok := x.(*scheduled)
-	if !ok {
-		return
-	}
-	*h = append(*h, item)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	item := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return item
+	// Exactly one of fn / h / timer is set.
+	fn    Event
+	h     Handler
+	a, b  uint64
+	timer *Timer
 }
 
 // Engine is a single-threaded discrete-event executor. It is not safe
 // for concurrent use; the simulation model is sequential by design so
 // runs are deterministic.
+//
+// The queue is an index-addressed 4-ary heap over inline slots with a
+// free list. Pop order is the strict total order (at, seq) — seq is a
+// global schedule counter, so simultaneous events run in FIFO order
+// regardless of heap shape. The 4-ary layout halves tree depth versus
+// a binary heap and keeps parent/child slots on fewer cache lines.
 type Engine struct {
 	now     Time
-	queue   eventHeap
+	slots   []slot
+	free    []int32
+	heap    []int32
 	seq     uint64
 	stopped bool
 	ran     uint64
@@ -108,11 +107,149 @@ func NewEngine() *Engine {
 // Now returns the current virtual time.
 func (e *Engine) Now() Time { return e.now }
 
-// Processed returns the number of events executed so far.
+// Processed returns the number of events executed so far. Cancelled
+// timers do not count: unlike the pre-Timer engine, dead events are
+// removed from the queue instead of firing as no-ops.
 func (e *Engine) Processed() uint64 { return e.ran }
 
 // Pending returns the number of scheduled, not yet executed events.
-func (e *Engine) Pending() int { return len(e.queue) }
+func (e *Engine) Pending() int { return len(e.heap) }
+
+// acquire returns a free slot index, growing the arena when the free
+// list is empty.
+func (e *Engine) acquire() int32 {
+	if n := len(e.free); n > 0 {
+		i := e.free[n-1]
+		e.free = e.free[:n-1]
+		return i
+	}
+	e.slots = append(e.slots, slot{pos: -1})
+	return int32(len(e.slots) - 1)
+}
+
+// release returns a slot to the free list, dropping any references it
+// held so callbacks and handlers do not outlive their event.
+func (e *Engine) release(i int32) {
+	s := &e.slots[i]
+	s.fn = nil
+	s.h = nil
+	s.timer = nil
+	s.a, s.b = 0, 0
+	s.pos = -1
+	e.free = append(e.free, i)
+}
+
+// less orders slot indices by (at, seq). seq values are unique, so
+// this is a strict total order: heap pops are FIFO-stable by
+// construction, not by tie-breaking luck.
+func (e *Engine) less(i, j int32) bool {
+	si, sj := &e.slots[i], &e.slots[j]
+	if si.at != sj.at {
+		return si.at < sj.at
+	}
+	return si.seq < sj.seq
+}
+
+// push appends slot i to the heap and restores the heap invariant.
+func (e *Engine) push(i int32) {
+	e.heap = append(e.heap, i)
+	e.slots[i].pos = int32(len(e.heap) - 1)
+	e.siftUp(int32(len(e.heap) - 1))
+}
+
+func (e *Engine) siftUp(pos int32) {
+	h := e.heap
+	i := h[pos]
+	for pos > 0 {
+		parent := (pos - 1) / 4
+		if !e.less(i, h[parent]) {
+			break
+		}
+		h[pos] = h[parent]
+		e.slots[h[pos]].pos = pos
+		pos = parent
+	}
+	h[pos] = i
+	e.slots[i].pos = pos
+}
+
+func (e *Engine) siftDown(pos int32) {
+	h := e.heap
+	n := int32(len(h))
+	i := h[pos]
+	for {
+		first := 4*pos + 1
+		if first >= n {
+			break
+		}
+		best := first
+		last := first + 4
+		if last > n {
+			last = n
+		}
+		for c := first + 1; c < last; c++ {
+			if e.less(h[c], h[best]) {
+				best = c
+			}
+		}
+		if !e.less(h[best], i) {
+			break
+		}
+		h[pos] = h[best]
+		e.slots[h[pos]].pos = pos
+		pos = best
+	}
+	h[pos] = i
+	e.slots[i].pos = pos
+}
+
+// popMin removes and returns the earliest slot index.
+func (e *Engine) popMin() int32 {
+	i := e.heap[0]
+	n := len(e.heap) - 1
+	last := e.heap[n]
+	e.heap = e.heap[:n]
+	e.slots[i].pos = -1
+	if n > 0 {
+		e.heap[0] = last
+		e.slots[last].pos = 0
+		e.siftDown(0)
+	}
+	return i
+}
+
+// detach removes slot i from an arbitrary heap position (timer cancel
+// and reschedule). The slot itself stays allocated.
+func (e *Engine) detach(i int32) {
+	pos := e.slots[i].pos
+	n := int32(len(e.heap)) - 1
+	last := e.heap[n]
+	e.heap = e.heap[:n]
+	e.slots[i].pos = -1
+	if pos == n {
+		return
+	}
+	e.heap[pos] = last
+	e.slots[last].pos = pos
+	if pos > 0 && e.less(e.heap[pos], e.heap[(pos-1)/4]) {
+		e.siftUp(pos)
+	} else {
+		e.siftDown(pos)
+	}
+}
+
+// enqueue stamps slot i with the next sequence number and queues it at
+// the (clamped) absolute time.
+func (e *Engine) enqueue(i int32, at Time) {
+	if at < e.now {
+		at = e.now
+	}
+	e.seq++
+	s := &e.slots[i]
+	s.at = at
+	s.seq = e.seq
+	e.push(i)
+}
 
 // Schedule runs fn at the given delay from now. Negative delays are
 // clamped to zero (events cannot run in the past).
@@ -123,8 +260,9 @@ func (e *Engine) Schedule(delay Time, fn Event) {
 	if delay < 0 {
 		delay = 0
 	}
-	e.seq++
-	heap.Push(&e.queue, &scheduled{at: e.now + delay, seq: e.seq, call: fn})
+	i := e.acquire()
+	e.slots[i].fn = fn
+	e.enqueue(i, e.now+delay)
 }
 
 // ScheduleAt runs fn at an absolute virtual time. Times in the past
@@ -136,6 +274,31 @@ func (e *Engine) ScheduleAt(at Time, fn Event) {
 	e.Schedule(at-e.now, fn)
 }
 
+// ScheduleCall schedules a typed handler invocation. This is the
+// zero-allocation fast path: no closure is created — the handler
+// pointer and its two arguments are stored inline in the event slot.
+func (e *Engine) ScheduleCall(delay Time, h Handler, a, b uint64) {
+	if h == nil {
+		return
+	}
+	if delay < 0 {
+		delay = 0
+	}
+	i := e.acquire()
+	s := &e.slots[i]
+	s.h = h
+	s.a, s.b = a, b
+	e.enqueue(i, e.now+delay)
+}
+
+// ScheduleCallAt is ScheduleCall at an absolute time (clamped to now).
+func (e *Engine) ScheduleCallAt(at Time, h Handler, a, b uint64) {
+	if at < e.now {
+		at = e.now
+	}
+	e.ScheduleCall(at-e.now, h, a, b)
+}
+
 // Stop halts the engine: the currently executing event finishes, and
 // no further events run until the next Run* call resets the flag.
 func (e *Engine) Stop() { e.stopped = true }
@@ -143,16 +306,27 @@ func (e *Engine) Stop() { e.stopped = true }
 // step executes the next event. It reports false when the queue is
 // empty.
 func (e *Engine) step() bool {
-	if len(e.queue) == 0 {
+	if len(e.heap) == 0 {
 		return false
 	}
-	next, ok := heap.Pop(&e.queue).(*scheduled)
-	if !ok {
-		return false
-	}
-	e.now = next.at
+	i := e.popMin()
+	s := &e.slots[i]
+	e.now = s.at
 	e.ran++
-	next.call(e.now)
+	fn, h, a, b, t := s.fn, s.h, s.a, s.b, s.timer
+	e.release(i)
+	switch {
+	case t != nil:
+		// Mark the timer idle before the callback so the callback can
+		// Reset (reschedule-in-callback) without tripping the
+		// still-pending path.
+		t.slot = -1
+		t.fn(e.now)
+	case fn != nil:
+		fn(e.now)
+	case h != nil:
+		h.HandleEvent(e.now, a, b)
+	}
 	return true
 }
 
@@ -169,7 +343,7 @@ func (e *Engine) Run() {
 func (e *Engine) RunUntil(deadline Time) {
 	e.stopped = false
 	for !e.stopped {
-		if len(e.queue) == 0 || e.queue[0].at > deadline {
+		if len(e.heap) == 0 || e.slots[e.heap[0]].at > deadline {
 			break
 		}
 		e.step()
@@ -181,6 +355,80 @@ func (e *Engine) RunUntil(deadline Time) {
 
 // RunFor advances the simulation by d from the current time.
 func (e *Engine) RunFor(d Time) { e.RunUntil(e.now + d) }
+
+// Timer is a cancellable, reschedulable event handle bound to one
+// callback. A subsystem allocates a Timer once and Resets it for every
+// occurrence of its recurring event (mining race wins, workload
+// arrivals, hold timeouts); the queue slot is pooled, so steady-state
+// rescheduling allocates nothing.
+//
+// Determinism contract: every Reset consumes the next global sequence
+// number, exactly as a fresh Schedule at the same point would — so
+// replacing schedule-and-tombstone loops with a Timer preserves the
+// relative order of all simultaneous events. Stop removes the queued
+// occurrence without disturbing any other event's (at, seq) key.
+type Timer struct {
+	e    *Engine
+	fn   Event
+	slot int32 // queued slot index, -1 when idle
+}
+
+// NewTimer creates an idle timer for fn. fn must be non-nil.
+func (e *Engine) NewTimer(fn Event) *Timer {
+	if fn == nil {
+		panic("sim: NewTimer with nil callback")
+	}
+	return &Timer{e: e, fn: fn, slot: -1}
+}
+
+// Reset (re)schedules the timer to fire at delay from now, cancelling
+// any pending occurrence. Negative delays clamp to zero.
+func (t *Timer) Reset(delay Time) {
+	if delay < 0 {
+		delay = 0
+	}
+	t.ResetAt(t.e.now + delay)
+}
+
+// ResetAt (re)schedules the timer to fire at an absolute time (clamped
+// to now), cancelling any pending occurrence.
+func (t *Timer) ResetAt(at Time) {
+	e := t.e
+	if t.slot >= 0 {
+		e.detach(t.slot)
+		e.enqueue(t.slot, at)
+		return
+	}
+	i := e.acquire()
+	e.slots[i].timer = t
+	t.slot = i
+	e.enqueue(i, at)
+}
+
+// Stop cancels the pending occurrence, reporting whether one was
+// pending. A stopped timer can be Reset again.
+func (t *Timer) Stop() bool {
+	if t.slot < 0 {
+		return false
+	}
+	e := t.e
+	e.detach(t.slot)
+	e.release(t.slot)
+	t.slot = -1
+	return true
+}
+
+// Pending reports whether an occurrence is queued.
+func (t *Timer) Pending() bool { return t.slot >= 0 }
+
+// When returns the pending occurrence's firing time; ok is false when
+// the timer is idle.
+func (t *Timer) When() (at Time, ok bool) {
+	if t.slot < 0 {
+		return 0, false
+	}
+	return t.e.slots[t.slot].at, true
+}
 
 // RNG is a deterministic random stream with the distribution helpers
 // the simulation model needs. It wraps PCG from math/rand/v2.
@@ -333,8 +581,69 @@ func (g *RNG) WeightedChoice(weights []float64) (int, error) {
 	return 0, fmt.Errorf("sim: weighted choice fell through")
 }
 
+// Weighted is a precomputed cumulative-weight sampler over a fixed
+// weight vector: construction is O(n), each draw is one uniform sample
+// plus a binary search. It makes exactly the same choice WeightedChoice
+// would make from the same RNG state (same single Float64 draw, same
+// selection rule), so hot paths can switch to it without perturbing
+// seeded runs. Non-positive weights are never drawn.
+type Weighted struct {
+	cdf   []float64 // cumulative sums over positive weights only
+	index []int     // original index of each positive weight
+	total float64
+}
+
+// NewWeighted builds a sampler over weights. It returns an error when
+// no weight is positive, matching WeightedChoice.
+func NewWeighted(weights []float64) (*Weighted, error) {
+	w := &Weighted{}
+	var total float64
+	for i, x := range weights {
+		if x <= 0 {
+			continue
+		}
+		total += x
+		w.cdf = append(w.cdf, total)
+		w.index = append(w.index, i)
+	}
+	if total <= 0 {
+		return nil, fmt.Errorf("sim: weighted sampler over non-positive weights %v", weights)
+	}
+	w.total = total
+	return w, nil
+}
+
+// Sample draws one index proportionally to the weights.
+func (w *Weighted) Sample(g *RNG) int {
+	u := g.r.Float64() * w.total
+	// First positive-weight position with cdf >= u — the same index the
+	// linear scan in WeightedChoice stops at (its condition is u <= acc
+	// over the running sum of positive weights).
+	lo, hi := 0, len(w.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if w.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return w.index[lo]
+}
+
 // Perm returns a random permutation of [0, n).
 func (g *RNG) Perm(n int) []int { return g.r.Perm(n) }
+
+// PermInto fills p with a random permutation of [0, len(p)), consuming
+// exactly the same RNG draws as Perm(len(p)) — a seeded run can switch
+// between them freely. It exists so hot paths can reuse a scratch
+// buffer instead of allocating a fresh permutation per call.
+func (g *RNG) PermInto(p []int) {
+	for i := range p {
+		p[i] = i
+	}
+	g.r.Shuffle(len(p), func(i, j int) { p[i], p[j] = p[j], p[i] })
+}
 
 // Shuffle permutes xs in place.
 func Shuffle[T any](g *RNG, xs []T) {

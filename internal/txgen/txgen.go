@@ -94,6 +94,10 @@ type senderState struct {
 	nextNonce uint64
 	held      *types.Transaction
 	heldSince sim.Time
+	// holdTimer is the sender's safety-valve timeout, allocated on the
+	// sender's first hold and rescheduled/cancelled thereafter — early
+	// releases cancel it instead of leaving a tombstone event behind.
+	holdTimer *sim.Timer
 }
 
 // Generator drives the workload on a simulation engine.
@@ -103,6 +107,8 @@ type Generator struct {
 	cfg     Config
 	zipf    *sim.Zipf
 	senders []*senderState
+	// arrival is the Poisson arrival loop's pooled timer handle.
+	arrival *sim.Timer
 	emitted uint64
 	stopped bool
 	records []TxRecord
@@ -149,6 +155,7 @@ func NewGenerator(engine *sim.Engine, rng *sim.RNG, cfg Config) (*Generator, err
 		cfg:    cfg,
 		zipf:   sim.NewZipf(rng, cfg.Senders, cfg.ZipfExponent),
 	}
+	g.arrival = engine.NewTimer(g.arrivalTick)
 	for i := 0; i < cfg.Senders; i++ {
 		g.senders = append(g.senders, &senderState{
 			address: types.AddressFromString(fmt.Sprintf("sender-%d", i)),
@@ -165,8 +172,11 @@ func (g *Generator) Start() {
 }
 
 // Stop halts generation; held transactions already scheduled for
-// release still emit.
-func (g *Generator) Stop() { g.stopped = true }
+// release still emit. The pending arrival is cancelled outright.
+func (g *Generator) Stop() {
+	g.stopped = true
+	g.arrival.Stop()
+}
 
 // Emitted returns the number of transactions handed to Submit so far.
 func (g *Generator) Emitted() uint64 { return g.emitted }
@@ -183,19 +193,23 @@ func (g *Generator) scheduleNext() {
 	if g.stopped || (g.cfg.Limit > 0 && g.emitted >= g.cfg.Limit) {
 		return
 	}
-	g.engine.Schedule(g.rng.ExpTime(g.cfg.MeanInterArrival), func(now sim.Time) {
-		if g.stopped || (g.cfg.Limit > 0 && g.emitted >= g.cfg.Limit) {
-			return
-		}
-		g.arrival(now)
-		g.scheduleNext()
-	})
+	g.arrival.Reset(g.rng.ExpTime(g.cfg.MeanInterArrival))
 }
 
-// arrival processes one workload arrival: build the sender's next
+// arrivalTick is the arrival timer's callback: process one arrival and
+// schedule the next.
+func (g *Generator) arrivalTick(now sim.Time) {
+	if g.stopped || (g.cfg.Limit > 0 && g.emitted >= g.cfg.Limit) {
+		return
+	}
+	g.doArrival(now)
+	g.scheduleNext()
+}
+
+// doArrival processes one workload arrival: build the sender's next
 // transaction and emit, hold, or release as the out-of-order model
 // dictates.
-func (g *Generator) arrival(now sim.Time) {
+func (g *Generator) doArrival(now sim.Time) {
 	s := g.senders[g.zipf.Sample()]
 	tx := &types.Transaction{
 		Sender:   s.address,
@@ -218,14 +232,15 @@ func (g *Generator) arrival(now sim.Time) {
 		s.held = tx
 		s.heldSince = now
 		// Safety valve: a quiet sender must not stall its nonce
-		// stream forever.
+		// stream forever. One timer per sender, rescheduled per hold.
 		if g.cfg.HoldTimeout > 0 {
-			held := tx
-			g.engine.Schedule(g.cfg.HoldTimeout, func(later sim.Time) {
-				if s.held == held {
-					g.releaseHeld(later, s)
-				}
-			})
+			if s.holdTimer == nil {
+				sender := s
+				s.holdTimer = g.engine.NewTimer(func(later sim.Time) {
+					g.releaseHeld(later, sender)
+				})
+			}
+			s.holdTimer.Reset(g.cfg.HoldTimeout)
 		}
 		return
 	}
@@ -238,6 +253,11 @@ func (g *Generator) releaseHeld(now sim.Time, s *senderState) {
 		return
 	}
 	s.held = nil
+	if s.holdTimer != nil {
+		// Early release (successor arrived first): the safety valve is
+		// moot — cancel it instead of letting a dead event fire.
+		s.holdTimer.Stop()
+	}
 	lag := g.rng.ExpTime(g.cfg.HoldReleaseMean)
 	g.engine.Schedule(lag, func(later sim.Time) {
 		g.emit(later, s, held, true)

@@ -20,6 +20,14 @@ type Transaction struct {
 	Value    uint64
 	GasPrice uint64
 	Gas      uint64
+
+	// Cached derived values (same idiom as Block): a transaction is
+	// immutable after construction, and the network layer asks for its
+	// hash and size once per reception along the gossip hot path.
+	hash    Hash
+	hashed  bool
+	sizeB   int
+	sizeSet bool
 }
 
 // TxGas is the intrinsic gas cost of a plain value transfer, matching
@@ -31,15 +39,24 @@ var (
 	errTxShape = errors.New("types: transaction RLP shape mismatch")
 )
 
-// Hash returns the content hash of the transaction's RLP encoding.
+// Hash returns the content hash of the transaction's RLP encoding,
+// computed and cached on first use.
 func (tx *Transaction) Hash() Hash {
-	return HashBytes(tx.encodeRLP())
+	if !tx.hashed {
+		tx.hash = HashBytes(tx.encodeRLP())
+		tx.hashed = true
+	}
+	return tx.hash
 }
 
 // EncodedSize returns the serialized size in bytes, used by the
-// network model to derive transfer delays.
+// network model to derive transfer delays. The value is cached.
 func (tx *Transaction) EncodedSize() int {
-	return rlp.EncodedLen(tx.rlpItem())
+	if !tx.sizeSet {
+		tx.sizeB = rlp.EncodedLen(tx.rlpItem())
+		tx.sizeSet = true
+	}
+	return tx.sizeB
 }
 
 func (tx *Transaction) rlpItem() rlp.Item {
