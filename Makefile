@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test test-full race bench bench-smoke bench-compare bench-baseline fmt fmt-check vet examples examples-full validate-scenarios
+.PHONY: build test test-full test-faults race bench bench-smoke bench-compare bench-baseline fmt fmt-check vet examples examples-full validate-scenarios
 
 build:
 	$(GO) build ./...
@@ -15,6 +15,15 @@ test:
 
 test-full:
 	$(GO) test ./...
+
+# Dependability gate: the full golden-artifact invariance harness
+# (every built-in spec and shipped scenario byte-identical at
+# -parallel 1 vs 8) plus a short D1 crash/recover campaign run through
+# the real CLI.
+test-faults:
+	$(GO) test -run 'Golden' -v ./internal/experiments
+	@set -e; dir=$$(mktemp -d); trap 'rm -rf "$$dir"' EXIT; \
+	$(GO) run ./cmd/ethrepro -only D1 -scale small -repeats 2 -parallel 4 -out "$$dir/d1"
 
 race:
 	$(GO) test -race -short ./...

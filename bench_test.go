@@ -178,6 +178,14 @@ func BenchmarkRevenueAccounting(b *testing.B) {
 	benchOutcome(b, "R1", "one_miner_eth", "empty_fee_fraction")
 }
 
+// BenchmarkCrashRecoverSpread regenerates the D1 dependability spec:
+// a healthy and a crash/recover campaign at the same seed, exercising
+// the fault injector, the down-node drop paths and the availability
+// analysis end to end.
+func BenchmarkCrashRecoverSpread(b *testing.B) {
+	benchOutcome(b, "D1", "healthy_median_ms", "faulted_median_ms", "availability")
+}
+
 // BenchmarkCampaignRunner measures the parallel campaign runner
 // end-to-end: the network and redundancy campaigns, two repeats each,
 // fanned across workers.

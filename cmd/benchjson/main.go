@@ -14,7 +14,11 @@
 // Exit status is non-zero when any benchmark present in both files
 // regressed by more than the threshold (default 20%). Improvements
 // and new benchmarks never fail; benchmarks missing from the new
-// snapshot are reported as a warning.
+// snapshot are reported as a warning. Benchmarks whose baseline is
+// under -floor nanoseconds (default 1 ms) are reported but never fail:
+// at -benchtime=1x a microsecond-scale measurement is dominated by
+// scheduler and timer noise, and a fixed percentage threshold on it
+// only produces flaky gates.
 package main
 
 import (
@@ -40,6 +44,7 @@ func main() {
 	var (
 		compare   = flag.Bool("compare", false, "compare two snapshots: benchjson -compare old.json new.json")
 		threshold = flag.Float64("threshold", 0.20, "maximum tolerated fractional ns/op regression in -compare mode")
+		floor     = flag.Float64("floor", 1e6, "baseline ns/op below which regressions are reported but never fail (noise floor)")
 	)
 	flag.Parse()
 	if *compare {
@@ -47,7 +52,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "benchjson: -compare needs exactly two snapshot files (old.json new.json)")
 			os.Exit(2)
 		}
-		ok, err := runCompare(os.Stdout, flag.Arg(0), flag.Arg(1), *threshold)
+		ok, err := runCompare(os.Stdout, flag.Arg(0), flag.Arg(1), *threshold, *floor)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "benchjson:", err)
 			os.Exit(2)
@@ -89,8 +94,9 @@ func loadSnapshot(path string) (map[string]Entry, error) {
 
 // runCompare diffs new against old on ns/op, printing one line per
 // shared benchmark. It reports ok=false when any regression exceeds
-// threshold.
-func runCompare(w io.Writer, oldPath, newPath string, threshold float64) (bool, error) {
+// threshold on a benchmark whose baseline is at or above the noise
+// floor; sub-floor regressions are flagged NOISE and never fail.
+func runCompare(w io.Writer, oldPath, newPath string, threshold, floor float64) (bool, error) {
 	oldBy, err := loadSnapshot(oldPath)
 	if err != nil {
 		return false, err
@@ -120,8 +126,12 @@ func runCompare(w io.Writer, oldPath, newPath string, threshold float64) (bool, 
 		delta := newNs/oldNs - 1
 		status := "ok   "
 		if delta > threshold {
-			status = "REGR "
-			regressions++
+			if oldNs < floor {
+				status = "NOISE"
+			} else {
+				status = "REGR "
+				regressions++
+			}
 		}
 		fmt.Fprintf(w, "%s %-36s %14.0f -> %14.0f ns/op  %+7.1f%%\n",
 			status, name, oldNs, newNs, delta*100)

@@ -90,7 +90,7 @@ func TestCompareMode(t *testing.T) {
 		{Name: "BenchmarkNew", Metrics: map[string]float64{"ns/op": 9}},
 	})
 	var out strings.Builder
-	ok, err := runCompare(&out, old, within, 0.20)
+	ok, err := runCompare(&out, old, within, 0.20, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -107,7 +107,7 @@ func TestCompareMode(t *testing.T) {
 		{Name: "BenchmarkB", Metrics: map[string]float64{"ns/op": 900}},
 	})
 	out.Reset()
-	ok, err = runCompare(&out, old, regressed, 0.20)
+	ok, err = runCompare(&out, old, regressed, 0.20, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -120,11 +120,50 @@ func TestCompareMode(t *testing.T) {
 
 	// A wider threshold tolerates the same delta.
 	out.Reset()
-	ok, err = runCompare(&out, old, regressed, 0.50)
+	ok, err = runCompare(&out, old, regressed, 0.50, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !ok {
 		t.Fatal("50% threshold should tolerate a 30% regression")
+	}
+}
+
+// TestCompareNoiseFloor: regressions on sub-floor baselines are
+// reported as NOISE but never fail — a microsecond-scale benchmark at
+// -benchtime=1x cannot be gated by a fixed percentage.
+func TestCompareNoiseFloor(t *testing.T) {
+	old := writeSnapshot(t, []Entry{
+		{Name: "BenchmarkMicro", Metrics: map[string]float64{"ns/op": 20_000}},
+		{Name: "BenchmarkMacro", Metrics: map[string]float64{"ns/op": 5e8}},
+	})
+	noisy := writeSnapshot(t, []Entry{
+		{Name: "BenchmarkMicro", Metrics: map[string]float64{"ns/op": 45_000}}, // +125%, under floor
+		{Name: "BenchmarkMacro", Metrics: map[string]float64{"ns/op": 5.5e8}},  // +10%, fine
+	})
+	var out strings.Builder
+	ok, err := runCompare(&out, old, noisy, 0.20, 1e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatalf("sub-floor regression must not fail the gate:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "NOISE") {
+		t.Errorf("sub-floor regression not flagged as NOISE:\n%s", out.String())
+	}
+
+	// The same delta above the floor still fails.
+	slowMacro := writeSnapshot(t, []Entry{
+		{Name: "BenchmarkMicro", Metrics: map[string]float64{"ns/op": 20_000}},
+		{Name: "BenchmarkMacro", Metrics: map[string]float64{"ns/op": 7e8}}, // +40%
+	})
+	out.Reset()
+	ok, err = runCompare(&out, old, slowMacro, 0.20, 1e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatalf("above-floor regression slipped through:\n%s", out.String())
 	}
 }

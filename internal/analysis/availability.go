@@ -1,0 +1,109 @@
+package analysis
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/faults"
+	"repro/internal/sim"
+)
+
+// AvailabilityResult summarizes a faulted campaign's dependability
+// ground truth (the injector's event accounting) together with the
+// measurement-side partition signature (the vantage points' longest
+// block-silence gaps).
+type AvailabilityResult struct {
+	// OverlayNodes is the campaign's initial overlay size.
+	OverlayNodes int
+	// HorizonS is the run's virtual duration in seconds.
+	HorizonS float64
+	// Crashes / Recoveries / Joins / Leaves are fault event counts.
+	Crashes, Recoveries, Joins, Leaves int
+	// CrashDowntimeS is the summed node-outage time in seconds.
+	CrashDowntimeS float64
+	// Availability is the node-time fraction the overlay was up:
+	// 1 - downtime / (nodes * horizon).
+	Availability float64
+	// MeanOutageS is the mean single-outage duration (0 without
+	// crashes).
+	MeanOutageS float64
+	// DroppedMessages counts transport sends and deliveries discarded
+	// by any fault (down endpoints, partitions, loss).
+	DroppedMessages uint64
+	// PartitionS is the summed active-partition time in seconds.
+	PartitionS float64
+	// QuietGapS maps each measurement node to its longest observed
+	// block-silence interval in seconds.
+	QuietGapS map[string]float64
+	// MaxQuietGapS is the largest entry of QuietGapS.
+	MaxQuietGapS float64
+}
+
+// Availability folds the injector's stats, the transport drop counter
+// and the vantage points' quiet gaps into the dependability summary.
+// A nil stats means the campaign ran healthy, which is an error here:
+// the availability analysis is only meaningful for fault campaigns.
+func Availability(st *faults.Stats, overlayNodes int, horizon sim.Time, dropped uint64, quiet map[string]sim.Time) (*AvailabilityResult, error) {
+	if st == nil {
+		return nil, errors.New("analysis: availability needs a fault-injected campaign")
+	}
+	if overlayNodes <= 0 {
+		return nil, fmt.Errorf("analysis: availability over %d overlay nodes", overlayNodes)
+	}
+	if horizon <= 0 {
+		return nil, fmt.Errorf("analysis: availability over non-positive horizon %v", horizon)
+	}
+	r := &AvailabilityResult{
+		OverlayNodes:    overlayNodes,
+		HorizonS:        horizon.Seconds(),
+		Crashes:         st.Crashes,
+		Recoveries:      st.Recoveries,
+		Joins:           st.Joins,
+		Leaves:          st.Leaves,
+		CrashDowntimeS:  st.CrashDowntime.Seconds(),
+		DroppedMessages: dropped,
+		PartitionS:      st.PartitionTime.Seconds(),
+		QuietGapS:       make(map[string]float64, len(quiet)),
+	}
+	nodeTime := float64(overlayNodes) * horizon.Seconds()
+	r.Availability = 1 - r.CrashDowntimeS/nodeTime
+	if r.Availability < 0 {
+		r.Availability = 0
+	}
+	if st.Crashes > 0 {
+		r.MeanOutageS = r.CrashDowntimeS / float64(st.Crashes)
+	}
+	for name, gap := range quiet {
+		g := gap.Seconds()
+		r.QuietGapS[name] = g
+		if g > r.MaxQuietGapS {
+			r.MaxQuietGapS = g
+		}
+	}
+	return r, nil
+}
+
+// RenderAvailability renders the dependability summary as a
+// paper-style table. Node rows sort by name so the rendering is a
+// pure function of the result.
+func RenderAvailability(a *AvailabilityResult) string {
+	out := "Availability under injected faults\n"
+	out += fmt.Sprintf("  overlay %d nodes, horizon %.0f s\n", a.OverlayNodes, a.HorizonS)
+	out += fmt.Sprintf("  crashes %d (recovered %d, mean outage %.1f s)  churn +%d/-%d\n",
+		a.Crashes, a.Recoveries, a.MeanOutageS, a.Joins, a.Leaves)
+	out += fmt.Sprintf("  node availability %.4f  partition time %.0f s  dropped msgs %d\n",
+		a.Availability, a.PartitionS, a.DroppedMessages)
+	if len(a.QuietGapS) > 0 {
+		names := make([]string, 0, len(a.QuietGapS))
+		for n := range a.QuietGapS {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		out += "  longest block silence per vantage point:\n"
+		for _, n := range names {
+			out += fmt.Sprintf("    %-12s %8.1f s\n", n, a.QuietGapS[n])
+		}
+	}
+	return out
+}

@@ -21,6 +21,7 @@ import (
 
 	"repro/internal/analysis"
 	"repro/internal/chain"
+	"repro/internal/faults"
 	"repro/internal/geo"
 	"repro/internal/measure"
 	"repro/internal/mining"
@@ -106,6 +107,12 @@ type CampaignConfig struct {
 	// Workload optionally runs a transaction workload. Workload.Submit
 	// is overridden by the campaign. Nil disables transactions.
 	Workload *txgen.Config
+	// Faults optionally injects dependability events (crash/recover,
+	// partitions, link loss, churn) into the running campaign.
+	// Measurement nodes and pool gateways are protected, matching the
+	// paper's always-on infrastructure. Nil keeps the campaign healthy
+	// — and byte-identical to the pre-fault engine.
+	Faults *faults.Config
 }
 
 // DefaultCampaignConfig returns a network-level campaign sized for the
@@ -146,6 +153,14 @@ type CampaignResult struct {
 	// MessagesSent / BytesSent are transport totals.
 	MessagesSent uint64
 	BytesSent    uint64
+	// MessagesDropped counts sends and deliveries discarded by faults
+	// (always zero on a healthy campaign).
+	MessagesDropped uint64
+	// Faults is the fault injector's event accounting (nil when no
+	// faults were configured).
+	Faults *faults.Stats
+	// Duration is the virtual time the campaign ran for.
+	Duration sim.Time
 }
 
 // Campaign is a configured, runnable measurement campaign.
@@ -160,6 +175,7 @@ type Campaign struct {
 	txPool   *chain.TxPool
 	gen      *txgen.Generator
 	nodes    []*measure.Node
+	injector *faults.Injector
 }
 
 // NewCampaign validates the configuration and builds the network,
@@ -264,8 +280,39 @@ func NewCampaign(cfg CampaignConfig) (*Campaign, error) {
 		c.gateways[pool.Name] = perRegion
 	}
 
-	// Transaction workload feeds a global pool miners draw from.
+	// Fault injection. The RNG fork happens only when faults are
+	// configured, so healthy campaigns consume exactly the draws they
+	// always did (byte-identical artifacts). Measurement peers and
+	// pool gateways are protected from crashes and departures.
 	miningCfg := cfg.Mining
+	if cfg.Faults.Enabled() {
+		var protected []*p2p.Node
+		for _, m := range c.nodes {
+			protected = append(protected, m.Peer())
+		}
+		for _, pool := range cfg.Mining.Pools {
+			for _, r := range pool.GatewayRegions {
+				if gw, ok := c.gateways[pool.Name][r]; ok {
+					protected = append(protected, gw)
+				}
+			}
+		}
+		inj, err := faults.New(engine, rootRNG.Fork("faults"), c.network, *cfg.Faults, cfg.Degree, protected)
+		if err != nil {
+			return nil, fmt.Errorf("core: faults: %w", err)
+		}
+		c.injector = inj
+		c.network.Fault = inj
+		// Degraded campaigns get the catch-up fetch: partition-era
+		// ancestry is pulled after the heal, the way real clients
+		// header-sync across an outage.
+		c.network.ParentPull = true
+		if len(cfg.Faults.Partitions) > 0 {
+			miningCfg.VisibilityFilter = inj.VisibilityDeferral
+		}
+	}
+
+	// Transaction workload feeds a global pool miners draw from.
 	miningCfg.BlockLimit = cfg.Blocks
 	if cfg.Workload != nil {
 		c.txPool = chain.NewTxPool()
@@ -280,13 +327,16 @@ func NewCampaign(cfg CampaignConfig) (*Campaign, error) {
 	}
 
 	// Mining pools inject blocks at gateway-region nodes. When the
-	// last block is produced the workload stops, so the run drains:
-	// an unlimited generator would otherwise keep the engine busy
-	// forever.
+	// last block is produced the workload and fault processes stop, so
+	// the run drains: an unlimited generator or a recurring fault
+	// timer would otherwise keep the engine busy forever.
 	miningCfg.OnBlock = c.injectBlock
 	miningCfg.OnDone = func(sim.Time) {
 		if c.gen != nil {
 			c.gen.Stop()
+		}
+		if c.injector != nil {
+			c.injector.Stop()
 		}
 	}
 	miners, err := mining.NewSimulator(engine, rootRNG.Fork("mining"), miningCfg)
@@ -347,10 +397,17 @@ func (c *Campaign) Run() (*CampaignResult, error) {
 	if c.gen != nil {
 		c.gen.Start()
 	}
+	if c.injector != nil {
+		c.injector.Start()
+	}
 	c.miners.Start()
-	// Mining's OnDone stops the workload after the last block; the
-	// run then drains propagation events and held releases.
+	// Mining's OnDone stops the workload and fault processes after the
+	// last block; the run then drains propagation events, held
+	// releases and pending recoveries.
 	c.engine.Run()
+	if c.injector != nil {
+		c.injector.Finalize(c.engine.Now())
+	}
 
 	var (
 		ds  *analysis.Dataset
@@ -389,6 +446,12 @@ func (c *Campaign) Run() (*CampaignResult, error) {
 		MultiVersionTuples: c.miners.MultiVersionTuples(),
 		MessagesSent:       c.network.MessagesSent,
 		BytesSent:          c.network.BytesSent,
+		MessagesDropped:    c.network.MessagesDropped,
+		Duration:           c.engine.Now(),
+	}
+	if c.injector != nil {
+		stats := c.injector.Stats()
+		res.Faults = &stats
 	}
 	if c.gen != nil {
 		res.TxRecords = c.gen.Records()

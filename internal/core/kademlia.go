@@ -35,7 +35,11 @@ func wireKademlia(network *p2p.Network, rng *sim.RNG, degree int) error {
 	if err := universe.Bootstrap(rng, 3, 2); err != nil {
 		return err
 	}
-	for id, node := range byID {
+	// Dial in overlay insertion order: SamplePeers consumes RNG draws,
+	// so iterating the byID map here would make the wiring depend on
+	// map order — a nondeterminism the campaign contract forbids.
+	for _, node := range nodes {
+		id := discovery.IDFromLabel("overlay-node-" + strconv.Itoa(int(node.ID())))
 		peers, err := universe.SamplePeers(rng, id, degree)
 		if err != nil {
 			return err

@@ -117,6 +117,21 @@ func init() {
 		Produces: []string{"A2"},
 		Run:      wrap(AblationGateways),
 	})
+	register(Spec{
+		ID: "D1", Title: "Dependability — crash/recover propagation delay",
+		Produces: []string{"D1"},
+		Run:      wrap(CrashRecoverExperiment),
+	})
+	register(Spec{
+		ID: "D2", Title: "Dependability — partition-heal fork rate",
+		Produces: []string{"D2"},
+		Run:      wrap(PartitionHealExperiment),
+	})
+	register(Spec{
+		ID: "D3", Title: "Dependability — churn sweep",
+		Produces: []string{"D3"},
+		Run:      wrap(ChurnSweepExperiment),
+	})
 }
 
 // Register adds a spec compiled at runtime (scenario files) to the

@@ -1,0 +1,102 @@
+package geo
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// TestSampleEdgeCases pins LatencyModel.Sample's boundary behavior:
+// same-region hops, zero-size messages, disabled knobs, invalid
+// regions and the floor.
+func TestSampleEdgeCases(t *testing.T) {
+	det := LatencyModel{MinDelayMillis: 1} // no jitter, no transfer, no loss
+	cases := []struct {
+		name     string
+		model    LatencyModel
+		from, to Region
+		bytes    int
+		want     sim.Time // exact expectation for deterministic models; <0 = error expected
+	}{
+		{"same region deterministic", det, WesternEurope, WesternEurope, 0, 8},
+		{"cross region deterministic", det, EasternAsia, SouthAmerica, 0, 140},
+		{"asymmetric pair matches matrix", det, NorthAmerica, Oceania, 0, 80},
+		{"zero-size message pays no transfer", LatencyModel{BytesPerMillisecond: 1, MinDelayMillis: 1}, NorthAmerica, NorthAmerica, 0, 15},
+		{"transfer term adds bytes/rate", LatencyModel{BytesPerMillisecond: 100, MinDelayMillis: 1}, NorthAmerica, NorthAmerica, 1000, 25},
+		{"negative size ignored", LatencyModel{BytesPerMillisecond: 100, MinDelayMillis: 1}, NorthAmerica, NorthAmerica, -500, 15},
+		{"floor clamps small delays", LatencyModel{MinDelayMillis: 50}, WesternEurope, WesternEurope, 0, 50},
+		{"invalid from", det, Region(0), WesternEurope, 0, -1},
+		{"invalid to", det, WesternEurope, Region(99), 0, -1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rng := sim.NewRNG(42)
+			got, err := tc.model.Sample(rng, tc.from, tc.to, tc.bytes)
+			if tc.want < 0 {
+				if err == nil {
+					t.Fatalf("want error, got %v", got)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != tc.want {
+				t.Fatalf("Sample(%v->%v, %d bytes) = %v, want %v", tc.from, tc.to, tc.bytes, got, tc.want)
+			}
+		})
+	}
+}
+
+// TestSampleJitterBounds checks the jitter multiplier's shape: every
+// sample respects the floor, the sample median sits near the base
+// delay (the log-normal multiplier has median 1), and spread grows
+// with sigma.
+func TestSampleJitterBounds(t *testing.T) {
+	const n = 20000
+	base, err := BaseDelay(WesternEurope, CentralEurope)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sampleAll := func(sigma float64) []float64 {
+		rng := sim.NewRNG(99)
+		m := LatencyModel{JitterSigma: sigma, MinDelayMillis: 1}
+		out := make([]float64, n)
+		for i := range out {
+			d, err := m.Sample(rng, WesternEurope, CentralEurope, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if d < 1 {
+				t.Fatalf("sample %v under the 1 ms floor", d)
+			}
+			out[i] = float64(d)
+		}
+		return out
+	}
+	spread := func(xs []float64) (median, sd float64) {
+		var sum, sq float64
+		for _, x := range xs {
+			sum += x
+		}
+		mean := sum / float64(len(xs))
+		for _, x := range xs {
+			sq += (x - mean) * (x - mean)
+		}
+		sorted := append([]float64(nil), xs...)
+		sort.Float64s(sorted)
+		return sorted[len(sorted)/2], math.Sqrt(sq / float64(len(xs)))
+	}
+	narrowMedian, narrowSD := spread(sampleAll(0.1))
+	wideMedian, wideSD := spread(sampleAll(0.5))
+	for name, med := range map[string]float64{"narrow": narrowMedian, "wide": wideMedian} {
+		if med < 0.85*float64(base) || med > 1.15*float64(base) {
+			t.Fatalf("%s jitter median %v strays from base %v", name, med, base)
+		}
+	}
+	if wideSD <= narrowSD {
+		t.Fatalf("spread must grow with sigma: sd(0.5)=%v <= sd(0.1)=%v", wideSD, narrowSD)
+	}
+}

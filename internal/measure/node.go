@@ -52,6 +52,16 @@ type Node struct {
 	blockObs  map[types.Hash]*BlockObservation
 	txObs     map[types.Hash]*TxObservation
 
+	// Quiet-gap tracking: the longest local-clock interval between
+	// successive block-related receptions. A healthy overlay delivers
+	// something every few seconds; a long silence is the signature of
+	// an outage or partition on the node's side of the network. Folded
+	// incrementally, so it works identically in raw-log and streaming
+	// modes.
+	lastBlockLocal sim.Time
+	blockSeen      bool
+	maxQuietGap    sim.Time
+
 	// captureTxLinks controls whether block records carry the full
 	// transaction hash list (needed for commit-time analysis; costs
 	// log volume, like the original raw logs' 600 GB).
@@ -154,6 +164,26 @@ func (m *Node) TxObservations() map[types.Hash]*TxObservation { return m.txObs }
 // hash. The map is shared; callers must not mutate.
 func (m *Node) Blocks() map[types.Hash]*types.Block { return m.blocks }
 
+// MaxQuietGap returns the longest local-clock interval between
+// successive block-related receptions (blocks or announcements) — the
+// partition/outage signature the availability analysis reports. Zero
+// until two receptions have been observed. Available in both raw-log
+// and streaming modes.
+func (m *Node) MaxQuietGap() sim.Time { return m.maxQuietGap }
+
+// noteBlockActivity folds one block-related reception into the
+// quiet-gap aggregate. The node's clock offset is constant, so local
+// deltas are exact true-time deltas.
+func (m *Node) noteBlockActivity(local sim.Time) {
+	if m.blockSeen {
+		if gap := local - m.lastBlockLocal; gap > m.maxQuietGap {
+			m.maxQuietGap = gap
+		}
+	}
+	m.blockSeen = true
+	m.lastBlockLocal = local
+}
+
 // observe is the instrumentation hook: one Record per message, stamped
 // with the local clock.
 func (m *Node) observe(now sim.Time, from p2p.NodeID, msg *p2p.Message) {
@@ -171,6 +201,7 @@ func (m *Node) observe(now sim.Time, from p2p.NodeID, msg *p2p.Message) {
 		if b == nil {
 			return
 		}
+		m.noteBlockActivity(local)
 		rec := base
 		rec.Kind = KindBlock
 		rec.Hash = b.Hash().String()
@@ -195,6 +226,7 @@ func (m *Node) observe(now sim.Time, from p2p.NodeID, msg *p2p.Message) {
 			m.blocks[b.Hash()] = b
 		}
 	case p2p.MsgNewBlockHashes:
+		m.noteBlockActivity(local)
 		for _, h := range msg.Hashes {
 			rec := base
 			rec.Kind = KindAnnouncement
@@ -232,6 +264,7 @@ func (m *Node) observeStream(now sim.Time, from p2p.NodeID, msg *p2p.Message) {
 		if b == nil {
 			return
 		}
+		m.noteBlockActivity(local)
 		h := b.Hash()
 		o := m.blockObs[h]
 		if o == nil {
@@ -246,6 +279,7 @@ func (m *Node) observeStream(now sim.Time, from p2p.NodeID, msg *p2p.Message) {
 			m.blocks[h] = b
 		}
 	case p2p.MsgNewBlockHashes:
+		m.noteBlockActivity(local)
 		for _, h := range msg.Hashes {
 			o := m.blockObs[h]
 			if o == nil {

@@ -65,6 +65,16 @@ type Config struct {
 	// transaction so empty-block statistics remain meaningful at
 	// 200k-block scale without a transaction workload.
 	TxPool *chain.TxPool
+	// VisibilityFilter, when set, gates inter-pool head visibility: it
+	// is called when a deferred visibility update is about to apply,
+	// with the producing pool's home gateway region and the observing
+	// pool's, and returns how much longer the update must wait (0 =
+	// apply now). Fault campaigns use it to model gateway-level
+	// partitions — pools on opposite sides keep mining their own heads
+	// until the cut heals, which is what creates partition forks. The
+	// filter must be deterministic; it is consulted on the hot path
+	// only when set, so healthy runs are unchanged.
+	VisibilityFilter func(now sim.Time, from, to geo.Region) sim.Time
 	// OnBlock, when set, receives every produced block version.
 	OnBlock func(BlockEvent)
 	// OnDone, when set, fires once when BlockLimit heights have been
@@ -91,6 +101,11 @@ type poolState struct {
 	headTD  uint64
 	head    types.Hash
 	address types.Address
+	// home is the pool's control-plane region (its first-listed
+	// gateway region), the endpoint the visibility filter sees. Chosen
+	// statically so partition support adds no RNG draws to the mining
+	// stream.
+	home geo.Region
 }
 
 // Simulator produces blocks onto a shared block tree according to the
@@ -127,11 +142,13 @@ type Simulator struct {
 
 // visUpdate is one block's deferred visibility: pools that see the
 // block after gateway + switch delay adopt it as head if it is still
-// the heaviest they know.
+// the heaviest they know. from records the producing pool's home
+// region for the partition filter.
 type visUpdate struct {
 	td   uint64
 	head types.Hash
 	refs int
+	from geo.Region
 }
 
 // ErrNoPools indicates an empty registry.
@@ -173,6 +190,7 @@ func NewSimulator(engine *sim.Engine, rng *sim.RNG, cfg Config) (*Simulator, err
 			head:    genesis.Hash(),
 			headTD:  genesis.Header.Difficulty,
 			address: pc.Address(),
+			home:    pc.GatewayRegions[0],
 		})
 		weights = append(weights, pc.HashrateShare)
 	}
@@ -387,7 +405,7 @@ func (s *Simulator) insert(now sim.Time, b *types.Block, miner *poolState) bool 
 			s.visSlab = append(s.visSlab, visUpdate{})
 			idx = int32(len(s.visSlab) - 1)
 		}
-		s.visSlab[idx] = visUpdate{td: td, head: b.Hash(), refs: len(s.pools) - 1}
+		s.visSlab[idx] = visUpdate{td: td, head: b.Hash(), refs: len(s.pools) - 1, from: miner.home}
 		for pi, q := range s.pools {
 			if q == miner {
 				continue
@@ -400,10 +418,18 @@ func (s *Simulator) insert(now sim.Time, b *types.Block, miner *poolState) bool 
 }
 
 // HandleEvent implements sim.Handler: apply one pool's deferred
-// head-visibility update (a = pool index, b = visSlab index).
-func (s *Simulator) HandleEvent(_ sim.Time, a, b uint64) {
+// head-visibility update (a = pool index, b = visSlab index). A
+// visibility filter can push the update past a partition heal; the
+// slab entry's refcount is untouched while the update is in limbo.
+func (s *Simulator) HandleEvent(now sim.Time, a, b uint64) {
 	q := s.pools[a]
 	u := &s.visSlab[b]
+	if s.cfg.VisibilityFilter != nil {
+		if d := s.cfg.VisibilityFilter(now, u.from, q.home); d > 0 {
+			s.engine.ScheduleCall(d, s, a, b)
+			return
+		}
+	}
 	if u.td > q.headTD {
 		q.head = u.head
 		q.headTD = u.td

@@ -45,6 +45,68 @@ func TestBlockCacheBounded(t *testing.T) {
 	}
 }
 
+// TestBlockCacheEvictionOrder pins the body cache's exact boundary
+// and order semantics: inserting precisely blockCacheCap blocks evicts
+// nothing (eviction is past-capacity, not on-insert), the cap+1-th
+// insert evicts exactly the oldest entry, and continued inserts evict
+// in strict FIFO insertion order.
+func TestBlockCacheEvictionOrder(t *testing.T) {
+	net := zeroLatencyNetwork(t, 7)
+	a := addNode(t, net, geo.WesternEurope, 0)
+	hashAt := func(i int) types.Hash { return testBlock(uint64(i+1), "Ethermine").Hash() }
+
+	// Fill to exactly the cap: every body must still be servable.
+	for i := 0; i < blockCacheCap; i++ {
+		a.rememberBlock(hashAt(i), testBlock(uint64(i+1), "Ethermine"))
+	}
+	if len(a.knownBlocks) != blockCacheCap {
+		t.Fatalf("cache holds %d bodies at exactly cap inserts, want %d (on-insert eviction off-by-one)",
+			len(a.knownBlocks), blockCacheCap)
+	}
+	if _, ok := a.knownBlocks[hashAt(0)]; !ok {
+		t.Fatal("oldest body evicted at exactly cap inserts (on-insert eviction off-by-one)")
+	}
+
+	// One past the cap evicts exactly the first insert, nothing else.
+	a.rememberBlock(hashAt(blockCacheCap), testBlock(uint64(blockCacheCap+1), "Ethermine"))
+	if len(a.knownBlocks) != blockCacheCap {
+		t.Fatalf("cache holds %d bodies past cap, want %d", len(a.knownBlocks), blockCacheCap)
+	}
+	if _, ok := a.knownBlocks[hashAt(0)]; ok {
+		t.Fatal("first insert survived the cap+1-th insert")
+	}
+	if _, ok := a.knownBlocks[hashAt(1)]; !ok {
+		t.Fatal("second insert evicted out of FIFO order")
+	}
+
+	// Continued inserts walk the eviction boundary in insertion order:
+	// after cap+k inserts exactly the first k are gone.
+	const extra = 37
+	for i := 1; i < extra; i++ {
+		a.rememberBlock(hashAt(blockCacheCap+i), testBlock(uint64(blockCacheCap+i+1), "Ethermine"))
+	}
+	for i := 0; i < extra; i++ {
+		if _, ok := a.knownBlocks[hashAt(i)]; ok {
+			t.Fatalf("insert %d survived past its FIFO eviction point", i)
+		}
+		if !a.KnowsBlock(hashAt(i)) {
+			t.Fatalf("evicted insert %d lost its dedup entry", i)
+		}
+	}
+	for i := extra; i < extra+5; i++ {
+		if _, ok := a.knownBlocks[hashAt(i)]; !ok {
+			t.Fatalf("insert %d evicted early (non-FIFO order)", i)
+		}
+	}
+	// The queue mirrors the cache exactly.
+	if len(a.blockQueue) != blockCacheCap {
+		t.Fatalf("eviction queue length %d, want %d", len(a.blockQueue), blockCacheCap)
+	}
+	if a.blockQueue[0] != hashAt(extra) {
+		t.Fatal("eviction queue head is not the oldest retained insert")
+	}
+}
+
 // TestMessagePoolReuse drives repeated dissemination and checks the
 // network recycles message structs instead of growing the pool per
 // send.

@@ -31,9 +31,25 @@ type Network struct {
 	MessagesSent uint64
 	// BytesSent accumulates serialized payload bytes.
 	BytesSent uint64
+	// MessagesDropped counts transport sends and in-flight deliveries
+	// discarded by faults: down endpoints, partitions, link loss.
+	// Always zero on a healthy network.
+	MessagesDropped uint64
 	// Push selects the block dissemination rule (default SqrtPush,
 	// the eth/63 behavior). The fan-out ablation flips this.
 	Push PushPolicy
+	// Fault, when non-nil, is consulted once per transport send: it can
+	// drop the message (partition, link loss) or stretch its delivery
+	// delay (degraded links). Healthy campaigns leave it nil, keeping
+	// the hot path branch-predictable.
+	Fault LinkFilter
+	// ParentPull enables the catch-up fetch: a node receiving a block
+	// whose parent it has never seen requests that parent from the
+	// sender. Real clients recover partition-era blocks through header
+	// sync; this is the minimal eth/63-shaped equivalent. Enabled only
+	// for fault campaigns so healthy runs stay byte-identical to the
+	// pre-fault engine.
+	ParentPull bool
 
 	// Pooled transport state (see HandleEvent).
 	msgFree   []*Message
@@ -101,6 +117,16 @@ func (p PushPolicy) String() string {
 	}
 }
 
+// LinkFilter is the fault-injection hook into the transport: it is
+// consulted once per send, after both endpoints are known to be up. A
+// non-nil error drops the message (counted in MessagesDropped); extra
+// is added to the latency-model delay otherwise. Implementations must
+// be deterministic given the simulation state (draw any randomness
+// from their own seeded stream).
+type LinkFilter interface {
+	FilterLink(now sim.Time, from, to *Node) (extra sim.Time, err error)
+}
+
 // Network construction errors.
 var (
 	ErrUnknownNode = errors.New("p2p: unknown node")
@@ -161,8 +187,14 @@ func (net *Network) Nodes() []*Node {
 	return out
 }
 
-// Len returns the number of nodes.
+// Len returns the number of nodes ever added (crashed and departed
+// nodes included — slots are never reused).
 func (net *Network) Len() int { return len(net.nodes) }
+
+// NodeAt returns the i-th node in insertion order. Fault injection
+// uses it for index-addressed sampling without materializing the full
+// node slice per draw.
+func (net *Network) NodeAt(i int) *Node { return net.nodes[net.order[i]] }
 
 // Engine exposes the simulation engine driving this network.
 func (net *Network) Engine() *sim.Engine { return net.engine }
@@ -286,6 +318,62 @@ func (net *Network) ConnectSampleBiased(node *Node, k int, regionBias float64) e
 	return nil
 }
 
+// Connected reports whether two nodes currently hold a connection.
+func (net *Network) Connected(a, b *Node) bool {
+	return a != nil && b != nil && a.peerSet[b.id]
+}
+
+// Disconnect tears down the connection between two nodes (a no-op for
+// unconnected pairs). Peer-list order of the survivors is preserved,
+// so disconnects are deterministic.
+func (net *Network) Disconnect(a, b *Node) {
+	if a == nil || b == nil || !a.peerSet[b.id] {
+		return
+	}
+	delete(a.peerSet, b.id)
+	delete(b.peerSet, a.id)
+	a.peers = removePeer(a.peers, b.id)
+	b.peers = removePeer(b.peers, a.id)
+}
+
+// removePeer deletes the peer with the given id, preserving order.
+func removePeer(peers []*Node, id NodeID) []*Node {
+	for i, p := range peers {
+		if p.id == id {
+			return append(peers[:i], peers[i+1:]...)
+		}
+	}
+	return peers
+}
+
+// CrashNode takes a node down: every connection is torn down (its
+// peers see the TCP sessions die) and in-flight messages to it are
+// discarded on arrival. The node's durable state — received blocks,
+// seen hashes — persists, like a real client's disk across a process
+// crash. A down node schedules no events, so outages cost nothing on
+// the event queue.
+func (net *Network) CrashNode(n *Node) {
+	if n == nil || n.down {
+		return
+	}
+	n.down = true
+	for _, peer := range n.peers {
+		delete(peer.peerSet, n.id)
+		peer.peers = removePeer(peer.peers, n.id)
+	}
+	clear(n.peerSet)
+	n.peers = n.peers[:0]
+}
+
+// RecoverNode brings a crashed node back up with an empty peer table;
+// the caller rewires it (fault injection redials through discovery).
+func (net *Network) RecoverNode(n *Node) {
+	if n == nil {
+		return
+	}
+	n.down = false
+}
+
 // newMessage takes a message from the pool (or allocates the pool's
 // first copies). The caller fills exactly the payload field its kind
 // requires; every other payload field is zero.
@@ -315,7 +403,24 @@ func (net *Network) releaseMessage(m *Message) {
 // send schedules delivery of msg from a to b at the latency-model
 // sampled arrival time relative to `at`. The delivery is a typed
 // engine event referencing a pooled delivery slot — no closure.
+// Sends touching a down endpoint, or vetoed by the fault filter, are
+// dropped (released back to the pool and counted in MessagesDropped).
 func (net *Network) send(at sim.Time, from, to *Node, msg *Message) {
+	if from.down || to.down {
+		net.MessagesDropped++
+		net.releaseMessage(msg)
+		return
+	}
+	var extra sim.Time
+	if net.Fault != nil {
+		var err error
+		extra, err = net.Fault.FilterLink(at, from, to)
+		if err != nil {
+			net.MessagesDropped++
+			net.releaseMessage(msg)
+			return
+		}
+	}
 	size := msg.Size()
 	delay, err := net.latency.Sample(net.rng, from.region, to.region, size)
 	if err != nil {
@@ -335,7 +440,7 @@ func (net *Network) send(at sim.Time, from, to *Node, msg *Message) {
 		idx = int32(len(net.deliv) - 1)
 	}
 	net.deliv[idx] = delivery{to: to, from: from.id, msg: msg}
-	net.engine.ScheduleCallAt(at+delay, net, opDeliver, uint64(idx))
+	net.engine.ScheduleCallAt(at+delay+extra, net, opDeliver, uint64(idx))
 }
 
 // scheduleAnnounce queues a node's deferred announce wave (relay
@@ -362,6 +467,13 @@ func (net *Network) HandleEvent(now sim.Time, op, idx uint64) {
 		d := net.deliv[idx]
 		net.deliv[idx] = delivery{}
 		net.delivFree = append(net.delivFree, int32(idx))
+		if d.to.down {
+			// The destination crashed while the message was in flight;
+			// its TCP connections are gone, so the bytes never arrive.
+			net.MessagesDropped++
+			net.releaseMessage(d.msg)
+			return
+		}
 		d.to.handle(now, d.from, d.msg)
 		net.releaseMessage(d.msg)
 	case opAnnounce:

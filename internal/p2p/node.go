@@ -80,6 +80,10 @@ type Node struct {
 	// clients are indistinguishable from regular peers); the flag
 	// exists for ablations.
 	relay bool
+	// down marks a crashed (or permanently departed) node: it holds no
+	// connections, drops in-flight deliveries on arrival and ignores
+	// injections until recovered. See Network.CrashNode.
+	down bool
 }
 
 // ID returns the node identifier.
@@ -90,6 +94,9 @@ func (n *Node) Region() geo.Region { return n.region }
 
 // PeerCount returns the current number of connections.
 func (n *Node) PeerCount() int { return len(n.peers) }
+
+// Down reports whether the node is currently crashed or departed.
+func (n *Node) Down() bool { return n.down }
 
 // SetObserver installs a message observer (nil removes it).
 func (n *Node) SetObserver(obs Observer) { n.observer = obs }
@@ -138,6 +145,9 @@ func (n *Node) peerKnowsBlock(h types.Hash, peer NodeID) bool {
 
 // handle processes one incoming message at virtual time now.
 func (n *Node) handle(now sim.Time, from NodeID, msg *Message) {
+	if n.down {
+		return
+	}
 	if n.observer != nil {
 		n.observer(now, from, msg)
 	}
@@ -145,6 +155,7 @@ func (n *Node) handle(now sim.Time, from NodeID, msg *Message) {
 	case MsgNewBlock:
 		if msg.Block != nil {
 			n.markPeerKnows(msg.Block.Hash(), from)
+			n.maybePullParent(now, from, msg.Block)
 		}
 		n.handleNewBlock(now, msg.Block)
 	case MsgNewBlockHashes:
@@ -158,14 +169,49 @@ func (n *Node) handle(now sim.Time, from NodeID, msg *Message) {
 
 // InjectBlock makes this node the origin of a freshly mined block
 // (mining-pool gateways call this). The origin skips the import delay
-// before announcing: the miner already executed its own block.
+// before announcing: the miner already executed its own block. A down
+// node swallows the injection — the submitter hit a dead endpoint.
 func (n *Node) InjectBlock(now sim.Time, b *types.Block) {
+	if n.down {
+		return
+	}
 	n.relayBlock(now, b, true)
 }
 
-// InjectTx makes this node the origin of a new transaction.
+// InjectTx makes this node the origin of a new transaction. Like
+// InjectBlock, a down node loses the submission.
 func (n *Node) InjectTx(now sim.Time, tx *types.Transaction) {
+	if n.down {
+		return
+	}
 	n.handleTxs(now, n.id, []*types.Transaction{tx})
+}
+
+// maybePullParent is the catch-up fetch (Network.ParentPull): a block
+// whose parent was never received — the partition-era gap — triggers a
+// GetBlock for that parent from the block's sender. The response is a
+// NewBlock, so the pull walks the missing ancestry recursively until
+// it reaches known ground; the sender serves from its FIFO body cache,
+// which comfortably covers any realistic outage window. The pull is
+// deliberately NOT recorded in seenHashes: a pull can itself be lost
+// to the very faults it recovers from, so every received copy of a
+// gap's descendant retries it (a handful of redundant fetches, deduped
+// by haveBlocks on arrival) until the parent actually lands.
+func (n *Node) maybePullParent(now sim.Time, from NodeID, b *types.Block) {
+	if !n.net.ParentPull || b.Header.Number < 2 {
+		return
+	}
+	parent := b.Header.ParentHash
+	if n.haveBlocks[parent] {
+		return
+	}
+	sender, ok := n.net.nodes[from]
+	if !ok || sender.id == n.id {
+		return
+	}
+	m := n.net.newMessage(MsgGetBlock)
+	m.Want = parent
+	n.net.send(now+announceHandleMillis, n, sender, m)
 }
 
 func (n *Node) handleNewBlock(now sim.Time, b *types.Block) {
@@ -241,6 +287,10 @@ func (n *Node) relayBlock(now sim.Time, b *types.Block, origin bool) {
 // measures a mean announcement in-degree of only 2.585). The origin
 // gateway announces to all of them.
 func (n *Node) announceWave(now sim.Time, h types.Hash, origin bool) {
+	if n.down {
+		// The wave was scheduled before the node crashed.
+		return
+	}
 	targets := n.net.candBuf[:0]
 	for _, peer := range n.peers {
 		if !n.peerKnowsBlock(h, peer.id) {

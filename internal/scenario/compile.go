@@ -9,6 +9,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/mining"
+	"repro/internal/sim"
 	"repro/internal/txgen"
 )
 
@@ -88,6 +89,17 @@ func (s *Scenario) scaledBlocks(sc experiments.Scale) uint64 {
 	return b
 }
 
+// scaledNodes applies the scale multiplier to the overlay size — the
+// single sizing rule shared by the campaign build and the
+// availability denominator.
+func (s *Scenario) scaledNodes(sc experiments.Scale) int {
+	n := int(math.Ceil(float64(s.Network.Nodes) * s.scaleFactor(sc)))
+	if n < minScaledNodes {
+		n = minScaledNodes
+	}
+	return n
+}
+
 // run executes the variant at one (seed, scale).
 func (v *Variant) run(seed uint64, sc experiments.Scale) ([]*experiments.Outcome, error) {
 	if v.Scenario.RunMode() == ModeChain {
@@ -150,11 +162,7 @@ func (v *Variant) runChain(seed uint64, sc experiments.Scale) ([]*experiments.Ou
 func (v *Variant) campaignConfig(seed uint64, sc experiments.Scale) (core.CampaignConfig, error) {
 	s := v.Scenario
 	cfg := core.DefaultCampaignConfig(seed)
-	nodes := int(math.Ceil(float64(s.Network.Nodes) * s.scaleFactor(sc)))
-	if nodes < minScaledNodes {
-		nodes = minScaledNodes
-	}
-	cfg.NetworkNodes = nodes
+	cfg.NetworkNodes = s.scaledNodes(sc)
 	cfg.Blocks = s.scaledBlocks(sc)
 	// Scenario campaigns consume the analysis index, never the raw
 	// log, so they always run streaming — memory stays O(items) even
@@ -191,6 +199,11 @@ func (v *Variant) campaignConfig(seed uint64, sc experiments.Scale) (core.Campai
 	if err := v.applyMining(&cfg.Mining); err != nil {
 		return cfg, err
 	}
+	fc, err := s.faultsConfig()
+	if err != nil {
+		return cfg, err
+	}
+	cfg.Faults = fc
 	if w := s.Workload; w != nil {
 		wl := txgen.DefaultConfig()
 		if w.Senders > 0 {
@@ -228,7 +241,7 @@ func (v *Variant) runNetwork(seed uint64, sc experiments.Scale) ([]*experiments.
 		if o, handled, err := v.viewOutcome(name, res.View); handled {
 			return o, err
 		}
-		return v.networkOutcome(name, res)
+		return v.networkOutcome(name, res, sc)
 	})
 }
 
@@ -255,6 +268,8 @@ type outputDef struct {
 	network, chainMode bool
 	// needsWorkload requires a workload section.
 	needsWorkload bool
+	// needsFaults requires a faults section.
+	needsFaults bool
 }
 
 func (d outputDef) supports(mode string) bool {
@@ -274,6 +289,7 @@ var outputDefs = map[string]outputDef{
 	"transport":              {title: "transport message and byte totals", network: true},
 	"commit_times":           {title: "transaction inclusion and commit times", network: true, needsWorkload: true},
 	"reordering":             {title: "commit delay by observed ordering", network: true, needsWorkload: true},
+	"availability":           {title: "availability under injected faults", network: true, needsFaults: true},
 	"empty_blocks":           {title: "empty blocks per pool", network: true, chainMode: true},
 	"forks":                  {title: "fork types and lengths", network: true, chainMode: true},
 	"one_miner_forks":        {title: "one-miner forks", network: true, chainMode: true},
@@ -386,7 +402,7 @@ func (v *Variant) withholdingOutcome(res *core.ChainOnlyResult) (*experiments.Ou
 }
 
 // networkOutcome builds the overlay-only outputs.
-func (v *Variant) networkOutcome(name string, res *core.CampaignResult) (*experiments.Outcome, error) {
+func (v *Variant) networkOutcome(name string, res *core.CampaignResult, sc experiments.Scale) (*experiments.Outcome, error) {
 	o := &experiments.Outcome{Title: outputDefs[name].title}
 	switch name {
 	case "propagation":
@@ -454,6 +470,25 @@ func (v *Variant) networkOutcome(name string, res *core.CampaignResult) (*experi
 		}
 		o.Rendered = analysis.RenderReordering(reorder)
 		o.Metrics = map[string]float64{"ooo_fraction": reorder.OutOfOrderFraction}
+	case "availability":
+		quiet := make(map[string]sim.Time, len(res.Nodes))
+		for _, n := range res.Nodes {
+			quiet[n.Name()] = n.MaxQuietGap()
+		}
+		avail, err := analysis.Availability(res.Faults, v.Scenario.scaledNodes(sc), res.Duration, res.MessagesDropped, quiet)
+		if err != nil {
+			return nil, err
+		}
+		o.Rendered = analysis.RenderAvailability(avail)
+		o.Metrics = map[string]float64{
+			"availability":     avail.Availability,
+			"crashes":          float64(avail.Crashes),
+			"joins":            float64(avail.Joins),
+			"leaves":           float64(avail.Leaves),
+			"dropped_messages": float64(avail.DroppedMessages),
+			"partition_s":      avail.PartitionS,
+			"max_quiet_gap_s":  avail.MaxQuietGapS,
+		}
 	default:
 		return nil, fmt.Errorf("unknown output %q", name)
 	}

@@ -195,6 +195,9 @@ func TestOutputCatalogConsistent(t *testing.T) {
 			if def.needsWorkload {
 				s.Workload = &WorkloadSection{}
 			}
+			if def.needsFaults {
+				s.Faults = &FaultsSection{Loss: &LossSection{DropProb: 0.01}}
+			}
 		}
 		if err := s.Validate(); err != nil {
 			t.Errorf("output %s does not validate in its own mode: %v", name, err)

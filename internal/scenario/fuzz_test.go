@@ -1,0 +1,127 @@
+package scenario
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// Fuzz seeds: every schema corner the parser owns — modes, pools,
+// faults, sweeps, strict-decoding rejects. Mirrored as committed
+// corpus files under testdata/fuzz/ so `go test -fuzz` starts from
+// real documents rather than noise.
+var fuzzSeeds = []string{
+	`{"name":"mini","mode":"chain","chain":{"blocks":100}}`,
+	`{"name":"net","network":{"nodes":40},"chain":{"blocks":30}}`,
+	`{"name":"bad json`,
+	`{"name":"typo","chan":{"blocks":5}}`,
+	`{"name":"fz-faults","network":{"nodes":60},"chain":{"blocks":40},
+	  "faults":{"crash":{"mean_between_ms":60000,"mean_downtime_ms":20000},
+	            "partitions":[{"at_ms":1000,"duration_ms":5000,"regions":["EA","OC"]}],
+	            "loss":{"drop_prob":0.01,"extra_delay_mean_ms":10},
+	            "churn":{"mean_between_ms":30000,"join_fraction":0.6}},
+	  "outputs":["propagation","availability"]}`,
+	`{"name":"fz-sweep","mode":"chain","chain":{"blocks":100},
+	  "sweep":{"axes":[{"field":"chain.blocks","values":[50,100]},
+	                   {"field":"chain.inter_block_ms","from":9000,"to":13000,"step":4000}]}}`,
+	`{"name":"fz-pools","mode":"chain","chain":{"blocks":20},"normalize_shares":true,
+	  "pools":[{"name":"A","share":2,"gateways":["EA"],"withholder":true},
+	           {"name":"B","share":1,"gateways":["WE"]}]}`,
+	`{"name":"fz-neg","network":{"nodes":40},"chain":{"blocks":30},
+	  "faults":{"loss":{"drop_prob":-3}}}`,
+	`{"name":"dup","mode":"chain","chain":{"blocks":9},
+	  "sweep":{"axes":[{"field":"chain.blocks","values":[5,5]}]}}`,
+	`{}`,
+	`[1,2,3]`,
+	`{"name":"deep","mode":"chain","chain":{"blocks":4},
+	  "sweep":{"axes":[{"field":"chain.blocks.oops","values":[1]}]}}`,
+}
+
+// FuzzScenarioParse holds the parser's safety and replay invariants
+// over arbitrary documents: never panic; on success, the compacted
+// Source must re-parse to the same variant set (the replay contract
+// run directories rely on) and every variant must compile.
+func FuzzScenarioParse(f *testing.F) {
+	for _, seed := range fuzzSeeds {
+		f.Add([]byte(seed))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		set, err := Parse(data)
+		if err != nil {
+			return
+		}
+		if len(set.Variants) == 0 || len(set.Variants) > maxVariants {
+			t.Fatalf("accepted document with %d variants", len(set.Variants))
+		}
+		ids := map[string]bool{}
+		for _, v := range set.Variants {
+			id := v.ID()
+			if ids[id] {
+				t.Fatalf("accepted duplicate variant ID %s", id)
+			}
+			ids[id] = true
+		}
+		if _, err := set.Compile(); err != nil {
+			t.Fatalf("parsed document failed to compile: %v", err)
+		}
+		replay, err := Parse(set.Source)
+		if err != nil {
+			t.Fatalf("compacted source does not re-parse: %v", err)
+		}
+		if len(replay.Variants) != len(set.Variants) {
+			t.Fatalf("replay produced %d variants, want %d", len(replay.Variants), len(set.Variants))
+		}
+		for i, v := range replay.Variants {
+			if v.ID() != set.Variants[i].ID() {
+				t.Fatalf("replay variant %d is %s, want %s", i, v.ID(), set.Variants[i].ID())
+			}
+		}
+	})
+}
+
+// FuzzSweepExpand drives the sweep expander through arbitrary axis
+// documents grafted onto a fixed valid base: expansion must never
+// panic, never exceed its caps, and every accepted grid must bind
+// fields that exist.
+func FuzzSweepExpand(f *testing.F) {
+	sweeps := []string{
+		`{"axes":[{"field":"chain.blocks","values":[10,20,30]}]}`,
+		`{"axes":[{"field":"chain.blocks","from":10,"to":50,"step":10}]}`,
+		`{"axes":[{"field":"chain.blocks","values":[10]},{"field":"chain.inter_block_ms","values":[9000,13300]}]}`,
+		`{"axes":[]}`,
+		`{"axes":[{"field":"chain.blocks","from":1,"to":1000000,"step":0.001}]}`,
+		`{"axes":[{"field":"nope.nope","values":[1]}]}`,
+		`{"axes":[{"field":"chain.blocks","values":[1],"from":1,"to":2,"step":1}]}`,
+		`{"axes":[{"field":"name","values":["a b"]}]}`,
+	}
+	for _, s := range sweeps {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, sweepDoc []byte) {
+		var sweepVal any
+		if err := json.Unmarshal(sweepDoc, &sweepVal); err != nil {
+			return
+		}
+		doc := map[string]any{
+			"name":  "fz",
+			"mode":  "chain",
+			"chain": map[string]any{"blocks": 100, "inter_block_ms": 13300},
+			"sweep": sweepVal,
+		}
+		data, err := json.Marshal(doc)
+		if err != nil {
+			return
+		}
+		set, err := Parse(data)
+		if err != nil {
+			return
+		}
+		if len(set.Variants) > maxVariants {
+			t.Fatalf("expansion of %d variants exceeds cap %d", len(set.Variants), maxVariants)
+		}
+		for _, v := range set.Variants {
+			if len(v.Bindings) > maxAxes {
+				t.Fatalf("variant binds %d axes, cap %d", len(v.Bindings), maxAxes)
+			}
+		}
+	})
+}

@@ -67,6 +67,9 @@ type Scenario struct {
 	Measurement []MeasurementSection `json:"measurement,omitempty"`
 	// Workload enables a transaction workload (network mode only).
 	Workload *WorkloadSection `json:"workload,omitempty"`
+	// Faults injects dependability events into the campaign (network
+	// mode only): crash/recover, partitions, link loss, churn.
+	Faults *FaultsSection `json:"faults,omitempty"`
 	// Outputs selects the analyses to run; see OutputNames. Default:
 	// propagation+first_observation (network), forks+sequences
 	// (chain).
@@ -144,6 +147,55 @@ type MeasurementSection struct {
 	// Peers is the connection count; 0 means unlimited (the paper's
 	// primary nodes).
 	Peers int `json:"peers,omitempty"`
+}
+
+// FaultsSection configures the fault injector (internal/faults in
+// schema form). Every subsection is optional; at least one must be
+// present.
+type FaultsSection struct {
+	Crash      *CrashSection      `json:"crash,omitempty"`
+	Partitions []PartitionSection `json:"partitions,omitempty"`
+	Loss       *LossSection       `json:"loss,omitempty"`
+	Churn      *ChurnSection      `json:"churn,omitempty"`
+}
+
+// CrashSection drives the crash/recover process.
+type CrashSection struct {
+	// MeanBetweenMS is the mean interval between crash events across
+	// the overlay.
+	MeanBetweenMS int64 `json:"mean_between_ms"`
+	// MeanDowntimeMS is the mean outage duration.
+	MeanDowntimeMS int64 `json:"mean_downtime_ms"`
+	// MaxCrashes bounds total crashes (0 = unlimited).
+	MaxCrashes int `json:"max_crashes,omitempty"`
+}
+
+// PartitionSection is one scheduled region split that heals.
+type PartitionSection struct {
+	// AtMS is the split's start time.
+	AtMS int64 `json:"at_ms"`
+	// DurationMS is how long the split lasts before healing.
+	DurationMS int64 `json:"duration_ms"`
+	// Regions is the isolated side (region abbreviations).
+	Regions []string `json:"regions"`
+}
+
+// LossSection degrades links.
+type LossSection struct {
+	// DropProb is the per-message drop probability.
+	DropProb float64 `json:"drop_prob,omitempty"`
+	// ExtraDelayMeanMS adds an exponential extra delay per message.
+	ExtraDelayMeanMS int64 `json:"extra_delay_mean_ms,omitempty"`
+}
+
+// ChurnSection drives continuous join/leave membership change.
+type ChurnSection struct {
+	// MeanBetweenMS is the mean interval between churn events.
+	MeanBetweenMS int64 `json:"mean_between_ms"`
+	// JoinFraction is the probability an event is a join (default 0.5).
+	JoinFraction *float64 `json:"join_fraction,omitempty"`
+	// MaxEvents bounds total churn events (0 = unlimited).
+	MaxEvents int `json:"max_events,omitempty"`
 }
 
 // WorkloadSection enables the transaction generator; zero fields keep

@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/faults"
 	"repro/internal/geo"
 	"repro/internal/mining"
 )
@@ -60,8 +61,8 @@ func (s *Scenario) Validate() error {
 
 	switch s.RunMode() {
 	case ModeChain:
-		if s.Network != nil || len(s.Measurement) > 0 || s.Workload != nil {
-			return fmt.Errorf("scenario %s: chain mode takes no network/measurement/workload sections", s.Name)
+		if s.Network != nil || len(s.Measurement) > 0 || s.Workload != nil || s.Faults != nil {
+			return fmt.Errorf("scenario %s: chain mode takes no network/measurement/workload/faults sections", s.Name)
 		}
 	case ModeNetwork:
 		if err := s.validateNetwork(pools); err != nil {
@@ -154,7 +155,64 @@ func (s *Scenario) validateNetwork(pools []mining.PoolConfig) error {
 			return fmt.Errorf("scenario %s: out_of_order_prob %v outside [0,1]", s.Name, *w.OutOfOrderProb)
 		}
 	}
+
+	// Fault schedule: delegate the interval/probability/region
+	// invariants to the same validator the injector itself runs.
+	if s.Faults != nil {
+		fc, err := s.faultsConfig()
+		if err != nil {
+			return err
+		}
+		if err := fc.Validate(); err != nil {
+			return fmt.Errorf("scenario %s: %w", s.Name, err)
+		}
+	}
 	return nil
+}
+
+// faultsConfig builds the faults.Config from the schema. Nil when the
+// section is absent.
+func (s *Scenario) faultsConfig() (*faults.Config, error) {
+	f := s.Faults
+	if f == nil {
+		return nil, nil
+	}
+	cfg := &faults.Config{}
+	if c := f.Crash; c != nil {
+		cfg.Crash = &faults.Crash{
+			MeanBetween:  millis(c.MeanBetweenMS),
+			MeanDowntime: millis(c.MeanDowntimeMS),
+			MaxCrashes:   c.MaxCrashes,
+		}
+	}
+	for i, p := range f.Partitions {
+		part := faults.Partition{
+			Start:    millis(p.AtMS),
+			Duration: millis(p.DurationMS),
+		}
+		for _, name := range p.Regions {
+			r, err := parseRegion(name)
+			if err != nil {
+				return nil, fmt.Errorf("scenario %s: partition %d: %w", s.Name, i, err)
+			}
+			part.Regions = append(part.Regions, r)
+		}
+		cfg.Partitions = append(cfg.Partitions, part)
+	}
+	if l := f.Loss; l != nil {
+		cfg.Loss = &faults.Loss{
+			DropProb:       l.DropProb,
+			ExtraDelayMean: millis(l.ExtraDelayMeanMS),
+		}
+	}
+	if c := f.Churn; c != nil {
+		cfg.Churn = &faults.Churn{
+			MeanBetween:  millis(c.MeanBetweenMS),
+			JoinFraction: c.JoinFraction,
+			MaxEvents:    c.MaxEvents,
+		}
+	}
+	return cfg, nil
 }
 
 // validateOutputs checks every requested output exists and is
@@ -176,6 +234,9 @@ func (s *Scenario) validateOutputs() error {
 		}
 		if def.needsWorkload && s.Workload == nil {
 			return fmt.Errorf("scenario %s: output %q needs a workload section", s.Name, name)
+		}
+		if def.needsFaults && s.Faults == nil {
+			return fmt.Errorf("scenario %s: output %q needs a faults section", s.Name, name)
 		}
 	}
 	return nil
