@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test test-full test-faults race bench bench-smoke bench-compare bench-baseline fmt fmt-check vet examples examples-full validate-scenarios
+.PHONY: build test test-full test-faults test-relay fuzz race bench bench-smoke bench-compare bench-baseline fmt fmt-check vet examples examples-full validate-scenarios
 
 build:
 	$(GO) build ./...
@@ -25,6 +25,25 @@ test-faults:
 	@set -e; dir=$$(mktemp -d); trap 'rm -rf "$$dir"' EXIT; \
 	$(GO) run ./cmd/ethrepro -only D1 -scale small -repeats 2 -parallel 4 -out "$$dir/d1"
 
+# Relay gate: the full protocol-conformance suite (liveness,
+# duplicate-fetch, bandwidth-accounting and determinism invariants for
+# every registered relay protocol), the R1/R2 + relay-compare golden
+# invariance harness, a `go test -cover` summary for internal/p2p/...,
+# and one R1 shoot-out campaign run through the real CLI.
+test-relay:
+	$(GO) test -v ./internal/p2p/relay/
+	$(GO) test -run 'TestGoldenRelaySpecsParallelInvariance|TestGoldenScenarioArtifactsParallelInvariance/relay-compare.json' -v -timeout 30m ./internal/experiments
+	$(GO) test -cover ./internal/p2p/...
+	@set -e; dir=$$(mktemp -d); trap 'rm -rf "$$dir"' EXIT; \
+	$(GO) run ./cmd/ethrepro -only R1 -scale small -repeats 2 -parallel 4 -out "$$dir/r1"
+
+# Fuzz lane: run every fuzz target for a bounded burst on top of the
+# committed seed corpora (which already execute as regular tests).
+fuzz:
+	$(GO) test -fuzz FuzzCompactReconstruct -fuzztime 30s ./internal/p2p/relay/
+	$(GO) test -fuzz FuzzScenarioParse -fuzztime 30s ./internal/scenario/
+	$(GO) test -fuzz FuzzSweepExpand -fuzztime 30s ./internal/scenario/
+
 race:
 	$(GO) test -race -short ./...
 
@@ -36,12 +55,15 @@ bench-smoke:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' .
 
 # Run every benchmark once and diff against the committed baseline;
-# fails on any >20% ns/op regression (improvements always pass).
+# fails on any >20% ns/op regression (improvements always pass). The
+# relay allocation ceiling rides along: AllocsPerRun regressions on
+# the relay hot path fail here even when ns/op stays flat.
 bench-compare:
 	@set -e; tmp=$$(mktemp); trap 'rm -f "$$tmp" "$$tmp.json"' EXIT; \
 	$(GO) test -bench=. -benchtime=1x -run='^$$' . > "$$tmp"; \
 	$(GO) run ./cmd/benchjson < "$$tmp" > "$$tmp.json"; \
 	$(GO) run ./cmd/benchjson -compare BENCH_baseline.json "$$tmp.json"
+	$(GO) test -run TestRelayAllocationCeiling -v ./internal/p2p/relay/
 
 # Regenerate the committed benchmark snapshot. Two steps so a failing
 # benchmark aborts instead of being laundered into a partial snapshot.

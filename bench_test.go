@@ -175,7 +175,26 @@ func BenchmarkEmptyBlockSpread(b *testing.B) {
 // BenchmarkRevenueAccounting regenerates the incentive accounting
 // behind §III-C3 and §III-C5.
 func BenchmarkRevenueAccounting(b *testing.B) {
-	benchOutcome(b, "R1", "one_miner_eth", "empty_fee_fraction")
+	benchOutcome(b, "INC", "one_miner_eth", "empty_fee_fraction")
+}
+
+// BenchmarkCompactRelaySpread runs a compact-relay overlay campaign
+// with 15% private order flow: sketch pushes, pool reconstruction,
+// missing-tx round trips and per-class bandwidth accounting on the
+// pooled hot path. The companion allocation ceiling lives in
+// internal/p2p/relay (TestRelayAllocationCeiling, run by `make
+// bench-compare`).
+func BenchmarkCompactRelaySpread(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.CompactRelaySpread(benchSeed(i), experiments.ScaleSmall)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			b.ReportMetric(res.Bandwidth.Reconstruction.HitRate(), "hit_rate")
+			b.ReportMetric(res.Bandwidth.BytesPerBlock()/1e3, "kb_per_block")
+		}
+	}
 }
 
 // BenchmarkCrashRecoverSpread regenerates the D1 dependability spec:

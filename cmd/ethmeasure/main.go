@@ -6,6 +6,7 @@
 //
 //	ethmeasure -out dataset/ [-seed 42] [-nodes 800] [-blocks 500]
 //	           [-peers 100] [-degree 8] [-txlinks] [-txrate 0]
+//	           [-relay sqrt-push|push-all|announce-only|compact|hybrid]
 //
 // One JSONL file is written per measurement node (NA, EA, WE, CE),
 // mirroring the study's per-machine raw logs.
@@ -17,8 +18,10 @@ import (
 	"os"
 	"path/filepath"
 
+	"repro/internal/analysis"
 	"repro/internal/core"
 	"repro/internal/measure"
+	"repro/internal/p2p/relay"
 	"repro/internal/sim"
 	"repro/internal/txgen"
 )
@@ -33,19 +36,25 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("ethmeasure", flag.ContinueOnError)
 	var (
-		out     = fs.String("out", "dataset", "output directory for JSONL logs")
-		seed    = fs.Uint64("seed", 42, "simulation seed")
-		nodes   = fs.Int("nodes", 800, "overlay size")
-		blocks  = fs.Uint64("blocks", 500, "block heights to produce")
-		peers   = fs.Int("peers", 100, "measurement-node peer count")
-		degree  = fs.Int("degree", 8, "overlay dial-out degree")
-		txlinks = fs.Bool("txlinks", false, "record per-block tx hash lists (needed for commit analyses)")
-		txrate  = fs.Float64("txrate", 0, "transaction workload rate in tx/s (0 disables)")
+		out      = fs.String("out", "dataset", "output directory for JSONL logs")
+		seed     = fs.Uint64("seed", 42, "simulation seed")
+		nodes    = fs.Int("nodes", 800, "overlay size")
+		blocks   = fs.Uint64("blocks", 500, "block heights to produce")
+		peers    = fs.Int("peers", 100, "measurement-node peer count")
+		degree   = fs.Int("degree", 8, "overlay dial-out degree")
+		txlinks  = fs.Bool("txlinks", false, "record per-block tx hash lists (needed for commit analyses)")
+		txrate   = fs.Float64("txrate", 0, "transaction workload rate in tx/s (0 disables)")
+		relayArg = fs.String("relay", "", "block-relay protocol: sqrt-push (default)|push-all|announce-only|compact|hybrid")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	mode, err := relay.ParseMode(*relayArg)
+	if err != nil {
+		return err
+	}
 	cfg := core.DefaultCampaignConfig(*seed)
+	cfg.Relay = relay.Config{Mode: mode}
 	cfg.NetworkNodes = *nodes
 	cfg.Blocks = *blocks
 	cfg.Degree = *degree
@@ -80,6 +89,10 @@ func run(args []string) error {
 		}
 		fmt.Printf("  %s: %d records\n", path, len(node.Records()))
 	}
-	fmt.Printf("transport: %d messages, %d bytes\n", res.MessagesSent, res.BytesSent)
+	bw, err := analysis.RenderBandwidth(res.Bandwidth)
+	if err != nil {
+		return err
+	}
+	fmt.Print(bw)
 	return nil
 }

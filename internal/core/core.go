@@ -26,6 +26,7 @@ import (
 	"repro/internal/measure"
 	"repro/internal/mining"
 	"repro/internal/p2p"
+	"repro/internal/p2p/relay"
 	"repro/internal/sim"
 	"repro/internal/txgen"
 	"repro/internal/types"
@@ -73,9 +74,9 @@ type CampaignConfig struct {
 	NodeShare map[geo.Region]float64
 	// Latency is the geographic delay model.
 	Latency geo.LatencyModel
-	// Push selects the block dissemination policy (default: the
-	// eth/63 sqrt rule).
-	Push p2p.PushPolicy
+	// Relay selects and parameterizes the block-relay protocol (the
+	// zero value is the paper's eth/63 sqrt-push rule).
+	Relay relay.Config
 	// KademliaWiring builds the overlay through the devp2p-style
 	// discovery substrate (internal/discovery) instead of uniform
 	// random wiring. Both produce location-independent neighbor
@@ -153,6 +154,10 @@ type CampaignResult struct {
 	// MessagesSent / BytesSent are transport totals.
 	MessagesSent uint64
 	BytesSent    uint64
+	// Bandwidth is the per-protocol transport accounting: per-class
+	// byte counters, per-vantage ingress/egress and the compact-relay
+	// reconstruction profile.
+	Bandwidth *analysis.Bandwidth
 	// MessagesDropped counts sends and deliveries discarded by faults
 	// (always zero on a healthy campaign).
 	MessagesDropped uint64
@@ -209,7 +214,11 @@ func NewCampaign(cfg CampaignConfig) (*Campaign, error) {
 		share = geo.DefaultNodeShare
 	}
 	c.network = p2p.NewNetwork(engine, rootRNG.Fork("network"), cfg.Latency)
-	c.network.Push = cfg.Push
+	proto, err := relay.New(cfg.Relay)
+	if err != nil {
+		return nil, fmt.Errorf("core: relay: %w", err)
+	}
+	c.network.SetRelay(proto)
 	placement, err := geo.PlaceNodes(cfg.NetworkNodes, share)
 	if err != nil {
 		return nil, fmt.Errorf("core: place nodes: %w", err)
@@ -348,14 +357,19 @@ func NewCampaign(cfg CampaignConfig) (*Campaign, error) {
 }
 
 // submitTx delivers a workload transaction into the overlay at a node
-// in the sender's region, and into the global pool for miners.
-func (c *Campaign) submitTx(now sim.Time, tx *types.Transaction, origin geo.Region) {
+// in the sender's region, and into the global pool for miners. A
+// private transaction reaches only the pool — miners can include it,
+// but no overlay mempool ever sees it.
+func (c *Campaign) submitTx(now sim.Time, tx *types.Transaction, origin geo.Region, private bool) {
 	// Mining pools learn about transactions through their own edge
 	// infrastructure; the global pool models their union mempool.
 	if c.txPool != nil {
 		// Duplicate/stale adds are expected (held re-emissions) and
 		// harmless.
 		_, _ = c.txPool.Add(tx)
+	}
+	if private {
+		return
 	}
 	if node := c.regionNode(origin); node != nil {
 		node.InjectTx(now, tx)
@@ -447,6 +461,7 @@ func (c *Campaign) Run() (*CampaignResult, error) {
 		MessagesSent:       c.network.MessagesSent,
 		BytesSent:          c.network.BytesSent,
 		MessagesDropped:    c.network.MessagesDropped,
+		Bandwidth:          c.bandwidth(),
 		Duration:           c.engine.Now(),
 	}
 	if c.injector != nil {
@@ -457,6 +472,46 @@ func (c *Campaign) Run() (*CampaignResult, error) {
 		res.TxRecords = c.gen.Records()
 	}
 	return res, nil
+}
+
+// bandwidth assembles the per-protocol transport accounting from the
+// network's class counters, the measurement nodes' ingress/egress and
+// the relay protocol's reconstruction counters.
+func (c *Campaign) bandwidth() *analysis.Bandwidth {
+	proto := c.network.Relay()
+	b := &analysis.Bandwidth{
+		Protocol:        proto.Mode().String(),
+		TotalMessages:   c.network.MessagesSent,
+		TotalBytes:      c.network.BytesSent,
+		DroppedMessages: c.network.MessagesDropped,
+		Blocks:          c.cfg.Blocks,
+	}
+	for _, ct := range c.network.ClassTotals() {
+		b.Classes = append(b.Classes, analysis.BandwidthClass{
+			Name: ct.Kind.String(), Messages: ct.Messages, Bytes: ct.Bytes,
+		})
+	}
+	for _, m := range c.nodes {
+		peer := m.Peer()
+		b.Vantages = append(b.Vantages, analysis.VantageBandwidth{
+			Name:        m.Name(),
+			MessagesIn:  peer.MessagesIn(),
+			BytesIn:     peer.BytesIn(),
+			MessagesOut: peer.MessagesOut(),
+			BytesOut:    peer.BytesOut(),
+		})
+	}
+	ctr := proto.Counters()
+	b.Reconstruction = analysis.Reconstruction{
+		SketchesSent:     ctr.SketchesSent,
+		SketchesReceived: ctr.SketchesReceived,
+		Full:             ctr.ReconstructFull,
+		Partial:          ctr.ReconstructPartial,
+		Fallback:         ctr.ReconstructFallback,
+		MissingTxs:       ctr.MissingTxs,
+		MissingTxBytes:   ctr.MissingTxBytes,
+	}
+	return b
 }
 
 // RunCampaign is the one-call convenience wrapper.

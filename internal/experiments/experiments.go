@@ -12,7 +12,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/geo"
 	"repro/internal/mining"
-	"repro/internal/p2p"
+	"repro/internal/p2p/relay"
 	"repro/internal/sim"
 	"repro/internal/txgen"
 )
@@ -503,20 +503,20 @@ func AblationFanout(seed uint64, sc Scale) (*Outcome, error) {
 		nodes, blocks = 500, 250
 	}
 	type row struct {
-		policy p2p.PushPolicy
+		policy relay.Mode
 		median float64
 		whole  float64
 		bytes  uint64
 	}
 	var rows []row
-	for _, policy := range []p2p.PushPolicy{p2p.SqrtPush, p2p.PushAll, p2p.AnnounceOnly} {
+	for _, policy := range []relay.Mode{relay.SqrtPush, relay.PushAll, relay.AnnounceOnly} {
 		cfg := core.DefaultCampaignConfig(seed)
 		cfg.NetworkNodes = nodes
 		cfg.Blocks = blocks
 		cfg.Streaming = true
 		cfg.Measurement = append(core.PaperMeasurementSpecs(40),
 			core.MeasurementSpec{Name: "D25", Region: geo.WesternEurope, Peers: 25})
-		cfg.Push = policy
+		cfg.Relay = relay.Config{Mode: policy}
 		res, err := core.RunCampaign(cfg)
 		if err != nil {
 			return nil, fmt.Errorf("fanout %v: %w", policy, err)

@@ -30,11 +30,12 @@ var goldenShortSpecs = map[string]bool{
 }
 
 // goldenShortScenarios is the -short tier's scenario subset. The
-// partition-heal file is the acceptance gate for fault determinism and
-// always runs.
+// partition-heal file is the acceptance gate for fault determinism,
+// relay-compare for relay-protocol determinism; both always run.
 var goldenShortScenarios = map[string]bool{
 	"paper-baseline.json": true,
 	"partition-heal.json": true,
+	"relay-compare.json":  true,
 }
 
 // runGolden executes the specs at the given parallelism and writes a
@@ -114,6 +115,12 @@ func TestGoldenBuiltinSpecsParallelInvariance(t *testing.T) {
 		if testing.Short() && !goldenShortSpecs[s.ID] {
 			continue
 		}
+		if s.ID == "R1" || s.ID == "R2" {
+			// The relay specs have their own invariance test below so
+			// make test-relay can select them; running them here too
+			// would double the full tier's heaviest sweeps.
+			continue
+		}
 		specs = append(specs, s)
 	}
 	if len(specs) == 0 {
@@ -140,14 +147,17 @@ func TestGoldenScenarioArtifactsParallelInvariance(t *testing.T) {
 		t.Fatalf("no scenario files match %s", pattern)
 	}
 	sort.Strings(paths)
-	sawPartitionHeal := false
+	sawPartitionHeal, sawRelayCompare := false, false
 	for _, path := range paths {
 		name := filepath.Base(path)
 		if testing.Short() && !goldenShortScenarios[name] {
 			continue
 		}
-		if name == "partition-heal.json" {
+		switch name {
+		case "partition-heal.json":
 			sawPartitionHeal = true
+		case "relay-compare.json":
+			sawRelayCompare = true
 		}
 		t.Run(name, func(t *testing.T) {
 			set, err := scenario.Load(path)
@@ -172,4 +182,26 @@ func TestGoldenScenarioArtifactsParallelInvariance(t *testing.T) {
 	if !sawPartitionHeal {
 		t.Error("partition-heal.json missing: the fault-determinism acceptance gate did not run")
 	}
+	if !sawRelayCompare {
+		t.Error("relay-compare.json missing: the relay-determinism acceptance gate did not run")
+	}
+}
+
+// TestGoldenRelaySpecsParallelInvariance pins the relay subsystem's
+// registry specs — R1's per-protocol shoot-out and R2's
+// mempool-divergence sweep — to the parallel-invariance contract.
+// Skipped under -short (each spec runs a multi-campaign sweep); the
+// full tier and `make test-relay` run it.
+func TestGoldenRelaySpecsParallelInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("relay golden tier runs in make test-relay and the full suite")
+	}
+	specs, err := experiments.Select([]string{"R1", "R2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, par := filepath.Join(t.TempDir(), "p1"), filepath.Join(t.TempDir(), "p8")
+	runGolden(t, specs, seq, 1)
+	runGolden(t, specs, par, 8)
+	assertDirsIdentical(t, seq, par)
 }

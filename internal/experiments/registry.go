@@ -103,8 +103,10 @@ func init() {
 		Run:      wrap(EmptyBlockSpreadExperiment),
 	})
 	register(Spec{
-		ID: "R1", Title: "Incentive accounting (§III-C3, §III-C5)",
-		Produces: []string{"R1"},
+		// INC was historically registered as R1; it was renamed when
+		// R1/R2 became the relay-protocol specs.
+		ID: "INC", Title: "Incentive accounting (§III-C3, §III-C5)",
+		Produces: []string{"INC"},
 		Run:      wrap(RevenueExperiment),
 	})
 	register(Spec{
@@ -131,6 +133,16 @@ func init() {
 		ID: "D3", Title: "Dependability — churn sweep",
 		Produces: []string{"D3"},
 		Run:      wrap(ChurnSweepExperiment),
+	})
+	register(Spec{
+		ID: "R1", Title: "Relay protocols — bandwidth/delay shoot-out",
+		Produces: []string{"R1"},
+		Run:      wrap(RelayShootout),
+	})
+	register(Spec{
+		ID: "R2", Title: "Relay protocols — compact-relay mempool-divergence sweep",
+		Produces: []string{"R2"},
+		Run:      wrap(CompactDivergenceSweep),
 	})
 }
 

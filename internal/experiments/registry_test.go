@@ -9,7 +9,7 @@ func TestRegistryCoversEveryOutcome(t *testing.T) {
 	// Every paper artifact the old ad-hoc API produced must remain
 	// reachable through the registry.
 	want := []string{"T1", "F1", "F2", "F3", "T2", "F4", "F5", "F6", "T3",
-		"S1", "F7", "S2", "L1", "W1", "C1", "E1", "R1", "A1", "A2"}
+		"S1", "F7", "S2", "L1", "W1", "C1", "E1", "INC", "A1", "A2"}
 	seen := map[string]string{}
 	for _, s := range Specs() {
 		if len(s.Produces) == 0 {

@@ -244,7 +244,7 @@ func RevenueExperiment(seed uint64, sc Scale) (*Outcome, error) {
 		100*float64(oneMinerGwei)/float64(totalGwei),
 		float64(forgone)/rewards.GweiPerETH, frac*100)
 	return &Outcome{
-		ID:       "R1",
+		ID:       "INC",
 		Title:    "Incentive accounting (§III-C3, §III-C5)",
 		Rendered: rendered,
 		Metrics: map[string]float64{

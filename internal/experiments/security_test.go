@@ -52,7 +52,7 @@ func TestEmptyBlockSpreadShape(t *testing.T) {
 }
 
 func TestRevenueExperimentShape(t *testing.T) {
-	o := specOutcomes(t, "R1")["R1"]
+	o := specOutcomes(t, "INC")["INC"]
 	if o.Metrics["one_miner_eth"] <= 0 {
 		t.Fatal("one-miner uncle income must be positive under the standard rule")
 	}

@@ -196,7 +196,10 @@ func (m *Node) observe(now sim.Time, from p2p.NodeID, msg *p2p.Message) {
 		FromPeer:    int(from),
 	}
 	switch msg.Kind {
-	case p2p.MsgNewBlock:
+	case p2p.MsgNewBlock, p2p.MsgCompactBlock:
+		// A compact sketch carries the full header inline, so it is a
+		// block sighting with the block's identity — only its wire
+		// footprint differs, which the bandwidth accounting tracks.
 		b := msg.Block
 		if b == nil {
 			return
@@ -259,7 +262,7 @@ func (m *Node) observe(now sim.Time, from p2p.NodeID, msg *p2p.Message) {
 func (m *Node) observeStream(now sim.Time, from p2p.NodeID, msg *p2p.Message) {
 	local := m.clock.Read(now)
 	switch msg.Kind {
-	case p2p.MsgNewBlock:
+	case p2p.MsgNewBlock, p2p.MsgCompactBlock:
 		b := msg.Block
 		if b == nil {
 			return

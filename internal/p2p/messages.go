@@ -12,19 +12,35 @@
 package p2p
 
 import (
+	"repro/internal/p2p/relay"
 	"repro/internal/types"
 )
 
 // MsgKind discriminates wire messages.
 type MsgKind int
 
-// Wire message kinds, mirroring the eth/63 protocol subset the study
-// logs.
+// Wire message kinds: the eth/63 protocol subset the study logs, plus
+// the compact-relay family (sketches and the missing-transaction
+// round trip) used by the relay.Compact discipline.
 const (
 	MsgNewBlock MsgKind = iota + 1
 	MsgNewBlockHashes
 	MsgGetBlock
 	MsgTransactions
+	// MsgCompactBlock carries a short-ID sketch of a block (header +
+	// one ShortID per transaction).
+	MsgCompactBlock
+	// MsgGetCompact requests a sketch of an announced block.
+	MsgGetCompact
+	// MsgGetBlockTxns requests the transactions a sketch receiver
+	// could not resolve from its pool.
+	MsgGetBlockTxns
+	// MsgBlockTxns delivers the requested missing transactions.
+	MsgBlockTxns
+
+	// msgKindCount bounds the per-class accounting arrays (kinds are
+	// 1-based).
+	msgKindCount
 )
 
 // String names the message kind as in the paper's log schema.
@@ -38,6 +54,14 @@ func (k MsgKind) String() string {
 		return "GetBlock"
 	case MsgTransactions:
 		return "Transactions"
+	case MsgCompactBlock:
+		return "CompactBlock"
+	case MsgGetCompact:
+		return "GetCompact"
+	case MsgGetBlockTxns:
+		return "GetBlockTxns"
+	case MsgBlockTxns:
+		return "BlockTxns"
 	default:
 		return "Unknown"
 	}
@@ -52,14 +76,21 @@ func (k MsgKind) String() string {
 // payload slices.
 type Message struct {
 	Kind MsgKind
-	// Block is the payload of MsgNewBlock.
+	// Block is the payload of MsgNewBlock and — the sketch's identity
+	// and content in the simulation's object graph — MsgCompactBlock.
 	Block *types.Block
 	// Hashes is the payload of MsgNewBlockHashes.
 	Hashes []types.Hash
-	// Want is the payload of MsgGetBlock.
+	// Want is the payload of MsgGetBlock, MsgGetCompact and the block
+	// identity of MsgGetBlockTxns / MsgBlockTxns.
 	Want types.Hash
 	// Txs is the payload of MsgTransactions.
 	Txs []*types.Transaction
+	// TxCount / TxBytes size the missing-transaction round trip
+	// (MsgGetBlockTxns carries the request shape, MsgBlockTxns the
+	// response payload size).
+	TxCount int
+	TxBytes int
 
 	// hash1 backs the common single-hash announcement so each send
 	// does not allocate a one-element slice. (The sender travels in
@@ -93,6 +124,21 @@ func (m *Message) Size() int {
 			n += tx.EncodedSize()
 		}
 		return n
+	case MsgCompactBlock:
+		if m.Block == nil {
+			return msgHeaderBytes
+		}
+		// Header and uncle references travel in full; the body is one
+		// short ID per transaction.
+		header := m.Block.EncodedSize() - m.Block.TxsSize()
+		return msgHeaderBytes + header + relay.SketchWireBytes(len(m.Block.Txs))
+	case MsgGetCompact:
+		return msgHeaderBytes + getBlockBodyBytes
+	case MsgGetBlockTxns:
+		// Hash plus a count prefix and ~3-byte varint indexes.
+		return msgHeaderBytes + types.HashLen + 1 + 3*m.TxCount
+	case MsgBlockTxns:
+		return msgHeaderBytes + types.HashLen + m.TxBytes
 	default:
 		return msgHeaderBytes
 	}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"repro/internal/geo"
+	"repro/internal/p2p/relay"
 	"repro/internal/sim"
 	"repro/internal/types"
 )
@@ -35,9 +36,21 @@ type Network struct {
 	// discarded by faults: down endpoints, partitions, link loss.
 	// Always zero on a healthy network.
 	MessagesDropped uint64
-	// Push selects the block dissemination rule (default SqrtPush,
-	// the eth/63 behavior). The fan-out ablation flips this.
-	Push PushPolicy
+	// classMsgs / classBytes break MessagesSent and BytesSent down per
+	// message class (indexed by MsgKind) — the per-protocol bandwidth
+	// accounting. Their sums equal the totals by construction; the
+	// relay conformance suite asserts it.
+	classMsgs  [msgKindCount]uint64
+	classBytes [msgKindCount]uint64
+	// relayProto is the pluggable block-relay discipline driving
+	// dissemination (default: the eth/63 sqrt-push rule the paper's
+	// network runs). relayCompact caches the compact-family interface
+	// assertion so per-message dispatch pays no type switch.
+	relayProto   relay.Protocol
+	relayCompact relay.CompactHandler
+	// env is the reusable relay.Env view handed to the protocol; the
+	// engine is single-threaded, so one per network is safe.
+	env relayEnv
 	// Fault, when non-nil, is consulted once per transport send: it can
 	// drop the message (partition, link loss) or stretch its delivery
 	// delay (degraded links). Healthy campaigns leave it nil, keeping
@@ -66,11 +79,14 @@ type Network struct {
 	knowPool []map[NodeID]bool
 }
 
-// delivery is one in-flight message: destination, sender and payload.
+// delivery is one in-flight message: destination, sender, payload and
+// the serialized size counted at send time (carried so ingress
+// accounting does not re-derive it on arrival).
 type delivery struct {
 	to   *Node
 	from NodeID
 	msg  *Message
+	size int32
 }
 
 // announce is one deferred announce wave (relayBlock's phase 2).
@@ -86,35 +102,35 @@ const (
 	opAnnounce
 )
 
-// PushPolicy selects how a node splits block dissemination between
-// direct pushes and hash announcements.
-type PushPolicy int
+// Relay returns the active block-relay protocol.
+func (net *Network) Relay() relay.Protocol { return net.relayProto }
 
-// Dissemination policies.
-const (
-	// SqrtPush pushes full blocks to sqrt(peers) and announces to the
-	// rest — the eth/63 rule the paper's network runs.
-	SqrtPush PushPolicy = iota
-	// PushAll sends full blocks to every peer (maximal redundancy,
-	// minimal delay).
-	PushAll
-	// AnnounceOnly sends only hash announcements; every block body
-	// travels via pull (minimal redundancy, extra round trips).
-	AnnounceOnly
-)
+// SetRelay installs a block-relay protocol (construct one fresh per
+// network with relay.New — protocol counters are per-campaign state).
+func (net *Network) SetRelay(p relay.Protocol) {
+	net.relayProto = p
+	net.relayCompact, _ = p.(relay.CompactHandler)
+}
 
-// String names the policy.
-func (p PushPolicy) String() string {
-	switch p {
-	case SqrtPush:
-		return "sqrt-push"
-	case PushAll:
-		return "push-all"
-	case AnnounceOnly:
-		return "announce-only"
-	default:
-		return "unknown"
+// ClassTotal is one message class's transport accounting.
+type ClassTotal struct {
+	Kind     MsgKind
+	Messages uint64
+	Bytes    uint64
+}
+
+// ClassTotals returns the per-message-class transport accounting, in
+// MsgKind order, omitting classes that never appeared. The sums over
+// the returned rows equal MessagesSent and BytesSent.
+func (net *Network) ClassTotals() []ClassTotal {
+	var out []ClassTotal
+	for k := MsgKind(1); k < msgKindCount; k++ {
+		if net.classMsgs[k] == 0 && net.classBytes[k] == 0 {
+			continue
+		}
+		out = append(out, ClassTotal{Kind: k, Messages: net.classMsgs[k], Bytes: net.classBytes[k]})
 	}
+	return out
 }
 
 // LinkFilter is the fault-injection hook into the transport: it is
@@ -133,14 +149,26 @@ var (
 	ErrSelfDial    = errors.New("p2p: node cannot dial itself")
 )
 
-// NewNetwork creates an empty overlay bound to a simulation engine.
+// NewNetwork creates an empty overlay bound to a simulation engine,
+// running the default sqrt-push relay discipline.
 func NewNetwork(engine *sim.Engine, rng *sim.RNG, latency geo.LatencyModel) *Network {
-	return &Network{
+	net := &Network{
 		engine:  engine,
 		rng:     rng,
 		latency: latency,
 		nodes:   make(map[NodeID]*Node),
 	}
+	net.SetRelay(relay.MustNew(relay.Config{}))
+	net.env.net = net
+	return net
+}
+
+// envFor points the network's shared relay.Env view at a node. Calls
+// are strictly nested within one engine event, so the single instance
+// is never aliased across nodes concurrently.
+func (net *Network) envFor(n *Node) *relayEnv {
+	net.env.node = n
+	return &net.env
 }
 
 // AddNode registers a node in a region. maxPeers bounds how many
@@ -397,6 +425,8 @@ func (net *Network) releaseMessage(m *Message) {
 	m.Hashes = nil
 	m.Txs = nil
 	m.Want = types.Hash{}
+	m.TxCount = 0
+	m.TxBytes = 0
 	net.msgFree = append(net.msgFree, m)
 }
 
@@ -431,6 +461,10 @@ func (net *Network) send(at sim.Time, from, to *Node, msg *Message) {
 	}
 	net.MessagesSent++
 	net.BytesSent += uint64(size)
+	net.classMsgs[msg.Kind]++
+	net.classBytes[msg.Kind] += uint64(size)
+	from.msgsOut++
+	from.bytesOut += uint64(size)
 	var idx int32
 	if n := len(net.delivFree); n > 0 {
 		idx = net.delivFree[n-1]
@@ -439,7 +473,7 @@ func (net *Network) send(at sim.Time, from, to *Node, msg *Message) {
 		net.deliv = append(net.deliv, delivery{})
 		idx = int32(len(net.deliv) - 1)
 	}
-	net.deliv[idx] = delivery{to: to, from: from.id, msg: msg}
+	net.deliv[idx] = delivery{to: to, from: from.id, msg: msg, size: int32(size)}
 	net.engine.ScheduleCallAt(at+delay+extra, net, opDeliver, uint64(idx))
 }
 
@@ -474,13 +508,19 @@ func (net *Network) HandleEvent(now sim.Time, op, idx uint64) {
 			net.releaseMessage(d.msg)
 			return
 		}
+		d.to.msgsIn++
+		d.to.bytesIn += uint64(d.size)
 		d.to.handle(now, d.from, d.msg)
 		net.releaseMessage(d.msg)
 	case opAnnounce:
 		a := net.ann[idx]
 		net.ann[idx] = announce{}
 		net.annFree = append(net.annFree, int32(idx))
-		a.node.announceWave(now, a.hash, a.origin)
+		if a.node.down {
+			// The wave was scheduled before the node crashed.
+			return
+		}
+		net.relayProto.OnWave(net.envFor(a.node), now, a.hash, a.origin)
 	}
 }
 

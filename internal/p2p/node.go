@@ -1,8 +1,6 @@
 package p2p
 
 import (
-	"math"
-
 	"repro/internal/geo"
 	"repro/internal/sim"
 	"repro/internal/types"
@@ -20,13 +18,11 @@ type NodeID int
 // logging.
 type Observer func(now sim.Time, from NodeID, msg *Message)
 
-// Protocol timing constants, modeling the two-phase Geth behavior:
-// a NewBlock push is relayed after cheap PoW/header validation, while
-// the hash announcement to remaining peers waits for full import
-// (state execution), which in 2019 took a few hundred milliseconds.
+// Local protocol timing constants. The block-relay timings
+// (validate, import, announce handling) moved to internal/p2p/relay
+// with the dissemination logic; what remains here covers the
+// protocol-independent serving and transaction paths.
 const (
-	blockValidateMillis   = 4
-	blockImportMillis     = 200
 	announceHandleMillis  = 1
 	txValidatePer100Txs   = 1
 	blockRequestRespondMs = 1
@@ -74,6 +70,18 @@ type Node struct {
 	peerKnows map[types.Hash]map[NodeID]bool
 	knowQueue []types.Hash
 
+	// pendingRelay tracks in-flight compact-relay fetches per block: a
+	// retained sketch awaiting its missing-transaction round trip, or
+	// nil for a full-body fallback. Allocated lazily — only the
+	// compact discipline uses it.
+	pendingRelay map[types.Hash]*types.Block
+
+	// Per-node transport accounting: ingress counted at successful
+	// delivery, egress at send (after fault filtering), so summed
+	// egress equals Network.BytesSent.
+	msgsIn, msgsOut   uint64
+	bytesIn, bytesOut uint64
+
 	observer Observer
 	// relay controls whether this node forwards what it receives.
 	// Measurement nodes relay like every other node (the paper's
@@ -97,6 +105,13 @@ func (n *Node) PeerCount() int { return len(n.peers) }
 
 // Down reports whether the node is currently crashed or departed.
 func (n *Node) Down() bool { return n.down }
+
+// Per-node transport accounting: messages and serialized bytes
+// received (successful deliveries) and sent (after fault filtering).
+func (n *Node) MessagesIn() uint64  { return n.msgsIn }
+func (n *Node) MessagesOut() uint64 { return n.msgsOut }
+func (n *Node) BytesIn() uint64     { return n.bytesIn }
+func (n *Node) BytesOut() uint64    { return n.bytesOut }
 
 // SetObserver installs a message observer (nil removes it).
 func (n *Node) SetObserver(obs Observer) { n.observer = obs }
@@ -164,6 +179,22 @@ func (n *Node) handle(now sim.Time, from NodeID, msg *Message) {
 		n.handleGetBlock(now, from, msg.Want)
 	case MsgTransactions:
 		n.handleTxs(now, from, msg.Txs)
+	case MsgCompactBlock:
+		if msg.Block == nil || n.net.relayCompact == nil {
+			return
+		}
+		n.markPeerKnows(msg.Block.Hash(), from)
+		n.maybePullParent(now, from, msg.Block)
+		n.net.relayCompact.OnCompact(n.net.envFor(n), now, int(from), msg.Block)
+	case MsgGetCompact:
+		n.handleGetCompact(now, from, msg.Want)
+	case MsgGetBlockTxns:
+		n.handleGetBlockTxns(now, from, msg)
+	case MsgBlockTxns:
+		if n.net.relayCompact == nil {
+			return
+		}
+		n.net.relayCompact.OnBlockTxns(n.net.envFor(n), now, int(from), msg.Want)
 	}
 }
 
@@ -175,7 +206,7 @@ func (n *Node) InjectBlock(now sim.Time, b *types.Block) {
 	if n.down {
 		return
 	}
-	n.relayBlock(now, b, true)
+	n.acceptBlock(now, b, true)
 }
 
 // InjectTx makes this node the origin of a new transaction. Like
@@ -215,12 +246,16 @@ func (n *Node) maybePullParent(now sim.Time, from NodeID, b *types.Block) {
 }
 
 func (n *Node) handleNewBlock(now sim.Time, b *types.Block) {
-	n.relayBlock(now, b, false)
+	n.acceptBlock(now, b, false)
 }
 
-// relayBlock runs the two-phase dissemination. origin marks the block
-// miner's own gateway, which pays no import delay before announcing.
-func (n *Node) relayBlock(now sim.Time, b *types.Block, origin bool) {
+// acceptBlock records receipt of a full block body and hands onward
+// dissemination to the network's relay protocol. origin marks the
+// block miner's own gateway, which pays no import delay before
+// announcing. This is the state half of the pre-extraction
+// relayBlock; the dissemination half (push wave, announce wave) lives
+// in the protocol's OnBlock/OnWave.
+func (n *Node) acceptBlock(now sim.Time, b *types.Block, origin bool) {
 	if b == nil {
 		return
 	}
@@ -230,98 +265,19 @@ func (n *Node) relayBlock(now sim.Time, b *types.Block, origin bool) {
 	}
 	n.rememberBlock(h, b)
 	n.seenHashes[h] = true
+	if n.pendingRelay != nil {
+		// A body arriving through any path settles an in-flight
+		// compact fetch.
+		delete(n.pendingRelay, h)
+	}
 	if !n.relay || len(n.peers) == 0 {
 		return
 	}
-	// Phase 1 — push wave, after cheap validation: full block to a
-	// policy-determined subset of peers not known to have it. The
-	// candidate and permutation buffers are network-shared scratch;
-	// both are fully consumed before this function returns.
-	candidates := n.net.candBuf[:0]
-	for _, peer := range n.peers {
-		if !n.peerKnowsBlock(h, peer.id) {
-			candidates = append(candidates, peer)
-		}
-	}
-	n.net.candBuf = candidates[:0]
-	if len(candidates) == 0 {
-		return
-	}
-	var k int
-	switch n.net.Push {
-	case PushAll:
-		k = len(candidates)
-	case AnnounceOnly:
-		k = 0
-	default:
-		k = int(math.Sqrt(float64(len(candidates))))
-		if k < 1 {
-			k = 1
-		}
-	}
-	pushDelay := sim.Time(blockValidateMillis)
-	order := n.net.fanoutOrder(len(candidates))
-	for i := 0; i < k && i < len(order); i++ {
-		peer := candidates[order[i]]
-		n.markPeerKnows(h, peer.id)
-		m := n.net.newMessage(MsgNewBlock)
-		m.Block = b
-		n.net.send(now+pushDelay, n, peer, m)
-	}
-	// Phase 2 — announce wave (announceWave): hash announcements to
-	// peers still not known to have the block. Relayers pay the
-	// full-import delay first (state execution). The origin — the pool
-	// gateway that built the block — already executed it and announces
-	// immediately, which is what pools run gateways for.
-	announceDelay := pushDelay + blockImportMillis
-	if origin {
-		announceDelay = pushDelay
-	}
-	n.net.scheduleAnnounce(announceDelay, n, h, origin)
-}
-
-// announceWave is dissemination phase 2, fired through the typed
-// dispatch path after the import delay: announce to a sqrt-bounded
-// subset of the peers still not known to have the block (Geth's
-// fetcher rate-limits hash announcements; the paper's Table II
-// measures a mean announcement in-degree of only 2.585). The origin
-// gateway announces to all of them.
-func (n *Node) announceWave(now sim.Time, h types.Hash, origin bool) {
-	if n.down {
-		// The wave was scheduled before the node crashed.
-		return
-	}
-	targets := n.net.candBuf[:0]
-	for _, peer := range n.peers {
-		if !n.peerKnowsBlock(h, peer.id) {
-			targets = append(targets, peer)
-		}
-	}
-	n.net.candBuf = targets[:0]
-	if len(targets) == 0 {
-		return
-	}
-	limit := len(targets)
-	if !origin {
-		limit = int(math.Sqrt(float64(len(targets))))
-		if limit < 1 {
-			limit = 1
-		}
-	}
-	order := n.net.fanoutOrder(len(targets))
-	for i := 0; i < limit; i++ {
-		peer := targets[order[i]]
-		n.markPeerKnows(h, peer.id)
-		m := n.net.newMessage(MsgNewBlockHashes)
-		m.hash1[0] = h
-		m.Hashes = m.hash1[:1]
-		n.net.send(now, n, peer, m)
-	}
+	n.net.relayProto.OnBlock(n.net.envFor(n), now, b, origin)
 }
 
 func (n *Node) handleAnnouncement(now sim.Time, from NodeID, hashes []types.Hash) {
-	sender, ok := n.net.nodes[from]
-	if !ok {
+	if _, ok := n.net.nodes[from]; !ok {
 		return
 	}
 	for _, h := range hashes {
@@ -331,10 +287,9 @@ func (n *Node) handleAnnouncement(now sim.Time, from NodeID, hashes []types.Hash
 			continue
 		}
 		n.seenHashes[h] = true
-		// Pull the unknown block from the announcer.
-		m := n.net.newMessage(MsgGetBlock)
-		m.Want = h
-		n.net.send(now+announceHandleMillis, n, sender, m)
+		// Pull the unknown block from the announcer, in whatever form
+		// the relay discipline fetches bodies.
+		n.net.relayProto.OnAnnouncePull(n.net.envFor(n), now, int(from), h)
 	}
 }
 
@@ -350,6 +305,48 @@ func (n *Node) handleGetBlock(now sim.Time, from NodeID, want types.Hash) {
 	n.markPeerKnows(want, from)
 	m := n.net.newMessage(MsgNewBlock)
 	m.Block = b
+	n.net.send(now+blockRequestRespondMs, n, requester, m)
+}
+
+// handleGetCompact serves a sketch pull (the compact discipline's
+// announce-side fetch). Requests for bodies outside the FIFO cache
+// window are dropped, like GetBlock.
+func (n *Node) handleGetCompact(now sim.Time, from NodeID, want types.Hash) {
+	b, ok := n.knownBlocks[want]
+	if !ok {
+		return
+	}
+	requester, ok := n.net.nodes[from]
+	if !ok {
+		return
+	}
+	n.markPeerKnows(want, from)
+	// Pull responses count as sent sketches alongside the push wave's,
+	// keeping Counters.SketchesSent equal to the CompactBlock class
+	// counter.
+	n.net.relayProto.Counters().SketchesSent++
+	m := n.net.newMessage(MsgCompactBlock)
+	m.Block = b
+	n.net.send(now+blockRequestRespondMs, n, requester, m)
+}
+
+// handleGetBlockTxns serves the missing-transaction round trip. The
+// response echoes the requester-computed count and byte total — the
+// simulation models the round trip's timing and bandwidth, while the
+// body content travels in the retained sketch's object graph.
+func (n *Node) handleGetBlockTxns(now sim.Time, from NodeID, req *Message) {
+	if _, ok := n.knownBlocks[req.Want]; !ok {
+		return
+	}
+	requester, ok := n.net.nodes[from]
+	if !ok {
+		return
+	}
+	n.markPeerKnows(req.Want, from)
+	m := n.net.newMessage(MsgBlockTxns)
+	m.Want = req.Want
+	m.TxCount = req.TxCount
+	m.TxBytes = req.TxBytes
 	n.net.send(now+blockRequestRespondMs, n, requester, m)
 }
 

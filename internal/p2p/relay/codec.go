@@ -1,0 +1,127 @@
+package relay
+
+import (
+	"encoding/binary"
+
+	"repro/internal/types"
+)
+
+// ShortIDBytes is the wire size of one transaction short identifier
+// (BIP152 uses 6-byte siphash-derived IDs).
+const ShortIDBytes = 6
+
+// ShortID is a 48-bit transaction identifier, derived from the
+// transaction hash under a per-block salt. The salt (the block hash)
+// plays the role of BIP152's header-derived siphash key: the same
+// transaction maps to different short IDs in different blocks, so a
+// collision against one block's sketch does not persist.
+type ShortID uint64
+
+// shortIDMask keeps the low 48 bits.
+const shortIDMask = (uint64(1) << (8 * ShortIDBytes)) - 1
+
+// ShortIDOf derives the short identifier of a transaction hash under
+// a block salt.
+func ShortIDOf(salt, txHash types.Hash) ShortID {
+	a := binary.BigEndian.Uint64(salt[:8])
+	b := binary.BigEndian.Uint64(txHash[:8])
+	// A multiply-fold mixes the salt through every bit of the result;
+	// a plain XOR would let an adversarial pool cancel the salt.
+	v := (a ^ b) * 0x9e3779b97f4a7c15
+	return ShortID((v ^ (v >> 31)) & shortIDMask)
+}
+
+// Sketch is the compact representation of a block body: the block
+// identity, the header's transaction-list commitment, and one short
+// ID per transaction. This is what a MsgCompactBlock models on the
+// wire; the receiver resolves the IDs against its own transaction
+// pool.
+type Sketch struct {
+	// BlockHash identifies the block (and salts the short IDs).
+	BlockHash types.Hash
+	// TxRoot is the header's transaction-list commitment, verified
+	// after reconstruction.
+	TxRoot types.Hash
+	// IDs lists the short identifier of each body transaction, in
+	// block order.
+	IDs []ShortID
+}
+
+// NewSketch builds the sketch of a block.
+func NewSketch(b *types.Block) *Sketch {
+	salt := b.Hash()
+	s := &Sketch{
+		BlockHash: salt,
+		TxRoot:    b.Header.TxRoot,
+		IDs:       make([]ShortID, len(b.Txs)),
+	}
+	for i, tx := range b.Txs {
+		s.IDs[i] = ShortIDOf(salt, tx.Hash())
+	}
+	return s
+}
+
+// Reconstruct resolves the sketch against a candidate transaction
+// pool. It returns the assembled transaction list (nil holes at
+// unresolved positions) and the indexes still missing. Resolution is
+// deterministic: every short ID that matches exactly one pool
+// transaction resolves to it; IDs with zero or multiple pool matches
+// (a short-ID collision) are reported missing rather than guessed.
+//
+// ok is true only when every position resolved AND the assembled list
+// matches the sketch's TxRoot commitment — so a reconstruction can
+// never silently produce a block body whose hash mismatches the
+// header (the FuzzCompactReconstruct safety property). A complete but
+// mismatching assembly (an undetected pairwise collision) returns
+// ok=false with every index marked missing, which callers treat as a
+// full-body fallback.
+func (s *Sketch) Reconstruct(pool []*types.Transaction) (txs []*types.Transaction, missing []int, ok bool) {
+	txs = make([]*types.Transaction, len(s.IDs))
+	if len(s.IDs) == 0 {
+		return txs, nil, types.TxRoot(nil) == s.TxRoot
+	}
+	// Index the pool by short ID under this block's salt; ambiguous
+	// IDs are poisoned so they resolve to nothing.
+	index := make(map[ShortID]*types.Transaction, len(pool))
+	for _, tx := range pool {
+		if tx == nil {
+			continue
+		}
+		id := ShortIDOf(s.BlockHash, tx.Hash())
+		if prev, dup := index[id]; dup {
+			if prev != nil && prev.Hash() != tx.Hash() {
+				index[id] = nil // collision: refuse to guess
+			}
+			continue
+		}
+		index[id] = tx
+	}
+	for i, id := range s.IDs {
+		if tx := index[id]; tx != nil {
+			txs[i] = tx
+		} else {
+			missing = append(missing, i)
+		}
+	}
+	if len(missing) > 0 {
+		return txs, missing, false
+	}
+	if types.TxRoot(txs) != s.TxRoot {
+		// Every slot filled but the commitment disagrees: at least one
+		// short ID collided undetected. Nothing in the assembly can be
+		// trusted, so the whole body is missing.
+		missing = make([]int, len(s.IDs))
+		for i := range missing {
+			missing[i] = i
+		}
+		return txs, missing, false
+	}
+	return txs, nil, true
+}
+
+// SketchWireBytes returns the serialized size a sketch of n
+// transactions adds beyond the block header: a count prefix plus one
+// short ID per transaction.
+func SketchWireBytes(n int) int {
+	return 2 + n*ShortIDBytes
+}

@@ -1,0 +1,116 @@
+package relay
+
+import (
+	"repro/internal/sim"
+	"repro/internal/types"
+)
+
+// compactRelay is the BIP152-shaped compact-block discipline: the
+// push wave carries short-ID sketches instead of full bodies, and
+// receivers rebuild the body from their own transaction pool. A
+// receiver missing transactions runs one deterministic missing-tx
+// round trip with the sketch sender; when the missing fraction
+// exceeds the fallback threshold it fetches the full body instead.
+//
+// In the simulated network the short-ID layer is exact: a sketch
+// transaction is "in the pool" iff the receiver's pool has seen that
+// transaction hash. The probabilistic short-ID machinery — collision
+// detection, refusal to guess, TxRoot verification with full-body
+// fallback — lives in the Sketch codec, where FuzzCompactReconstruct
+// proves reconstruction can never fabricate a body that mismatches
+// its header commitment. At 48-bit IDs the collision probability is
+// ~2^-48 per pair, which the live path rounds to zero exactly as
+// BIP152 deployments do.
+type compactRelay struct {
+	// fallback is the missing-transaction count fraction above which
+	// the sketch is abandoned for a full-body fetch.
+	fallback float64
+	counters Counters
+}
+
+func (c *compactRelay) Mode() Mode          { return Compact }
+func (c *compactRelay) Counters() *Counters { return &c.counters }
+
+// OnBlock pushes sketches with the same sqrt fan-out and deferred
+// announce wave as the legacy rule — deliberately, so an R1 shoot-out
+// row differs from sqrt-push only in what the push wave carries.
+func (c *compactRelay) OnBlock(env Env, now sim.Time, b *types.Block, origin bool) {
+	h := b.Hash()
+	n := env.Candidates(h)
+	if n == 0 {
+		return
+	}
+	k := sqrtFanout(n)
+	order := env.Fanout(n)
+	for i := 0; i < k && i < len(order); i++ {
+		env.PushCompact(order[i], now+ValidateDelay, b)
+		c.counters.SketchesSent++
+	}
+	announceDelay := ValidateDelay + ImportDelay
+	if origin {
+		announceDelay = ValidateDelay
+	}
+	env.ScheduleWave(announceDelay, h, origin)
+}
+
+// OnWave announces to the sqrt-bounded remainder, exactly like the
+// legacy rule; announcement receivers pull a sketch (OnAnnouncePull).
+func (c *compactRelay) OnWave(env Env, now sim.Time, h types.Hash, origin bool) {
+	announceWave(env, now, h, origin)
+}
+
+// OnAnnouncePull requests a compact sketch (BIP152 low-bandwidth
+// mode) instead of the full body. A pull is skipped while a
+// reconstruction or fallback fetch for the block is already in
+// flight, so a node never runs two body fetches for one block.
+func (c *compactRelay) OnAnnouncePull(env Env, now sim.Time, from int, h types.Hash) {
+	if env.HasPending(h) {
+		return
+	}
+	env.RequestCompact(from, now+AnnounceHandleDelay, h)
+}
+
+// OnCompact processes an arriving sketch: reconstruct from the pool,
+// or start the missing-tx round trip, or fall back to a full-body
+// fetch when too much of the body is missing.
+func (c *compactRelay) OnCompact(env Env, now sim.Time, from int, b *types.Block) {
+	h := b.Hash()
+	if env.HasBlock(h) || env.HasPending(h) {
+		return
+	}
+	c.counters.SketchesReceived++
+	missing, missingBytes := 0, 0
+	for _, tx := range b.Txs {
+		if !env.KnownTx(tx.Hash()) {
+			missing++
+			missingBytes += tx.EncodedSize()
+		}
+	}
+	if missing == 0 {
+		c.counters.ReconstructFull++
+		env.AcceptBlock(now, b)
+		return
+	}
+	if float64(missing) > c.fallback*float64(len(b.Txs)) {
+		c.counters.ReconstructFallback++
+		env.SetPending(h, nil)
+		env.RequestBlock(from, now+AnnounceHandleDelay, h)
+		return
+	}
+	c.counters.ReconstructPartial++
+	c.counters.MissingTxs += uint64(missing)
+	c.counters.MissingTxBytes += uint64(missingBytes)
+	env.SetPending(h, b)
+	env.RequestTxns(from, now+AnnounceHandleDelay, h, missing, missingBytes)
+}
+
+// OnBlockTxns completes a pending reconstruction once the missing
+// transactions arrive. The retained sketch block carries the full
+// body in the simulation's object graph, so completion is acceptance.
+func (c *compactRelay) OnBlockTxns(env Env, now sim.Time, from int, h types.Hash) {
+	b, ok := env.TakePending(h)
+	if !ok || b == nil || env.HasBlock(h) {
+		return
+	}
+	env.AcceptBlock(now, b)
+}

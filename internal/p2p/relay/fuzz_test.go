@@ -1,0 +1,126 @@
+package relay
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/types"
+)
+
+// FuzzCompactReconstruct drives Sketch.Reconstruct with arbitrary
+// pool overlap and sketch tampering derived from the fuzz input, and
+// asserts the safety property the compact protocol rests on: a
+// reconstruction must never claim success for a transaction list
+// whose commitment mismatches the block header — whatever the pool
+// contains and however the short IDs are corrupted. Secondary
+// properties: missing indexes are exact when untampered, and
+// resolution is deterministic.
+//
+// Input layout (all bytes optional; short inputs mean small cases):
+//
+//	data[0]        → block tx count (0..16)
+//	data[1+i]      → per-tx pool membership / decoy flags (2 bits each)
+//	data[17+j]     → sketch tampering ops: (index, xor byte) pairs
+func FuzzCompactReconstruct(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{4, 0b01, 0b01, 0b01, 0b01})
+	f.Add([]byte{8, 0b00, 0b01, 0b10, 0b11, 0b01, 0b00, 0b11, 0b10})
+	f.Add([]byte{16, 0xff, 0xaa, 0x55, 0x00, 0x12, 0x34, 0x56, 0x78,
+		0x9a, 0xbc, 0xde, 0xf0, 0x11, 0x22, 0x33, 0x44, 0x55,
+		3, 0x80, 7, 0x01})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		at := func(i int) byte {
+			if i < len(data) {
+				return data[i]
+			}
+			return 0
+		}
+		n := int(at(0)) % 17
+		var txs []*types.Transaction
+		var pool []*types.Transaction
+		inPool := make([]bool, n)
+		for i := 0; i < n; i++ {
+			tx := &types.Transaction{
+				Sender:   types.AddressFromString(fmt.Sprintf("fuzz-sender-%d", i)),
+				To:       types.AddressFromString("fuzz-to"),
+				Nonce:    uint64(i),
+				Value:    uint64(at(1+i)) + 1,
+				GasPrice: 1,
+				Gas:      types.TxGas,
+			}
+			txs = append(txs, tx)
+			flags := at(1 + i)
+			if flags&0b01 != 0 {
+				pool = append(pool, tx)
+				inPool[i] = true
+			}
+			if flags&0b10 != 0 {
+				// Unrelated decoy sharing nothing but shape.
+				pool = append(pool, &types.Transaction{
+					Sender: types.AddressFromString(fmt.Sprintf("fuzz-decoy-%d", i)),
+					To:     types.AddressFromString("fuzz-to"),
+					Nonce:  uint64(1000 + i),
+					Value:  uint64(flags),
+					Gas:    types.TxGas,
+				})
+			}
+		}
+		blk := types.NewBlock(types.Header{
+			Number:     1,
+			MinerLabel: "Fuzz",
+			GasLimit:   8_000_000,
+		}, txs, nil)
+		sk := NewSketch(blk)
+		tampered := false
+		for j := 17; j+1 < len(data) && j < 37; j += 2 {
+			if n == 0 {
+				break
+			}
+			idx := int(data[j]) % n
+			if data[j+1] != 0 {
+				sk.IDs[idx] ^= ShortID(data[j+1])
+				tampered = true
+			}
+		}
+
+		got, missing, ok := sk.Reconstruct(pool)
+		// THE safety property: success implies a matching commitment
+		// with every slot filled.
+		if ok {
+			if len(missing) != 0 {
+				t.Fatalf("ok with %d missing", len(missing))
+			}
+			if len(got) != n {
+				t.Fatalf("ok with %d txs, want %d", len(got), n)
+			}
+			for i, tx := range got {
+				if tx == nil {
+					t.Fatalf("ok with nil tx at %d", i)
+				}
+			}
+			if types.TxRoot(got) != blk.Header.TxRoot {
+				t.Fatal("reconstruction produced a body whose root mismatches the header")
+			}
+		}
+		// Untampered sketches resolve exactly the pool overlap.
+		if !tampered {
+			missingSet := map[int]bool{}
+			for _, i := range missing {
+				missingSet[i] = true
+			}
+			for i := 0; i < n; i++ {
+				if inPool[i] && !ok && missingSet[i] {
+					t.Fatalf("pool tx %d reported missing from untampered sketch", i)
+				}
+				if !inPool[i] && ok {
+					t.Fatalf("absent tx %d reconstructed without a pool entry", i)
+				}
+			}
+		}
+		// Determinism: same inputs, same resolution.
+		got2, missing2, ok2 := sk.Reconstruct(pool)
+		if ok2 != ok || len(missing2) != len(missing) || len(got2) != len(got) {
+			t.Fatal("reconstruction is nondeterministic")
+		}
+	})
+}

@@ -1,0 +1,86 @@
+package relay
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Mode identifies a block-relay discipline. The zero value is
+// SqrtPush, the eth/63 behavior the paper's network runs, so a
+// zero-valued configuration reproduces the study unchanged.
+type Mode int
+
+// Registered relay modes.
+const (
+	// SqrtPush pushes full blocks to sqrt(peers) after cheap
+	// validation and announces hashes to a sqrt-bounded remainder
+	// after full import — the eth/63 rule.
+	SqrtPush Mode = iota
+	// PushAll sends full blocks to every peer (maximal redundancy,
+	// minimal delay).
+	PushAll
+	// AnnounceOnly sends only hash announcements; every block body
+	// travels via pull (minimal redundancy, extra round trips).
+	AnnounceOnly
+	// Compact relays short-ID sketches reconstructed from the
+	// receiver's transaction pool (BIP152-shaped), with a
+	// deterministic missing-tx round trip and a full-body fallback.
+	Compact
+	// Hybrid pushes full bodies to a configurable fraction of peers
+	// and catches the rest up with announcements to all of them.
+	Hybrid
+)
+
+// modeNames is the canonical name table; Modes, String and ParseMode
+// all derive from it so the three can never disagree.
+var modeNames = [...]string{
+	SqrtPush:     "sqrt-push",
+	PushAll:      "push-all",
+	AnnounceOnly: "announce-only",
+	Compact:      "compact",
+	Hybrid:       "hybrid",
+}
+
+// Modes returns every registered relay mode, in declaration order —
+// the iteration order of the conformance suite and the R1 shoot-out.
+func Modes() []Mode {
+	out := make([]Mode, len(modeNames))
+	for i := range modeNames {
+		out[i] = Mode(i)
+	}
+	return out
+}
+
+// String names the mode as used in scenario files, artifact metadata
+// and metric keys. Unknown modes render as "unknown(N)" so a
+// corrupted or future-version mode is visible in run-dir metadata
+// instead of formatting as an empty or ambiguous string.
+func (m Mode) String() string {
+	if m < 0 || int(m) >= len(modeNames) {
+		return fmt.Sprintf("unknown(%d)", int(m))
+	}
+	return modeNames[m]
+}
+
+// ParseMode resolves a protocol name from a scenario file. The legacy
+// push-policy spellings ("sqrt", "all", "announce") stay accepted so
+// pre-relay scenario files keep parsing.
+func ParseMode(name string) (Mode, error) {
+	switch strings.ToLower(name) {
+	case "", "sqrt", "sqrt-push":
+		return SqrtPush, nil
+	case "all", "push-all":
+		return PushAll, nil
+	case "announce", "announce-only":
+		return AnnounceOnly, nil
+	case "compact", "compact-block":
+		return Compact, nil
+	case "hybrid", "push-pull":
+		return Hybrid, nil
+	default:
+		known := make([]string, 0, len(modeNames))
+		known = append(known, modeNames[:]...)
+		return 0, fmt.Errorf("relay: unknown protocol %q (known: %s)",
+			name, strings.Join(known, ", "))
+	}
+}

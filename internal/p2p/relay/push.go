@@ -1,0 +1,109 @@
+package relay
+
+import (
+	"math"
+
+	"repro/internal/sim"
+	"repro/internal/types"
+)
+
+// pushRelay implements the push-wave disciplines: the legacy eth/63
+// sqrt-push (and its push-all / announce-only ablation endpoints),
+// moved out of internal/p2p byte-identically, plus the push/pull
+// hybrid. All four share the same two-phase structure — a full-body
+// push wave after cheap validation, a deferred announce wave after
+// full import — and differ only in the two fan-out rules.
+type pushRelay struct {
+	mode Mode
+	// fraction is the hybrid push fan-out fraction (unused otherwise).
+	fraction float64
+	counters Counters
+}
+
+func (p *pushRelay) Mode() Mode          { return p.mode }
+func (p *pushRelay) Counters() *Counters { return &p.counters }
+
+// pushCount returns the number of candidates receiving a full body in
+// phase 1.
+func (p *pushRelay) pushCount(candidates int) int {
+	switch p.mode {
+	case PushAll:
+		return candidates
+	case AnnounceOnly:
+		return 0
+	case Hybrid:
+		k := int(math.Ceil(p.fraction * float64(candidates)))
+		if k > candidates {
+			k = candidates
+		}
+		return k
+	default: // SqrtPush
+		return sqrtFanout(candidates)
+	}
+}
+
+// sqrtFanout is the eth/63 sqrt rule with the legacy floor of one.
+func sqrtFanout(n int) int {
+	k := int(math.Sqrt(float64(n)))
+	if k < 1 {
+		k = 1
+	}
+	return k
+}
+
+// OnBlock is dissemination phase 1. The call sequence — candidate
+// enumeration, one fan-out permutation (drawn even when the push
+// count is zero), pushes, wave scheduling — replays the pre-extraction
+// Node.relayBlock exactly, so legacy scenarios consume identical RNG
+// draws and schedule identical events.
+func (p *pushRelay) OnBlock(env Env, now sim.Time, b *types.Block, origin bool) {
+	h := b.Hash()
+	c := env.Candidates(h)
+	if c == 0 {
+		return
+	}
+	k := p.pushCount(c)
+	order := env.Fanout(c)
+	for i := 0; i < k && i < len(order); i++ {
+		env.PushBlock(order[i], now+ValidateDelay, b)
+	}
+	announceDelay := ValidateDelay + ImportDelay
+	if origin {
+		// The origin gateway already executed its own block.
+		announceDelay = ValidateDelay
+	}
+	env.ScheduleWave(announceDelay, h, origin)
+}
+
+// OnWave is dissemination phase 2: hash announcements to peers still
+// not known to have the block. The hybrid's catch-up wave announces
+// to all of them.
+func (p *pushRelay) OnWave(env Env, now sim.Time, h types.Hash, origin bool) {
+	announceWave(env, now, h, origin || p.mode == Hybrid)
+}
+
+// announceWave sends the deferred hash announcements shared by every
+// discipline: to all remaining candidates when `all`, otherwise to a
+// sqrt-bounded subset (Geth's fetcher rate-limits announcements — the
+// paper's Table II measures a mean announcement in-degree of only
+// 2.585; the origin gateway always announces to all).
+func announceWave(env Env, now sim.Time, h types.Hash, all bool) {
+	c := env.Candidates(h)
+	if c == 0 {
+		return
+	}
+	limit := c
+	if !all {
+		limit = sqrtFanout(c)
+	}
+	order := env.Fanout(c)
+	for i := 0; i < limit; i++ {
+		env.Announce(order[i], now, h)
+	}
+}
+
+// OnAnnouncePull fetches an announced unknown block with a full-body
+// GetBlock from the announcer, after the announcement handling cost.
+func (p *pushRelay) OnAnnouncePull(env Env, now sim.Time, from int, h types.Hash) {
+	env.RequestBlock(from, now+AnnounceHandleDelay, h)
+}

@@ -1,0 +1,158 @@
+package p2p
+
+import (
+	"repro/internal/p2p/relay"
+	"repro/internal/sim"
+	"repro/internal/types"
+)
+
+// relayEnv is the p2p implementation of relay.Env: the narrow,
+// allocation-free view of one node's network surface that relay
+// protocols drive. The network keeps a single instance and repoints
+// it per dispatch (envFor); protocol calls are strictly nested inside
+// one engine event, so the shared scratch is never aliased.
+type relayEnv struct {
+	net  *Network
+	node *Node
+	// cand is the candidate view filled by Candidates — the same
+	// shared scratch buffer (Network.candBuf) the pre-extraction relay
+	// path used.
+	cand []*Node
+}
+
+var _ relay.Env = (*relayEnv)(nil)
+
+// NodeID is the hosting node's identifier.
+func (e *relayEnv) NodeID() int { return int(e.node.id) }
+
+// HasBlock reports whether the node holds the full block.
+func (e *relayEnv) HasBlock(h types.Hash) bool { return e.node.haveBlocks[h] }
+
+// KnownTx reports transaction-pool visibility (gossip-seen hashes).
+func (e *relayEnv) KnownTx(h types.Hash) bool { return e.node.knownTxs[h] }
+
+// Candidates fills the shared scratch with the node's peers not yet
+// known to have h, in peer order, and returns the count.
+func (e *relayEnv) Candidates(h types.Hash) int {
+	c := e.net.candBuf[:0]
+	for _, peer := range e.node.peers {
+		if !e.node.peerKnowsBlock(h, peer.id) {
+			c = append(c, peer)
+		}
+	}
+	e.net.candBuf = c[:0]
+	e.cand = c
+	return len(c)
+}
+
+// Fanout returns a shared-scratch random permutation of [0, n).
+func (e *relayEnv) Fanout(n int) []int { return e.net.fanoutOrder(n) }
+
+// PushBlock sends the full body to candidate i, marking it known.
+func (e *relayEnv) PushBlock(i int, at sim.Time, b *types.Block) {
+	peer := e.cand[i]
+	e.node.markPeerKnows(b.Hash(), peer.id)
+	m := e.net.newMessage(MsgNewBlock)
+	m.Block = b
+	e.net.send(at, e.node, peer, m)
+}
+
+// PushCompact sends a short-ID sketch to candidate i, marking it
+// known (it will hold the block after reconstruction or fallback).
+func (e *relayEnv) PushCompact(i int, at sim.Time, b *types.Block) {
+	peer := e.cand[i]
+	e.node.markPeerKnows(b.Hash(), peer.id)
+	m := e.net.newMessage(MsgCompactBlock)
+	m.Block = b
+	e.net.send(at, e.node, peer, m)
+}
+
+// Announce sends a hash announcement to candidate i.
+func (e *relayEnv) Announce(i int, at sim.Time, h types.Hash) {
+	peer := e.cand[i]
+	e.node.markPeerKnows(h, peer.id)
+	m := e.net.newMessage(MsgNewBlockHashes)
+	m.hash1[0] = h
+	m.Hashes = m.hash1[:1]
+	e.net.send(at, e.node, peer, m)
+}
+
+// peerByID resolves a pull target, refusing self-sends.
+func (e *relayEnv) peerByID(peer int) *Node {
+	to, ok := e.net.nodes[NodeID(peer)]
+	if !ok || to.id == e.node.id {
+		return nil
+	}
+	return to
+}
+
+// RequestBlock asks peer for the full body (GetBlock).
+func (e *relayEnv) RequestBlock(peer int, at sim.Time, h types.Hash) {
+	to := e.peerByID(peer)
+	if to == nil {
+		return
+	}
+	m := e.net.newMessage(MsgGetBlock)
+	m.Want = h
+	e.net.send(at, e.node, to, m)
+}
+
+// RequestCompact asks peer for a sketch (GetCompact).
+func (e *relayEnv) RequestCompact(peer int, at sim.Time, h types.Hash) {
+	to := e.peerByID(peer)
+	if to == nil {
+		return
+	}
+	m := e.net.newMessage(MsgGetCompact)
+	m.Want = h
+	e.net.send(at, e.node, to, m)
+}
+
+// RequestTxns runs the missing-transaction round trip's request leg.
+func (e *relayEnv) RequestTxns(peer int, at sim.Time, h types.Hash, count, bytes int) {
+	to := e.peerByID(peer)
+	if to == nil {
+		return
+	}
+	m := e.net.newMessage(MsgGetBlockTxns)
+	m.Want = h
+	m.TxCount = count
+	m.TxBytes = bytes
+	e.net.send(at, e.node, to, m)
+}
+
+// ScheduleWave queues the node's deferred announce wave.
+func (e *relayEnv) ScheduleWave(delay sim.Time, h types.Hash, origin bool) {
+	e.net.scheduleAnnounce(delay, e.node, h, origin)
+}
+
+// AcceptBlock hands the node a fully available body.
+func (e *relayEnv) AcceptBlock(now sim.Time, b *types.Block) {
+	e.node.acceptBlock(now, b, false)
+}
+
+// SetPending records an in-flight reconstruction or fallback fetch.
+func (e *relayEnv) SetPending(h types.Hash, b *types.Block) bool {
+	if e.node.pendingRelay == nil {
+		e.node.pendingRelay = make(map[types.Hash]*types.Block, 4)
+	} else if _, exists := e.node.pendingRelay[h]; exists {
+		return false
+	}
+	e.node.pendingRelay[h] = b
+	return true
+}
+
+// HasPending reports an in-flight fetch for h.
+func (e *relayEnv) HasPending(h types.Hash) bool {
+	_, ok := e.node.pendingRelay[h]
+	return ok
+}
+
+// TakePending removes and returns the pending entry for h.
+func (e *relayEnv) TakePending(h types.Hash) (*types.Block, bool) {
+	b, ok := e.node.pendingRelay[h]
+	if ok {
+		delete(e.node.pendingRelay, h)
+	}
+	return b, ok
+}

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/geo"
+	"repro/internal/p2p/relay"
 	"repro/internal/sim"
 	"repro/internal/types"
 )
@@ -87,7 +88,7 @@ func TestOriginAnnouncesImmediately(t *testing.T) {
 	if firstAnnounce < 0 {
 		t.Fatal("no announcements observed")
 	}
-	if firstAnnounce >= blockImportMillis {
+	if firstAnnounce >= relay.ImportDelay {
 		t.Fatalf("origin announce delayed by import time: %v", firstAnnounce)
 	}
 }
@@ -95,17 +96,17 @@ func TestOriginAnnouncesImmediately(t *testing.T) {
 func TestRelayerAnnouncesAfterImport(t *testing.T) {
 	net := zeroLatencyNetwork(t, 4)
 	origin := addNode(t, net, geo.WesternEurope, 0)
-	relay := addNode(t, net, geo.WesternEurope, 0)
-	if err := net.Connect(origin, relay); err != nil {
+	relayer := addNode(t, net, geo.WesternEurope, 0)
+	if err := net.Connect(origin, relayer); err != nil {
 		t.Fatal(err)
 	}
-	// The relay has extra observer-only peers so its announce wave
+	// The relayer has extra observer-only peers so its announce wave
 	// has targets.
 	var watchers []*Node
 	for i := 0; i < 16; i++ {
 		w := addNode(t, net, geo.WesternEurope, 0)
 		w.relay = false
-		if err := net.Connect(relay, w); err != nil {
+		if err := net.Connect(relayer, w); err != nil {
 			t.Fatal(err)
 		}
 		watchers = append(watchers, w)
@@ -123,7 +124,7 @@ func TestRelayerAnnouncesAfterImport(t *testing.T) {
 	if firstAnnounce < 0 {
 		t.Fatal("no announcements observed")
 	}
-	if firstAnnounce < blockImportMillis {
+	if firstAnnounce < relay.ImportDelay {
 		t.Fatalf("relayer announced before import completed: %v", firstAnnounce)
 	}
 }
@@ -167,9 +168,9 @@ func TestAnnouncementMarksSenderAsKnowing(t *testing.T) {
 }
 
 func TestPushPolicies(t *testing.T) {
-	countKinds := func(policy PushPolicy) (pushes, announces int) {
+	countKinds := func(mode relay.Mode) (pushes, announces int) {
 		net := zeroLatencyNetwork(t, 7)
-		net.Push = policy
+		net.SetRelay(relay.MustNew(relay.Config{Mode: mode}))
 		origin := addNode(t, net, geo.WesternEurope, 0)
 		for i := 0; i < 16; i++ {
 			w := addNode(t, net, geo.WesternEurope, 0)
@@ -190,9 +191,9 @@ func TestPushPolicies(t *testing.T) {
 		net.Engine().Run()
 		return pushes, announces
 	}
-	sqrtPush, sqrtAnn := countKinds(SqrtPush)
-	allPush, allAnn := countKinds(PushAll)
-	annPush, annAnn := countKinds(AnnounceOnly)
+	sqrtPush, sqrtAnn := countKinds(relay.SqrtPush)
+	allPush, allAnn := countKinds(relay.PushAll)
+	annPush, annAnn := countKinds(relay.AnnounceOnly)
 	if sqrtPush != 4 { // sqrt(16)
 		t.Fatalf("sqrt policy pushed %d", sqrtPush)
 	}
@@ -209,9 +210,6 @@ func TestPushPolicies(t *testing.T) {
 	}
 }
 
-func TestPushPolicyString(t *testing.T) {
-	if SqrtPush.String() != "sqrt-push" || PushAll.String() != "push-all" ||
-		AnnounceOnly.String() != "announce-only" || PushPolicy(9).String() != "unknown" {
-		t.Fatal("policy names")
-	}
-}
+// The relay mode's name table — including the unknown(N) rendering
+// run-dir metadata relies on — is covered by the relay package's
+// TestModeString.

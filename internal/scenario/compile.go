@@ -171,11 +171,11 @@ func (v *Variant) campaignConfig(seed uint64, sc experiments.Scale) (core.Campai
 	if s.Network.Degree > 0 {
 		cfg.Degree = s.Network.Degree
 	}
-	push, err := parsePush(s.Network.Push)
+	rc, err := s.relayConfig()
 	if err != nil {
 		return cfg, err
 	}
-	cfg.Push = push
+	cfg.Relay = rc
 	cfg.KademliaWiring = s.Network.Kademlia
 	if s.Network.NodeShare != nil {
 		share, err := s.nodeShare()
@@ -220,6 +220,9 @@ func (v *Variant) campaignConfig(seed uint64, sc experiments.Scale) (core.Campai
 		}
 		if w.MeanGasPrice > 0 {
 			wl.MeanGasPrice = w.MeanGasPrice
+		}
+		if w.PrivateProb != nil {
+			wl.PrivateProb = *w.PrivateProb
 		}
 		cfg.Workload = &wl
 		cfg.CaptureTxLinks = true
@@ -287,6 +290,7 @@ var outputDefs = map[string]outputDef{
 	"pool_first_observation": {title: "first observation per mining pool", network: true},
 	"redundancy":             {title: "redundant block receptions", network: true},
 	"transport":              {title: "transport message and byte totals", network: true},
+	"bandwidth":              {title: "per-protocol bandwidth accounting", network: true},
 	"commit_times":           {title: "transaction inclusion and commit times", network: true, needsWorkload: true},
 	"reordering":             {title: "commit delay by observed ordering", network: true, needsWorkload: true},
 	"availability":           {title: "availability under injected faults", network: true, needsFaults: true},
@@ -452,6 +456,27 @@ func (v *Variant) networkOutcome(name string, res *core.CampaignResult, sc exper
 		o.Metrics = map[string]float64{
 			"messages": float64(res.MessagesSent),
 			"bytes":    float64(res.BytesSent),
+		}
+	case "bandwidth":
+		rendered, err := analysis.RenderBandwidth(res.Bandwidth)
+		if err != nil {
+			return nil, err
+		}
+		o.Rendered = rendered
+		bw := res.Bandwidth
+		o.Metrics = map[string]float64{
+			"total_messages":  float64(bw.TotalMessages),
+			"total_bytes":     float64(bw.TotalBytes),
+			"bytes_per_block": bw.BytesPerBlock(),
+		}
+		for _, c := range bw.Classes {
+			o.Metrics["class_"+c.Name+"_bytes"] = float64(c.Bytes)
+		}
+		if r := bw.Reconstruction; r.Attempts() > 0 {
+			o.Metrics["reconstruct_hit_rate"] = r.HitRate()
+			o.Metrics["reconstruct_full"] = float64(r.Full)
+			o.Metrics["reconstruct_roundtrip"] = float64(r.Partial)
+			o.Metrics["reconstruct_fallback"] = float64(r.Fallback)
 		}
 	case "commit_times":
 		commit, err := analysis.CommitTimes(res.Index, res.View)

@@ -22,7 +22,7 @@ import (
 	"strings"
 
 	"repro/internal/geo"
-	"repro/internal/p2p"
+	"repro/internal/p2p/relay"
 	"repro/internal/sim"
 )
 
@@ -90,9 +90,14 @@ type NetworkSection struct {
 	Nodes int `json:"nodes"`
 	// Degree is each node's dial-out count (default 8).
 	Degree int `json:"degree,omitempty"`
-	// Push selects the dissemination policy: "sqrt" (default),
-	// "all" or "announce".
+	// Push is the legacy dissemination-policy spelling: "sqrt"
+	// (default), "all" or "announce". Superseded by the relay section;
+	// setting both is an error.
 	Push string `json:"push,omitempty"`
+	// Relay selects and parameterizes the block-relay protocol. Its
+	// fields are sweepable (e.g. a "network.relay.protocol" axis runs
+	// one scenario file across protocols).
+	Relay *RelaySection `json:"relay,omitempty"`
 	// Kademlia wires the overlay through the discovery substrate
 	// instead of uniform random wiring.
 	Kademlia bool `json:"kademlia,omitempty"`
@@ -100,6 +105,21 @@ type NetworkSection struct {
 	// abbreviation (NA, EA, WE, CE, SA, OC). Shares must sum to ~1;
 	// default geo.DefaultNodeShare.
 	NodeShare map[string]float64 `json:"node_share,omitempty"`
+}
+
+// RelaySection configures the pluggable block-relay protocol
+// (internal/p2p/relay in schema form).
+type RelaySection struct {
+	// Protocol names the discipline: sqrt-push (default), push-all,
+	// announce-only, compact or hybrid.
+	Protocol string `json:"protocol,omitempty"`
+	// PushFraction is the hybrid protocol's full-body push fan-out
+	// fraction (0,1]; nil keeps relay.DefaultPushFraction.
+	PushFraction *float64 `json:"push_fraction,omitempty"`
+	// FallbackThreshold is the compact protocol's missing-transaction
+	// fraction above which it fetches the full body; nil keeps
+	// relay.DefaultFallbackThreshold.
+	FallbackThreshold *float64 `json:"fallback_threshold,omitempty"`
 }
 
 // ChainSection sets block-production parameters.
@@ -206,6 +226,10 @@ type WorkloadSection struct {
 	ZipfExponent       float64  `json:"zipf_exponent,omitempty"`
 	OutOfOrderProb     *float64 `json:"out_of_order_prob,omitempty"`
 	MeanGasPrice       uint64   `json:"mean_gas_price,omitempty"`
+	// PrivateProb is the fraction of transactions submitted directly
+	// to miners without entering gossip — the mempool-divergence knob
+	// for compact-relay sweeps.
+	PrivateProb *float64 `json:"private_prob,omitempty"`
 }
 
 // Default scale multipliers: the file's literal sizes are medium. The
@@ -249,18 +273,47 @@ func parseRegion(name string) (geo.Region, error) {
 	return 0, fmt.Errorf("unknown region %q (known: %s)", name, strings.Join(known, ", "))
 }
 
-// parsePush resolves a dissemination policy name.
-func parsePush(name string) (p2p.PushPolicy, error) {
-	switch strings.ToLower(name) {
-	case "", "sqrt", "sqrt-push":
-		return p2p.SqrtPush, nil
-	case "all", "push-all":
-		return p2p.PushAll, nil
-	case "announce", "announce-only":
-		return p2p.AnnounceOnly, nil
-	default:
-		return 0, fmt.Errorf("unknown push policy %q (sqrt|all|announce)", name)
+// relayConfig resolves the effective relay protocol configuration
+// from the relay section and the legacy "push" spelling.
+func (s *Scenario) relayConfig() (relay.Config, error) {
+	var cfg relay.Config
+	if s.Network == nil {
+		return cfg, nil
 	}
+	r := s.Network.Relay
+	if s.Network.Push != "" && r != nil && r.Protocol != "" {
+		return cfg, fmt.Errorf("scenario %s: network.push and network.relay.protocol both set — use the relay section", s.Name)
+	}
+	name := s.Network.Push
+	if r != nil && r.Protocol != "" {
+		name = r.Protocol
+	}
+	mode, err := relay.ParseMode(name)
+	if err != nil {
+		return cfg, fmt.Errorf("scenario %s: %w", s.Name, err)
+	}
+	cfg.Mode = mode
+	if r != nil {
+		// The schema pointers distinguish set from unset; an explicit 0
+		// would be silently coerced to the package default downstream
+		// (relay.Config treats zero as "default"), so reject it here.
+		if r.PushFraction != nil {
+			if *r.PushFraction <= 0 || *r.PushFraction > 1 {
+				return cfg, fmt.Errorf("scenario %s: relay.push_fraction %v outside (0,1]", s.Name, *r.PushFraction)
+			}
+			cfg.PushFraction = *r.PushFraction
+		}
+		if r.FallbackThreshold != nil {
+			if *r.FallbackThreshold <= 0 || *r.FallbackThreshold > 1 {
+				return cfg, fmt.Errorf("scenario %s: relay.fallback_threshold %v outside (0,1]", s.Name, *r.FallbackThreshold)
+			}
+			cfg.FallbackThreshold = *r.FallbackThreshold
+		}
+	}
+	if err := cfg.Validate(); err != nil {
+		return cfg, fmt.Errorf("scenario %s: %w", s.Name, err)
+	}
+	return cfg, nil
 }
 
 // millis converts a schema millisecond count to sim.Time.

@@ -97,7 +97,22 @@ func TestValidateInvariants(t *testing.T) {
 			s.Pools[0].Share, s.Pools[1].Share = 0, 0
 		}, "positive share sum"},
 		{"overlay too small", func(s *Scenario) { s.Network.Nodes = 5 }, "too small"},
-		{"bad push policy", func(s *Scenario) { s.Network.Push = "flood" }, "push policy"},
+		{"bad push policy", func(s *Scenario) { s.Network.Push = "flood" }, "unknown protocol"},
+		{"push and relay protocol both set", func(s *Scenario) {
+			s.Network.Push = "sqrt"
+			s.Network.Relay = &RelaySection{Protocol: "compact"}
+		}, "both set"},
+		{"explicit zero push fraction", func(s *Scenario) {
+			zero := 0.0
+			s.Network.Relay = &RelaySection{Protocol: "hybrid", PushFraction: &zero}
+		}, "push_fraction"},
+		{"explicit zero fallback threshold", func(s *Scenario) {
+			zero := 0.0
+			s.Network.Relay = &RelaySection{Protocol: "compact", FallbackThreshold: &zero}
+		}, "fallback_threshold"},
+		{"bad relay protocol", func(s *Scenario) {
+			s.Network.Relay = &RelaySection{Protocol: "flood"}
+		}, "unknown protocol"},
 		{"node shares not summing", func(s *Scenario) {
 			s.Network.NodeShare = map[string]float64{"NA": 0.5, "EA": 0.1}
 		}, "node shares sum"},

@@ -85,8 +85,10 @@ func (s *Scenario) validateNetwork(pools []mining.PoolConfig) error {
 	if s.Network.Degree < 0 {
 		return fmt.Errorf("scenario %s: negative network.degree", s.Name)
 	}
-	if _, err := parsePush(s.Network.Push); err != nil {
-		return fmt.Errorf("scenario %s: %w", s.Name, err)
+	// Relay protocol and knobs: delegate range checks to the same
+	// validator the campaign build runs.
+	if _, err := s.relayConfig(); err != nil {
+		return err
 	}
 
 	share, err := s.nodeShare()
@@ -153,6 +155,9 @@ func (s *Scenario) validateNetwork(pools []mining.PoolConfig) error {
 		}
 		if w.OutOfOrderProb != nil && (*w.OutOfOrderProb < 0 || *w.OutOfOrderProb > 1) {
 			return fmt.Errorf("scenario %s: out_of_order_prob %v outside [0,1]", s.Name, *w.OutOfOrderProb)
+		}
+		if w.PrivateProb != nil && (*w.PrivateProb < 0 || *w.PrivateProb > 1) {
+			return fmt.Errorf("scenario %s: private_prob %v outside [0,1]", s.Name, *w.PrivateProb)
 		}
 	}
 

@@ -22,8 +22,11 @@ import (
 )
 
 // Submit delivers a generated transaction to the system under test at
-// a virtual time, from an origin region.
-type Submit func(now sim.Time, tx *types.Transaction, origin geo.Region)
+// a virtual time, from an origin region. private marks a transaction
+// submitted directly to mining infrastructure without entering public
+// gossip (PrivateProb) — the receiver-side mempool-divergence driver
+// for compact-relay experiments.
+type Submit func(now sim.Time, tx *types.Transaction, origin geo.Region, private bool)
 
 // Config parameterizes the workload.
 type Config struct {
@@ -46,6 +49,13 @@ type Config struct {
 	// MeanGasPrice sets the exponential gas-price distribution's mean
 	// (plus 1 floor), in wei.
 	MeanGasPrice uint64
+	// PrivateProb is the per-transaction probability of a private
+	// submission: the transaction reaches miners (the global pool)
+	// but never enters overlay gossip, so block bodies diverge from
+	// every node's mempool by roughly this fraction. Zero (the
+	// default) draws nothing from the RNG, keeping legacy workloads
+	// byte-identical.
+	PrivateProb float64
 	// Limit stops the generator after this many transactions
 	// (0 = unlimited; the caller must stop the engine).
 	Limit uint64
@@ -86,6 +96,8 @@ type TxRecord struct {
 	// Held reports whether this transaction was emitted via the
 	// held-back (out-of-order) path.
 	Held bool
+	// Private reports a miner-direct submission that skipped gossip.
+	Private bool
 }
 
 type senderState struct {
@@ -137,6 +149,9 @@ func NewGenerator(engine *sim.Engine, rng *sim.RNG, cfg Config) (*Generator, err
 	}
 	if cfg.OutOfOrderProb < 0 || cfg.OutOfOrderProb > 1 {
 		return nil, fmt.Errorf("txgen: out-of-order prob %v outside [0,1]", cfg.OutOfOrderProb)
+	}
+	if cfg.PrivateProb < 0 || cfg.PrivateProb > 1 {
+		return nil, fmt.Errorf("txgen: private prob %v outside [0,1]", cfg.PrivateProb)
 	}
 	if cfg.ZipfExponent <= 1 {
 		return nil, fmt.Errorf("txgen: zipf exponent %v must be > 1", cfg.ZipfExponent)
@@ -266,6 +281,9 @@ func (g *Generator) releaseHeld(now sim.Time, s *senderState) {
 
 func (g *Generator) emit(now sim.Time, s *senderState, tx *types.Transaction, wasHeld bool) {
 	g.emitted++
+	// The private draw is gated so a zero probability consumes no RNG
+	// — legacy workloads stay byte-identical.
+	private := g.cfg.PrivateProb > 0 && g.rng.Bernoulli(g.cfg.PrivateProb)
 	g.records = append(g.records, TxRecord{
 		Hash:     tx.Hash(),
 		Sender:   tx.Sender,
@@ -273,6 +291,7 @@ func (g *Generator) emit(now sim.Time, s *senderState, tx *types.Transaction, wa
 		EmitTime: now,
 		Origin:   s.region,
 		Held:     wasHeld,
+		Private:  private,
 	})
-	g.cfg.Submit(now, tx, s.region)
+	g.cfg.Submit(now, tx, s.region, private)
 }

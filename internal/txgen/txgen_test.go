@@ -22,7 +22,7 @@ func collect(t *testing.T, seed uint64, mutate func(*Config)) (*Generator, []emi
 	var got []emittedTx
 	cfg := DefaultConfig()
 	cfg.Limit = 5000
-	cfg.Submit = func(now sim.Time, tx *types.Transaction, origin geo.Region) {
+	cfg.Submit = func(now sim.Time, tx *types.Transaction, origin geo.Region, _ bool) {
 		got = append(got, emittedTx{now, tx, origin})
 	}
 	if mutate != nil {
@@ -41,7 +41,7 @@ func TestGeneratorValidation(t *testing.T) {
 	engine := sim.NewEngine()
 	rng := sim.NewRNG(1)
 	ok := DefaultConfig()
-	ok.Submit = func(sim.Time, *types.Transaction, geo.Region) {}
+	ok.Submit = func(sim.Time, *types.Transaction, geo.Region, bool) {}
 	bad := []func(*Config){
 		func(c *Config) { c.Submit = nil },
 		func(c *Config) { c.Senders = 0 },
@@ -209,7 +209,7 @@ func TestStopHaltsGeneration(t *testing.T) {
 	rng := sim.NewRNG(11)
 	cfg := DefaultConfig()
 	count := 0
-	cfg.Submit = func(sim.Time, *types.Transaction, geo.Region) { count++ }
+	cfg.Submit = func(sim.Time, *types.Transaction, geo.Region, bool) { count++ }
 	g, err := NewGenerator(engine, rng, cfg)
 	if err != nil {
 		t.Fatal(err)

@@ -40,10 +40,12 @@ type Block struct {
 	Txs    []*Transaction
 	Uncles []Header
 
-	hash    Hash
-	hashed  bool
-	sizeB   int
-	sizeSet bool
+	hash       Hash
+	hashed     bool
+	sizeB      int
+	sizeSet    bool
+	txsSizeB   int
+	txsSizeSet bool
 }
 
 // MaxUnclesPerBlock is Ethereum's limit of uncle references per block.
@@ -63,6 +65,11 @@ func NewBlock(header Header, txs []*Transaction, uncles []Header) *Block {
 	b.Hash()
 	return b
 }
+
+// TxRoot derives the commitment over a transaction list — the value
+// a block header carries in Header.TxRoot. Exported for the relay
+// layer, which verifies compact-block reconstructions against it.
+func TxRoot(txs []*Transaction) Hash { return txRoot(txs) }
 
 // txRoot derives a commitment over the transaction list. A flat hash
 // over the concatenated tx hashes stands in for the Merkle-Patricia
@@ -109,6 +116,20 @@ func (b *Block) EncodedSize() int {
 		b.sizeSet = true
 	}
 	return b.sizeB
+}
+
+// TxsSize returns the total serialized size of the block's
+// transaction list in bytes, cached after the first call. The network
+// model uses it to size compact sketches (full size minus body
+// transactions) without re-walking the list per send.
+func (b *Block) TxsSize() int {
+	if !b.txsSizeSet {
+		for _, tx := range b.Txs {
+			b.txsSizeB += tx.EncodedSize()
+		}
+		b.txsSizeSet = true
+	}
+	return b.txsSizeB
 }
 
 // IsEmpty reports whether the block carries no transactions (the
