@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test test-full test-faults test-relay fuzz race bench bench-smoke bench-compare bench-baseline fmt fmt-check vet examples examples-full validate-scenarios
+.PHONY: build test test-full test-faults test-relay test-server fuzz race bench bench-smoke bench-compare bench-baseline fmt fmt-check vet examples examples-full validate-scenarios
 
 build:
 	$(GO) build ./...
@@ -36,6 +36,18 @@ test-relay:
 	$(GO) test -cover ./internal/p2p/...
 	@set -e; dir=$$(mktemp -d); trap 'rm -rf "$$dir"' EXIT; \
 	$(GO) run ./cmd/ethrepro -only R1 -scale small -repeats 2 -parallel 4 -out "$$dir/r1"
+
+# Campaign-service gate: the store conformance suite and the HTTP
+# handler/lifecycle suite under the race detector (SSE, queueing and
+# cancellation are concurrency-heavy), the HTTP-vs-CLI byte-identity
+# golden gate, and the cmd/ethserve end-to-end smoke test (boot the
+# binary path, submit over HTTP, fetch artifacts, digest-verify the
+# run directory with ethanalyze).
+test-server:
+	$(GO) test -race -short -v ./internal/store/ ./internal/server/ ./cmd/ethserve/
+	@set -e; dir=$$(mktemp -d); trap 'rm -rf "$$dir"' EXIT; \
+	$(GO) run ./cmd/ethrepro -only T1 -repeats 2 -out "$$dir/run"; \
+	$(GO) run ./cmd/ethanalyze -verify "$$dir/run"
 
 # Fuzz lane: run every fuzz target for a bounded burst on top of the
 # committed seed corpora (which already execute as regular tests).

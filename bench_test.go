@@ -10,6 +10,7 @@
 package repro
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/experiments"
@@ -214,7 +215,7 @@ func BenchmarkCampaignRunner(b *testing.B) {
 		b.Fatal(err)
 	}
 	for i := 0; i < b.N; i++ {
-		_, err := experiments.Run(specs, experiments.RunnerConfig{
+		_, err := experiments.Run(context.Background(), specs, experiments.RunnerConfig{
 			Seed:    benchSeed(i),
 			Scale:   experiments.ScaleSmall,
 			Repeats: 2,

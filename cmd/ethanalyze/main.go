@@ -4,10 +4,16 @@
 // also reads experiment-campaign run directories written by
 // ethrepro -out and prints their cross-repeat aggregation.
 //
+// Run directories written by current ethrepro/ethserve carry a
+// versioned manifest with per-file SHA-256 digests batched into a
+// Merkle root; -verify recomputes everything and fails on any
+// tampered, missing or smuggled artifact, entirely offline.
+//
 // Usage:
 //
 //	ethanalyze -in dataset/ [-redundancy-node WE-default]
 //	ethanalyze -run paper_runs/run1
+//	ethanalyze -verify paper_runs/run1
 package main
 
 import (
@@ -21,6 +27,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/measure"
 	"repro/internal/scenario"
+	"repro/internal/store"
 )
 
 func main() {
@@ -33,12 +40,16 @@ func main() {
 func run(args []string, w *os.File) error {
 	fs := flag.NewFlagSet("ethanalyze", flag.ContinueOnError)
 	var (
-		in      = fs.String("in", "dataset", "directory of JSONL logs")
-		redNode = fs.String("redundancy-node", "", "node name for Table II (default: skip)")
-		runDir  = fs.String("run", "", "ethrepro run directory to summarize instead of JSONL logs")
+		in        = fs.String("in", "dataset", "directory of JSONL logs")
+		redNode   = fs.String("redundancy-node", "", "node name for Table II (default: skip)")
+		runDir    = fs.String("run", "", "ethrepro run directory to summarize instead of JSONL logs")
+		verifyDir = fs.String("verify", "", "artifact directory to digest-verify against its manifest, then exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *verifyDir != "" {
+		return verifyArtifacts(*verifyDir, w)
 	}
 	if *runDir != "" {
 		return analyzeRun(*runDir, w)
@@ -130,15 +141,40 @@ func run(args []string, w *os.File) error {
 	return nil
 }
 
+// verifyArtifacts checks an artifact directory (a campaign run or an
+// ethmeasure dataset) against its embedded manifest: every file
+// digest plus the Merkle root. Verification is offline — only the
+// directory is needed.
+func verifyArtifacts(dir string, w *os.File) error {
+	st := store.NewFS(dir)
+	if err := store.Verify(st); err != nil {
+		return err
+	}
+	m, err := store.ReadManifest(st)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%s: ok — %d file(s) verified, merkle root %s\n",
+		dir, len(m.Files), m.MerkleRoot)
+	return nil
+}
+
 // analyzeRun summarizes an ethrepro campaign directory: per-run status
 // and the cross-repeat metric aggregation. Scenario campaigns embed
 // their resolved scenarios; those runs are labeled by variant.
 func analyzeRun(dir string, w *os.File) error {
-	report, err := experiments.ReadArtifacts(dir)
+	st := store.NewFS(dir)
+	report, err := experiments.ReadArtifacts(st)
 	if err != nil {
 		return err
 	}
-	sets, err := scenario.ReadArtifact(dir)
+	// Both manifest versions read fine, but only the versioned schema
+	// carries digests — flag legacy directories so stale runs are
+	// re-generated rather than trusted.
+	if m, err := experiments.ReadManifest(st); err == nil && m.Legacy() {
+		fmt.Fprintf(w, "warning: %s has an unversioned legacy manifest (no digests); re-run to enable -verify\n", dir)
+	}
+	sets, err := scenario.ReadArtifact(st)
 	switch {
 	case errors.Is(err, os.ErrNotExist):
 		// Built-in campaign; nothing to label.

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -9,6 +10,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/measure"
+	"repro/internal/store"
 	"repro/internal/txgen"
 )
 
@@ -79,14 +81,18 @@ func TestAnalyzeRunDirectory(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	report, err := experiments.Run(specs, experiments.RunnerConfig{
+	report, err := experiments.Run(context.Background(), specs, experiments.RunnerConfig{
 		Seed: 42, Scale: experiments.ScaleSmall, Repeats: 2,
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
 	dir := filepath.Join(t.TempDir(), "run")
-	if err := experiments.WriteArtifacts(dir, report); err != nil {
+	st := store.NewFS(dir)
+	if err := experiments.WriteArtifacts(st, report); err != nil {
+		t.Fatal(err)
+	}
+	if err := experiments.WriteManifest(st, report); err != nil {
 		t.Fatal(err)
 	}
 
@@ -126,5 +132,106 @@ func TestAnalyzeRejectsEmptyDir(t *testing.T) {
 func TestAnalyzeRejectsBadFlags(t *testing.T) {
 	if err := run([]string{"-badflag"}, os.Stdout); err == nil {
 		t.Fatal("bad flag must fail")
+	}
+}
+
+// sealedRunDir writes a minimal sealed campaign directory (T1, two
+// repeats) and returns its path.
+func sealedRunDir(t *testing.T) string {
+	t.Helper()
+	specs, err := experiments.Select([]string{"T1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := experiments.Run(context.Background(), specs, experiments.RunnerConfig{
+		Seed: 42, Scale: experiments.ScaleSmall, Repeats: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(t.TempDir(), "run")
+	st := store.NewFS(dir)
+	if err := experiments.WriteArtifacts(st, report); err != nil {
+		t.Fatal(err)
+	}
+	if err := experiments.WriteManifest(st, report); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func capture(t *testing.T, args []string) (string, error) {
+	t.Helper()
+	out, err := os.CreateTemp(t.TempDir(), "out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer out.Close()
+	runErr := run(args, out)
+	if _, err := out.Seek(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 1<<20)
+	n, _ := out.Read(buf)
+	return string(buf[:n]), runErr
+}
+
+func TestVerifyRunDirectory(t *testing.T) {
+	dir := sealedRunDir(t)
+	text, err := capture(t, []string{"-verify", dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text, "ok") || !strings.Contains(text, "merkle root") {
+		t.Fatalf("verify output:\n%s", text)
+	}
+
+	// Flip one artifact byte: verification must fail.
+	path := filepath.Join(dir, "rendered.txt")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[0] ^= 1
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := capture(t, []string{"-verify", dir}); err == nil {
+		t.Fatal("verify accepted a tampered artifact")
+	}
+}
+
+func TestVerifyRejectsLegacyRunDirectory(t *testing.T) {
+	dir := sealedRunDir(t)
+	// Rewrite the manifest as the old v1 schema (metadata only).
+	if err := os.WriteFile(filepath.Join(dir, "manifest.json"),
+		[]byte(`{"seed":42,"scale":"small","repeats":2,"specs":["T1"]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := capture(t, []string{"-verify", dir}); err == nil {
+		t.Fatal("verify accepted an unversioned legacy manifest")
+	}
+	// But -run still summarizes it, with a warning.
+	text, err := capture(t, []string{"-run", dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text, "legacy manifest") {
+		t.Fatalf("missing legacy warning:\n%s", text)
+	}
+	if !strings.Contains(text, "Campaign summary") {
+		t.Fatalf("legacy run not summarized:\n%s", text)
+	}
+}
+
+// TestRunDirectoryNoLegacyWarning: current directories must summarize
+// without the warning.
+func TestRunDirectoryNoLegacyWarning(t *testing.T) {
+	text, err := capture(t, []string{"-run", sealedRunDir(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(text, "legacy manifest") {
+		t.Fatalf("spurious legacy warning:\n%s", text)
 	}
 }

@@ -9,20 +9,24 @@
 //	           [-relay sqrt-push|push-all|announce-only|compact|hybrid]
 //
 // One JSONL file is written per measurement node (NA, EA, WE, CE),
-// mirroring the study's per-machine raw logs.
+// mirroring the study's per-machine raw logs. The dataset is sealed
+// with a digest manifest, so `ethanalyze -verify dataset/` proves it
+// unmodified offline.
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
-	"path/filepath"
 
 	"repro/internal/analysis"
 	"repro/internal/core"
 	"repro/internal/measure"
 	"repro/internal/p2p/relay"
 	"repro/internal/sim"
+	"repro/internal/store"
 	"repro/internal/txgen"
 )
 
@@ -71,23 +75,20 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	if err := os.MkdirAll(*out, 0o755); err != nil {
-		return fmt.Errorf("create output dir: %w", err)
-	}
+	st := store.NewFS(*out)
 	for _, node := range res.Nodes {
-		path := filepath.Join(*out, node.Name()+".jsonl")
-		f, err := os.Create(path)
-		if err != nil {
-			return fmt.Errorf("create %s: %w", path, err)
+		name := node.Name() + ".jsonl"
+		var buf bytes.Buffer
+		if err := measure.WriteJSONL(&buf, node.Records()); err != nil {
+			return fmt.Errorf("encode %s: %w", name, err)
 		}
-		if err := measure.WriteJSONL(f, node.Records()); err != nil {
-			f.Close()
-			return fmt.Errorf("write %s: %w", path, err)
+		if err := st.Put(name, buf.Bytes()); err != nil {
+			return fmt.Errorf("write %s: %w", name, err)
 		}
-		if err := f.Close(); err != nil {
-			return fmt.Errorf("close %s: %w", path, err)
-		}
-		fmt.Printf("  %s: %d records\n", path, len(node.Records()))
+		fmt.Printf("  %s/%s: %d records\n", *out, name, len(node.Records()))
+	}
+	if err := sealDataset(st, cfg); err != nil {
+		return err
 	}
 	bw, err := analysis.RenderBandwidth(res.Bandwidth)
 	if err != nil {
@@ -95,4 +96,41 @@ func run(args []string) error {
 	}
 	fmt.Print(bw)
 	return nil
+}
+
+// datasetManifest is a measurement dataset's manifest.json: the
+// campaign sizing joined with the store digest record. The digest
+// fields mirror store.Manifest, so store.Verify (and therefore
+// `ethanalyze -verify`) works on datasets and campaign runs alike.
+type datasetManifest struct {
+	SchemaVersion int          `json:"schema_version"`
+	Seed          uint64       `json:"seed"`
+	Nodes         int          `json:"nodes"`
+	Blocks        uint64       `json:"blocks"`
+	Relay         string       `json:"relay"`
+	MerkleRoot    string       `json:"merkle_root"`
+	Files         []store.File `json:"files"`
+}
+
+// sealDataset digests the written logs and writes the manifest. Last
+// write into the store: blobs added afterwards would fail -verify.
+func sealDataset(st store.Store, cfg core.CampaignConfig) error {
+	m, err := st.Manifest()
+	if err != nil {
+		return fmt.Errorf("digest dataset: %w", err)
+	}
+	doc := datasetManifest{
+		SchemaVersion: m.SchemaVersion,
+		Seed:          cfg.Seed,
+		Nodes:         cfg.NetworkNodes,
+		Blocks:        cfg.Blocks,
+		Relay:         cfg.Relay.Mode.String(),
+		MerkleRoot:    m.MerkleRoot,
+		Files:         m.Files,
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return fmt.Errorf("marshal manifest: %w", err)
+	}
+	return st.Put(store.ManifestFile, append(data, '\n'))
 }

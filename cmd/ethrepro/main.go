@@ -22,27 +22,34 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
-	"path/filepath"
+	"os/signal"
 	"strings"
 	"time"
 
 	"repro/internal/experiments"
 	"repro/internal/scenario"
+	"repro/internal/store"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+	// SIGINT cancels the campaign cleanly: dispatch stops, in-flight
+	// runs drain, and -out still writes a complete, digest-sealed run
+	// directory for whatever finished (no partial files).
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "ethrepro:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, stdout, stderr io.Writer) error {
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("ethrepro", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
@@ -115,9 +122,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fmt.Fprintf(stdout, "ethrepro: seed=%d scale=%s repeats=%d specs=%d\n\n",
 		*seed, scale, max(*repeats, 1), len(specs))
 	fmt.Fprintf(stderr, "ethrepro: parallel=%d\n",
-		experiments.EffectiveParallel(*parallel, len(specs), *repeats))
+		experiments.EffectiveParallel(*parallel, len(specs), *repeats, 0))
 	start := time.Now()
-	report, runErr := experiments.Run(specs, experiments.RunnerConfig{
+	report, runErr := experiments.Run(ctx, specs, experiments.RunnerConfig{
 		Seed:     *seed,
 		Scale:    scale,
 		Repeats:  *repeats,
@@ -137,7 +144,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 		emitReport(stdout, report)
 	}
 	if *outDir != "" && report != nil {
-		if err := experiments.WriteArtifacts(*outDir, report); err != nil {
+		st := store.NewFS(*outDir)
+		if err := experiments.WriteArtifacts(st, report); err != nil {
 			// Keep the campaign failure visible alongside the write
 			// failure.
 			return errors.Join(runErr, err)
@@ -145,15 +153,19 @@ func run(args []string, stdout, stderr io.Writer) error {
 		if len(sets) > 0 {
 			// Embed the resolved scenarios so the run directory is
 			// replayable without the original files.
-			if err := scenario.WriteArtifact(*outDir, sets); err != nil {
+			if err := scenario.WriteArtifact(st, sets); err != nil {
 				return errors.Join(runErr, err)
 			}
 		} else {
 			// A reused run directory must not keep a stale scenario
 			// embedding from an earlier campaign.
-			if err := os.Remove(filepath.Join(*outDir, scenario.ArtifactFile)); err != nil && !errors.Is(err, os.ErrNotExist) {
+			if err := st.Delete(scenario.ArtifactFile); err != nil {
 				return errors.Join(runErr, err)
 			}
+		}
+		// Seal last so the Merkle root covers every blob above.
+		if err := experiments.WriteManifest(st, report); err != nil {
+			return errors.Join(runErr, err)
 		}
 		fmt.Fprintf(stdout, "artifacts written to %s\n", *outDir)
 	}

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"io"
 	"os"
 	"path/filepath"
@@ -11,7 +12,7 @@ import (
 
 func TestListRegistry(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{"-list"}, &out, io.Discard); err != nil {
+	if err := run(context.Background(), []string{"-list"}, &out, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	for _, want := range []string{"network", "F1,F2,F3", "chain", "W1"} {
@@ -24,7 +25,7 @@ func TestListRegistry(t *testing.T) {
 func TestRunSelectedExperiments(t *testing.T) {
 	// T1 is static and instant.
 	var out bytes.Buffer
-	if err := run([]string{"-scale", "small", "-only", "T1"}, &out, io.Discard); err != nil {
+	if err := run(context.Background(), []string{"-scale", "small", "-only", "T1"}, &out, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "Table I") {
@@ -35,7 +36,7 @@ func TestRunSelectedExperiments(t *testing.T) {
 	}
 	// F2 resolves to the shared network spec and runs one campaign.
 	out.Reset()
-	if err := run([]string{"-scale", "small", "-only", "F2", "-seed", "3"}, &out, io.Discard); err != nil {
+	if err := run(context.Background(), []string{"-scale", "small", "-only", "F2", "-seed", "3"}, &out, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	for _, want := range []string{"Figure 1", "Figure 2", "Figure 3"} {
@@ -48,7 +49,7 @@ func TestRunSelectedExperiments(t *testing.T) {
 func TestRunWritesArtifacts(t *testing.T) {
 	dir := filepath.Join(t.TempDir(), "run1")
 	var out bytes.Buffer
-	if err := run([]string{"-only", "T1", "-repeats", "2", "-out", dir}, &out, io.Discard); err != nil {
+	if err := run(context.Background(), []string{"-only", "T1", "-repeats", "2", "-out", dir}, &out, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	for _, f := range []string{"manifest.json", "outcomes.json", "rendered.txt",
@@ -63,13 +64,13 @@ func TestRunWritesArtifacts(t *testing.T) {
 }
 
 func TestRunRejectsBadInput(t *testing.T) {
-	if err := run([]string{"-scale", "gigantic"}, io.Discard, io.Discard); err == nil {
+	if err := run(context.Background(), []string{"-scale", "gigantic"}, io.Discard, io.Discard); err == nil {
 		t.Fatal("bad scale must fail")
 	}
-	if err := run([]string{"-badflag"}, io.Discard, io.Discard); err == nil {
+	if err := run(context.Background(), []string{"-badflag"}, io.Discard, io.Discard); err == nil {
 		t.Fatal("bad flag must fail")
 	}
-	if err := run([]string{"-only", "NOPE"}, io.Discard, io.Discard); err == nil {
+	if err := run(context.Background(), []string{"-only", "NOPE"}, io.Discard, io.Discard); err == nil {
 		t.Fatal("unknown experiment must fail")
 	}
 }
@@ -96,7 +97,7 @@ func TestScenarioListAndRun(t *testing.T) {
 
 	// -list shows the compiled variants alongside the built-ins.
 	var out bytes.Buffer
-	if err := run([]string{"-scenario", path, "-list"}, &out, io.Discard); err != nil {
+	if err := run(context.Background(), []string{"-scenario", path, "-list"}, &out, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	for _, want := range []string{"network", "cli-sweep@inter_block_ms=9000", "cli-sweep@inter_block_ms=13300"} {
@@ -109,7 +110,7 @@ func TestScenarioListAndRun(t *testing.T) {
 	// repeats suggestion applies; the run dir embeds the scenario.
 	dir := filepath.Join(t.TempDir(), "run")
 	out.Reset()
-	if err := run([]string{"-scenario", path, "-scale", "small", "-out", dir}, &out, io.Discard); err != nil {
+	if err := run(context.Background(), []string{"-scenario", path, "-scale", "small", "-out", dir}, &out, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "specs=2") {
@@ -125,7 +126,7 @@ func TestScenarioListAndRun(t *testing.T) {
 	// Reusing the run directory without -scenario must not leave the
 	// stale embedding behind to mislabel the new campaign.
 	out.Reset()
-	if err := run([]string{"-only", "T1", "-out", dir}, &out, io.Discard); err != nil {
+	if err := run(context.Background(), []string{"-only", "T1", "-out", dir}, &out, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := os.Stat(filepath.Join(dir, "scenario.json")); err == nil {
@@ -145,7 +146,7 @@ func TestScenarioExcludedByOnly(t *testing.T) {
 	}`)
 	dir := filepath.Join(t.TempDir(), "run")
 	var out bytes.Buffer
-	if err := run([]string{"-scenario", path, "-only", "T1", "-out", dir}, &out, io.Discard); err != nil {
+	if err := run(context.Background(), []string{"-scenario", path, "-only", "T1", "-out", dir}, &out, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "repeats=1") {
@@ -157,16 +158,16 @@ func TestScenarioExcludedByOnly(t *testing.T) {
 }
 
 func TestScenarioRejectsBadFile(t *testing.T) {
-	if err := run([]string{"-scenario", "no-such-file.json", "-list"}, io.Discard, io.Discard); err == nil {
+	if err := run(context.Background(), []string{"-scenario", "no-such-file.json", "-list"}, io.Discard, io.Discard); err == nil {
 		t.Fatal("missing scenario file must fail")
 	}
 	path := writeScenario(t, "bad", `{"name": "bad", "mode": "chain", "chain": {"blocks": 0}}`)
-	if err := run([]string{"-scenario", path, "-list"}, io.Discard, io.Discard); err == nil {
+	if err := run(context.Background(), []string{"-scenario", path, "-list"}, io.Discard, io.Discard); err == nil {
 		t.Fatal("invalid scenario must fail")
 	}
 	// A scenario name colliding with a built-in spec is rejected.
 	path = writeScenario(t, "collide", `{"name": "network", "mode": "chain", "chain": {"blocks": 10}}`)
-	if err := run([]string{"-scenario", path, "-list"}, io.Discard, io.Discard); err == nil {
+	if err := run(context.Background(), []string{"-scenario", path, "-list"}, io.Discard, io.Discard); err == nil {
 		t.Fatal("registry collision must fail")
 	}
 }

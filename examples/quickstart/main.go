@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -36,10 +37,10 @@ func run() error {
 	if *short {
 		repeats = 1
 	}
-	workers := experiments.EffectiveParallel(0, len(specs), repeats)
+	workers := experiments.EffectiveParallel(0, len(specs), repeats, 0)
 	fmt.Printf("running %d experiments x%d repeats across %d workers...\n\n",
 		len(specs), repeats, workers)
-	report, err := experiments.Run(specs, experiments.RunnerConfig{
+	report, err := experiments.Run(context.Background(), specs, experiments.RunnerConfig{
 		Seed:     42,
 		Scale:    experiments.ScaleSmall,
 		Repeats:  repeats,

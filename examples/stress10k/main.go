@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -42,7 +43,7 @@ func run() error {
 	}
 	fmt.Printf("running %s at scale %s...\n", set.Base.Name, scale)
 	start := time.Now()
-	report, err := experiments.Run(specs, experiments.RunnerConfig{
+	report, err := experiments.Run(context.Background(), specs, experiments.RunnerConfig{
 		Seed:  42,
 		Scale: scale,
 	})

@@ -1,19 +1,20 @@
 package experiments
 
 import (
+	"bytes"
 	"encoding/csv"
 	"encoding/json"
 	"fmt"
-	"os"
-	"path/filepath"
 	"sort"
 	"strconv"
+
+	"repro/internal/store"
 )
 
-// Artifact file names inside a run directory (the paper_runs/<stamp>
+// Artifact file names inside a run store (the paper_runs/<stamp>
 // layout: machine-readable CSV/JSON plus the rendered tables).
 const (
-	ManifestFile = "manifest.json"
+	ManifestFile = store.ManifestFile
 	OutcomesJSON = "outcomes.json"
 	RenderedFile = "rendered.txt"
 	CSVDir       = "csv"
@@ -39,44 +40,59 @@ type reportArtifact struct {
 	Summaries []MetricSummary `json:"summaries"`
 }
 
-// WriteArtifacts persists a campaign report under dir:
-//
-//	dir/manifest.json   — seed, scale, repeats, selected specs
-//	dir/outcomes.json   — every run's outcomes and the aggregation
-//	dir/rendered.txt    — the paper-style tables (first repeat)
-//	dir/csv/outcomes.csv — one row per (spec, repeat, outcome, metric)
-//	dir/csv/summary.csv  — cross-repeat mean/std per (outcome, metric)
-//
-// Every file is a pure function of the report, so artifacts are
-// byte-identical however many workers produced the report.
-func WriteArtifacts(dir string, r *Report) error {
-	if err := os.MkdirAll(filepath.Join(dir, CSVDir), 0o755); err != nil {
-		return fmt.Errorf("experiments: create run dir: %w", err)
-	}
-	if err := writeManifest(dir, r); err != nil {
-		return err
-	}
-	if err := writeOutcomesJSON(dir, r); err != nil {
-		return err
-	}
-	if err := writeRendered(dir, r); err != nil {
-		return err
-	}
-	if err := writeOutcomesCSV(dir, r); err != nil {
-		return err
-	}
-	return writeSummaryCSV(dir, r)
+// Manifest is a campaign run's manifest.json: the campaign metadata
+// (seed, scale, repeats, selected specs) joined with the store
+// digest record (schema version, Merkle root, per-file digests).
+// Version-1 directories predate the digest fields; they decode with
+// SchemaVersion 0 and empty digests.
+type Manifest struct {
+	SchemaVersion int          `json:"schema_version,omitempty"`
+	Seed          uint64       `json:"seed"`
+	Scale         string       `json:"scale"`
+	Repeats       int          `json:"repeats"`
+	Specs         []string     `json:"specs"`
+	MerkleRoot    string       `json:"merkle_root,omitempty"`
+	Files         []store.File `json:"files,omitempty"`
 }
 
-func writeJSON(path string, v any) error {
-	data, err := json.MarshalIndent(v, "", "  ")
+// Legacy reports whether the manifest predates the digest schema.
+func (m *Manifest) Legacy() bool { return m.SchemaVersion < store.SchemaVersion }
+
+// WriteArtifacts persists a campaign report into a store:
+//
+//	outcomes.json    — every run's outcomes and the aggregation
+//	rendered.txt     — the paper-style tables (first repeat)
+//	csv/outcomes.csv — one row per (spec, repeat, outcome, metric)
+//	csv/summary.csv  — cross-repeat mean/std per (outcome, metric)
+//
+// Every blob is a pure function of the report, so artifacts are
+// byte-identical however many workers produced the report and
+// whichever backend stores them. The manifest is NOT written here:
+// callers add any sibling blobs (the embedded scenario.json, ...)
+// and then seal the store with WriteManifest, so the Merkle root
+// covers everything.
+func WriteArtifacts(st store.Store, r *Report) error {
+	if err := writeOutcomesJSON(st, r); err != nil {
+		return err
+	}
+	if err := writeRendered(st, r); err != nil {
+		return err
+	}
+	if err := writeOutcomesCSV(st, r); err != nil {
+		return err
+	}
+	return writeSummaryCSV(st, r)
+}
+
+// WriteManifest digests the store's current contents and writes the
+// versioned manifest.json carrying the campaign metadata, per-file
+// SHA-256 digests and the Merkle root batching them. Call it last:
+// blobs added after the manifest would fail verification.
+func WriteManifest(st store.Store, r *Report) error {
+	m, err := st.Manifest()
 	if err != nil {
-		return fmt.Errorf("experiments: marshal %s: %w", filepath.Base(path), err)
+		return fmt.Errorf("experiments: digest artifacts: %w", err)
 	}
-	return os.WriteFile(path, append(data, '\n'), 0o644)
-}
-
-func writeManifest(dir string, r *Report) error {
 	specIDs := []string{}
 	seen := map[string]bool{}
 	for _, res := range r.Results {
@@ -85,15 +101,44 @@ func writeManifest(dir string, r *Report) error {
 			specIDs = append(specIDs, res.Spec.ID)
 		}
 	}
-	return writeJSON(filepath.Join(dir, ManifestFile), map[string]any{
-		"seed":    r.Seed,
-		"scale":   r.Scale.String(),
-		"repeats": r.Repeats,
-		"specs":   specIDs,
-	})
+	doc := Manifest{
+		SchemaVersion: m.SchemaVersion,
+		Seed:          r.Seed,
+		Scale:         r.Scale.String(),
+		Repeats:       r.Repeats,
+		Specs:         specIDs,
+		MerkleRoot:    m.MerkleRoot,
+		Files:         m.Files,
+	}
+	return putJSON(st, ManifestFile, doc)
 }
 
-func writeOutcomesJSON(dir string, r *Report) error {
+// ReadManifest loads a run store's manifest.json, accepting both the
+// digestless version-1 form and the current versioned form. Callers
+// that need tamper evidence should check Legacy() (or use
+// store.Verify) — a legacy manifest reads fine but cannot be
+// verified.
+func ReadManifest(st store.Store) (*Manifest, error) {
+	data, err := st.Get(ManifestFile)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: read manifest: %w", err)
+	}
+	var m Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("experiments: parse %s: %w", ManifestFile, err)
+	}
+	return &m, nil
+}
+
+func putJSON(st store.Store, name string, v any) error {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return fmt.Errorf("experiments: marshal %s: %w", name, err)
+	}
+	return st.Put(name, append(data, '\n'))
+}
+
+func writeOutcomesJSON(st store.Store, r *Report) error {
 	art := reportArtifact{
 		Seed:      r.Seed,
 		Scale:     r.Scale.String(),
@@ -113,30 +158,26 @@ func writeOutcomesJSON(dir string, r *Report) error {
 		}
 		art.Runs = append(art.Runs, run)
 	}
-	return writeJSON(filepath.Join(dir, OutcomesJSON), art)
+	return putJSON(st, OutcomesJSON, art)
 }
 
-func writeRendered(dir string, r *Report) error {
+func writeRendered(st store.Store, r *Report) error {
 	out := r.RenderOutcomes() + r.RenderSummary()
-	return os.WriteFile(filepath.Join(dir, RenderedFile), []byte(out), 0o644)
+	return st.Put(RenderedFile, []byte(out))
 }
 
-func writeCSV(path string, rows [][]string) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return fmt.Errorf("experiments: create %s: %w", filepath.Base(path), err)
-	}
-	w := csv.NewWriter(f)
+func putCSV(st store.Store, name string, rows [][]string) error {
+	var buf bytes.Buffer
+	w := csv.NewWriter(&buf)
 	if err := w.WriteAll(rows); err != nil {
-		f.Close()
-		return fmt.Errorf("experiments: write %s: %w", filepath.Base(path), err)
+		return fmt.Errorf("experiments: write %s: %w", name, err)
 	}
-	return f.Close()
+	return st.Put(name, buf.Bytes())
 }
 
 func fmtFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
 
-func writeOutcomesCSV(dir string, r *Report) error {
+func writeOutcomesCSV(st store.Store, r *Report) error {
 	rows := [][]string{{"spec", "repeat", "seed", "outcome", "metric", "value"}}
 	for _, res := range r.Results {
 		if res.Err != nil {
@@ -158,10 +199,10 @@ func writeOutcomesCSV(dir string, r *Report) error {
 			}
 		}
 	}
-	return writeCSV(filepath.Join(dir, CSVDir, OutcomesCSV), rows)
+	return putCSV(st, CSVDir+"/"+OutcomesCSV, rows)
 }
 
-func writeSummaryCSV(dir string, r *Report) error {
+func writeSummaryCSV(st store.Store, r *Report) error {
 	rows := [][]string{{"outcome", "metric", "n", "mean", "std", "min", "max"}}
 	for _, s := range r.Summaries {
 		rows = append(rows, []string{
@@ -169,14 +210,14 @@ func writeSummaryCSV(dir string, r *Report) error {
 			fmtFloat(s.Mean), fmtFloat(s.StdDev), fmtFloat(s.Min), fmtFloat(s.Max),
 		})
 	}
-	return writeCSV(filepath.Join(dir, CSVDir, SummaryCSV), rows)
+	return putCSV(st, CSVDir+"/"+SummaryCSV, rows)
 }
 
-// ReadArtifacts loads a run directory written by WriteArtifacts back
+// ReadArtifacts loads a run store written by WriteArtifacts back
 // into a Report (cmd/ethanalyze's campaign mode). Spec fields carry
 // only the recorded ID — the Run function is not reconstructed.
-func ReadArtifacts(dir string) (*Report, error) {
-	data, err := os.ReadFile(filepath.Join(dir, OutcomesJSON))
+func ReadArtifacts(st store.Store) (*Report, error) {
+	data, err := st.Get(OutcomesJSON)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: read artifacts: %w", err)
 	}

@@ -1,74 +1,162 @@
 package experiments
 
 import (
+	"bytes"
+	"context"
 	"encoding/csv"
-	"os"
 	"path/filepath"
 	"reflect"
 	"strings"
 	"testing"
+
+	"repro/internal/store"
 )
 
 func fakeReport(t *testing.T) *Report {
 	t.Helper()
 	specs := []Spec{fakeSpec("X1"), fakeSpec("X2")}
-	rep, err := Run(specs, RunnerConfig{Seed: 11, Scale: ScaleSmall, Repeats: 3, Parallel: 2})
+	rep, err := Run(context.Background(), specs, RunnerConfig{Seed: 11, Scale: ScaleSmall, Repeats: 3, Parallel: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
 	return rep
 }
 
+// artifactStores writes a full, sealed artifact set (artifacts +
+// manifest) into a fresh store of each backend kind.
+func artifactStores(t *testing.T, rep *Report) map[string]store.Store {
+	t.Helper()
+	stores := map[string]store.Store{
+		"fs":  store.NewFS(filepath.Join(t.TempDir(), "run")),
+		"mem": store.NewMem(),
+	}
+	for name, st := range stores {
+		if err := WriteArtifacts(st, rep); err != nil {
+			t.Fatalf("%s: write artifacts: %v", name, err)
+		}
+		if err := WriteManifest(st, rep); err != nil {
+			t.Fatalf("%s: write manifest: %v", name, err)
+		}
+	}
+	return stores
+}
+
 func TestWriteAndReadArtifacts(t *testing.T) {
 	rep := fakeReport(t)
-	dir := filepath.Join(t.TempDir(), "run")
-	if err := WriteArtifacts(dir, rep); err != nil {
-		t.Fatal(err)
-	}
+	for name, st := range artifactStores(t, rep) {
+		t.Run(name, func(t *testing.T) {
+			back, err := ReadArtifacts(st)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if back.Seed != rep.Seed || back.Scale != rep.Scale || back.Repeats != rep.Repeats {
+				t.Fatalf("header mismatch: %+v", back)
+			}
+			if !reflect.DeepEqual(back.Summaries, rep.Summaries) {
+				t.Fatalf("summaries round-trip:\n%+v\n%+v", back.Summaries, rep.Summaries)
+			}
+			if len(back.Results) != len(rep.Results) {
+				t.Fatalf("results: %d vs %d", len(back.Results), len(rep.Results))
+			}
+			for i, res := range back.Results {
+				orig := rep.Results[i]
+				if res.Spec.ID != orig.Spec.ID || res.Repeat != orig.Repeat || res.Seed != orig.Seed {
+					t.Fatalf("result %d mismatch: %+v vs %+v", i, res, orig)
+				}
+				if !reflect.DeepEqual(res.Outcomes, orig.Outcomes) {
+					t.Fatalf("outcomes %d diverged", i)
+				}
+			}
 
-	back, err := ReadArtifacts(dir)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if back.Seed != rep.Seed || back.Scale != rep.Scale || back.Repeats != rep.Repeats {
-		t.Fatalf("header mismatch: %+v", back)
-	}
-	if !reflect.DeepEqual(back.Summaries, rep.Summaries) {
-		t.Fatalf("summaries round-trip:\n%+v\n%+v", back.Summaries, rep.Summaries)
-	}
-	if len(back.Results) != len(rep.Results) {
-		t.Fatalf("results: %d vs %d", len(back.Results), len(rep.Results))
-	}
-	for i, res := range back.Results {
-		orig := rep.Results[i]
-		if res.Spec.ID != orig.Spec.ID || res.Repeat != orig.Repeat || res.Seed != orig.Seed {
-			t.Fatalf("result %d mismatch: %+v vs %+v", i, res, orig)
-		}
-		if !reflect.DeepEqual(res.Outcomes, orig.Outcomes) {
-			t.Fatalf("outcomes %d diverged", i)
-		}
-	}
-
-	// rendered.txt carries the first repeat's tables plus the summary.
-	rendered, err := os.ReadFile(filepath.Join(dir, RenderedFile))
-	if err != nil {
-		t.Fatal(err)
-	}
-	for _, want := range []string{"== X1:", "== X2:", "Campaign summary"} {
-		if !strings.Contains(string(rendered), want) {
-			t.Fatalf("rendered.txt missing %q:\n%s", want, rendered)
-		}
+			// rendered.txt carries the first repeat's tables plus the summary.
+			rendered, err := st.Get(RenderedFile)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, want := range []string{"== X1:", "== X2:", "Campaign summary"} {
+				if !strings.Contains(string(rendered), want) {
+					t.Fatalf("rendered.txt missing %q:\n%s", want, rendered)
+				}
+			}
+		})
 	}
 }
 
-func readCSV(t *testing.T, path string) [][]string {
-	t.Helper()
-	f, err := os.Open(path)
+func TestManifestRoundTripAndVerify(t *testing.T) {
+	rep := fakeReport(t)
+	for name, st := range artifactStores(t, rep) {
+		t.Run(name, func(t *testing.T) {
+			m, err := ReadManifest(st)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if m.Legacy() {
+				t.Fatalf("fresh manifest reads as legacy: %+v", m)
+			}
+			if m.Seed != rep.Seed || m.Scale != rep.Scale.String() || m.Repeats != rep.Repeats {
+				t.Fatalf("campaign metadata mismatch: %+v", m)
+			}
+			if !reflect.DeepEqual(m.Specs, []string{"X1", "X2"}) {
+				t.Fatalf("specs: %v", m.Specs)
+			}
+			if m.MerkleRoot == "" || len(m.Files) != 4 {
+				t.Fatalf("digest record incomplete: root=%q files=%+v", m.MerkleRoot, m.Files)
+			}
+			if err := store.Verify(st); err != nil {
+				t.Fatalf("sealed artifacts fail verification: %v", err)
+			}
+			// Tamper: a single CSV byte flips.
+			data, err := st.Get(CSVDir + "/" + OutcomesCSV)
+			if err != nil {
+				t.Fatal(err)
+			}
+			data[len(data)-2] ^= 1
+			if err := st.Put(CSVDir+"/"+OutcomesCSV, data); err != nil {
+				t.Fatal(err)
+			}
+			if err := store.Verify(st); err == nil {
+				t.Fatal("verification missed a tampered artifact")
+			}
+		})
+	}
+}
+
+// TestReadManifestAcceptsLegacy pins backward compatibility: version-1
+// directories (campaign metadata only) still read, flagged as legacy.
+func TestReadManifestAcceptsLegacy(t *testing.T) {
+	st := store.NewMem()
+	legacy := `{
+  "repeats": 2,
+  "scale": "small",
+  "seed": 42,
+  "specs": ["T1", "network"]
+}
+`
+	if err := st.Put(ManifestFile, []byte(legacy)); err != nil {
+		t.Fatal(err)
+	}
+	m, err := ReadManifest(st)
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer f.Close()
-	rows, err := csv.NewReader(f).ReadAll()
+	if !m.Legacy() {
+		t.Fatalf("v1 manifest not flagged legacy: %+v", m)
+	}
+	if m.Seed != 42 || m.Scale != "small" || m.Repeats != 2 || len(m.Specs) != 2 {
+		t.Fatalf("v1 fields lost: %+v", m)
+	}
+	if m.MerkleRoot != "" || len(m.Files) != 0 {
+		t.Fatalf("v1 manifest invented digests: %+v", m)
+	}
+}
+
+func readCSVBlob(t *testing.T, st store.Store, name string) [][]string {
+	t.Helper()
+	data, err := st.Get(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(bytes.NewReader(data)).ReadAll()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -77,12 +165,12 @@ func readCSV(t *testing.T, path string) [][]string {
 
 func TestArtifactCSVLayout(t *testing.T) {
 	rep := fakeReport(t)
-	dir := filepath.Join(t.TempDir(), "run")
-	if err := WriteArtifacts(dir, rep); err != nil {
+	st := store.NewMem()
+	if err := WriteArtifacts(st, rep); err != nil {
 		t.Fatal(err)
 	}
 
-	outcomes := readCSV(t, filepath.Join(dir, CSVDir, OutcomesCSV))
+	outcomes := readCSVBlob(t, st, CSVDir+"/"+OutcomesCSV)
 	wantHeader := []string{"spec", "repeat", "seed", "outcome", "metric", "value"}
 	if !reflect.DeepEqual(outcomes[0], wantHeader) {
 		t.Fatalf("outcomes header: %v", outcomes[0])
@@ -92,7 +180,7 @@ func TestArtifactCSVLayout(t *testing.T) {
 		t.Fatalf("outcome rows: %d", len(outcomes)-1)
 	}
 
-	summary := readCSV(t, filepath.Join(dir, CSVDir, SummaryCSV))
+	summary := readCSVBlob(t, st, CSVDir+"/"+SummaryCSV)
 	if !reflect.DeepEqual(summary[0], []string{"outcome", "metric", "n", "mean", "std", "min", "max"}) {
 		t.Fatalf("summary header: %v", summary[0])
 	}
@@ -101,32 +189,47 @@ func TestArtifactCSVLayout(t *testing.T) {
 	}
 }
 
+// TestWriteArtifactsDeterministic also pins cross-backend identity:
+// the same report must produce the same bytes into a filesystem store
+// and an in-memory store — the server's determinism contract.
 func TestWriteArtifactsDeterministic(t *testing.T) {
 	rep := fakeReport(t)
-	dirs := []string{filepath.Join(t.TempDir(), "a"), filepath.Join(t.TempDir(), "b")}
-	for _, d := range dirs {
-		if err := WriteArtifacts(d, rep); err != nil {
+	stores := []store.Store{
+		store.NewFS(filepath.Join(t.TempDir(), "a")),
+		store.NewFS(filepath.Join(t.TempDir(), "b")),
+		store.NewMem(),
+	}
+	for _, st := range stores {
+		if err := WriteArtifacts(st, rep); err != nil {
+			t.Fatal(err)
+		}
+		if err := WriteManifest(st, rep); err != nil {
 			t.Fatal(err)
 		}
 	}
 	for _, name := range []string{ManifestFile, OutcomesJSON, RenderedFile,
-		filepath.Join(CSVDir, OutcomesCSV), filepath.Join(CSVDir, SummaryCSV)} {
-		a, err := os.ReadFile(filepath.Join(dirs[0], name))
+		CSVDir + "/" + OutcomesCSV, CSVDir + "/" + SummaryCSV} {
+		first, err := stores[0].Get(name)
 		if err != nil {
 			t.Fatal(err)
 		}
-		b, err := os.ReadFile(filepath.Join(dirs[1], name))
-		if err != nil {
-			t.Fatal(err)
-		}
-		if string(a) != string(b) {
-			t.Fatalf("%s not deterministic", name)
+		for _, st := range stores[1:] {
+			other, err := st.Get(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(first, other) {
+				t.Fatalf("%s not deterministic across stores", name)
+			}
 		}
 	}
 }
 
-func TestReadArtifactsRejectsMissingDir(t *testing.T) {
-	if _, err := ReadArtifacts(filepath.Join(t.TempDir(), "nope")); err == nil {
+func TestReadArtifactsRejectsMissingStore(t *testing.T) {
+	if _, err := ReadArtifacts(store.NewFS(filepath.Join(t.TempDir(), "nope"))); err == nil {
 		t.Fatal("missing dir must fail")
+	}
+	if _, err := ReadArtifacts(store.NewMem()); err == nil {
+		t.Fatal("empty store must fail")
 	}
 }

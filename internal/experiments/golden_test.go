@@ -2,6 +2,7 @@ package experiments_test
 
 import (
 	"bytes"
+	"context"
 	"io/fs"
 	"os"
 	"path/filepath"
@@ -10,6 +11,7 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/scenario"
+	"repro/internal/store"
 )
 
 // The golden-artifact invariant harness: every spec's run directory
@@ -39,11 +41,14 @@ var goldenShortScenarios = map[string]bool{
 }
 
 // runGolden executes the specs at the given parallelism and writes a
-// run directory. Failures inside any run are fatal: a spec that cannot
-// execute has no artifact to compare.
-func runGolden(t *testing.T, specs []experiments.Spec, dir string, parallel int) {
+// run directory, sealed with its digest manifest — so the invariance
+// gate also covers the Merkle root. Failures inside any run are
+// fatal: a spec that cannot execute has no artifact to compare. The
+// returned report lets scenario runs embed scenario.json before
+// sealing.
+func runGolden(t *testing.T, specs []experiments.Spec, dir string, parallel int, sets []*scenario.Set) {
 	t.Helper()
-	report, err := experiments.Run(specs, experiments.RunnerConfig{
+	report, err := experiments.Run(context.Background(), specs, experiments.RunnerConfig{
 		Seed:     goldenSeed,
 		Scale:    experiments.ScaleSmall,
 		Repeats:  2,
@@ -52,8 +57,20 @@ func runGolden(t *testing.T, specs []experiments.Spec, dir string, parallel int)
 	if err != nil {
 		t.Fatalf("campaign at parallel=%d: %v", parallel, err)
 	}
-	if err := experiments.WriteArtifacts(dir, report); err != nil {
+	st := store.NewFS(dir)
+	if err := experiments.WriteArtifacts(st, report); err != nil {
 		t.Fatalf("write artifacts: %v", err)
+	}
+	if len(sets) > 0 {
+		if err := scenario.WriteArtifact(st, sets); err != nil {
+			t.Fatalf("write scenario artifact: %v", err)
+		}
+	}
+	if err := experiments.WriteManifest(st, report); err != nil {
+		t.Fatalf("write manifest: %v", err)
+	}
+	if err := store.Verify(st); err != nil {
+		t.Fatalf("sealed run dir fails verification: %v", err)
 	}
 }
 
@@ -127,8 +144,8 @@ func TestGoldenBuiltinSpecsParallelInvariance(t *testing.T) {
 		t.Fatal("no specs selected")
 	}
 	seq, par := filepath.Join(t.TempDir(), "p1"), filepath.Join(t.TempDir(), "p8")
-	runGolden(t, specs, seq, 1)
-	runGolden(t, specs, par, 8)
+	runGolden(t, specs, seq, 1, nil)
+	runGolden(t, specs, par, 8, nil)
 	assertDirsIdentical(t, seq, par)
 }
 
@@ -169,13 +186,8 @@ func TestGoldenScenarioArtifactsParallelInvariance(t *testing.T) {
 				t.Fatal(err)
 			}
 			seq, par := filepath.Join(t.TempDir(), "p1"), filepath.Join(t.TempDir(), "p8")
-			runGolden(t, specs, seq, 1)
-			runGolden(t, specs, par, 8)
-			for _, dir := range []string{seq, par} {
-				if err := scenario.WriteArtifact(dir, []*scenario.Set{set}); err != nil {
-					t.Fatal(err)
-				}
-			}
+			runGolden(t, specs, seq, 1, []*scenario.Set{set})
+			runGolden(t, specs, par, 8, []*scenario.Set{set})
 			assertDirsIdentical(t, seq, par)
 		})
 	}
@@ -201,7 +213,7 @@ func TestGoldenRelaySpecsParallelInvariance(t *testing.T) {
 		t.Fatal(err)
 	}
 	seq, par := filepath.Join(t.TempDir(), "p1"), filepath.Join(t.TempDir(), "p8")
-	runGolden(t, specs, seq, 1)
-	runGolden(t, specs, par, 8)
+	runGolden(t, specs, seq, 1, nil)
+	runGolden(t, specs, par, 8, nil)
 	assertDirsIdentical(t, seq, par)
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -22,6 +23,15 @@ type RunnerConfig struct {
 	Repeats int
 	// Parallel caps concurrent experiments (<= 0 means GOMAXPROCS).
 	Parallel int
+	// Budget is an outer worker cap applied after Parallel resolves —
+	// the campaign's share of the machine when several campaigns run
+	// in one process (the experiment server divides GOMAXPROCS across
+	// its concurrent campaigns). <= 0 means unbudgeted.
+	Budget int
+	// OnStart, when non-nil, streams each run as a worker picks it up
+	// (dispatch order, from a single goroutine, serialized with
+	// OnResult). The Result carries Spec/Repeat/Seed only.
+	OnStart func(Result)
 	// OnResult, when non-nil, streams each result as it completes
 	// (completion order, from a single goroutine). Use for progress
 	// reporting; the returned Report is always in deterministic order.
@@ -38,7 +48,8 @@ type Result struct {
 	Seed uint64
 	// Outcomes are the artifacts the run produced (nil on error).
 	Outcomes []*Outcome
-	// Err is the run's failure, if any.
+	// Err is the run's failure, if any. Runs skipped because the
+	// campaign's context was cancelled carry the context error.
 	Err error
 	// Elapsed is the run's wall-clock time.
 	Elapsed time.Duration
@@ -104,8 +115,12 @@ func SeedFor(base uint64, specID string, repeat int) uint64 {
 
 // EffectiveParallel resolves a requested Parallel value to the worker
 // count Run actually uses for nSpecs specs at the given repeats:
-// non-positive requests mean GOMAXPROCS, clamped to the job count.
-func EffectiveParallel(requested, nSpecs, repeats int) int {
+// non-positive requests mean GOMAXPROCS, clamped to the job count and
+// then to the budget (<= 0 means unbudgeted). The budget clamp is
+// what keeps N concurrently queued campaigns from oversubscribing one
+// process: each campaign resolves against its share, not the whole
+// machine.
+func EffectiveParallel(requested, nSpecs, repeats, budget int) int {
 	if repeats <= 0 {
 		repeats = 1
 	}
@@ -116,21 +131,44 @@ func EffectiveParallel(requested, nSpecs, repeats int) int {
 	if n := nSpecs * repeats; w > n {
 		w = n
 	}
+	if budget > 0 && w > budget {
+		w = budget
+	}
+	if w < 1 {
+		w = 1
+	}
 	return w
+}
+
+// progress is one lifecycle notification flowing from the workers to
+// the single callback-serializing consumer. Results travel by value,
+// so callbacks never race the workers' writes into the results slice.
+type progress struct {
+	result Result
+	done   bool
 }
 
 // Run executes the given specs as a parallel campaign: every (spec,
 // repeat) pair is an independent unit fanned across a worker pool.
 // Failures don't abort the campaign; they are reported per-result and
 // summarized in the returned error.
-func Run(specs []Spec, cfg RunnerConfig) (*Report, error) {
+//
+// Cancelling ctx drains the campaign cleanly: no new runs are
+// dispatched, in-flight runs complete, and the returned Report marks
+// every undispatched run with the context error — so a cancelled
+// campaign still renders and aggregates whatever finished. Run
+// returns the context error (wrapped) in that case.
+func Run(ctx context.Context, specs []Spec, cfg RunnerConfig) (*Report, error) {
 	repeats := cfg.Repeats
 	if repeats <= 0 {
 		repeats = 1
 	}
-	workers := EffectiveParallel(cfg.Parallel, len(specs), repeats)
+	workers := EffectiveParallel(cfg.Parallel, len(specs), repeats, cfg.Budget)
 	if len(specs) == 0 {
 		return nil, fmt.Errorf("experiments: no specs selected")
+	}
+	if ctx == nil {
+		ctx = context.Background()
 	}
 
 	type job struct {
@@ -140,7 +178,7 @@ func Run(specs []Spec, cfg RunnerConfig) (*Report, error) {
 	}
 	jobs := make(chan job)
 	results := make([]Result, len(specs)*repeats)
-	stream := make(chan int, len(results))
+	stream := make(chan progress, 2*len(results))
 
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -149,6 +187,7 @@ func Run(specs []Spec, cfg RunnerConfig) (*Report, error) {
 			defer wg.Done()
 			for j := range jobs {
 				seed := SeedFor(cfg.Seed, j.spec.ID, j.repeat)
+				stream <- progress{result: Result{Spec: j.spec, Repeat: j.repeat, Seed: seed}}
 				start := time.Now()
 				// Err keeps the raw cause: Result already carries
 				// Spec/Repeat/Seed, so printers add that context once.
@@ -161,34 +200,64 @@ func Run(specs []Spec, cfg RunnerConfig) (*Report, error) {
 					Err:      err,
 					Elapsed:  time.Since(start),
 				}
-				stream <- j.ordinal
+				stream <- progress{result: results[j.ordinal], done: true}
 			}
 		}()
 	}
 
-	// Single consumer keeps OnResult calls serialized.
+	// Single consumer keeps OnStart/OnResult calls serialized.
 	var consumer sync.WaitGroup
 	consumer.Add(1)
 	go func() {
 		defer consumer.Done()
-		for ord := range stream {
-			if cfg.OnResult != nil {
-				cfg.OnResult(results[ord])
+		for p := range stream {
+			switch {
+			case p.done && cfg.OnResult != nil:
+				cfg.OnResult(p.result)
+			case !p.done && cfg.OnStart != nil:
+				cfg.OnStart(p.result)
 			}
 		}
 	}()
 
-	ordinal := 0
+	// Dispatch until done or cancelled. On cancellation the in-flight
+	// runs drain; everything not yet handed to a worker is marked
+	// below.
+	dispatched := 0
+dispatch:
 	for _, s := range specs {
 		for r := 0; r < repeats; r++ {
-			jobs <- job{spec: s, repeat: r, ordinal: ordinal}
-			ordinal++
+			// Checked before the select: when a worker is ready AND the
+			// context is done, select would pick a branch at random —
+			// this keeps post-cancel dispatch bounded at one job.
+			if ctx.Err() != nil {
+				break dispatch
+			}
+			select {
+			case jobs <- job{spec: s, repeat: r, ordinal: dispatched}:
+				dispatched++
+			case <-ctx.Done():
+				break dispatch
+			}
 		}
 	}
 	close(jobs)
 	wg.Wait()
 	close(stream)
 	consumer.Wait()
+
+	// Mark undispatched runs so the Report stays rectangular: one
+	// Result per (spec, repeat) at any cancellation point.
+	for ord := dispatched; ord < len(results); ord++ {
+		s := specs[ord/repeats]
+		r := ord % repeats
+		results[ord] = Result{
+			Spec:   s,
+			Repeat: r,
+			Seed:   SeedFor(cfg.Seed, s.ID, r),
+			Err:    context.Cause(ctx),
+		}
+	}
 
 	report := &Report{
 		Seed:    cfg.Seed,
@@ -198,6 +267,10 @@ func Run(specs []Spec, cfg RunnerConfig) (*Report, error) {
 	}
 	report.Summaries = aggregate(results)
 
+	if err := ctx.Err(); err != nil {
+		return report, fmt.Errorf("experiments: campaign cancelled after %d/%d runs: %w",
+			dispatched, len(results), context.Cause(ctx))
+	}
 	var failed []string
 	for _, r := range results {
 		if r.Err != nil {

@@ -1,7 +1,9 @@
 package experiments
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"math"
 	"strings"
@@ -63,7 +65,7 @@ func TestRunnerDeterministicAcrossParallelism(t *testing.T) {
 	// be byte-identical across worker counts.
 	var serialized []string
 	for _, workers := range workerCounts {
-		rep, err := Run(specs, RunnerConfig{Seed: 7, Scale: ScaleSmall, Repeats: 3, Parallel: workers})
+		rep, err := Run(context.Background(), specs, RunnerConfig{Seed: 7, Scale: ScaleSmall, Repeats: 3, Parallel: workers})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -83,7 +85,7 @@ func TestRunnerDeterministicAcrossParallelism(t *testing.T) {
 
 func TestRunnerAggregatesAcrossRepeats(t *testing.T) {
 	spec := fakeSpec("X1")
-	rep, err := Run([]Spec{spec}, RunnerConfig{Seed: 9, Repeats: 4, Parallel: 2})
+	rep, err := Run(context.Background(), []Spec{spec}, RunnerConfig{Seed: 9, Repeats: 4, Parallel: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -111,7 +113,7 @@ func TestRunnerStreamsEveryResult(t *testing.T) {
 	specs := []Spec{fakeSpec("X1"), fakeSpec("X2")}
 	var mu sync.Mutex
 	got := map[string]int{}
-	_, err := Run(specs, RunnerConfig{Seed: 1, Repeats: 3, Parallel: 4,
+	_, err := Run(context.Background(), specs, RunnerConfig{Seed: 1, Repeats: 3, Parallel: 4,
 		OnResult: func(r Result) {
 			mu.Lock()
 			got[r.Spec.ID]++
@@ -130,7 +132,7 @@ func TestRunnerReportsFailuresWithoutAborting(t *testing.T) {
 		Run: func(seed uint64, sc Scale) ([]*Outcome, error) {
 			return nil, fmt.Errorf("boom")
 		}}
-	rep, err := Run([]Spec{bad, fakeSpec("X1")}, RunnerConfig{Seed: 1, Repeats: 2, Parallel: 2})
+	rep, err := Run(context.Background(), []Spec{bad, fakeSpec("X1")}, RunnerConfig{Seed: 1, Repeats: 2, Parallel: 2})
 	if err == nil {
 		t.Fatal("failed runs must surface an error")
 	}
@@ -166,7 +168,7 @@ func TestRenderOutcomesFallsBackPastFailedRepeat(t *testing.T) {
 			return []*Outcome{{ID: "flaky", Title: "flaky", Rendered: "survived\n",
 				Metrics: map[string]float64{"v": 1}}}, nil
 		}}
-	rep, err := Run([]Spec{flaky}, RunnerConfig{Seed: 3, Repeats: 2, Parallel: 1})
+	rep, err := Run(context.Background(), []Spec{flaky}, RunnerConfig{Seed: 3, Repeats: 2, Parallel: 1})
 	if err == nil {
 		t.Fatal("repeat-0 failure must surface")
 	}
@@ -180,22 +182,22 @@ func TestRenderOutcomesFallsBackPastFailedRepeat(t *testing.T) {
 }
 
 func TestEffectiveParallel(t *testing.T) {
-	if got := EffectiveParallel(4, 3, 2); got != 4 {
+	if got := EffectiveParallel(4, 3, 2, 0); got != 4 {
 		t.Fatalf("explicit request: %d", got)
 	}
-	if got := EffectiveParallel(100, 3, 2); got != 6 {
+	if got := EffectiveParallel(100, 3, 2, 0); got != 6 {
 		t.Fatalf("clamp to job count: %d", got)
 	}
-	if got := EffectiveParallel(0, 1000, 1); got < 1 {
+	if got := EffectiveParallel(0, 1000, 1, 0); got < 1 {
 		t.Fatalf("default must be positive: %d", got)
 	}
-	if got := EffectiveParallel(8, 2, 0); got != 2 {
+	if got := EffectiveParallel(8, 2, 0, 0); got != 2 {
 		t.Fatalf("repeats <= 0 means 1: %d", got)
 	}
 }
 
 func TestRunnerRejectsEmptySelection(t *testing.T) {
-	if _, err := Run(nil, RunnerConfig{Seed: 1}); err == nil {
+	if _, err := Run(context.Background(), nil, RunnerConfig{Seed: 1}); err == nil {
 		t.Fatal("empty spec list must fail")
 	}
 }
@@ -220,7 +222,7 @@ func TestRunnerActuallyRunsConcurrently(t *testing.T) {
 			}}
 	}
 	specs := []Spec{slow("S1x"), slow("S2x"), slow("S3x"), slow("S4x")}
-	if _, err := Run(specs, RunnerConfig{Seed: 1, Parallel: 4}); err != nil {
+	if _, err := Run(context.Background(), specs, RunnerConfig{Seed: 1, Parallel: 4}); err != nil {
 		t.Fatal(err)
 	}
 	// Peak in-flight count proves overlap without a wall-clock bound
@@ -242,7 +244,7 @@ func TestRealSpecByteIdenticalAcrossParallelism(t *testing.T) {
 		t.Fatal(err)
 	}
 	run := func(workers int) string {
-		rep, err := Run(specs, RunnerConfig{Seed: 42, Scale: ScaleSmall, Repeats: 2, Parallel: workers})
+		rep, err := Run(context.Background(), specs, RunnerConfig{Seed: 42, Scale: ScaleSmall, Repeats: 2, Parallel: workers})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -255,5 +257,158 @@ func TestRealSpecByteIdenticalAcrossParallelism(t *testing.T) {
 	}
 	if run(1) != run(4) {
 		t.Fatal("real campaign diverged between parallel=1 and parallel=4")
+	}
+}
+
+func TestEffectiveParallelBudget(t *testing.T) {
+	// The budget clamps after the job-count clamp: a server splitting
+	// the machine across campaigns caps each one's workers.
+	if got := EffectiveParallel(8, 10, 1, 2); got != 2 {
+		t.Fatalf("budget clamp: %d", got)
+	}
+	if got := EffectiveParallel(2, 10, 1, 4); got != 2 {
+		t.Fatalf("budget must not raise the request: %d", got)
+	}
+	if got := EffectiveParallel(8, 10, 1, 0); got != 8 {
+		t.Fatalf("zero budget means unbudgeted: %d", got)
+	}
+	if got := EffectiveParallel(0, 1, 1, 1); got != 1 {
+		t.Fatalf("budget floor: %d", got)
+	}
+}
+
+func TestRunnerBudgetCapsConcurrency(t *testing.T) {
+	var inFlight, peak atomic.Int32
+	slow := func(id string) Spec {
+		return Spec{ID: id, Produces: []string{id},
+			Run: func(seed uint64, sc Scale) ([]*Outcome, error) {
+				cur := inFlight.Add(1)
+				for {
+					p := peak.Load()
+					if cur <= p || peak.CompareAndSwap(p, cur) {
+						break
+					}
+				}
+				time.Sleep(20 * time.Millisecond)
+				inFlight.Add(-1)
+				return []*Outcome{{ID: id, Metrics: map[string]float64{"v": 1}}}, nil
+			}}
+	}
+	specs := []Spec{slow("B1"), slow("B2"), slow("B3"), slow("B4")}
+	if _, err := Run(context.Background(), specs, RunnerConfig{Seed: 1, Parallel: 4, Budget: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if got := peak.Load(); got != 1 {
+		t.Fatalf("budget=1 but peak concurrency was %d", got)
+	}
+}
+
+func TestRunnerStreamsStarts(t *testing.T) {
+	specs := []Spec{fakeSpec("X1"), fakeSpec("X2")}
+	var mu sync.Mutex
+	starts, results := map[string]int{}, 0
+	_, err := Run(context.Background(), specs, RunnerConfig{Seed: 1, Repeats: 2, Parallel: 4,
+		OnStart: func(r Result) {
+			if r.Outcomes != nil || r.Err != nil || r.Elapsed != 0 {
+				t.Errorf("OnStart result carries completion fields: %+v", r)
+			}
+			if r.Seed != SeedFor(1, r.Spec.ID, r.Repeat) {
+				t.Errorf("OnStart seed mismatch: %+v", r)
+			}
+			mu.Lock()
+			starts[r.Spec.ID]++
+			mu.Unlock()
+		},
+		OnResult: func(r Result) {
+			mu.Lock()
+			results++
+			mu.Unlock()
+		}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if starts["X1"] != 2 || starts["X2"] != 2 || results != 4 {
+		t.Fatalf("starts=%v results=%d", starts, results)
+	}
+}
+
+// TestRunnerCancellationDrainsCleanly: cancelling mid-campaign stops
+// dispatch, completes in-flight runs, and marks everything
+// undispatched with the context error — the Report stays rectangular.
+func TestRunnerCancellationDrainsCleanly(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	release := make(chan struct{})
+	var started atomic.Int32
+	blocking := func(id string) Spec {
+		return Spec{ID: id, Produces: []string{id},
+			Run: func(seed uint64, sc Scale) ([]*Outcome, error) {
+				started.Add(1)
+				<-release
+				return []*Outcome{{ID: id, Metrics: map[string]float64{"v": 1}}}, nil
+			}}
+	}
+	specs := []Spec{blocking("C1"), blocking("C2"), blocking("C3"), blocking("C4")}
+	done := make(chan struct{})
+	var rep *Report
+	var runErr error
+	go func() {
+		defer close(done)
+		rep, runErr = Run(ctx, specs, RunnerConfig{Seed: 5, Repeats: 2, Parallel: 2})
+	}()
+	// Wait for both workers to be mid-run, then cancel and unblock.
+	for started.Load() < 2 {
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	close(release)
+	<-done
+
+	if runErr == nil || !errors.Is(runErr, context.Canceled) {
+		t.Fatalf("cancelled campaign error: %v", runErr)
+	}
+	if rep == nil || len(rep.Results) != 8 {
+		t.Fatalf("report must stay rectangular: %+v", rep)
+	}
+	completed, skipped := 0, 0
+	for _, r := range rep.Results {
+		switch {
+		case r.Err == nil && len(r.Outcomes) == 1:
+			completed++
+		case errors.Is(r.Err, context.Canceled):
+			if r.Seed != SeedFor(5, r.Spec.ID, r.Repeat) {
+				t.Errorf("skipped run lost its derived seed: %+v", r)
+			}
+			skipped++
+		default:
+			t.Errorf("unexpected result: %+v", r)
+		}
+	}
+	// The two in-flight runs (plus up to one more dispatched into the
+	// unbuffered jobs channel per worker) complete; the rest skip.
+	if completed < 2 || skipped == 0 || completed+skipped != 8 {
+		t.Fatalf("completed=%d skipped=%d", completed, skipped)
+	}
+	// Aggregation covers only completed runs.
+	if len(rep.Summaries) == 0 {
+		t.Fatal("completed runs must still aggregate")
+	}
+}
+
+// TestRunnerPreCancelledContext: an already-cancelled context runs
+// nothing but still returns a fully-marked report.
+func TestRunnerPreCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	rep, err := Run(ctx, []Spec{fakeSpec("X1")}, RunnerConfig{Seed: 1, Repeats: 3})
+	if err == nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("error: %v", err)
+	}
+	if len(rep.Results) != 3 {
+		t.Fatalf("results: %d", len(rep.Results))
+	}
+	for _, r := range rep.Results {
+		if !errors.Is(r.Err, context.Canceled) {
+			t.Fatalf("result not marked cancelled: %+v", r)
+		}
 	}
 }

@@ -3,8 +3,8 @@ package scenario
 import (
 	"encoding/json"
 	"fmt"
-	"os"
-	"path/filepath"
+
+	"repro/internal/store"
 )
 
 // ArtifactFile is the run-directory file embedding the resolved
@@ -31,8 +31,8 @@ type artifactVariant struct {
 	Resolved Scenario  `json:"resolved"`
 }
 
-// WriteArtifact persists the sets into dir/scenario.json.
-func WriteArtifact(dir string, sets []*Set) error {
+// WriteArtifact persists the sets as the store's scenario.json blob.
+func WriteArtifact(st store.Store, sets []*Set) error {
 	entries := make([]artifactEntry, 0, len(sets))
 	for _, set := range sets {
 		e := artifactEntry{Path: set.Path, Source: set.Source}
@@ -47,15 +47,15 @@ func WriteArtifact(dir string, sets []*Set) error {
 	if err != nil {
 		return fmt.Errorf("scenario: marshal artifact: %w", err)
 	}
-	return os.WriteFile(filepath.Join(dir, ArtifactFile), append(data, '\n'), 0o644)
+	return st.Put(ArtifactFile, append(data, '\n'))
 }
 
-// ReadArtifact loads dir/scenario.json back into Sets by re-parsing
-// each embedded source document — the returned sets compile to the
-// same specs that produced the run. os.ErrNotExist passes through
-// for directories written without scenarios.
-func ReadArtifact(dir string) ([]*Set, error) {
-	data, err := os.ReadFile(filepath.Join(dir, ArtifactFile))
+// ReadArtifact loads the store's scenario.json back into Sets by
+// re-parsing each embedded source document — the returned sets
+// compile to the same specs that produced the run. fs.ErrNotExist
+// passes through for runs written without scenarios.
+func ReadArtifact(st store.Store) ([]*Set, error) {
+	data, err := st.Get(ArtifactFile)
 	if err != nil {
 		return nil, err
 	}

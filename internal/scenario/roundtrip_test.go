@@ -1,11 +1,13 @@
 package scenario
 
 import (
+	"context"
 	"path/filepath"
 	"reflect"
 	"testing"
 
 	"repro/internal/experiments"
+	"repro/internal/store"
 )
 
 // shippedScenarios locates the examples/scenarios directory.
@@ -45,7 +47,7 @@ func TestShippedScenariosCompile(t *testing.T) {
 // parse -> write run-directory artifact -> re-read -> the re-parsed
 // sets equal the originals, variant for variant.
 func TestRoundTripShipped(t *testing.T) {
-	dir := t.TempDir()
+	st := store.NewFS(t.TempDir())
 	var sets []*Set
 	for _, path := range shippedScenarios(t) {
 		set, err := Load(path)
@@ -54,10 +56,10 @@ func TestRoundTripShipped(t *testing.T) {
 		}
 		sets = append(sets, set)
 	}
-	if err := WriteArtifact(dir, sets); err != nil {
+	if err := WriteArtifact(st, sets); err != nil {
 		t.Fatal(err)
 	}
-	back, err := ReadArtifact(dir)
+	back, err := ReadArtifact(st)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -110,25 +112,31 @@ func TestRoundTripRunDirectory(t *testing.T) {
 	if len(specs) != 2 {
 		t.Fatalf("specs: %d", len(specs))
 	}
-	report, err := experiments.Run(specs, experiments.RunnerConfig{
+	report, err := experiments.Run(context.Background(), specs, experiments.RunnerConfig{
 		Seed: 42, Scale: experiments.ScaleSmall, Repeats: 2, Parallel: 4,
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	dir := t.TempDir()
-	if err := experiments.WriteArtifacts(dir, report); err != nil {
+	st := store.NewFS(t.TempDir())
+	if err := experiments.WriteArtifacts(st, report); err != nil {
 		t.Fatal(err)
 	}
-	if err := WriteArtifact(dir, []*Set{set}); err != nil {
+	if err := WriteArtifact(st, []*Set{set}); err != nil {
 		t.Fatal(err)
+	}
+	if err := experiments.WriteManifest(st, report); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Verify(st); err != nil {
+		t.Fatalf("sealed scenario run dir fails verification: %v", err)
 	}
 
-	backReport, err := experiments.ReadArtifacts(dir)
+	backReport, err := experiments.ReadArtifacts(st)
 	if err != nil {
 		t.Fatal(err)
 	}
-	backSets, err := ReadArtifact(dir)
+	backSets, err := ReadArtifact(st)
 	if err != nil {
 		t.Fatal(err)
 	}

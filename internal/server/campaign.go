@@ -1,0 +1,150 @@
+package server
+
+import (
+	"sync"
+
+	"repro/internal/experiments"
+	"repro/internal/scenario"
+	"repro/internal/store"
+)
+
+// State is a campaign's lifecycle position. Transitions are linear:
+// queued -> running -> one of the three terminal states (a queued
+// campaign may jump straight to cancelled).
+type State string
+
+const (
+	StateQueued    State = "queued"
+	StateRunning   State = "running"
+	StateDone      State = "done"
+	StateFailed    State = "failed"
+	StateCancelled State = "cancelled"
+)
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// Event is one SSE progress notification. Every campaign accumulates
+// its full event log in order, so a subscriber that connects late (or
+// reconnects) replays history before going live — progress is never
+// lost to timing.
+type Event struct {
+	// Seq is the 0-based position in the campaign's event log.
+	Seq int `json:"seq"`
+	// Type is "state" (lifecycle transition), "start" (a worker picked
+	// up one (spec, repeat) run) or "result" (one run completed).
+	Type string `json:"type"`
+	// State accompanies "state" events.
+	State State `json:"state,omitempty"`
+	// Spec/Repeat/Seed identify the run on "start" and "result".
+	Spec   string `json:"spec,omitempty"`
+	Repeat int    `json:"repeat,omitempty"`
+	Seed   uint64 `json:"seed,omitempty"`
+	// Error carries a run or campaign failure.
+	Error string `json:"error,omitempty"`
+	// ElapsedMS is the run's wall-clock time on "result".
+	ElapsedMS int64 `json:"elapsed_ms,omitempty"`
+	// Completed/Total track campaign progress on "result".
+	Completed int `json:"completed,omitempty"`
+	Total     int `json:"total,omitempty"`
+}
+
+// Status is the public snapshot of one campaign (GET /campaigns/{id}).
+type Status struct {
+	ID        string   `json:"id"`
+	State     State    `json:"state"`
+	Specs     []string `json:"specs"`
+	Seed      uint64   `json:"seed"`
+	Scale     string   `json:"scale"`
+	Repeats   int      `json:"repeats"`
+	Total     int      `json:"total_runs"`
+	Completed int      `json:"completed_runs"`
+	Failed    int      `json:"failed_runs"`
+	// Error summarizes a failed campaign (or the cancellation cause).
+	Error string `json:"error,omitempty"`
+	// MerkleRoot is the sealed artifact digest, set once the run
+	// directory is written. `ethanalyze -verify` checks it offline.
+	MerkleRoot string `json:"merkle_root,omitempty"`
+}
+
+// campaign is one submitted job: its resolved run parameters, its
+// artifact store, and the mutable progress the handlers observe. The
+// mutex guards every mutable field; cond wakes SSE subscribers when
+// the event log grows or the state turns terminal.
+type campaign struct {
+	id       string
+	specs    []experiments.Spec
+	sets     []*scenario.Set
+	seed     uint64
+	scale    experiments.Scale
+	repeats  int // resolved (>= 1)
+	parallel int
+	st       store.Store
+
+	mu        sync.Mutex
+	cond      *sync.Cond
+	state     State
+	events    []Event
+	total     int
+	completed int
+	failed    int
+	errMsg    string
+	merkle    string
+	// cancelRun cancels the in-flight experiments.Run; set only while
+	// running.
+	cancelRun func()
+}
+
+func newCampaign(id string) *campaign {
+	c := &campaign{id: id, state: StateQueued}
+	c.cond = sync.NewCond(&c.mu)
+	return c
+}
+
+// emit appends one event (stamping its sequence number) and wakes
+// subscribers. Callers must NOT hold c.mu.
+func (c *campaign) emit(ev Event) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.emitLocked(ev)
+}
+
+func (c *campaign) emitLocked(ev Event) {
+	ev.Seq = len(c.events)
+	c.events = append(c.events, ev)
+	c.cond.Broadcast()
+}
+
+// setState transitions the campaign and records the transition as an
+// event, so SSE clients see lifecycle changes in-stream.
+func (c *campaign) setState(s State) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.state = s
+	c.emitLocked(Event{Type: "state", State: s})
+}
+
+// status snapshots the campaign for the JSON API.
+func (c *campaign) status() Status {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ids := make([]string, len(c.specs))
+	for i, sp := range c.specs {
+		ids[i] = sp.ID
+	}
+	return Status{
+		ID:         c.id,
+		State:      c.state,
+		Specs:      ids,
+		Seed:       c.seed,
+		Scale:      c.scale.String(),
+		Repeats:    c.repeats,
+		Total:      c.total,
+		Completed:  c.completed,
+		Failed:     c.failed,
+		Error:      c.errMsg,
+		MerkleRoot: c.merkle,
+	}
+}

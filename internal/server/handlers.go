@@ -1,0 +1,218 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"net/http"
+	"strings"
+)
+
+// maxSubmitBytes bounds a POST /campaigns body (inline scenarios are
+// a few KB; a megabyte is generous).
+const maxSubmitBytes = 1 << 20
+
+// routes wires the campaign API onto the server's mux.
+//
+//	POST   /campaigns                      submit  -> Status (202)
+//	GET    /campaigns                      list    -> []Status
+//	GET    /campaigns/{id}                 status  -> Status
+//	DELETE /campaigns/{id}                 cancel  -> Status
+//	GET    /campaigns/{id}/events          SSE progress (with replay)
+//	GET    /campaigns/{id}/artifacts       sorted artifact names
+//	GET    /campaigns/{id}/artifacts/{path...}  one artifact blob
+func (s *Server) routes() {
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /campaigns", s.handleSubmit)
+	s.mux.HandleFunc("GET /campaigns", s.handleList)
+	s.mux.HandleFunc("GET /campaigns/{id}", s.handleStatus)
+	s.mux.HandleFunc("DELETE /campaigns/{id}", s.handleCancel)
+	s.mux.HandleFunc("GET /campaigns/{id}/events", s.handleEvents)
+	s.mux.HandleFunc("GET /campaigns/{id}/artifacts", s.handleArtifactList)
+	s.mux.HandleFunc("GET /campaigns/{id}/artifacts/{path...}", s.handleArtifact)
+}
+
+// writeJSON emits one JSON response body.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // client gone; nothing to do
+}
+
+// writeError maps an error onto the right status code: validation
+// failures are 400, capacity/shutdown are 503, the rest 500.
+func writeError(w http.ResponseWriter, err error) {
+	code := http.StatusInternalServerError
+	var br badRequestError
+	var ua unavailableError
+	switch {
+	case errors.As(err, &br):
+		code = http.StatusBadRequest
+	case errors.As(err, &ua):
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxSubmitBytes+1))
+	if err != nil {
+		writeError(w, badRequestError{err})
+		return
+	}
+	if len(body) > maxSubmitBytes {
+		writeError(w, badRequestError{fmt.Errorf("request body exceeds %d bytes", maxSubmitBytes)})
+		return
+	}
+	var req SubmitRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		writeError(w, badRequestError{fmt.Errorf("parse request: %w", err)})
+		return
+	}
+	st, err := s.Submit(req)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	w.Header().Set("Location", "/campaigns/"+st.ID)
+	writeJSON(w, http.StatusAccepted, st)
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.statuses())
+}
+
+// lookup resolves {id} or 404s.
+func (s *Server) lookup(w http.ResponseWriter, r *http.Request) (*campaign, bool) {
+	id := r.PathValue("id")
+	c, ok := s.get(id)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, map[string]string{"error": "no campaign " + id})
+	}
+	return c, ok
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	if c, ok := s.lookup(w, r); ok {
+		writeJSON(w, http.StatusOK, c.status())
+	}
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	c, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	c.cancel()
+	writeJSON(w, http.StatusOK, c.status())
+}
+
+// handleEvents streams the campaign's event log as server-sent
+// events: full replay first (a late subscriber misses nothing), then
+// live events until the campaign reaches a terminal state or the
+// client disconnects.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	c, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeJSON(w, http.StatusNotImplemented, map[string]string{"error": "streaming unsupported"})
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+
+	// cond.Wait cannot watch the request context, so a disconnect is
+	// converted into a broadcast that re-checks it.
+	done := r.Context().Done()
+	go func() {
+		<-done
+		c.cond.Broadcast()
+	}()
+
+	next := 0
+	for {
+		c.mu.Lock()
+		for next >= len(c.events) && !c.state.Terminal() && r.Context().Err() == nil {
+			c.cond.Wait()
+		}
+		batch := make([]Event, len(c.events)-next)
+		copy(batch, c.events[next:])
+		next += len(batch)
+		terminal := c.state.Terminal()
+		c.mu.Unlock()
+
+		if r.Context().Err() != nil {
+			return
+		}
+		for _, ev := range batch {
+			data, err := json.Marshal(ev)
+			if err != nil {
+				return
+			}
+			if _, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.Type, data); err != nil {
+				return
+			}
+		}
+		flusher.Flush()
+		if terminal && len(batch) == 0 {
+			return
+		}
+	}
+}
+
+func (s *Server) handleArtifactList(w http.ResponseWriter, r *http.Request) {
+	c, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	names, err := c.st.List()
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	if names == nil {
+		names = []string{}
+	}
+	writeJSON(w, http.StatusOK, names)
+}
+
+// artifactContentType maps artifact names to media types; everything
+// in a run directory is textual.
+func artifactContentType(name string) string {
+	switch {
+	case strings.HasSuffix(name, ".json"):
+		return "application/json"
+	case strings.HasSuffix(name, ".csv"):
+		return "text/csv; charset=utf-8"
+	default:
+		return "text/plain; charset=utf-8"
+	}
+}
+
+func (s *Server) handleArtifact(w http.ResponseWriter, r *http.Request) {
+	c, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	name := trimPrefixSlash(r.PathValue("path"))
+	data, err := c.st.Get(name)
+	switch {
+	case errors.Is(err, fs.ErrNotExist):
+		writeJSON(w, http.StatusNotFound, map[string]string{"error": "no artifact " + name})
+		return
+	case err != nil:
+		writeError(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", artifactContentType(name))
+	w.Write(data) //nolint:errcheck // client gone; nothing to do
+}

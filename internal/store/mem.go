@@ -1,0 +1,78 @@
+package store
+
+import (
+	"sort"
+	"sync"
+)
+
+// Mem is the in-memory backend: a mutex-guarded map, used by tests
+// and by ephemeral server campaigns that never touch disk. Blobs are
+// copied on both Put and Get so callers can never alias the store's
+// internal buffers.
+type Mem struct {
+	mu    sync.RWMutex
+	blobs map[string][]byte
+}
+
+// NewMem returns an empty in-memory store.
+func NewMem() *Mem { return &Mem{blobs: map[string][]byte{}} }
+
+// Put stores a copy of data under name.
+func (m *Mem) Put(name string, data []byte) error {
+	cleaned, err := CleanName(name)
+	if err != nil {
+		return err
+	}
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	m.mu.Lock()
+	m.blobs[cleaned] = cp
+	m.mu.Unlock()
+	return nil
+}
+
+// Get returns a copy of the blob stored under name.
+func (m *Mem) Get(name string) ([]byte, error) {
+	cleaned, err := CleanName(name)
+	if err != nil {
+		return nil, err
+	}
+	m.mu.RLock()
+	data, ok := m.blobs[cleaned]
+	m.mu.RUnlock()
+	if !ok {
+		return nil, notExist(name)
+	}
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	return cp, nil
+}
+
+// List returns every stored name, sorted.
+func (m *Mem) List() ([]string, error) {
+	m.mu.RLock()
+	names := make([]string, 0, len(m.blobs))
+	for name := range m.blobs {
+		names = append(names, name)
+	}
+	m.mu.RUnlock()
+	sort.Strings(names)
+	return names, nil
+}
+
+// Delete removes name; missing names are a no-op.
+func (m *Mem) Delete(name string) error {
+	cleaned, err := CleanName(name)
+	if err != nil {
+		return err
+	}
+	m.mu.Lock()
+	delete(m.blobs, cleaned)
+	m.mu.Unlock()
+	return nil
+}
+
+// Manifest digests the store's current contents.
+func (m *Mem) Manifest() (*Manifest, error) { return buildManifest(m) }
+
+var _ Store = (*Mem)(nil)
