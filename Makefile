@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test test-full test-faults test-relay test-server fuzz race bench bench-smoke bench-compare bench-baseline fmt fmt-check vet examples examples-full validate-scenarios
+.PHONY: build test test-full test-faults test-relay test-server test-obs fuzz race bench bench-smoke bench-compare bench-baseline fmt fmt-check vet examples examples-full validate-scenarios
 
 build:
 	$(GO) build ./...
@@ -49,6 +49,17 @@ test-server:
 	$(GO) run ./cmd/ethrepro -only T1 -repeats 2 -out "$$dir/run"; \
 	$(GO) run ./cmd/ethanalyze -verify "$$dir/run"
 
+# Observability gate: the tracing-on-vs-off golden invariance harness
+# (byte-identical artifacts and equal Merkle roots with the tracer
+# attached), the obs instrument/tracer suites, and the server
+# metrics/SSE/pprof handler tests — concurrency-heavy parts under the
+# race detector.
+test-obs:
+	$(GO) test -run 'TestGoldenTracingInvariance|TestTelemetry' -v ./internal/experiments
+	$(GO) test -race -v ./internal/obs/
+	$(GO) test -race -run 'Metrics|SSE|Healthz|PProf|Profile|Telemetry|RetryAfter|Backpressure' -v ./internal/server/
+	$(GO) test -run 'Telemetry|Trace' -v ./cmd/ethrepro/ ./cmd/ethanalyze/
+
 # Fuzz lane: run every fuzz target for a bounded burst on top of the
 # committed seed corpora (which already execute as regular tests).
 fuzz:
@@ -67,22 +78,25 @@ bench-smoke:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' .
 
 # Run every benchmark once and diff against the committed baseline;
-# fails on any >20% ns/op regression (improvements always pass). The
-# relay allocation ceiling rides along: AllocsPerRun regressions on
-# the relay hot path fail here even when ns/op stays flat.
+# fails on any >20% ns/op or allocs/op regression (improvements always
+# pass). BenchmarkEngineDispatch gates the observability tentpole: a
+# tracer-disabled engine must show no dispatch regression. The relay
+# allocation ceiling rides along for the relay hot path.
 bench-compare:
 	@set -e; tmp=$$(mktemp); trap 'rm -f "$$tmp" "$$tmp.json"' EXIT; \
-	$(GO) test -bench=. -benchtime=1x -run='^$$' . > "$$tmp"; \
+	$(GO) test -bench=. -benchmem -benchtime=1x -run='^$$' . > "$$tmp"; \
 	$(GO) run ./cmd/benchjson < "$$tmp" > "$$tmp.json"; \
 	$(GO) run ./cmd/benchjson -compare BENCH_baseline.json "$$tmp.json"
 	$(GO) test -run TestRelayAllocationCeiling -v ./internal/p2p/relay/
 
-# Regenerate the committed benchmark snapshot. Two steps so a failing
-# benchmark aborts instead of being laundered into a partial snapshot.
+# Regenerate the committed benchmark snapshot (set BENCH_NOTE to record
+# the occasion). Two steps so a failing benchmark aborts instead of
+# being laundered into a partial snapshot.
+BENCH_NOTE ?= refreshed baseline
 bench-baseline:
 	@set -e; tmp=$$(mktemp); trap 'rm -f "$$tmp"' EXIT; \
-	$(GO) test -bench=. -benchtime=1x -run='^$$' . > "$$tmp"; \
-	$(GO) run ./cmd/benchjson < "$$tmp" > BENCH_baseline.json; \
+	$(GO) test -bench=. -benchmem -benchtime=1x -run='^$$' . > "$$tmp"; \
+	$(GO) run ./cmd/benchjson -note "$(BENCH_NOTE)" < "$$tmp" > BENCH_baseline.json; \
 	echo "wrote BENCH_baseline.json"
 
 # Build and execute every example program, downscaled (-short): each

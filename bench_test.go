@@ -14,6 +14,8 @@ import (
 	"testing"
 
 	"repro/internal/experiments"
+	"repro/internal/obs"
+	"repro/internal/sim"
 )
 
 // benchSeed keeps benchmark runs deterministic across iterations while
@@ -178,6 +180,52 @@ func BenchmarkEmptyBlockSpread(b *testing.B) {
 func BenchmarkRevenueAccounting(b *testing.B) {
 	benchOutcome(b, "INC", "one_miner_eth", "empty_fee_fraction")
 }
+
+// dispatchHandler re-schedules itself until its budget is spent: a
+// pure event-loop workload with no model on top, isolating the
+// engine's per-event dispatch cost.
+type dispatchHandler struct {
+	eng  *sim.Engine
+	left int
+}
+
+func (h *dispatchHandler) HandleEvent(now sim.Time, a, b uint64) {
+	if h.left--; h.left > 0 {
+		h.eng.ScheduleCall(1, h, a, b)
+	}
+}
+
+func (h *dispatchHandler) EventName(op uint64) string { return "bench.dispatch" }
+
+// benchEngineDispatch drains one self-rescheduling chain of `events`
+// dispatches per iteration, optionally with a tracer probe attached.
+// The untraced variant is the bench-compare guard that observability
+// hooks cost nothing when disabled (a single nil check per event);
+// the traced variant prices the ring-buffered tracer itself.
+func benchEngineDispatch(b *testing.B, traced bool) {
+	const events = 1 << 20
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		eng := sim.NewEngine()
+		if traced {
+			eng.SetProbe(obs.NewTracer(obs.DefaultSpanCap))
+		}
+		h := &dispatchHandler{eng: eng, left: events}
+		eng.ScheduleCall(0, h, 0, 0)
+		eng.Run()
+		if got := eng.Stats().Processed; got != events {
+			b.Fatalf("processed %d events, want %d", got, events)
+		}
+	}
+	b.ReportMetric(float64(events), "events/op")
+}
+
+// BenchmarkEngineDispatch is the tracer-disabled engine hot path.
+func BenchmarkEngineDispatch(b *testing.B) { benchEngineDispatch(b, false) }
+
+// BenchmarkEngineDispatchTraced is the same workload with the ring
+// tracer attached.
+func BenchmarkEngineDispatchTraced(b *testing.B) { benchEngineDispatch(b, true) }
 
 // BenchmarkCompactRelaySpread runs a compact-relay overlay campaign
 // with 15% private order flow: sketch pushes, pool reconstruction,

@@ -1,24 +1,29 @@
 // Command benchjson converts `go test -bench` output on stdin into a
 // JSON snapshot: one entry per benchmark with its iteration count and
-// every reported metric (ns/op, B/op, custom ReportMetric values).
+// every reported metric (ns/op, B/op, allocs/op, custom ReportMetric
+// values), wrapped with a generation date and an optional -note line.
 // The Makefile's bench-baseline target uses it to (re)generate
 // BENCH_baseline.json, a committed reference snapshot.
 //
-//	go test -bench=. -benchtime=1x -run='^$' . | benchjson > BENCH_baseline.json
+//	go test -bench=. -benchmem -benchtime=1x -run='^$' . | benchjson -note "..." > BENCH_baseline.json
 //
-// Compare mode diffs two snapshots and fails on ns/op regressions —
-// the Makefile's bench-compare target and the CI perf gate:
+// Compare mode diffs two snapshots and fails on ns/op or allocs/op
+// regressions — the Makefile's bench-compare target and the CI perf
+// gate:
 //
 //	benchjson -compare [-threshold 0.20] old.json new.json
 //
 // Exit status is non-zero when any benchmark present in both files
 // regressed by more than the threshold (default 20%). Improvements
 // and new benchmarks never fail; benchmarks missing from the new
-// snapshot are reported as a warning. Benchmarks whose baseline is
-// under -floor nanoseconds (default 1 ms) are reported but never fail:
-// at -benchtime=1x a microsecond-scale measurement is dominated by
-// scheduler and timer noise, and a fixed percentage threshold on it
-// only produces flaky gates.
+// snapshot are reported as a warning. Two noise floors keep the gate
+// stable: ns/op regressions on baselines under -floor nanoseconds
+// (default 1 ms) and allocs/op regressions on baselines under
+// -alloc-floor allocations (default 100) are reported but never fail —
+// at -benchtime=1x a microsecond- or few-alloc-scale measurement is
+// dominated by scheduler and one-time-init noise, and a fixed
+// percentage threshold on it only produces flaky gates. Legacy
+// snapshots (a bare entry array, the pre-note format) still load.
 package main
 
 import (
@@ -31,6 +36,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 )
 
 // Entry is one benchmark result.
@@ -40,11 +46,21 @@ type Entry struct {
 	Metrics    map[string]float64 `json:"metrics"`
 }
 
+// Snapshot is the on-disk format: the entries plus provenance — when
+// the snapshot was generated and on what occasion.
+type Snapshot struct {
+	Generated string  `json:"generated,omitempty"`
+	Note      string  `json:"note,omitempty"`
+	Entries   []Entry `json:"entries"`
+}
+
 func main() {
 	var (
-		compare   = flag.Bool("compare", false, "compare two snapshots: benchjson -compare old.json new.json")
-		threshold = flag.Float64("threshold", 0.20, "maximum tolerated fractional ns/op regression in -compare mode")
-		floor     = flag.Float64("floor", 1e6, "baseline ns/op below which regressions are reported but never fail (noise floor)")
+		compare    = flag.Bool("compare", false, "compare two snapshots: benchjson -compare old.json new.json")
+		threshold  = flag.Float64("threshold", 0.20, "maximum tolerated fractional ns/op or allocs/op regression in -compare mode")
+		floor      = flag.Float64("floor", 1e6, "baseline ns/op below which regressions are reported but never fail (noise floor)")
+		allocFloor = flag.Float64("alloc-floor", 100, "baseline allocs/op below which allocation regressions are reported but never fail")
+		note       = flag.String("note", "", "provenance note recorded in the snapshot")
 	)
 	flag.Parse()
 	if *compare {
@@ -52,7 +68,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "benchjson: -compare needs exactly two snapshot files (old.json new.json)")
 			os.Exit(2)
 		}
-		ok, err := runCompare(os.Stdout, flag.Arg(0), flag.Arg(1), *threshold, *floor)
+		ok, err := runCompare(os.Stdout, flag.Arg(0), flag.Arg(1), *threshold, *floor, *allocFloor)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "benchjson:", err)
 			os.Exit(2)
@@ -67,7 +83,12 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
-	out, err := json.MarshalIndent(entries, "", "  ")
+	snap := Snapshot{
+		Generated: time.Now().UTC().Format("2006-01-02"),
+		Note:      *note,
+		Entries:   entries,
+	}
+	out, err := json.MarshalIndent(snap, "", "  ")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
@@ -75,28 +96,34 @@ func main() {
 	fmt.Println(string(out))
 }
 
-// loadSnapshot reads a snapshot file written by the default mode.
+// loadSnapshot reads a snapshot file: the current object format, or a
+// legacy bare entry array.
 func loadSnapshot(path string) (map[string]Entry, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}
-	var entries []Entry
-	if err := json.Unmarshal(data, &entries); err != nil {
-		return nil, fmt.Errorf("parse %s: %w", path, err)
+	var snap Snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		var entries []Entry
+		if err2 := json.Unmarshal(data, &entries); err2 != nil {
+			return nil, fmt.Errorf("parse %s: %w", path, err)
+		}
+		snap.Entries = entries
 	}
-	byName := make(map[string]Entry, len(entries))
-	for _, e := range entries {
+	byName := make(map[string]Entry, len(snap.Entries))
+	for _, e := range snap.Entries {
 		byName[e.Name] = e
 	}
 	return byName, nil
 }
 
-// runCompare diffs new against old on ns/op, printing one line per
-// shared benchmark. It reports ok=false when any regression exceeds
-// threshold on a benchmark whose baseline is at or above the noise
-// floor; sub-floor regressions are flagged NOISE and never fail.
-func runCompare(w io.Writer, oldPath, newPath string, threshold, floor float64) (bool, error) {
+// runCompare diffs new against old on ns/op and allocs/op, printing
+// one line per shared benchmark and metric. It reports ok=false when
+// any regression exceeds threshold on a benchmark whose baseline is at
+// or above the metric's noise floor; sub-floor regressions are flagged
+// NOISE and never fail.
+func runCompare(w io.Writer, oldPath, newPath string, threshold, floor, allocFloor float64) (bool, error) {
 	oldBy, err := loadSnapshot(oldPath)
 	if err != nil {
 		return false, err
@@ -111,6 +138,20 @@ func runCompare(w io.Writer, oldPath, newPath string, threshold, floor float64) 
 	}
 	sort.Strings(names)
 	regressions := 0
+	diff := func(name, metric string, oldV, newV, noiseFloor float64) {
+		delta := newV/oldV - 1
+		status := "ok   "
+		if delta > threshold {
+			if oldV < noiseFloor {
+				status = "NOISE"
+			} else {
+				status = "REGR "
+				regressions++
+			}
+		}
+		fmt.Fprintf(w, "%s %-36s %14.0f -> %14.0f %s  %+7.1f%%\n",
+			status, name, oldV, newV, metric, delta*100)
+	}
 	for _, name := range names {
 		oldE := oldBy[name]
 		newE, ok := newBy[name]
@@ -120,28 +161,28 @@ func runCompare(w io.Writer, oldPath, newPath string, threshold, floor float64) 
 		}
 		oldNs, okOld := oldE.Metrics["ns/op"]
 		newNs, okNew := newE.Metrics["ns/op"]
-		if !okOld || !okNew || oldNs <= 0 {
-			continue
+		if okOld && okNew && oldNs > 0 {
+			diff(name, "ns/op", oldNs, newNs, floor)
 		}
-		delta := newNs/oldNs - 1
-		status := "ok   "
-		if delta > threshold {
-			if oldNs < floor {
-				status = "NOISE"
-			} else {
-				status = "REGR "
-				regressions++
-			}
+		oldAllocs, okOld := oldE.Metrics["allocs/op"]
+		newAllocs, okNew := newE.Metrics["allocs/op"]
+		switch {
+		case !okOld || !okNew:
+			// Legacy baseline without -benchmem: nothing to gate.
+		case oldAllocs > 0:
+			diff(name, "allocs/op", oldAllocs, newAllocs, allocFloor)
+		case newAllocs >= allocFloor:
+			// A zero-alloc benchmark started allocating materially.
+			regressions++
+			fmt.Fprintf(w, "REGR  %-36s %14.0f -> %14.0f allocs/op\n", name, oldAllocs, newAllocs)
 		}
-		fmt.Fprintf(w, "%s %-36s %14.0f -> %14.0f ns/op  %+7.1f%%\n",
-			status, name, oldNs, newNs, delta*100)
 	}
 	if regressions > 0 {
 		fmt.Fprintf(w, "\n%d benchmark(s) regressed more than %.0f%% vs %s\n",
 			regressions, threshold*100, oldPath)
 		return false, nil
 	}
-	fmt.Fprintf(w, "\nno ns/op regression beyond %.0f%% vs %s\n", threshold*100, oldPath)
+	fmt.Fprintf(w, "\nno ns/op or allocs/op regression beyond %.0f%% vs %s\n", threshold*100, oldPath)
 	return true, nil
 }
 

@@ -90,7 +90,7 @@ func TestCompareMode(t *testing.T) {
 		{Name: "BenchmarkNew", Metrics: map[string]float64{"ns/op": 9}},
 	})
 	var out strings.Builder
-	ok, err := runCompare(&out, old, within, 0.20, 0)
+	ok, err := runCompare(&out, old, within, 0.20, 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -107,7 +107,7 @@ func TestCompareMode(t *testing.T) {
 		{Name: "BenchmarkB", Metrics: map[string]float64{"ns/op": 900}},
 	})
 	out.Reset()
-	ok, err = runCompare(&out, old, regressed, 0.20, 0)
+	ok, err = runCompare(&out, old, regressed, 0.20, 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -120,7 +120,7 @@ func TestCompareMode(t *testing.T) {
 
 	// A wider threshold tolerates the same delta.
 	out.Reset()
-	ok, err = runCompare(&out, old, regressed, 0.50, 0)
+	ok, err = runCompare(&out, old, regressed, 0.50, 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -142,7 +142,7 @@ func TestCompareNoiseFloor(t *testing.T) {
 		{Name: "BenchmarkMacro", Metrics: map[string]float64{"ns/op": 5.5e8}},  // +10%, fine
 	})
 	var out strings.Builder
-	ok, err := runCompare(&out, old, noisy, 0.20, 1e6)
+	ok, err := runCompare(&out, old, noisy, 0.20, 1e6, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -159,11 +159,101 @@ func TestCompareNoiseFloor(t *testing.T) {
 		{Name: "BenchmarkMacro", Metrics: map[string]float64{"ns/op": 7e8}}, // +40%
 	})
 	out.Reset()
-	ok, err = runCompare(&out, old, slowMacro, 0.20, 1e6)
+	ok, err = runCompare(&out, old, slowMacro, 0.20, 1e6, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if ok {
 		t.Fatalf("above-floor regression slipped through:\n%s", out.String())
+	}
+}
+
+// TestCompareAllocs: allocs/op is gated like ns/op, with its own noise
+// floor, and a zero-alloc benchmark that starts allocating materially
+// fails even though a percentage delta is undefined.
+func TestCompareAllocs(t *testing.T) {
+	old := writeSnapshot(t, []Entry{
+		{Name: "BenchmarkHot", Metrics: map[string]float64{"ns/op": 5e8, "allocs/op": 10_000}},
+		{Name: "BenchmarkZero", Metrics: map[string]float64{"ns/op": 5e8, "allocs/op": 0}},
+		{Name: "BenchmarkTiny", Metrics: map[string]float64{"ns/op": 5e8, "allocs/op": 8}},
+	})
+
+	// Allocation regression on the hot path fails even with ns/op flat.
+	moreAllocs := writeSnapshot(t, []Entry{
+		{Name: "BenchmarkHot", Metrics: map[string]float64{"ns/op": 5e8, "allocs/op": 15_000}}, // +50%
+		{Name: "BenchmarkZero", Metrics: map[string]float64{"ns/op": 5e8, "allocs/op": 0}},
+		{Name: "BenchmarkTiny", Metrics: map[string]float64{"ns/op": 5e8, "allocs/op": 8}},
+	})
+	var out strings.Builder
+	ok, err := runCompare(&out, old, moreAllocs, 0.20, 1e6, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatalf("allocs/op regression slipped through:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "allocs/op") {
+		t.Errorf("report does not name allocs/op:\n%s", out.String())
+	}
+
+	// Sub-floor allocation counts are noise, and a formerly-zero-alloc
+	// benchmark fails once it allocates at or above the floor.
+	noisy := writeSnapshot(t, []Entry{
+		{Name: "BenchmarkHot", Metrics: map[string]float64{"ns/op": 5e8, "allocs/op": 10_500}},
+		{Name: "BenchmarkZero", Metrics: map[string]float64{"ns/op": 5e8, "allocs/op": 2}},
+		{Name: "BenchmarkTiny", Metrics: map[string]float64{"ns/op": 5e8, "allocs/op": 20}}, // +150%, under floor
+	})
+	out.Reset()
+	ok, err = runCompare(&out, old, noisy, 0.20, 1e6, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatalf("sub-floor alloc noise failed the gate:\n%s", out.String())
+	}
+
+	brokeZero := writeSnapshot(t, []Entry{
+		{Name: "BenchmarkHot", Metrics: map[string]float64{"ns/op": 5e8, "allocs/op": 10_000}},
+		{Name: "BenchmarkZero", Metrics: map[string]float64{"ns/op": 5e8, "allocs/op": 500}},
+		{Name: "BenchmarkTiny", Metrics: map[string]float64{"ns/op": 5e8, "allocs/op": 8}},
+	})
+	out.Reset()
+	ok, err = runCompare(&out, old, brokeZero, 0.20, 1e6, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatalf("zero-alloc benchmark started allocating and passed:\n%s", out.String())
+	}
+}
+
+// TestSnapshotFormats: the object snapshot with provenance loads, and
+// so does the legacy bare-array format.
+func TestSnapshotFormats(t *testing.T) {
+	entries := []Entry{{Name: "BenchmarkA", Iterations: 1, Metrics: map[string]float64{"ns/op": 42}}}
+
+	v2, err := json.Marshal(Snapshot{Generated: "2026-08-08", Note: "test snapshot", Entries: entries})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2Path := filepath.Join(t.TempDir(), "v2.json")
+	if err := os.WriteFile(v2Path, v2, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	byName, err := loadSnapshot(v2Path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if byName["BenchmarkA"].Metrics["ns/op"] != 42 {
+		t.Fatalf("v2 snapshot: %+v", byName)
+	}
+
+	legacyPath := writeSnapshot(t, entries)
+	byName, err = loadSnapshot(legacyPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if byName["BenchmarkA"].Metrics["ns/op"] != 42 {
+		t.Fatalf("legacy snapshot: %+v", byName)
 	}
 }

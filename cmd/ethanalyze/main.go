@@ -210,5 +210,13 @@ func analyzeRun(dir string, w *os.File) error {
 	}
 	fmt.Fprintf(w, "campaign %s: %d runs, %d failed\n\n", dir, len(report.Results), failed)
 	fmt.Fprint(w, report.RenderSummary())
+	// Runs recorded with `ethrepro -telemetry` (the default with -out)
+	// carry a performance record; surface it as a throughput table.
+	if tel, err := experiments.ReadTelemetry(st); err == nil {
+		fmt.Fprintln(w)
+		fmt.Fprint(w, experiments.RenderTelemetry(tel))
+	} else if !errors.Is(err, os.ErrNotExist) {
+		return err
+	}
 	return nil
 }

@@ -10,6 +10,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/measure"
+	"repro/internal/obs"
 	"repro/internal/store"
 	"repro/internal/txgen"
 )
@@ -113,6 +114,44 @@ func TestAnalyzeRunDirectory(t *testing.T) {
 	for _, want := range []string{"2 runs, 0 failed", "Campaign summary", "machines"} {
 		if !strings.Contains(text, want) {
 			t.Fatalf("run summary missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestAnalyzeRunWithTelemetry: a run directory carrying
+// telemetry.json gets the throughput table appended.
+func TestAnalyzeRunWithTelemetry(t *testing.T) {
+	defer obs.Default.Disable()
+	obs.Default.EnableTelemetry()
+	specs, err := experiments.Select([]string{"T2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := experiments.Run(context.Background(), specs, experiments.RunnerConfig{
+		Seed: 42, Scale: experiments.ScaleSmall,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(t.TempDir(), "run")
+	st := store.NewFS(dir)
+	if err := experiments.WriteArtifacts(st, report); err != nil {
+		t.Fatal(err)
+	}
+	tel := experiments.BuildTelemetry(report, obs.Default.Take(experiments.ReportSeeds(report)))
+	if err := experiments.WriteTelemetry(st, tel); err != nil {
+		t.Fatal(err)
+	}
+	if err := experiments.WriteManifest(st, report); err != nil {
+		t.Fatal(err)
+	}
+	text, err := capture(t, []string{"-run", dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Run telemetry", "events/s", "T2"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("telemetry table missing %q:\n%s", want, text)
 		}
 	}
 }

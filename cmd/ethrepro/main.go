@@ -19,6 +19,16 @@
 //	ethrepro [-seed 42] [-scale small|medium|paper|stress] [-only F1,chain,...]
 //	         [-parallel N] [-repeats N] [-out paper_runs/run1]
 //	         [-scenario file.json,...] [-list]
+//	         [-telemetry=false] [-trace trace.json]
+//
+// With -out, a telemetry.json performance record (events/sec, wall
+// time per phase, peak queue depth, transport counters, GC stats) is
+// written and sealed alongside the artifacts; -telemetry=false omits
+// it. -trace additionally captures per-event dispatch spans and
+// writes a Chrome trace-event file (load in chrome://tracing or
+// Perfetto; use a .jsonl suffix for line-delimited JSON). Neither
+// consumes simulation RNG: the science artifacts stay byte-identical
+// with observability on or off.
 package main
 
 import (
@@ -33,6 +43,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/obs"
 	"repro/internal/scenario"
 	"repro/internal/store"
 )
@@ -61,6 +72,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		outDir   = fs.String("out", "", "run directory for CSV/JSON artifacts (default: none)")
 		scenFlag = fs.String("scenario", "", "comma-separated scenario files to compile into the registry")
 		list     = fs.Bool("list", false, "list registered experiments and exit")
+		telem    = fs.Bool("telemetry", true, "write telemetry.json (engine stats, throughput) into the -out run directory")
+		traceOut = fs.String("trace", "", "write an engine dispatch trace to this file (Chrome trace-event JSON; .jsonl for JSONL)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -123,6 +136,20 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		*seed, scale, max(*repeats, 1), len(specs))
 	fmt.Fprintf(stderr, "ethrepro: parallel=%d\n",
 		experiments.EffectiveParallel(*parallel, len(specs), *repeats, 0))
+	// Observability is opt-in per invocation. Tracing and telemetry
+	// read only engine counters and wall clocks, never RNG, so the
+	// artifact bytes (outcomes, CSVs, manifest) are identical either
+	// way; telemetry.json is the one artifact carrying wall-clock
+	// content, which is why -telemetry only matters alongside -out.
+	collect := (*outDir != "" && *telem) || *traceOut != ""
+	if *traceOut != "" {
+		obs.Default.EnableTracing(0)
+	} else if collect {
+		obs.Default.EnableTelemetry()
+	}
+	if collect {
+		defer obs.Default.Disable()
+	}
 	start := time.Now()
 	report, runErr := experiments.Run(ctx, specs, experiments.RunnerConfig{
 		Seed:     *seed,
@@ -142,6 +169,16 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	})
 	if report != nil {
 		emitReport(stdout, report)
+	}
+	var taken map[uint64]obs.RunTelemetry
+	if collect && report != nil {
+		taken = obs.Default.Take(experiments.ReportSeeds(report))
+	}
+	if *traceOut != "" && report != nil {
+		if err := writeTrace(*traceOut, report, taken); err != nil {
+			return errors.Join(runErr, err)
+		}
+		fmt.Fprintf(stderr, "ethrepro: trace written to %s\n", *traceOut)
 	}
 	if *outDir != "" && report != nil {
 		st := store.NewFS(*outDir)
@@ -163,6 +200,15 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 				return errors.Join(runErr, err)
 			}
 		}
+		if *telem {
+			if err := experiments.WriteTelemetry(st, experiments.BuildTelemetry(report, taken)); err != nil {
+				return errors.Join(runErr, err)
+			}
+		} else if err := st.Delete(experiments.TelemetryFile); err != nil {
+			// A reused run directory must not keep stale telemetry from
+			// an earlier campaign under the fresh manifest.
+			return errors.Join(runErr, err)
+		}
 		// Seal last so the Merkle root covers every blob above.
 		if err := experiments.WriteManifest(st, report); err != nil {
 			return errors.Join(runErr, err)
@@ -180,6 +226,33 @@ func emitReport(w io.Writer, report *experiments.Report) {
 	if report.Repeats > 1 {
 		fmt.Fprint(w, report.RenderSummary())
 	}
+}
+
+// writeTrace exports the campaign's engine dispatch spans, one trace
+// process per (spec, repeat) run, to a Chrome trace-event file (or
+// JSONL when the path ends in .jsonl).
+func writeTrace(path string, report *experiments.Report, taken map[uint64]obs.RunTelemetry) error {
+	var runs []obs.TraceRun
+	for _, res := range report.Results {
+		rt, ok := taken[res.Seed]
+		if !ok || len(rt.Tracers) == 0 {
+			continue
+		}
+		runs = append(runs, obs.TraceRun{
+			Label: fmt.Sprintf("%s/%d seed=%d", res.Spec.ID, res.Repeat, res.Seed),
+			Run:   rt,
+		})
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if strings.HasSuffix(path, ".jsonl") {
+		err = obs.WriteTraceJSONL(f, runs)
+	} else {
+		err = obs.WriteChromeTrace(f, runs)
+	}
+	return errors.Join(err, f.Close())
 }
 
 // loadScenarios parses and compiles every scenario file named by the

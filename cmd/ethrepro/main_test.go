@@ -63,6 +63,42 @@ func TestRunWritesArtifacts(t *testing.T) {
 	}
 }
 
+func TestRunWritesTelemetryAndTrace(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "run")
+	trace := filepath.Join(t.TempDir(), "trace.json")
+	var out bytes.Buffer
+	// T2 runs a real campaign, so the trace and telemetry carry engine
+	// data.
+	if err := run(context.Background(), []string{"-only", "T2", "-out", dir, "-trace", trace}, &out, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	tel, err := os.ReadFile(filepath.Join(dir, "telemetry.json"))
+	if err != nil {
+		t.Fatalf("telemetry.json not written: %v", err)
+	}
+	for _, want := range []string{`"events_per_sec"`, `"peak_queue"`, `"kinds"`} {
+		if !strings.Contains(string(tel), want) {
+			t.Fatalf("telemetry.json missing %s:\n%s", want, tel)
+		}
+	}
+	tr, err := os.ReadFile(trace)
+	if err != nil {
+		t.Fatalf("trace not written: %v", err)
+	}
+	if !strings.Contains(string(tr), `"traceEvents"`) || !strings.Contains(string(tr), "p2p.deliver") {
+		t.Fatalf("trace missing expected content (%d bytes)", len(tr))
+	}
+
+	// -telemetry=false on a reused directory removes the stale file.
+	out.Reset()
+	if err := run(context.Background(), []string{"-only", "T1", "-out", dir, "-telemetry=false"}, &out, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "telemetry.json")); err == nil {
+		t.Fatal("stale telemetry.json survived a -telemetry=false rerun")
+	}
+}
+
 func TestRunRejectsBadInput(t *testing.T) {
 	if err := run(context.Background(), []string{"-scale", "gigantic"}, io.Discard, io.Discard); err == nil {
 		t.Fatal("bad scale must fail")

@@ -11,15 +11,21 @@
 //	GET    /campaigns/{id}/events         SSE progress stream
 //	GET    /campaigns/{id}/artifacts      artifact names
 //	GET    /campaigns/{id}/artifacts/F    one artifact
+//	GET    /metrics                       Prometheus text scrape
+//	GET    /healthz                       liveness probe
+//	GET    /version                       build info
+//	GET    /debug/pprof/...               runtime profiles (-pprof only)
 //
 // Campaign artifacts land under -store as one subdirectory per
 // campaign ID; `ethanalyze -verify <store>/<id>` checks any of them
-// offline. See docs/SERVER.md for the API reference.
+// offline. See docs/SERVER.md for the API reference and
+// docs/OBSERVABILITY.md for the metrics catalog.
 //
 // Usage:
 //
 //	ethserve [-addr :8080] [-store campaign_store] [-queue 16]
 //	         [-campaigns 2] [-budget 0]
+//	         [-telemetry] [-profile] [-pprof]
 package main
 
 import (
@@ -60,6 +66,9 @@ func run(ctx context.Context, args []string, logw io.Writer, ready chan<- string
 		queue     = fs.Int("queue", 16, "max queued campaigns before submissions get 503")
 		campaigns = fs.Int("campaigns", 2, "concurrent campaign executors")
 		budget    = fs.Int("budget", 0, "total experiment workers across campaigns (0 = GOMAXPROCS)")
+		telemetry = fs.Bool("telemetry", false, "seal a telemetry.json performance record into each campaign (wall-clock content; not byte-reproducible across hosts)")
+		profile   = fs.Bool("profile", false, "capture per-campaign CPU+heap pprof pairs as sealed artifacts")
+		pprofFlag = fs.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -73,7 +82,10 @@ func run(ctx context.Context, args []string, logw io.Writer, ready chan<- string
 		OpenStore: func(id string) (store.Store, error) {
 			return store.NewFS(filepath.Join(*storeDir, id)), nil
 		},
-		Logf: logf,
+		Logf:      logf,
+		Telemetry: *telemetry,
+		Profile:   *profile,
+		PProf:     *pprofFlag,
 	})
 	defer srv.Close()
 

@@ -25,6 +25,7 @@ import (
 	"repro/internal/geo"
 	"repro/internal/measure"
 	"repro/internal/mining"
+	"repro/internal/obs"
 	"repro/internal/p2p"
 	"repro/internal/p2p/relay"
 	"repro/internal/sim"
@@ -181,6 +182,7 @@ type Campaign struct {
 	gen      *txgen.Generator
 	nodes    []*measure.Node
 	injector *faults.Injector
+	obsScope *obs.RunScope
 }
 
 // NewCampaign validates the configuration and builds the network,
@@ -206,6 +208,11 @@ func NewCampaign(cfg CampaignConfig) (*Campaign, error) {
 		engine: engine,
 		rng:    rootRNG,
 		byRegn: make(map[geo.Region][]*p2p.Node),
+		// Observability reads engine counters and wall clocks only —
+		// it touches no RNG, so a traced campaign replays the untraced
+		// one byte for byte. A nil scope (collection disabled) is
+		// inert.
+		obsScope: obs.Default.StartRun(cfg.Seed, engine),
 	}
 
 	// Overlay.
@@ -408,6 +415,7 @@ func (c *Campaign) regionNode(r geo.Region) *p2p.Node {
 
 // Run executes the campaign to completion and assembles the result.
 func (c *Campaign) Run() (*CampaignResult, error) {
+	c.obsScope.RunStarted()
 	if c.gen != nil {
 		c.gen.Start()
 	}
@@ -422,6 +430,12 @@ func (c *Campaign) Run() (*CampaignResult, error) {
 	if c.injector != nil {
 		c.injector.Finalize(c.engine.Now())
 	}
+	c.obsScope.Finish(obs.RunSample{
+		Engine:   c.engine.Stats(),
+		Messages: c.network.MessagesSent,
+		Bytes:    c.network.BytesSent,
+		Dropped:  c.network.MessagesDropped,
+	})
 
 	var (
 		ds  *analysis.Dataset
@@ -565,8 +579,11 @@ func RunChainOnly(seed uint64, blocks uint64, mutate func(*mining.Config)) (*Cha
 	if err != nil {
 		return nil, err
 	}
+	scope := obs.Default.StartRun(seed, engine)
+	scope.RunStarted()
 	s.Start()
 	engine.Run()
+	scope.Finish(obs.RunSample{Engine: engine.Stats()})
 	view, err := analysis.ViewFromTree(s.Tree())
 	if err != nil {
 		return nil, err

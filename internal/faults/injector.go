@@ -200,6 +200,14 @@ func (inj *Injector) crash(now sim.Time, victim *p2p.Node) {
 	inj.engine.ScheduleCall(down, inj, opRecover, uint64(victim.ID()))
 }
 
+// EventName implements sim.EventNamer for engine traces.
+func (inj *Injector) EventName(op uint64) string {
+	if op == opRecover {
+		return "faults.recover"
+	}
+	return "faults.unknown"
+}
+
 // HandleEvent implements sim.Handler for the one-shot recovery events.
 func (inj *Injector) HandleEvent(now sim.Time, op, arg uint64) {
 	if op != opRecover {

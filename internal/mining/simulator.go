@@ -440,6 +440,11 @@ func (s *Simulator) HandleEvent(now sim.Time, a, b uint64) {
 	}
 }
 
+// EventName implements sim.EventNamer: every typed mining event is a
+// deferred head-visibility update (a is the pool index, so engine
+// traces bucket them all under one label).
+func (s *Simulator) EventName(uint64) string { return "mining.visibility" }
+
 func (s *Simulator) gateway(p *poolState) geo.Region {
 	regions := p.cfg.GatewayRegions
 	return regions[s.rng.IntN(len(regions))]

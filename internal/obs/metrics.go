@@ -1,0 +1,259 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Registry is a minimal Prometheus text-format (0.0.4) metrics
+// registry. Metric families render in registration order; series
+// within a family in label order. All instruments are safe for
+// concurrent use; registration normally happens once at startup.
+type Registry struct {
+	mu    sync.Mutex
+	fams  map[string]*family
+	order []string
+}
+
+type family struct {
+	name   string
+	help   string
+	typ    string
+	series []renderable
+}
+
+type renderable interface {
+	render(w *bufio.Writer, name string)
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{fams: map[string]*family{}}
+}
+
+// Label is one fixed label on a metric series.
+type Label struct {
+	Key   string
+	Value string
+}
+
+func renderLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabel(v string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+func (r *Registry) register(name, help, typ string, s renderable) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.fams[name]
+	if f == nil {
+		f = &family{name: name, help: help, typ: typ}
+		r.fams[name] = f
+		r.order = append(r.order, name)
+	} else if f.typ != typ {
+		panic(fmt.Sprintf("obs: metric %q registered as both %s and %s", name, f.typ, typ))
+	}
+	f.series = append(f.series, s)
+}
+
+// WritePrometheus renders every registered metric in Prometheus text
+// exposition format 0.0.4.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	names := append([]string(nil), r.order...)
+	fams := make([]*family, len(names))
+	for i, n := range names {
+		fams[i] = r.fams[n]
+	}
+	r.mu.Unlock()
+
+	bw := bufio.NewWriter(w)
+	for _, f := range fams {
+		if f.help != "" {
+			fmt.Fprintf(bw, "# HELP %s %s\n", f.name, f.help)
+		}
+		fmt.Fprintf(bw, "# TYPE %s %s\n", f.name, f.typ)
+		for _, s := range f.series {
+			s.render(bw, f.name)
+		}
+	}
+	return bw.Flush()
+}
+
+// Counter is a monotonically increasing uint64 metric.
+type Counter struct {
+	v      atomic.Uint64
+	labels string
+}
+
+// Counter registers and returns a counter series.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	c := &Counter{labels: renderLabels(labels)}
+	r.register(name, help, "counter", c)
+	return c
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value reads the counter.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+func (c *Counter) render(w *bufio.Writer, name string) {
+	fmt.Fprintf(w, "%s%s %d\n", name, c.labels, c.v.Load())
+}
+
+// Gauge is a settable int64 metric.
+type Gauge struct {
+	v      atomic.Int64
+	labels string
+}
+
+// Gauge registers and returns a gauge series.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	g := &Gauge{labels: renderLabels(labels)}
+	r.register(name, help, "gauge", g)
+	return g
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adds d (use a negative d to subtract).
+func (g *Gauge) Add(d int64) { g.v.Add(d) }
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.v.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.v.Add(-1) }
+
+// Value reads the gauge.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+func (g *Gauge) render(w *bufio.Writer, name string) {
+	fmt.Fprintf(w, "%s%s %d\n", name, g.labels, g.v.Load())
+}
+
+// funcGauge evaluates a callback at scrape time.
+type funcGauge struct {
+	fn     func() float64
+	labels string
+}
+
+// GaugeFunc registers a gauge whose value is computed at scrape time.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {
+	r.register(name, help, "gauge", &funcGauge{fn: fn, labels: renderLabels(labels)})
+}
+
+func (g *funcGauge) render(w *bufio.Writer, name string) {
+	fmt.Fprintf(w, "%s%s %s\n", name, g.labels, formatFloat(g.fn()))
+}
+
+// DefaultLatencyBuckets spans 10µs to 10s — wide enough for both mem
+// and FS store operations.
+var DefaultLatencyBuckets = []float64{1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1, 10}
+
+// Histogram is a cumulative-bucket histogram of float64 observations
+// (seconds, for latency series).
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Uint64 // len(bounds)+1; last is +Inf
+	sum    atomicFloat
+	total  atomic.Uint64
+	labels []Label
+}
+
+// Histogram registers and returns a histogram series with the given
+// upper bounds (nil means DefaultLatencyBuckets). Bounds must be
+// sorted ascending.
+func (r *Registry) Histogram(name, help string, bounds []float64, labels ...Label) *Histogram {
+	if bounds == nil {
+		bounds = DefaultLatencyBuckets
+	}
+	h := &Histogram{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]atomic.Uint64, len(bounds)+1),
+		labels: labels,
+	}
+	r.register(name, help, "histogram", h)
+	return h
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.sum.add(v)
+	h.total.Add(1)
+}
+
+// ObserveDuration records a duration in seconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// Count reads the total observation count.
+func (h *Histogram) Count() uint64 { return h.total.Load() }
+
+func (h *Histogram) render(w *bufio.Writer, name string) {
+	var cum uint64
+	for i, b := range h.bounds {
+		cum += h.counts[i].Load()
+		labels := append(append([]Label(nil), h.labels...), Label{"le", formatFloat(b)})
+		fmt.Fprintf(w, "%s_bucket%s %d\n", name, renderLabels(labels), cum)
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	labels := append(append([]Label(nil), h.labels...), Label{"le", "+Inf"})
+	fmt.Fprintf(w, "%s_bucket%s %d\n", name, renderLabels(labels), cum)
+	base := renderLabels(h.labels)
+	fmt.Fprintf(w, "%s_sum%s %s\n", name, base, formatFloat(h.sum.load()))
+	fmt.Fprintf(w, "%s_count%s %d\n", name, base, cum)
+}
+
+// atomicFloat accumulates float64 via CAS on the bit pattern.
+type atomicFloat struct{ bits atomic.Uint64 }
+
+func (f *atomicFloat) add(v float64) {
+	for {
+		old := f.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if f.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+func (f *atomicFloat) load() float64 { return math.Float64frombits(f.bits.Load()) }
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,166 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestWritePrometheusGolden locks the exact exposition text: HELP and
+// TYPE headers, registration order, label rendering, histogram
+// bucket/sum/count triads.
+func TestWritePrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("repro_runs_started_total", "Runs started.")
+	c.Add(3)
+	g := r.Gauge("repro_queue_depth", "Queued campaigns.")
+	g.Set(2)
+	r.GaugeFunc("repro_subscribers", "SSE subscribers.", func() float64 { return 4 })
+	h := r.Histogram("repro_store_seconds", "Store op latency.", []float64{0.01, 0.1}, Label{"op", "put"})
+	h.Observe(0.005)
+	h.Observe(0.05)
+	h.Observe(5)
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP repro_runs_started_total Runs started.
+# TYPE repro_runs_started_total counter
+repro_runs_started_total 3
+# HELP repro_queue_depth Queued campaigns.
+# TYPE repro_queue_depth gauge
+repro_queue_depth 2
+# HELP repro_subscribers SSE subscribers.
+# TYPE repro_subscribers gauge
+repro_subscribers 4
+# HELP repro_store_seconds Store op latency.
+# TYPE repro_store_seconds histogram
+repro_store_seconds_bucket{op="put",le="0.01"} 1
+repro_store_seconds_bucket{op="put",le="0.1"} 2
+repro_store_seconds_bucket{op="put",le="+Inf"} 3
+repro_store_seconds_sum{op="put"} 5.055
+repro_store_seconds_count{op="put"} 3
+`
+	if got := sb.String(); got != want {
+		t.Fatalf("scrape mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestCounterMonotonic(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("x_total", "")
+	last := uint64(0)
+	for i := 0; i < 100; i++ {
+		c.Inc()
+		if v := c.Value(); v <= last {
+			t.Fatalf("counter went backwards: %d after %d", v, last)
+		} else {
+			last = v
+		}
+	}
+}
+
+func TestGaugeAddDec(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("g", "")
+	g.Add(10)
+	g.Dec()
+	g.Inc()
+	if g.Value() != 10 {
+		t.Fatalf("gauge = %d, want 10", g.Value())
+	}
+}
+
+func TestHistogramBucketsCumulative(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h_seconds", "", nil)
+	h.ObserveDuration(50 * time.Microsecond) // bucket 1e-4
+	h.ObserveDuration(2 * time.Second)       // bucket 10
+	h.Observe(100)                           // +Inf
+	if h.Count() != 3 {
+		t.Fatalf("count = %d, want 3", h.Count())
+	}
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, line := range []string{
+		`h_seconds_bucket{le="0.0001"} 1`,
+		`h_seconds_bucket{le="10"} 2`,
+		`h_seconds_bucket{le="+Inf"} 3`,
+		`h_seconds_count 3`,
+	} {
+		if !strings.Contains(out, line) {
+			t.Fatalf("scrape missing %q:\n%s", line, out)
+		}
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("esc", "", Label{"path", `a"b\c`})
+	g.Set(1)
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `esc{path="a\"b\\c"} 1`) {
+		t.Fatalf("bad escaping:\n%s", sb.String())
+	}
+}
+
+func TestSameNameDifferentTypePanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("dup", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on type conflict")
+		}
+	}()
+	r.Gauge("dup", "")
+}
+
+// TestInstrumentsUnderRace exercises concurrent updates + scrapes so
+// `go test -race` can catch unsynchronized access.
+func TestInstrumentsUnderRace(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "")
+	g := r.Gauge("g", "")
+	h := r.Histogram("h_seconds", "", nil)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(i) / 1000)
+			}
+		}()
+	}
+	for s := 0; s < 4; s++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var sb strings.Builder
+			for i := 0; i < 50; i++ {
+				sb.Reset()
+				if err := r.WritePrometheus(&sb); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 2000 {
+		t.Fatalf("counter = %d, want 2000", c.Value())
+	}
+	if h.Count() != 2000 {
+		t.Fatalf("histogram count = %d, want 2000", h.Count())
+	}
+}

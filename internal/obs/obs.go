@@ -1,0 +1,289 @@
+// Package obs is the reproduction's determinism-safe observability
+// layer: engine tracing, run telemetry and service metrics, none of
+// which consume simulation RNG or alter a seeded run's artifacts.
+//
+// Three surfaces share the package:
+//
+//   - Tracer: a ring-buffered sim.Probe recording per-event-kind
+//     counts, dispatch wall-nanos and sim-vs-wall progress, exportable
+//     as a Chrome trace or JSONL (`ethrepro -trace out.json`).
+//   - Collector: a process-wide sink the simulation core reports
+//     per-run engine statistics into; cmd/ethrepro and ethserve drain
+//     it into each run directory's telemetry.json.
+//   - Registry/Counter/Gauge/Histogram: a dependency-free Prometheus
+//     text-format metrics kit backing ethserve's /metrics endpoint.
+//
+// Everything is disabled by default: an unconfigured process pays one
+// atomic load per campaign and one nil check per simulated event. The
+// determinism contract — tracing on vs off yields byte-identical
+// artifacts and equal Merkle roots — is enforced by the golden
+// harness in internal/experiments (see docs/OBSERVABILITY.md).
+package obs
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// RunSample is what the simulation core reports when one engine run
+// (a campaign or chain-only run) finishes.
+type RunSample struct {
+	// Engine is the engine's always-on counter snapshot.
+	Engine sim.EngineStats
+	// Messages/Bytes/Dropped are transport totals (zero for
+	// chain-only runs, which have no overlay).
+	Messages uint64
+	Bytes    uint64
+	Dropped  uint64
+}
+
+// RunTelemetry aggregates every engine run reporting under one seed —
+// the runner derives a unique seed per (spec, repeat), so this is the
+// per-run record telemetry.json is built from. Specs that execute
+// several campaigns per run (healthy-vs-faulted comparisons, sweeps)
+// fold them all into one record.
+type RunTelemetry struct {
+	Seed uint64
+	// Engines counts the engine runs folded in.
+	Engines int
+	// Events / Scheduled sum the engines' dispatch and enqueue
+	// counters.
+	Events    uint64
+	Scheduled uint64
+	// PeakQueue is the largest queue-depth high-water mark across the
+	// engines; Slots the largest slot-arena footprint.
+	PeakQueue int
+	Slots     int
+	// SimMS sums the engines' final virtual clocks.
+	SimMS int64
+	// BuildNanos sums wall time from campaign construction to engine
+	// start; RunNanos from engine start to completion.
+	BuildNanos int64
+	RunNanos   int64
+	// Messages/Bytes/Dropped sum the transport counters.
+	Messages uint64
+	Bytes    uint64
+	Dropped  uint64
+	// Kinds is the per-event-kind dispatch profile, merged across
+	// engines by kind name, sorted by descending wall time. Empty
+	// unless tracing was enabled.
+	Kinds []KindStats
+	// Tracers holds each engine's full tracer (ring spans and progress
+	// samples) when tracing was enabled, in completion order.
+	Tracers []*Tracer
+}
+
+// EventsPerSec is the run's dispatch throughput over its engine-run
+// wall time.
+func (r *RunTelemetry) EventsPerSec() float64 {
+	if r.RunNanos <= 0 {
+		return 0
+	}
+	return float64(r.Events) / (float64(r.RunNanos) / 1e9)
+}
+
+// Collector accumulates RunTelemetry per seed. The zero value is
+// disabled; EnableTelemetry (cheap, counters only) or EnableTracing
+// (adds a ring-buffered Tracer probe per engine) switch it on.
+// Collectors are safe for concurrent use — campaign workers report
+// from many goroutines.
+type Collector struct {
+	telemetry atomic.Bool
+	tracing   atomic.Bool
+
+	mu      sync.Mutex
+	spanCap int
+	runs    map[uint64]*RunTelemetry
+}
+
+// Default is the process collector the simulation core reports into.
+var Default = &Collector{}
+
+// EnableTelemetry turns on per-run statistics collection.
+func (c *Collector) EnableTelemetry() {
+	c.telemetry.Store(true)
+}
+
+// EnableTracing turns on telemetry plus engine tracing: every engine
+// started while tracing is enabled gets a Tracer probe holding up to
+// spanCap ring spans (<= 0 means DefaultSpanCap).
+func (c *Collector) EnableTracing(spanCap int) {
+	if spanCap <= 0 {
+		spanCap = DefaultSpanCap
+	}
+	c.mu.Lock()
+	c.spanCap = spanCap
+	c.mu.Unlock()
+	c.telemetry.Store(true)
+	c.tracing.Store(true)
+}
+
+// Disable turns collection off and drops any unclaimed telemetry
+// (tests use it to restore the pristine default).
+func (c *Collector) Disable() {
+	c.telemetry.Store(false)
+	c.tracing.Store(false)
+	c.mu.Lock()
+	c.runs = nil
+	c.mu.Unlock()
+}
+
+// Enabled reports whether any collection is active.
+func (c *Collector) Enabled() bool { return c.telemetry.Load() }
+
+// Tracing reports whether engine tracing is active.
+func (c *Collector) Tracing() bool { return c.tracing.Load() }
+
+// RunScope tracks one engine run from construction to completion. A
+// nil scope (collection disabled) is valid and inert, so callers
+// never branch.
+type RunScope struct {
+	c        *Collector
+	seed     uint64
+	created  time.Time
+	runStart time.Time
+	tracer   *Tracer
+	done     bool
+}
+
+// StartRun opens a scope for one engine run under the given seed,
+// attaching a tracer probe to the engine when tracing is enabled.
+// Returns nil when collection is disabled.
+func (c *Collector) StartRun(seed uint64, engine *sim.Engine) *RunScope {
+	if c == nil || !c.telemetry.Load() {
+		return nil
+	}
+	s := &RunScope{c: c, seed: seed, created: time.Now()}
+	s.runStart = s.created
+	if c.tracing.Load() && engine != nil {
+		c.mu.Lock()
+		cap := c.spanCap
+		c.mu.Unlock()
+		s.tracer = NewTracer(cap)
+		engine.SetProbe(s.tracer)
+	}
+	return s
+}
+
+// RunStarted marks the boundary between campaign construction and
+// engine execution (the build/run wall-time split).
+func (s *RunScope) RunStarted() {
+	if s == nil {
+		return
+	}
+	s.runStart = time.Now()
+}
+
+// Finish folds the run into the collector. Calling Finish twice is a
+// no-op; a scope that is never finished simply reports nothing.
+func (s *RunScope) Finish(sample RunSample) {
+	if s == nil || s.done {
+		return
+	}
+	s.done = true
+	now := time.Now()
+	c := s.c
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.telemetry.Load() {
+		return
+	}
+	if c.runs == nil {
+		c.runs = map[uint64]*RunTelemetry{}
+	}
+	r := c.runs[s.seed]
+	if r == nil {
+		r = &RunTelemetry{Seed: s.seed}
+		c.runs[s.seed] = r
+	}
+	r.Engines++
+	r.Events += sample.Engine.Processed
+	r.Scheduled += sample.Engine.Scheduled
+	r.PeakQueue = max(r.PeakQueue, sample.Engine.MaxPending)
+	r.Slots = max(r.Slots, sample.Engine.Slots)
+	r.SimMS += int64(sample.Engine.Now)
+	r.BuildNanos += s.runStart.Sub(s.created).Nanoseconds()
+	r.RunNanos += now.Sub(s.runStart).Nanoseconds()
+	r.Messages += sample.Messages
+	r.Bytes += sample.Bytes
+	r.Dropped += sample.Dropped
+	if s.tracer != nil {
+		r.Kinds = mergeKinds(r.Kinds, s.tracer.Kinds())
+		r.Tracers = append(r.Tracers, s.tracer)
+	}
+}
+
+// Take removes and returns the telemetry for the given seeds — the
+// campaign front ends drain exactly their own runs, so concurrent
+// campaigns sharing the process collector do not observe each other.
+func (c *Collector) Take(seeds []uint64) map[uint64]RunTelemetry {
+	out := map[uint64]RunTelemetry{}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, seed := range seeds {
+		if r, ok := c.runs[seed]; ok {
+			out[seed] = *r
+			delete(c.runs, seed)
+		}
+	}
+	return out
+}
+
+// mergeKinds folds b into a by kind name, keeping descending-wall
+// order.
+func mergeKinds(a, b []KindStats) []KindStats {
+	byName := make(map[string]int, len(a))
+	for i, k := range a {
+		byName[k.Name] = i
+	}
+	for _, k := range b {
+		if i, ok := byName[k.Name]; ok {
+			a[i].Count += k.Count
+			a[i].WallNanos += k.WallNanos
+			a[i].MaxWallNanos = max(a[i].MaxWallNanos, k.MaxWallNanos)
+		} else {
+			byName[k.Name] = len(a)
+			a = append(a, k)
+		}
+	}
+	sort.SliceStable(a, func(i, j int) bool { return a[i].WallNanos > a[j].WallNanos })
+	return a
+}
+
+// ProcessStats is a point-in-time snapshot of the Go runtime — the
+// GC/allocation section of telemetry.json. Process-wide by nature:
+// when several campaigns share one server process, they share these
+// numbers too.
+type ProcessStats struct {
+	GoVersion      string  `json:"go_version"`
+	NumCPU         int     `json:"num_cpu"`
+	GOMAXPROCS     int     `json:"gomaxprocs"`
+	NumGoroutine   int     `json:"num_goroutine"`
+	HeapAllocBytes uint64  `json:"heap_alloc_bytes"`
+	TotalAllocMB   float64 `json:"total_alloc_mb"`
+	SysBytes       uint64  `json:"sys_bytes"`
+	NumGC          uint32  `json:"num_gc"`
+	GCPauseTotalMS float64 `json:"gc_pause_total_ms"`
+}
+
+// ProcessSnapshot reads the runtime counters.
+func ProcessSnapshot() ProcessStats {
+	var m runtime.MemStats
+	runtime.ReadMemStats(&m)
+	return ProcessStats{
+		GoVersion:      runtime.Version(),
+		NumCPU:         runtime.NumCPU(),
+		GOMAXPROCS:     runtime.GOMAXPROCS(0),
+		NumGoroutine:   runtime.NumGoroutine(),
+		HeapAllocBytes: m.HeapAlloc,
+		TotalAllocMB:   float64(m.TotalAlloc) / (1 << 20),
+		SysBytes:       m.Sys,
+		NumGC:          m.NumGC,
+		GCPauseTotalMS: float64(m.PauseTotalNs) / 1e6,
+	}
+}

@@ -524,6 +524,19 @@ func (net *Network) HandleEvent(now sim.Time, op, idx uint64) {
 	}
 }
 
+// EventName implements sim.EventNamer: it labels the network's typed
+// events in engine traces.
+func (net *Network) EventName(op uint64) string {
+	switch op {
+	case opDeliver:
+		return "p2p.deliver"
+	case opAnnounce:
+		return "p2p.announce"
+	default:
+		return "p2p.unknown"
+	}
+}
+
 // fanoutOrder fills the shared permutation scratch with a random
 // ordering of [0, n), drawing exactly as rng.Perm(n) would.
 func (net *Network) fanoutOrder(n int) []int {

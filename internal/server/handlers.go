@@ -7,6 +7,7 @@ import (
 	"io"
 	"io/fs"
 	"net/http"
+	"net/http/pprof"
 	"strings"
 )
 
@@ -23,6 +24,10 @@ const maxSubmitBytes = 1 << 20
 //	GET    /campaigns/{id}/events          SSE progress (with replay)
 //	GET    /campaigns/{id}/artifacts       sorted artifact names
 //	GET    /campaigns/{id}/artifacts/{path...}  one artifact blob
+//	GET    /metrics                        Prometheus text scrape
+//	GET    /healthz                        liveness probe
+//	GET    /version                        build info
+//	GET    /debug/pprof/...                runtime profiles (Config.PProf only)
 func (s *Server) routes() {
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /campaigns", s.handleSubmit)
@@ -32,6 +37,16 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /campaigns/{id}/events", s.handleEvents)
 	s.mux.HandleFunc("GET /campaigns/{id}/artifacts", s.handleArtifactList)
 	s.mux.HandleFunc("GET /campaigns/{id}/artifacts/{path...}", s.handleArtifact)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /version", s.handleVersion)
+	if s.cfg.PProf {
+		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 }
 
 // writeJSON emits one JSON response body.
@@ -54,6 +69,9 @@ func writeError(w http.ResponseWriter, err error) {
 		code = http.StatusBadRequest
 	case errors.As(err, &ua):
 		code = http.StatusServiceUnavailable
+		// 503s come from backpressure or shutdown; both clear fast, so
+		// tell well-behaved clients when to retry.
+		w.Header().Set("Retry-After", retryAfterValue())
 	}
 	writeJSON(w, code, map[string]string{"error": err.Error()})
 }
@@ -129,6 +147,8 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Cache-Control", "no-cache")
 	w.WriteHeader(http.StatusOK)
 	flusher.Flush()
+	s.metrics.sseSubscribers.Inc()
+	defer s.metrics.sseSubscribers.Dec()
 
 	// cond.Wait cannot watch the request context, so a disconnect is
 	// converted into a broadcast that re-checks it.
@@ -186,13 +206,15 @@ func (s *Server) handleArtifactList(w http.ResponseWriter, r *http.Request) {
 }
 
 // artifactContentType maps artifact names to media types; everything
-// in a run directory is textual.
+// in a run directory is textual except pprof profiles.
 func artifactContentType(name string) string {
 	switch {
 	case strings.HasSuffix(name, ".json"):
 		return "application/json"
 	case strings.HasSuffix(name, ".csv"):
 		return "text/csv; charset=utf-8"
+	case strings.HasSuffix(name, ".pprof"):
+		return "application/octet-stream"
 	default:
 		return "text/plain; charset=utf-8"
 	}

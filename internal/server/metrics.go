@@ -1,0 +1,173 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"runtime"
+	"runtime/debug"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/store"
+)
+
+// storeOps enumerates the instrumented store operations; each gets a
+// latency histogram series registered at startup so a fresh server's
+// scrape is deterministic.
+var storeOps = []string{"put", "get", "list", "delete", "manifest"}
+
+// serverMetrics is one server's /metrics surface: a dependency-free
+// Prometheus registry over the campaign lifecycle, the executor pool,
+// the SSE subscriber count and artifact-store traffic.
+type serverMetrics struct {
+	reg *obs.Registry
+
+	submitted         *obs.Counter
+	rejected          *obs.Counter
+	finishedDone      *obs.Counter
+	finishedFailed    *obs.Counter
+	finishedCancelled *obs.Counter
+
+	runsStarted   *obs.Counter
+	runsCompleted *obs.Counter
+	runsFailed    *obs.Counter
+
+	executorsBusy  *obs.Gauge
+	sseSubscribers *obs.Gauge
+
+	artifactBytes *obs.Counter
+	profiles      *obs.Counter
+	storeLatency  map[string]*obs.Histogram
+}
+
+// newServerMetrics registers every series. Registration order is the
+// scrape order, which the golden scrape test pins.
+func newServerMetrics(s *Server) *serverMetrics {
+	reg := obs.NewRegistry()
+	m := &serverMetrics{reg: reg, storeLatency: map[string]*obs.Histogram{}}
+
+	reg.GaugeFunc("ethserve_queue_depth", "Campaigns waiting in the submission queue.",
+		func() float64 { return float64(len(s.queue)) })
+	reg.GaugeFunc("ethserve_queue_capacity", "Submission queue capacity (503 beyond it).",
+		func() float64 { return float64(s.cfg.Queue) })
+	reg.GaugeFunc("ethserve_executors", "Configured campaign executors.",
+		func() float64 { return float64(s.cfg.Campaigns) })
+	m.executorsBusy = reg.Gauge("ethserve_executors_busy", "Executors currently running a campaign.")
+
+	m.submitted = reg.Counter("ethserve_campaigns_submitted_total", "Campaigns accepted into the queue.")
+	m.rejected = reg.Counter("ethserve_campaigns_rejected_total", "Campaigns rejected by queue backpressure.")
+	m.finishedDone = reg.Counter("ethserve_campaigns_finished_total", "Campaigns reaching a terminal state.", obs.Label{Key: "state", Value: "done"})
+	m.finishedFailed = reg.Counter("ethserve_campaigns_finished_total", "", obs.Label{Key: "state", Value: "failed"})
+	m.finishedCancelled = reg.Counter("ethserve_campaigns_finished_total", "", obs.Label{Key: "state", Value: "cancelled"})
+
+	m.runsStarted = reg.Counter("ethserve_runs_started_total", "Experiment (spec, repeat) runs dispatched to workers.")
+	m.runsCompleted = reg.Counter("ethserve_runs_completed_total", "Experiment runs completed (failures included).")
+	m.runsFailed = reg.Counter("ethserve_runs_failed_total", "Experiment runs that returned an error.")
+
+	m.sseSubscribers = reg.Gauge("ethserve_sse_subscribers", "Connected /events subscribers.")
+
+	m.artifactBytes = reg.Counter("ethserve_artifact_bytes_written_total", "Bytes written into campaign artifact stores.")
+	m.profiles = reg.Counter("ethserve_profiles_captured_total", "Per-campaign pprof profile pairs captured.")
+	for _, op := range storeOps {
+		m.storeLatency[op] = reg.Histogram("ethserve_store_op_seconds",
+			"Artifact store operation latency.", nil, obs.Label{Key: "op", Value: op})
+	}
+
+	reg.GaugeFunc("ethserve_goroutines", "Process goroutine count.",
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	reg.GaugeFunc("ethserve_heap_alloc_bytes", "Process live heap bytes.",
+		func() float64 { return float64(obs.ProcessSnapshot().HeapAllocBytes) })
+	return m
+}
+
+// instrumentedStore wraps a campaign's artifact store with latency
+// histograms and a bytes-written counter. Instrumentation observes
+// only; every byte and error passes through unchanged, so sealed
+// artifacts are identical with metrics on or off.
+type instrumentedStore struct {
+	inner store.Store
+	m     *serverMetrics
+}
+
+func (s instrumentedStore) observe(op string, start time.Time) {
+	s.m.storeLatency[op].ObserveDuration(time.Since(start))
+}
+
+func (s instrumentedStore) Put(name string, data []byte) error {
+	defer s.observe("put", time.Now())
+	err := s.inner.Put(name, data)
+	if err == nil {
+		s.m.artifactBytes.Add(uint64(len(data)))
+	}
+	return err
+}
+
+func (s instrumentedStore) Get(name string) ([]byte, error) {
+	defer s.observe("get", time.Now())
+	return s.inner.Get(name)
+}
+
+func (s instrumentedStore) List() ([]string, error) {
+	defer s.observe("list", time.Now())
+	return s.inner.List()
+}
+
+func (s instrumentedStore) Delete(name string) error {
+	defer s.observe("delete", time.Now())
+	return s.inner.Delete(name)
+}
+
+func (s instrumentedStore) Manifest() (*store.Manifest, error) {
+	defer s.observe("manifest", time.Now())
+	return s.inner.Manifest()
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.metrics.reg.WritePrometheus(w) //nolint:errcheck // client gone; nothing to do
+}
+
+// handleHealthz is the liveness probe: 200 while serving, 503 (with
+// Retry-After) once shutdown has begun.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	closed := s.closed
+	campaigns := len(s.campaigns)
+	s.mu.Unlock()
+	if closed {
+		writeError(w, errUnavailable("server is shutting down"))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":         "ok",
+		"queue_depth":    len(s.queue),
+		"queue_capacity": s.cfg.Queue,
+		"campaigns":      campaigns,
+	})
+}
+
+// handleVersion reports the build: module version, Go toolchain and
+// VCS stamp when the binary was built from a checkout.
+func (s *Server) handleVersion(w http.ResponseWriter, r *http.Request) {
+	out := map[string]string{"go": runtime.Version()}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		out["module"] = bi.Main.Path
+		out["version"] = bi.Main.Version
+		for _, kv := range bi.Settings {
+			switch kv.Key {
+			case "vcs.revision", "vcs.time", "vcs.modified":
+				out[kv.Key] = kv.Value
+			}
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// retryAfter is the hint sent with 503 responses. Queue-full
+// rejections clear quickly (a campaign slot frees as soon as an
+// executor finishes), so the hint is short.
+const retryAfter = 1 * time.Second
+
+func retryAfterValue() string {
+	return fmt.Sprintf("%d", int(retryAfter.Seconds()))
+}

@@ -1,0 +1,451 @@
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/obs"
+	"repro/internal/store"
+)
+
+// scrapeHead is the deterministic prefix of a fresh server's /metrics
+// scrape (defaults: queue 16, one executor). Everything before the
+// runtime gauges is pinned byte for byte: registration order is the
+// scrape order, and every series exists at zero from startup.
+const scrapeHead = `# HELP ethserve_queue_depth Campaigns waiting in the submission queue.
+# TYPE ethserve_queue_depth gauge
+ethserve_queue_depth 0
+# HELP ethserve_queue_capacity Submission queue capacity (503 beyond it).
+# TYPE ethserve_queue_capacity gauge
+ethserve_queue_capacity 16
+# HELP ethserve_executors Configured campaign executors.
+# TYPE ethserve_executors gauge
+ethserve_executors 1
+# HELP ethserve_executors_busy Executors currently running a campaign.
+# TYPE ethserve_executors_busy gauge
+ethserve_executors_busy 0
+# HELP ethserve_campaigns_submitted_total Campaigns accepted into the queue.
+# TYPE ethserve_campaigns_submitted_total counter
+ethserve_campaigns_submitted_total 0
+# HELP ethserve_campaigns_rejected_total Campaigns rejected by queue backpressure.
+# TYPE ethserve_campaigns_rejected_total counter
+ethserve_campaigns_rejected_total 0
+# HELP ethserve_campaigns_finished_total Campaigns reaching a terminal state.
+# TYPE ethserve_campaigns_finished_total counter
+ethserve_campaigns_finished_total{state="done"} 0
+ethserve_campaigns_finished_total{state="failed"} 0
+ethserve_campaigns_finished_total{state="cancelled"} 0
+# HELP ethserve_runs_started_total Experiment (spec, repeat) runs dispatched to workers.
+# TYPE ethserve_runs_started_total counter
+ethserve_runs_started_total 0
+# HELP ethserve_runs_completed_total Experiment runs completed (failures included).
+# TYPE ethserve_runs_completed_total counter
+ethserve_runs_completed_total 0
+# HELP ethserve_runs_failed_total Experiment runs that returned an error.
+# TYPE ethserve_runs_failed_total counter
+ethserve_runs_failed_total 0
+# HELP ethserve_sse_subscribers Connected /events subscribers.
+# TYPE ethserve_sse_subscribers gauge
+ethserve_sse_subscribers 0
+# HELP ethserve_artifact_bytes_written_total Bytes written into campaign artifact stores.
+# TYPE ethserve_artifact_bytes_written_total counter
+ethserve_artifact_bytes_written_total 0
+# HELP ethserve_profiles_captured_total Per-campaign pprof profile pairs captured.
+# TYPE ethserve_profiles_captured_total counter
+ethserve_profiles_captured_total 0
+# HELP ethserve_store_op_seconds Artifact store operation latency.
+# TYPE ethserve_store_op_seconds histogram
+`
+
+// scrapeHistogramBlock is one zeroed store-op histogram series.
+const scrapeHistogramBlock = `ethserve_store_op_seconds_bucket{op="%[1]s",le="1e-05"} 0
+ethserve_store_op_seconds_bucket{op="%[1]s",le="0.0001"} 0
+ethserve_store_op_seconds_bucket{op="%[1]s",le="0.001"} 0
+ethserve_store_op_seconds_bucket{op="%[1]s",le="0.01"} 0
+ethserve_store_op_seconds_bucket{op="%[1]s",le="0.1"} 0
+ethserve_store_op_seconds_bucket{op="%[1]s",le="1"} 0
+ethserve_store_op_seconds_bucket{op="%[1]s",le="10"} 0
+ethserve_store_op_seconds_bucket{op="%[1]s",le="+Inf"} 0
+ethserve_store_op_seconds_sum{op="%[1]s"} 0
+ethserve_store_op_seconds_count{op="%[1]s"} 0
+`
+
+// scrape fetches /metrics and parses every sample line into a
+// series -> value map.
+func scrape(t *testing.T, base string) (string, map[string]float64) {
+	t.Helper()
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics: HTTP %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/plain; version=0.0.4; charset=utf-8" {
+		t.Fatalf("/metrics content type: %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := map[string]float64{}
+	for _, line := range strings.Split(string(body), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			t.Fatalf("unparseable sample line %q", line)
+		}
+		v, err := strconv.ParseFloat(line[i+1:], 64)
+		if err != nil {
+			t.Fatalf("sample %q: %v", line, err)
+		}
+		vals[line[:i]] = v
+	}
+	return string(body), vals
+}
+
+// TestMetricsFreshScrapeGolden pins a fresh server's scrape byte for
+// byte up to the runtime gauges (goroutines and heap change between
+// scrapes; everything else must be exactly zeroed, in registration
+// order, in valid Prometheus 0.0.4 text).
+func TestMetricsFreshScrapeGolden(t *testing.T) {
+	_, ts, _ := testServer(t, Config{Specs: []experiments.Spec{fastSpec("A")}})
+	body, vals := scrape(t, ts.URL)
+
+	var want strings.Builder
+	want.WriteString(scrapeHead)
+	for _, op := range storeOps {
+		fmt.Fprintf(&want, scrapeHistogramBlock, op)
+	}
+	cut := strings.Index(body, "# HELP ethserve_goroutines")
+	if cut < 0 {
+		t.Fatalf("scrape missing runtime gauges:\n%s", body)
+	}
+	if got := body[:cut]; got != want.String() {
+		t.Fatalf("fresh scrape diverges from golden fixture.\n--- got ---\n%s\n--- want ---\n%s", got, want.String())
+	}
+	// The runtime gauges exist and parsed to sane values.
+	if vals["ethserve_goroutines"] <= 0 {
+		t.Fatalf("goroutine gauge: %v", vals["ethserve_goroutines"])
+	}
+	if vals["ethserve_heap_alloc_bytes"] <= 0 {
+		t.Fatalf("heap gauge: %v", vals["ethserve_heap_alloc_bytes"])
+	}
+}
+
+// TestMetricsCountCampaignLifecycle runs a campaign and checks the
+// lifecycle counters advance exactly — and that no counter ever
+// decreases between scrapes (monotonicity).
+func TestMetricsCountCampaignLifecycle(t *testing.T) {
+	_, ts, _ := testServer(t, Config{Specs: []experiments.Spec{fastSpec("A")}})
+	_, before := scrape(t, ts.URL)
+
+	var st Status
+	if code := doJSON(t, "POST", ts.URL+"/campaigns", `{"specs": ["A"], "seed": 3, "repeats": 3}`, &st); code != http.StatusAccepted {
+		t.Fatalf("submit: HTTP %d", code)
+	}
+	waitState(t, ts.URL, st.ID, StateDone)
+	_, after := scrape(t, ts.URL)
+
+	for series, v := range after {
+		if strings.Contains(series, "_total") || strings.Contains(series, "_count") || strings.Contains(series, "_bucket") {
+			if prev, ok := before[series]; ok && v < prev {
+				t.Errorf("counter %s decreased: %v -> %v", series, prev, v)
+			}
+		}
+	}
+	wantExact := map[string]float64{
+		"ethserve_campaigns_submitted_total":                1,
+		"ethserve_campaigns_rejected_total":                 0,
+		`ethserve_campaigns_finished_total{state="done"}`:   1,
+		`ethserve_campaigns_finished_total{state="failed"}`: 0,
+		"ethserve_runs_started_total":                       3,
+		"ethserve_runs_completed_total":                     3,
+		"ethserve_runs_failed_total":                        0,
+		"ethserve_executors_busy":                           0,
+		"ethserve_sse_subscribers":                          0,
+	}
+	for series, want := range wantExact {
+		if got := after[series]; got != want {
+			t.Errorf("%s = %v, want %v", series, got, want)
+		}
+	}
+	if after["ethserve_artifact_bytes_written_total"] <= 0 {
+		t.Error("no artifact bytes counted")
+	}
+	if after[`ethserve_store_op_seconds_count{op="put"}`] <= 0 {
+		t.Error("no store put latency observed")
+	}
+	if after[`ethserve_store_op_seconds_count{op="manifest"}`] <= 0 {
+		t.Error("no store manifest latency observed")
+	}
+}
+
+// TestSSEReplayUnderConcurrentSubscribeAndCancel stress-tests the
+// event log under the race detector: subscribers join at every phase
+// of a campaign that gets cancelled mid-flight, and each one must see
+// a gapless event sequence (full replay + live tail) ending in a
+// terminal state.
+func TestSSEReplayUnderConcurrentSubscribeAndCancel(t *testing.T) {
+	started := make(chan struct{}, 16)
+	release := make(chan struct{})
+	specs := []experiments.Spec{gateSpec("G", started, release)}
+	srv, ts, _ := testServer(t, Config{Specs: specs, WorkerBudget: 1})
+
+	var st Status
+	doJSON(t, "POST", ts.URL+"/campaigns", `{"specs": ["G"], "repeats": 3}`, &st)
+	<-started
+
+	const subs = 8
+	errs := make(chan error, subs+1)
+	readStream := func(i int) error {
+		resp, err := http.Get(ts.URL + "/campaigns/" + st.ID + "/events")
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		last := -1
+		scanner := bufio.NewScanner(resp.Body)
+		for scanner.Scan() {
+			data, ok := strings.CutPrefix(scanner.Text(), "data: ")
+			if !ok {
+				continue
+			}
+			var ev Event
+			if err := json.Unmarshal([]byte(data), &ev); err != nil {
+				return fmt.Errorf("subscriber %d: bad event %q: %v", i, data, err)
+			}
+			if ev.Seq != last+1 {
+				return fmt.Errorf("subscriber %d: seq gap %d -> %d", i, last, ev.Seq)
+			}
+			last = ev.Seq
+		}
+		if err := scanner.Err(); err != nil {
+			return fmt.Errorf("subscriber %d: %v", i, err)
+		}
+		if last < 0 {
+			return fmt.Errorf("subscriber %d saw no events", i)
+		}
+		return nil
+	}
+
+	var wg sync.WaitGroup
+	for i := 0; i < subs; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			time.Sleep(time.Duration(i) * 2 * time.Millisecond) // join at different phases
+			if err := readStream(i); err != nil {
+				errs <- err
+			}
+		}(i)
+	}
+
+	release <- struct{}{} // run 1 completes
+	<-started             // run 2 starts
+	release <- struct{}{} // run 2 completes
+	<-started             // run 3 starts
+	if code := doJSON(t, "DELETE", ts.URL+"/campaigns/"+st.ID, "", nil); code != http.StatusOK {
+		t.Fatalf("cancel: HTTP %d", code)
+	}
+	close(release) // run 3 drains under the cancelled context
+	wg.Wait()
+
+	// A post-terminal subscriber gets the full replay and a clean close.
+	if err := readStream(subs); err != nil {
+		errs <- err
+	}
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	// Every stream has closed; the subscriber gauge must be back to 0.
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.metrics.sseSubscribers.Value() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("sse subscriber gauge stuck at %d", srv.metrics.sseSubscribers.Value())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestHealthzAndVersion(t *testing.T) {
+	srv, ts, _ := testServer(t, Config{Specs: []experiments.Spec{fastSpec("A")}})
+
+	var health map[string]any
+	if code := doJSON(t, "GET", ts.URL+"/healthz", "", &health); code != http.StatusOK {
+		t.Fatalf("healthz: HTTP %d", code)
+	}
+	if health["status"] != "ok" || health["queue_capacity"] != float64(16) {
+		t.Fatalf("healthz body: %v", health)
+	}
+
+	var version map[string]string
+	if code := doJSON(t, "GET", ts.URL+"/version", "", &version); code != http.StatusOK {
+		t.Fatalf("version: HTTP %d", code)
+	}
+	if !strings.HasPrefix(version["go"], "go") {
+		t.Fatalf("version body: %v", version)
+	}
+
+	// After shutdown the probe flips to 503 and tells clients when to
+	// retry.
+	srv.Close()
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("healthz after close: HTTP %d", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "1" {
+		t.Fatalf("healthz 503 Retry-After: %q", ra)
+	}
+}
+
+// TestBackpressureSends503WithRetryAfter: every 503 — shutdown or
+// queue-full — carries the Retry-After hint.
+func TestBackpressureSends503WithRetryAfter(t *testing.T) {
+	started := make(chan struct{}, 16)
+	release := make(chan struct{})
+	defer close(release)
+	specs := []experiments.Spec{gateSpec("G", started, release)}
+	_, ts, _ := testServer(t, Config{Specs: specs, Queue: 1, Campaigns: 1})
+
+	doJSON(t, "POST", ts.URL+"/campaigns", `{"specs": ["G"]}`, nil)
+	<-started
+	doJSON(t, "POST", ts.URL+"/campaigns", `{"specs": ["G"]}`, nil)
+	resp, err := http.Post(ts.URL+"/campaigns", "application/json", strings.NewReader(`{"specs": ["G"]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("overflow submit: HTTP %d, want 503", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "1" {
+		t.Fatalf("503 Retry-After: %q", ra)
+	}
+}
+
+// TestPProfGatedByConfig: the pprof surface must 404 unless opted in.
+func TestPProfGatedByConfig(t *testing.T) {
+	_, off, _ := testServer(t, Config{Specs: []experiments.Spec{fastSpec("A")}})
+	resp, err := http.Get(off.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("pprof off: HTTP %d, want 404", resp.StatusCode)
+	}
+
+	_, on, _ := testServer(t, Config{Specs: []experiments.Spec{fastSpec("A")}, PProf: true})
+	resp, err = http.Get(on.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "goroutine") {
+		t.Fatalf("pprof on: HTTP %d, body %.80s", resp.StatusCode, body)
+	}
+}
+
+// TestProfileArtifactsSealed: with Config.Profile a campaign's run
+// directory carries a CPU+heap pprof pair, digest-sealed like every
+// other artifact and served as binary.
+func TestProfileArtifactsSealed(t *testing.T) {
+	srv, ts, stores := testServer(t, Config{Specs: []experiments.Spec{fastSpec("A")}, Profile: true})
+	var st Status
+	doJSON(t, "POST", ts.URL+"/campaigns", `{"specs": ["A"], "repeats": 2}`, &st)
+	waitState(t, ts.URL, st.ID, StateDone)
+
+	cst := stores[st.ID]
+	for _, name := range []string{ProfileCPUFile, ProfileHeapFile} {
+		data, err := cst.Get(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(data) == 0 {
+			t.Fatalf("%s is empty", name)
+		}
+	}
+	// Sealed: the manifest covers the profiles and verification passes.
+	if err := store.Verify(cst); err != nil {
+		t.Fatalf("profiled campaign store fails verification: %v", err)
+	}
+	m, err := store.ReadManifest(cst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sealed := map[string]bool{}
+	for _, f := range m.Files {
+		sealed[f.Path] = true
+	}
+	if !sealed[ProfileCPUFile] || !sealed[ProfileHeapFile] {
+		t.Fatalf("manifest missing profile artifacts: %v", m.Files)
+	}
+	if got := srv.metrics.profiles.Value(); got != 1 {
+		t.Fatalf("profiles counter = %d, want 1", got)
+	}
+
+	// Profiles are served as binary, not text.
+	resp, err := http.Get(ts.URL + "/campaigns/" + st.ID + "/artifacts/" + ProfileCPUFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/octet-stream" {
+		t.Fatalf("profile content type: %q", ct)
+	}
+}
+
+// TestServerTelemetrySealed: with Config.Telemetry each campaign run
+// directory carries telemetry.json inside the sealed manifest.
+func TestServerTelemetrySealed(t *testing.T) {
+	defer obs.Default.Disable()
+	_, ts, stores := testServer(t, Config{Specs: []experiments.Spec{fastSpec("A")}, Telemetry: true})
+	var st Status
+	doJSON(t, "POST", ts.URL+"/campaigns", `{"specs": ["A"], "seed": 5, "repeats": 2}`, &st)
+	waitState(t, ts.URL, st.ID, StateDone)
+
+	cst := stores[st.ID]
+	tel, err := experiments.ReadTelemetry(cst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tel.Runs) != 2 || tel.Runs[0].Spec != "A" {
+		t.Fatalf("telemetry rows: %+v", tel.Runs)
+	}
+	if err := store.Verify(cst); err != nil {
+		t.Fatalf("telemetry campaign store fails verification: %v", err)
+	}
+	m, err := store.ReadManifest(cst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, f := range m.Files {
+		if f.Path == experiments.TelemetryFile {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("manifest missing %s: %v", experiments.TelemetryFile, m.Files)
+	}
+}

@@ -1,0 +1,76 @@
+package server
+
+import (
+	"bytes"
+	"runtime"
+	"runtime/pprof"
+	"sync"
+
+	"repro/internal/store"
+)
+
+// Per-campaign profile artifacts, written into the campaign store
+// before the manifest so they are digest-sealed like everything else.
+const (
+	ProfileCPUFile  = "profile/cpu.pprof"
+	ProfileHeapFile = "profile/heap.pprof"
+)
+
+// profileMu serializes CPU profiling: the Go runtime supports one CPU
+// profile at a time per process. When campaigns overlap, the first
+// one holds the profiler and the rest run unprofiled — TryLock, never
+// wait, so profiling cannot slow the queue down.
+var profileMu sync.Mutex
+
+// profileCapture is one campaign's in-flight CPU profile.
+type profileCapture struct {
+	cpu    bytes.Buffer
+	active bool
+}
+
+// startProfile begins a CPU profile if the profiler is free, else
+// returns nil (a nil capture is inert).
+func startProfile() *profileCapture {
+	if !profileMu.TryLock() {
+		return nil
+	}
+	p := &profileCapture{}
+	if err := pprof.StartCPUProfile(&p.cpu); err != nil {
+		profileMu.Unlock()
+		return nil
+	}
+	p.active = true
+	return p
+}
+
+// stop ends the profile and writes the CPU and heap artifacts into
+// the campaign store. The forced GC makes the heap profile reflect
+// live objects rather than collectable garbage.
+func (p *profileCapture) stop(st store.Store) error {
+	if p == nil || !p.active {
+		return nil
+	}
+	pprof.StopCPUProfile()
+	profileMu.Unlock()
+	p.active = false
+	if err := st.Put(ProfileCPUFile, p.cpu.Bytes()); err != nil {
+		return err
+	}
+	runtime.GC()
+	var heap bytes.Buffer
+	if err := pprof.WriteHeapProfile(&heap); err != nil {
+		return err
+	}
+	return st.Put(ProfileHeapFile, heap.Bytes())
+}
+
+// abort discards an in-flight profile without writing artifacts
+// (campaign failed before sealing).
+func (p *profileCapture) abort() {
+	if p == nil || !p.active {
+		return
+	}
+	pprof.StopCPUProfile()
+	profileMu.Unlock()
+	p.active = false
+}

@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/obs"
 	"repro/internal/scenario"
 	"repro/internal/store"
 )
@@ -52,6 +53,20 @@ type Config struct {
 	OpenStore func(id string) (store.Store, error)
 	// Logf, when non-nil, receives server logs.
 	Logf func(format string, args ...any)
+	// Telemetry writes a telemetry.json performance record into every
+	// campaign's sealed run directory (see experiments.TelemetryFile).
+	// Off by default because telemetry carries wall-clock content —
+	// the one artifact that is not byte-reproducible across hosts.
+	Telemetry bool
+	// Profile captures a per-campaign CPU+heap pprof pair as sealed
+	// artifacts (profile/cpu.pprof, profile/heap.pprof). The runtime
+	// allows one CPU profile per process, so when campaigns overlap
+	// only the first is profiled.
+	Profile bool
+	// PProf mounts net/http/pprof under /debug/pprof/ (off by
+	// default: the pprof surface can dump goroutine stacks and drive
+	// CPU load, so it is opt-in even on a trusted network).
+	PProf bool
 }
 
 // SubmitRequest is the POST /campaigns body. Exactly like the CLI:
@@ -84,10 +99,11 @@ type SubmitRequest struct {
 // Server is the campaign service. Create with New, mount as an
 // http.Handler, Close on shutdown.
 type Server struct {
-	cfg    Config
-	budget int // per-campaign worker budget
-	mux    *http.ServeMux
-	queue  chan *campaign
+	cfg     Config
+	budget  int // per-campaign worker budget
+	mux     *http.ServeMux
+	queue   chan *campaign
+	metrics *serverMetrics
 
 	baseCtx context.Context
 	stop    context.CancelFunc
@@ -129,6 +145,13 @@ func New(cfg Config) *Server {
 		baseCtx:   ctx,
 		stop:      stop,
 		campaigns: map[string]*campaign{},
+	}
+	s.metrics = newServerMetrics(s)
+	if cfg.Telemetry {
+		// The process-global collector is additive and stays enabled
+		// for the server's lifetime; campaigns drain exactly their own
+		// seeds, so concurrent campaigns do not observe each other.
+		obs.Default.EnableTelemetry()
 	}
 	s.routes()
 	for i := 0; i < cfg.Campaigns; i++ {
@@ -183,7 +206,7 @@ func (s *Server) Submit(req SubmitRequest) (Status, error) {
 		s.mu.Unlock()
 		return Status{}, fmt.Errorf("server: open store for %s: %w", c.id, err)
 	}
-	c.st = st
+	c.st = instrumentedStore{inner: st, m: s.metrics}
 	s.campaigns[c.id] = c
 	s.order = append(s.order, c.id)
 	s.mu.Unlock()
@@ -197,8 +220,10 @@ func (s *Server) Submit(req SubmitRequest) (Status, error) {
 		delete(s.campaigns, c.id)
 		s.order = s.order[:len(s.order)-1]
 		s.mu.Unlock()
+		s.metrics.rejected.Inc()
 		return Status{}, errUnavailable(fmt.Sprintf("campaign queue full (%d waiting)", s.cfg.Queue))
 	}
+	s.metrics.submitted.Inc()
 	c.emit(Event{Type: "state", State: StateQueued})
 	s.cfg.Logf("server: %s queued: %d spec(s), seed %d, scale %s, %d repeat(s)",
 		c.id, len(c.specs), c.seed, c.scale, c.repeats)
@@ -342,11 +367,19 @@ func (c *campaign) claimRun(ctx context.Context) (context.Context, bool) {
 func (s *Server) runCampaign(c *campaign) {
 	ctx, ok := c.claimRun(s.baseCtx)
 	if !ok {
+		// Cancelled while queued; it never ran.
+		s.metrics.finishedCancelled.Inc()
 		return
 	}
+	s.metrics.executorsBusy.Inc()
+	defer s.metrics.executorsBusy.Dec()
 	c.setState(StateRunning)
 	s.cfg.Logf("server: %s running (budget %d)", c.id, s.budget)
 	start := time.Now()
+	var prof *profileCapture
+	if s.cfg.Profile {
+		prof = startProfile()
+	}
 	report, runErr := experiments.Run(ctx, c.specs, experiments.RunnerConfig{
 		Seed:     c.seed,
 		Scale:    c.scale,
@@ -354,9 +387,14 @@ func (s *Server) runCampaign(c *campaign) {
 		Parallel: c.parallel,
 		Budget:   s.budget,
 		OnStart: func(r experiments.Result) {
+			s.metrics.runsStarted.Inc()
 			c.emit(Event{Type: "start", Spec: r.Spec.ID, Repeat: r.Repeat, Seed: r.Seed})
 		},
 		OnResult: func(r experiments.Result) {
+			s.metrics.runsCompleted.Inc()
+			if r.Err != nil {
+				s.metrics.runsFailed.Inc()
+			}
 			c.mu.Lock()
 			c.completed++
 			if r.Err != nil {
@@ -377,7 +415,19 @@ func (s *Server) runCampaign(c *campaign) {
 
 	var sealErr error
 	if report != nil {
-		sealErr = sealCampaign(c, report)
+		// Profile artifacts land in the store before sealing, so the
+		// manifest's Merkle root covers them.
+		if err := prof.stop(c.st); err != nil {
+			sealErr = err
+		} else if prof != nil && prof.cpu.Len() > 0 {
+			s.metrics.profiles.Inc()
+		}
+		prof = nil
+		if err := s.sealCampaign(c, report); err != nil {
+			sealErr = errors.Join(sealErr, err)
+		}
+	} else {
+		prof.abort()
 	}
 	final := StateDone
 	switch {
@@ -385,6 +435,14 @@ func (s *Server) runCampaign(c *campaign) {
 		final = StateCancelled
 	case runErr != nil || sealErr != nil:
 		final = StateFailed
+	}
+	switch final {
+	case StateDone:
+		s.metrics.finishedDone.Inc()
+	case StateFailed:
+		s.metrics.finishedFailed.Inc()
+	case StateCancelled:
+		s.metrics.finishedCancelled.Inc()
 	}
 	c.mu.Lock()
 	c.cancelRun = nil
@@ -398,9 +456,11 @@ func (s *Server) runCampaign(c *campaign) {
 
 // sealCampaign writes the run directory through the shared artifact
 // pipeline — experiments artifacts, the embedded scenario for
-// scenario campaigns, then the digest manifest last so the Merkle
-// root covers every blob. Byte-identical to `ethrepro -out`.
-func sealCampaign(c *campaign, report *experiments.Report) error {
+// scenario campaigns, the opt-in telemetry record, then the digest
+// manifest last so the Merkle root covers every blob. Byte-identical
+// to `ethrepro -out` (telemetry and profiles aside, which the golden
+// gate runs without).
+func (s *Server) sealCampaign(c *campaign, report *experiments.Report) error {
 	if err := experiments.WriteArtifacts(c.st, report); err != nil {
 		return err
 	}
@@ -409,6 +469,14 @@ func sealCampaign(c *campaign, report *experiments.Report) error {
 			return err
 		}
 	} else if err := c.st.Delete(scenario.ArtifactFile); err != nil {
+		return err
+	}
+	if s.cfg.Telemetry {
+		tel := experiments.BuildTelemetry(report, obs.Default.Take(experiments.ReportSeeds(report)))
+		if err := experiments.WriteTelemetry(c.st, tel); err != nil {
+			return err
+		}
+	} else if err := c.st.Delete(experiments.TelemetryFile); err != nil {
 		return err
 	}
 	if err := experiments.WriteManifest(c.st, report); err != nil {

@@ -65,6 +65,73 @@ type Handler interface {
 	HandleEvent(now Time, a, b uint64)
 }
 
+// EventNamer is optionally implemented by Handlers to label their
+// opcodes in traces ("deliver", "announce", ...). Tracing falls back
+// to the handler's type name and numeric opcode otherwise.
+type EventNamer interface {
+	EventName(op uint64) string
+}
+
+// EventClass partitions dispatched events by scheduling path, the
+// coarse axis every trace is bucketed on.
+type EventClass uint8
+
+// Event classes.
+const (
+	// EventFunc is a closure scheduled via Schedule/ScheduleAt.
+	EventFunc EventClass = iota
+	// EventCall is a typed Handler invocation (ScheduleCall).
+	EventCall
+	// EventTimer is a Timer occurrence.
+	EventTimer
+)
+
+// String names the class.
+func (c EventClass) String() string {
+	switch c {
+	case EventFunc:
+		return "func"
+	case EventCall:
+		return "call"
+	case EventTimer:
+		return "timer"
+	default:
+		return "unknown"
+	}
+}
+
+// Probe observes event dispatch. A probe is strictly passive: it runs
+// after the event's callback, consumes no simulation RNG, and cannot
+// reorder or reschedule anything — attaching one never changes a
+// seeded run's artifacts. h and op are set only for EventCall
+// dispatches (the Handler and its first argument); wall is the
+// callback's wall-clock cost. Probes are invoked from the engine's
+// single execution goroutine.
+type Probe interface {
+	Dispatch(now Time, class EventClass, h Handler, op uint64, wall time.Duration)
+}
+
+// EngineStats is the always-on engine snapshot: a handful of counters
+// the engine maintains regardless of tracing, cheap enough to read
+// mid-run. Every field is a pure function of the simulation (no wall
+// time), so stats are byte-identical across repeated seeded runs.
+type EngineStats struct {
+	// Now is the current virtual time.
+	Now Time
+	// Processed counts executed events.
+	Processed uint64
+	// Pending counts scheduled, not yet executed events.
+	Pending int
+	// MaxPending is the queue-depth high-water mark.
+	MaxPending int
+	// Slots is the allocated slot-arena capacity (live + free), the
+	// engine's memory footprint in event slots.
+	Slots int
+	// Scheduled counts every enqueue (Schedule, ScheduleCall and Timer
+	// resets alike): the global sequence counter.
+	Scheduled uint64
+}
+
 // slot is one event's inline storage. Slots live in a free-listed
 // arena; the heap orders slot indices, so scheduling an event
 // allocates nothing once the arena has warmed up.
@@ -90,13 +157,15 @@ type slot struct {
 // regardless of heap shape. The 4-ary layout halves tree depth versus
 // a binary heap and keeps parent/child slots on fewer cache lines.
 type Engine struct {
-	now     Time
-	slots   []slot
-	free    []int32
-	heap    []int32
-	seq     uint64
-	stopped bool
-	ran     uint64
+	now        Time
+	slots      []slot
+	free       []int32
+	heap       []int32
+	seq        uint64
+	stopped    bool
+	ran        uint64
+	maxPending int
+	probe      Probe
 }
 
 // NewEngine creates an engine with the clock at zero.
@@ -114,6 +183,23 @@ func (e *Engine) Processed() uint64 { return e.ran }
 
 // Pending returns the number of scheduled, not yet executed events.
 func (e *Engine) Pending() int { return len(e.heap) }
+
+// Stats snapshots the always-on engine counters.
+func (e *Engine) Stats() EngineStats {
+	return EngineStats{
+		Now:        e.now,
+		Processed:  e.ran,
+		Pending:    len(e.heap),
+		MaxPending: e.maxPending,
+		Slots:      len(e.slots),
+		Scheduled:  e.seq,
+	}
+}
+
+// SetProbe attaches (or with nil, detaches) a dispatch probe. The
+// disabled path costs one nil check per event; see docs/OBSERVABILITY.md
+// for the determinism contract.
+func (e *Engine) SetProbe(p Probe) { e.probe = p }
 
 // acquire returns a free slot index, growing the arena when the free
 // list is empty.
@@ -153,6 +239,9 @@ func (e *Engine) less(i, j int32) bool {
 // push appends slot i to the heap and restores the heap invariant.
 func (e *Engine) push(i int32) {
 	e.heap = append(e.heap, i)
+	if len(e.heap) > e.maxPending {
+		e.maxPending = len(e.heap)
+	}
 	e.slots[i].pos = int32(len(e.heap) - 1)
 	e.siftUp(int32(len(e.heap) - 1))
 }
@@ -315,6 +404,10 @@ func (e *Engine) step() bool {
 	e.ran++
 	fn, h, a, b, t := s.fn, s.h, s.a, s.b, s.timer
 	e.release(i)
+	if e.probe != nil {
+		e.dispatchProbed(fn, h, a, b, t)
+		return true
+	}
 	switch {
 	case t != nil:
 		// Mark the timer idle before the callback so the callback can
@@ -328,6 +421,26 @@ func (e *Engine) step() bool {
 		h.HandleEvent(e.now, a, b)
 	}
 	return true
+}
+
+// dispatchProbed is the traced twin of step's dispatch switch: same
+// callback order, plus wall timing and a probe notification after the
+// callback. Kept out of step so the untraced hot path stays compact.
+func (e *Engine) dispatchProbed(fn Event, h Handler, a, b uint64, t *Timer) {
+	start := time.Now()
+	class := EventFunc
+	switch {
+	case t != nil:
+		class = EventTimer
+		t.slot = -1
+		t.fn(e.now)
+	case fn != nil:
+		fn(e.now)
+	case h != nil:
+		class = EventCall
+		h.HandleEvent(e.now, a, b)
+	}
+	e.probe.Dispatch(e.now, class, h, a, time.Since(start))
 }
 
 // Run executes events until the queue drains or Stop is called.
