@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test test-full test-faults test-relay test-server test-obs fuzz race bench bench-smoke bench-compare bench-baseline fmt fmt-check vet examples examples-full validate-scenarios
+.PHONY: build test test-full test-faults test-relay test-server test-obs test-stress fuzz race bench bench-smoke bench-compare bench-baseline bench-stress fmt fmt-check vet examples examples-full validate-scenarios
 
 build:
 	$(GO) build ./...
@@ -60,10 +60,20 @@ test-obs:
 	$(GO) test -race -run 'Metrics|SSE|Healthz|PProf|Profile|Telemetry|RetryAfter|Backpressure' -v ./internal/server/
 	$(GO) test -run 'Telemetry|Trace' -v ./cmd/ethrepro/ ./cmd/ethanalyze/
 
+# Scale gate for the struct-of-arrays node core. Short tier: the
+# 10k-node bytes-per-node heap ceiling. Full tier: the 100k-node
+# scenario at its full size, byte-identical at -parallel 1 vs 8
+# (opt-in via STRESS100K, which this target sets), plus the committed
+# BenchmarkStress100k figures (BENCH_stress.json provenance).
+test-stress:
+	$(GO) test -run TestBytesPerNodeCeiling -v ./internal/p2p/
+	STRESS100K=1 $(GO) test -run TestGoldenStress100kParallelInvariance -v -timeout 45m ./internal/experiments
+
 # Fuzz lane: run every fuzz target for a bounded burst on top of the
 # committed seed corpora (which already execute as regular tests).
 fuzz:
 	$(GO) test -fuzz FuzzCompactReconstruct -fuzztime 30s ./internal/p2p/relay/
+	$(GO) test -fuzz FuzzAdjacencyChurn -fuzztime 30s ./internal/p2p/
 	$(GO) test -fuzz FuzzScenarioParse -fuzztime 30s ./internal/scenario/
 	$(GO) test -fuzz FuzzSweepExpand -fuzztime 30s ./internal/scenario/
 
@@ -98,6 +108,16 @@ bench-baseline:
 	$(GO) test -bench=. -benchmem -benchtime=1x -run='^$$' . > "$$tmp"; \
 	$(GO) run ./cmd/benchjson -note "$(BENCH_NOTE)" < "$$tmp" > BENCH_baseline.json; \
 	echo "wrote BENCH_baseline.json"
+
+# Regenerate the committed 100k-tier snapshot (BenchmarkStress100k:
+# events/sec and bytes/node for the full stress-100k scenario). Run on
+# a quiet machine; the figures are provenance for the scale tier, not
+# a CI gate.
+bench-stress:
+	@set -e; tmp=$$(mktemp); trap 'rm -f "$$tmp"' EXIT; \
+	STRESS100K=1 $(GO) test -bench BenchmarkStress100k -benchmem -benchtime=1x -run='^$$' -timeout 30m . > "$$tmp"; \
+	$(GO) run ./cmd/benchjson -note "$(BENCH_NOTE)" < "$$tmp" > BENCH_stress.json; \
+	echo "wrote BENCH_stress.json"
 
 # Build and execute every example program, downscaled (-short): each
 # is a documented entry point, so CI proves they all still run.

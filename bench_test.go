@@ -11,10 +11,12 @@ package repro
 
 import (
 	"context"
+	"os"
 	"testing"
 
 	"repro/internal/experiments"
 	"repro/internal/obs"
+	"repro/internal/scenario"
 	"repro/internal/sim"
 )
 
@@ -252,6 +254,49 @@ func BenchmarkCompactRelaySpread(b *testing.B) {
 // analysis end to end.
 func BenchmarkCrashRecoverSpread(b *testing.B) {
 	benchOutcome(b, "D1", "healthy_median_ms", "faulted_median_ms", "availability")
+}
+
+// BenchmarkStress100k runs the full 100,000-node scenario
+// (examples/scenarios/stress-100k.json) end to end and reports engine
+// throughput and the peak-heap cost per node — the headline figures
+// of the struct-of-arrays node core, committed in BENCH_stress.json
+// (`make bench-stress` regenerates it). A full campaign costs minutes,
+// so the benchmark is opt-in via STRESS100K, like the golden stress
+// tier; `make bench` and bench-compare skip it.
+func BenchmarkStress100k(b *testing.B) {
+	if os.Getenv("STRESS100K") == "" {
+		b.Skip("set STRESS100K=1 (make bench-stress) to run the 100k tier")
+	}
+	set, err := scenario.Load("examples/scenarios/stress-100k.json")
+	if err != nil {
+		b.Fatal(err)
+	}
+	specs, err := set.Compile()
+	if err != nil {
+		b.Fatal(err)
+	}
+	obs.Default.EnableTelemetry()
+	defer obs.Default.Disable()
+	for i := 0; i < b.N; i++ {
+		report, err := experiments.Run(context.Background(), specs, experiments.RunnerConfig{
+			Seed:  benchSeed(i),
+			Scale: experiments.ScaleMedium, // the file's literal 100k sizing
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		taken := obs.Default.Take(experiments.ReportSeeds(report))
+		if i == b.N-1 {
+			var peak obs.RunTelemetry
+			for _, rt := range taken {
+				if rt.Nodes > peak.Nodes {
+					peak = rt
+				}
+			}
+			b.ReportMetric(peak.EventsPerSec(), "events/sec")
+			b.ReportMetric(peak.BytesPerNode(), "bytes/node")
+		}
+	}
 }
 
 // BenchmarkCampaignRunner measures the parallel campaign runner

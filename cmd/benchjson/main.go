@@ -7,23 +7,25 @@
 //
 //	go test -bench=. -benchmem -benchtime=1x -run='^$' . | benchjson -note "..." > BENCH_baseline.json
 //
-// Compare mode diffs two snapshots and fails on ns/op or allocs/op
-// regressions — the Makefile's bench-compare target and the CI perf
-// gate:
+// Compare mode diffs two snapshots and fails on ns/op, B/op or
+// allocs/op regressions — the Makefile's bench-compare target and the
+// CI perf gate:
 //
 //	benchjson -compare [-threshold 0.20] old.json new.json
 //
 // Exit status is non-zero when any benchmark present in both files
 // regressed by more than the threshold (default 20%). Improvements
 // and new benchmarks never fail; benchmarks missing from the new
-// snapshot are reported as a warning. Two noise floors keep the gate
-// stable: ns/op regressions on baselines under -floor nanoseconds
-// (default 1 ms) and allocs/op regressions on baselines under
-// -alloc-floor allocations (default 100) are reported but never fail —
-// at -benchtime=1x a microsecond- or few-alloc-scale measurement is
-// dominated by scheduler and one-time-init noise, and a fixed
-// percentage threshold on it only produces flaky gates. Legacy
-// snapshots (a bare entry array, the pre-note format) still load.
+// snapshot are reported as a warning. Three noise floors keep the
+// gate stable: ns/op regressions on baselines under -floor
+// nanoseconds (default 1 ms), B/op regressions on baselines under
+// -bytes-floor bytes (default 64 KiB) and allocs/op regressions on
+// baselines under -alloc-floor allocations (default 100) are reported
+// but never fail — at -benchtime=1x a microsecond-, few-alloc- or
+// few-KiB-scale measurement is dominated by scheduler and
+// one-time-init noise, and a fixed percentage threshold on it only
+// produces flaky gates. Legacy snapshots (a bare entry array, the
+// pre-note format) still load.
 package main
 
 import (
@@ -60,6 +62,7 @@ func main() {
 		threshold  = flag.Float64("threshold", 0.20, "maximum tolerated fractional ns/op or allocs/op regression in -compare mode")
 		floor      = flag.Float64("floor", 1e6, "baseline ns/op below which regressions are reported but never fail (noise floor)")
 		allocFloor = flag.Float64("alloc-floor", 100, "baseline allocs/op below which allocation regressions are reported but never fail")
+		bytesFloor = flag.Float64("bytes-floor", 64*1024, "baseline B/op below which byte regressions are reported but never fail")
 		note       = flag.String("note", "", "provenance note recorded in the snapshot")
 	)
 	flag.Parse()
@@ -68,7 +71,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "benchjson: -compare needs exactly two snapshot files (old.json new.json)")
 			os.Exit(2)
 		}
-		ok, err := runCompare(os.Stdout, flag.Arg(0), flag.Arg(1), *threshold, *floor, *allocFloor)
+		ok, err := runCompare(os.Stdout, flag.Arg(0), flag.Arg(1), *threshold, *floor, *allocFloor, *bytesFloor)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "benchjson:", err)
 			os.Exit(2)
@@ -118,12 +121,12 @@ func loadSnapshot(path string) (map[string]Entry, error) {
 	return byName, nil
 }
 
-// runCompare diffs new against old on ns/op and allocs/op, printing
-// one line per shared benchmark and metric. It reports ok=false when
-// any regression exceeds threshold on a benchmark whose baseline is at
-// or above the metric's noise floor; sub-floor regressions are flagged
-// NOISE and never fail.
-func runCompare(w io.Writer, oldPath, newPath string, threshold, floor, allocFloor float64) (bool, error) {
+// runCompare diffs new against old on ns/op, B/op and allocs/op,
+// printing one line per shared benchmark and metric. It reports
+// ok=false when any regression exceeds threshold on a benchmark whose
+// baseline is at or above the metric's noise floor; sub-floor
+// regressions are flagged NOISE and never fail.
+func runCompare(w io.Writer, oldPath, newPath string, threshold, floor, allocFloor, bytesFloor float64) (bool, error) {
 	oldBy, err := loadSnapshot(oldPath)
 	if err != nil {
 		return false, err
@@ -164,6 +167,18 @@ func runCompare(w io.Writer, oldPath, newPath string, threshold, floor, allocFlo
 		if okOld && okNew && oldNs > 0 {
 			diff(name, "ns/op", oldNs, newNs, floor)
 		}
+		oldBytes, okOld := oldE.Metrics["B/op"]
+		newBytes, okNew := newE.Metrics["B/op"]
+		switch {
+		case !okOld || !okNew:
+			// Legacy baseline without -benchmem: nothing to gate.
+		case oldBytes > 0:
+			diff(name, "B/op", oldBytes, newBytes, bytesFloor)
+		case newBytes >= bytesFloor:
+			// A zero-byte benchmark started allocating materially.
+			regressions++
+			fmt.Fprintf(w, "REGR  %-36s %14.0f -> %14.0f B/op\n", name, oldBytes, newBytes)
+		}
 		oldAllocs, okOld := oldE.Metrics["allocs/op"]
 		newAllocs, okNew := newE.Metrics["allocs/op"]
 		switch {
@@ -182,7 +197,7 @@ func runCompare(w io.Writer, oldPath, newPath string, threshold, floor, allocFlo
 			regressions, threshold*100, oldPath)
 		return false, nil
 	}
-	fmt.Fprintf(w, "\nno ns/op or allocs/op regression beyond %.0f%% vs %s\n", threshold*100, oldPath)
+	fmt.Fprintf(w, "\nno ns/op, B/op or allocs/op regression beyond %.0f%% vs %s\n", threshold*100, oldPath)
 	return true, nil
 }
 

@@ -90,7 +90,7 @@ func TestCompareMode(t *testing.T) {
 		{Name: "BenchmarkNew", Metrics: map[string]float64{"ns/op": 9}},
 	})
 	var out strings.Builder
-	ok, err := runCompare(&out, old, within, 0.20, 0, 0)
+	ok, err := runCompare(&out, old, within, 0.20, 0, 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -107,7 +107,7 @@ func TestCompareMode(t *testing.T) {
 		{Name: "BenchmarkB", Metrics: map[string]float64{"ns/op": 900}},
 	})
 	out.Reset()
-	ok, err = runCompare(&out, old, regressed, 0.20, 0, 0)
+	ok, err = runCompare(&out, old, regressed, 0.20, 0, 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -120,7 +120,7 @@ func TestCompareMode(t *testing.T) {
 
 	// A wider threshold tolerates the same delta.
 	out.Reset()
-	ok, err = runCompare(&out, old, regressed, 0.50, 0, 0)
+	ok, err = runCompare(&out, old, regressed, 0.50, 0, 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -142,7 +142,7 @@ func TestCompareNoiseFloor(t *testing.T) {
 		{Name: "BenchmarkMacro", Metrics: map[string]float64{"ns/op": 5.5e8}},  // +10%, fine
 	})
 	var out strings.Builder
-	ok, err := runCompare(&out, old, noisy, 0.20, 1e6, 0)
+	ok, err := runCompare(&out, old, noisy, 0.20, 1e6, 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -159,7 +159,7 @@ func TestCompareNoiseFloor(t *testing.T) {
 		{Name: "BenchmarkMacro", Metrics: map[string]float64{"ns/op": 7e8}}, // +40%
 	})
 	out.Reset()
-	ok, err = runCompare(&out, old, slowMacro, 0.20, 1e6, 0)
+	ok, err = runCompare(&out, old, slowMacro, 0.20, 1e6, 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -185,7 +185,7 @@ func TestCompareAllocs(t *testing.T) {
 		{Name: "BenchmarkTiny", Metrics: map[string]float64{"ns/op": 5e8, "allocs/op": 8}},
 	})
 	var out strings.Builder
-	ok, err := runCompare(&out, old, moreAllocs, 0.20, 1e6, 100)
+	ok, err := runCompare(&out, old, moreAllocs, 0.20, 1e6, 100, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -204,7 +204,7 @@ func TestCompareAllocs(t *testing.T) {
 		{Name: "BenchmarkTiny", Metrics: map[string]float64{"ns/op": 5e8, "allocs/op": 20}}, // +150%, under floor
 	})
 	out.Reset()
-	ok, err = runCompare(&out, old, noisy, 0.20, 1e6, 100)
+	ok, err = runCompare(&out, old, noisy, 0.20, 1e6, 100, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -218,12 +218,71 @@ func TestCompareAllocs(t *testing.T) {
 		{Name: "BenchmarkTiny", Metrics: map[string]float64{"ns/op": 5e8, "allocs/op": 8}},
 	})
 	out.Reset()
-	ok, err = runCompare(&out, old, brokeZero, 0.20, 1e6, 100)
+	ok, err = runCompare(&out, old, brokeZero, 0.20, 1e6, 100, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if ok {
 		t.Fatalf("zero-alloc benchmark started allocating and passed:\n%s", out.String())
+	}
+}
+
+// TestCompareBytes: B/op is gated like allocs/op — its own noise
+// floor, sub-floor churn is noise, and a zero-byte benchmark that
+// starts allocating at or above the floor fails.
+func TestCompareBytes(t *testing.T) {
+	old := writeSnapshot(t, []Entry{
+		{Name: "BenchmarkHot", Metrics: map[string]float64{"ns/op": 5e8, "B/op": 1 << 20}},
+		{Name: "BenchmarkZero", Metrics: map[string]float64{"ns/op": 5e8, "B/op": 0}},
+		{Name: "BenchmarkTiny", Metrics: map[string]float64{"ns/op": 5e8, "B/op": 2048}},
+	})
+
+	// Byte regression on the hot path fails even with ns/op flat.
+	moreBytes := writeSnapshot(t, []Entry{
+		{Name: "BenchmarkHot", Metrics: map[string]float64{"ns/op": 5e8, "B/op": 1 << 21}}, // 2x
+		{Name: "BenchmarkZero", Metrics: map[string]float64{"ns/op": 5e8, "B/op": 0}},
+		{Name: "BenchmarkTiny", Metrics: map[string]float64{"ns/op": 5e8, "B/op": 2048}},
+	})
+	var out strings.Builder
+	ok, err := runCompare(&out, old, moreBytes, 0.20, 1e6, 100, 64*1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatalf("B/op regression slipped through:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "B/op") {
+		t.Errorf("report does not name B/op:\n%s", out.String())
+	}
+
+	// Sub-floor byte counts are noise; a formerly-zero-byte benchmark
+	// fails once it allocates at or above the floor.
+	noisy := writeSnapshot(t, []Entry{
+		{Name: "BenchmarkHot", Metrics: map[string]float64{"ns/op": 5e8, "B/op": 1.1 * (1 << 20)}},
+		{Name: "BenchmarkZero", Metrics: map[string]float64{"ns/op": 5e8, "B/op": 128}},
+		{Name: "BenchmarkTiny", Metrics: map[string]float64{"ns/op": 5e8, "B/op": 8192}}, // +300%, under floor
+	})
+	out.Reset()
+	ok, err = runCompare(&out, old, noisy, 0.20, 1e6, 100, 64*1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatalf("sub-floor byte noise failed the gate:\n%s", out.String())
+	}
+
+	brokeZero := writeSnapshot(t, []Entry{
+		{Name: "BenchmarkHot", Metrics: map[string]float64{"ns/op": 5e8, "B/op": 1 << 20}},
+		{Name: "BenchmarkZero", Metrics: map[string]float64{"ns/op": 5e8, "B/op": 128 * 1024}},
+		{Name: "BenchmarkTiny", Metrics: map[string]float64{"ns/op": 5e8, "B/op": 2048}},
+	})
+	out.Reset()
+	ok, err = runCompare(&out, old, brokeZero, 0.20, 1e6, 100, 64*1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatalf("zero-byte benchmark started allocating and passed:\n%s", out.String())
 	}
 }
 

@@ -1,0 +1,57 @@
+// Stress100k: run the 100,000-node overlay scenario
+// (examples/scenarios/stress-100k.json) end to end — the scale target
+// of the struct-of-arrays node core. Full mode executes the complete
+// 100k-node campaign in single-digit minutes; -short runs the
+// scenario's downscaled small variant so `make examples` stays fast.
+//
+//	go run ./examples/stress100k [-short]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/scenario"
+)
+
+// short runs the scenario's small-scale (50-node) variant.
+var short = flag.Bool("short", false, "run the downscaled smoke variant")
+
+func main() {
+	flag.Parse()
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	set, err := scenario.Load("examples/scenarios/stress-100k.json")
+	if err != nil {
+		return err
+	}
+	specs, err := set.Compile()
+	if err != nil {
+		return err
+	}
+	scale := experiments.ScaleMedium // the file's literal 100k sizing
+	if *short {
+		scale = experiments.ScaleSmall
+	}
+	fmt.Printf("running %s at scale %s...\n", set.Base.Name, scale)
+	start := time.Now()
+	report, err := experiments.Run(context.Background(), specs, experiments.RunnerConfig{
+		Seed:  42,
+		Scale: scale,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("completed in %s\n\n", time.Since(start).Round(time.Millisecond))
+	fmt.Print(report.RenderOutcomes())
+	fmt.Print(report.RenderSummary())
+	return nil
+}

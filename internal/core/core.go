@@ -171,12 +171,19 @@ type CampaignResult struct {
 
 // Campaign is a configured, runnable measurement campaign.
 type Campaign struct {
-	cfg      CampaignConfig
-	engine   *sim.Engine
-	rng      *sim.RNG
-	network  *p2p.Network
-	byRegn   map[geo.Region][]*p2p.Node
-	gateways map[string]map[geo.Region]*p2p.Node
+	cfg     CampaignConfig
+	engine  *sim.Engine
+	rng     *sim.RNG
+	network *p2p.Network
+	// byRegn indexes overlay nodes by region (regions are a dense
+	// 1-based enum; slot 0 stays empty).
+	byRegn [geo.NumRegions + 1][]*p2p.Node
+	// poolIdx interns pool names to dense indices into gateways; each
+	// pool's gateways are a region-indexed array. The block-injection
+	// hot path resolves (pool, region) with one map probe and one array
+	// read instead of two map lookups.
+	poolIdx  map[string]int32
+	gateways [][geo.NumRegions + 1]*p2p.Node
 	miners   *mining.Simulator
 	txPool   *chain.TxPool
 	gen      *txgen.Generator
@@ -207,7 +214,6 @@ func NewCampaign(cfg CampaignConfig) (*Campaign, error) {
 		cfg:    cfg,
 		engine: engine,
 		rng:    rootRNG,
-		byRegn: make(map[geo.Region][]*p2p.Node),
 		// Observability reads engine counters and wall clocks only —
 		// it touches no RNG, so a traced campaign replays the untraced
 		// one byte for byte. A nil scope (collection disabled) is
@@ -280,9 +286,9 @@ func NewCampaign(cfg CampaignConfig) (*Campaign, error) {
 	if gatewayPeers < 2*cfg.Degree {
 		gatewayPeers = 2 * cfg.Degree
 	}
-	c.gateways = make(map[string]map[geo.Region]*p2p.Node)
+	c.poolIdx = make(map[string]int32, len(cfg.Mining.Pools))
 	for _, pool := range cfg.Mining.Pools {
-		perRegion := make(map[geo.Region]*p2p.Node, len(pool.GatewayRegions))
+		var perRegion [geo.NumRegions + 1]*p2p.Node
 		for _, r := range pool.GatewayRegions {
 			gw, err := c.network.AddNode(r, 0)
 			if err != nil {
@@ -293,7 +299,8 @@ func NewCampaign(cfg CampaignConfig) (*Campaign, error) {
 			}
 			perRegion[r] = gw
 		}
-		c.gateways[pool.Name] = perRegion
+		c.poolIdx[pool.Name] = int32(len(c.gateways))
+		c.gateways = append(c.gateways, perRegion)
 	}
 
 	// Fault injection. The RNG fork happens only when faults are
@@ -308,7 +315,7 @@ func NewCampaign(cfg CampaignConfig) (*Campaign, error) {
 		}
 		for _, pool := range cfg.Mining.Pools {
 			for _, r := range pool.GatewayRegions {
-				if gw, ok := c.gateways[pool.Name][r]; ok {
+				if gw := c.gateways[c.poolIdx[pool.Name]][r]; gw != nil {
 					protected = append(protected, gw)
 				}
 			}
@@ -386,8 +393,8 @@ func (c *Campaign) submitTx(now sim.Time, tx *types.Transaction, origin geo.Regi
 // injectBlock publishes a freshly mined block at the producing pool's
 // gateway node for the chosen region.
 func (c *Campaign) injectBlock(ev mining.BlockEvent) {
-	if perRegion, ok := c.gateways[ev.Pool]; ok {
-		if gw, ok := perRegion[ev.Gateway]; ok {
+	if pi, ok := c.poolIdx[ev.Pool]; ok && ev.Gateway >= 1 && ev.Gateway <= geo.NumRegions {
+		if gw := c.gateways[pi][ev.Gateway]; gw != nil {
 			gw.InjectBlock(ev.Now, ev.Block)
 			return
 		}
@@ -402,7 +409,10 @@ func (c *Campaign) injectBlock(ev mining.BlockEvent) {
 // regionNode picks a random overlay node in a region (any region's
 // node when that region hosts none).
 func (c *Campaign) regionNode(r geo.Region) *p2p.Node {
-	nodes := c.byRegn[r]
+	var nodes []*p2p.Node
+	if r >= 1 && r <= geo.NumRegions {
+		nodes = c.byRegn[r]
+	}
 	if len(nodes) == 0 {
 		all := c.network.Nodes()
 		if len(all) == 0 {
@@ -435,6 +445,7 @@ func (c *Campaign) Run() (*CampaignResult, error) {
 		Messages: c.network.MessagesSent,
 		Bytes:    c.network.BytesSent,
 		Dropped:  c.network.MessagesDropped,
+		Nodes:    c.network.Len(),
 	})
 
 	var (

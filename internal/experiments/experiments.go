@@ -32,6 +32,11 @@ const (
 	// paper's sizing (10k nodes on the network experiments) to
 	// exercise the hot path at the limit of the hardware.
 	ScaleStress
+	// ScaleStress100k is the flat-layout tier: a 100k-node overlay
+	// (mainnet-order peer count) over a short block horizon. Viable
+	// because per-node state is struct-of-arrays and dedup is bit
+	// tables — see docs/PERFORMANCE.md, "Memory layout".
+	ScaleStress100k
 )
 
 // ParseScale parses a scale name as accepted by the CLIs.
@@ -45,8 +50,10 @@ func ParseScale(s string) (Scale, error) {
 		return ScalePaper, nil
 	case "stress":
 		return ScaleStress, nil
+	case "stress100k":
+		return ScaleStress100k, nil
 	default:
-		return 0, fmt.Errorf("unknown scale %q (small|medium|paper|stress)", s)
+		return 0, fmt.Errorf("unknown scale %q (small|medium|paper|stress|stress100k)", s)
 	}
 }
 
@@ -61,6 +68,8 @@ func (s Scale) String() string {
 		return "paper"
 	case ScaleStress:
 		return "stress"
+	case ScaleStress100k:
+		return "stress100k"
 	default:
 		return "unknown"
 	}
@@ -91,6 +100,11 @@ func networkScale(sc Scale) (nodes int, blocks uint64, peers int) {
 		// event engine holds this in memory because measurement is
 		// streaming and per-node caches are bounded.
 		return 10_000, 200, 0
+	case ScaleStress100k:
+		// Mainnet-order overlay over a short horizon. Measurement
+		// peering is capped (not "unlimited") so vantage reception
+		// volume stays bounded while the overlay does the scaling.
+		return 100_000, 40, 2000
 	default:
 		return 250, 150, 0
 	}
@@ -99,7 +113,7 @@ func networkScale(sc Scale) (nodes int, blocks uint64, peers int) {
 // chainScale returns chain-only block counts per scale.
 func chainScale(sc Scale) uint64 {
 	switch sc {
-	case ScaleMedium, ScalePaper, ScaleStress:
+	case ScaleMedium, ScalePaper, ScaleStress, ScaleStress100k:
 		return 201_086 // the paper's one-month main-chain length
 	default:
 		return 20_000
@@ -114,7 +128,7 @@ func wholeChainScale(sc Scale) uint64 {
 		return 1_000_000
 	case ScalePaper:
 		return 7_680_658
-	case ScaleStress:
+	case ScaleStress, ScaleStress100k:
 		return 2_000_000
 	default:
 		return 100_000
@@ -246,7 +260,9 @@ func workloadCampaign(seed uint64, sc Scale, mutate func(*mining.Config)) (*core
 	case ScalePaper:
 		cfg.NetworkNodes = 400
 		cfg.Blocks = 800
-	case ScaleStress:
+	case ScaleStress, ScaleStress100k:
+		// The workload tier measures commit latency, not overlay
+		// scale; the 100k tier stresses the network experiments only.
 		cfg.NetworkNodes = 1000
 		cfg.Blocks = 1200
 	default:

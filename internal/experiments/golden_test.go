@@ -48,10 +48,18 @@ var goldenShortScenarios = map[string]bool{
 // sealing.
 func runGolden(t *testing.T, specs []experiments.Spec, dir string, parallel int, sets []*scenario.Set) {
 	t.Helper()
+	runGoldenAt(t, specs, dir, parallel, sets, experiments.ScaleSmall, 2)
+}
+
+// runGoldenAt is runGolden with an explicit scale and repeat count —
+// the stress tier runs the 100k scenario at its full size with a
+// single repeat per parallelism setting.
+func runGoldenAt(t *testing.T, specs []experiments.Spec, dir string, parallel int, sets []*scenario.Set, scale experiments.Scale, repeats int) {
+	t.Helper()
 	report, err := experiments.Run(context.Background(), specs, experiments.RunnerConfig{
 		Seed:     goldenSeed,
-		Scale:    experiments.ScaleSmall,
-		Repeats:  2,
+		Scale:    scale,
+		Repeats:  repeats,
 		Parallel: parallel,
 	})
 	if err != nil {

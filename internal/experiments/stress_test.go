@@ -1,0 +1,38 @@
+package experiments_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/scenario"
+)
+
+// TestGoldenStress100kParallelInvariance is the full tier of `make
+// test-stress`: the shipped 100,000-node scenario
+// (examples/scenarios/stress-100k.json) at its full literal size, run
+// at -parallel 1 and 8 with byte-identical run directories required.
+// The regular golden harness already covers the same file at small
+// scale; this tier proves the struct-of-arrays core holds the
+// determinism contract at the scale it was built for. Two full 100k
+// campaigns cost several minutes, so the test is opt-in via the
+// STRESS100K environment variable (the test-stress Make target sets
+// it).
+func TestGoldenStress100kParallelInvariance(t *testing.T) {
+	if os.Getenv("STRESS100K") == "" {
+		t.Skip("set STRESS100K=1 (make test-stress) to run the full 100k invariance tier")
+	}
+	set, err := scenario.Load(filepath.Join("..", "..", "examples", "scenarios", "stress-100k.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs, err := set.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, par := filepath.Join(t.TempDir(), "p1"), filepath.Join(t.TempDir(), "p8")
+	runGoldenAt(t, specs, seq, 1, []*scenario.Set{set}, experiments.ScaleMedium, 1)
+	runGoldenAt(t, specs, par, 8, []*scenario.Set{set}, experiments.ScaleMedium, 1)
+	assertDirsIdentical(t, seq, par)
+}

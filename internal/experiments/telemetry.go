@@ -49,6 +49,13 @@ type TelemetryRow struct {
 	Messages uint64 `json:"messages"`
 	Bytes    uint64 `json:"bytes"`
 	Dropped  uint64 `json:"dropped"`
+	// PeakHeapBytes is the largest live-heap reading across the run's
+	// engines; Nodes the largest overlay size; BytesPerNode their
+	// ratio (zero for chain-only runs) — the telemetry counterpart of
+	// the bytes-per-node ceiling test (docs/PERFORMANCE.md).
+	PeakHeapBytes uint64  `json:"peak_heap_bytes,omitempty"`
+	Nodes         int     `json:"nodes,omitempty"`
+	BytesPerNode  float64 `json:"bytes_per_node,omitempty"`
 	// Kinds is the per-event-kind dispatch profile (tracing runs
 	// only).
 	Kinds []obs.KindStats `json:"kinds,omitempty"`
@@ -108,6 +115,9 @@ func BuildTelemetry(r *Report, taken map[uint64]obs.RunTelemetry) *Telemetry {
 			row.Messages = rt.Messages
 			row.Bytes = rt.Bytes
 			row.Dropped = rt.Dropped
+			row.PeakHeapBytes = rt.PeakHeapBytes
+			row.Nodes = rt.Nodes
+			row.BytesPerNode = rt.BytesPerNode()
 			row.Kinds = rt.Kinds
 		}
 		tel.Runs = append(tel.Runs, row)
@@ -139,12 +149,13 @@ func ReadTelemetry(st store.Store) (*Telemetry, error) {
 func RenderTelemetry(tel *Telemetry) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Run telemetry — %s, %d run(s)\n", tel.Process.GoVersion, len(tel.Runs))
-	fmt.Fprintf(&b, "  %-10s %3s %12s %12s %10s %10s %9s %12s\n",
-		"spec", "rep", "events", "events/s", "peak q", "sim s", "wall s", "msgs")
+	fmt.Fprintf(&b, "  %-10s %3s %12s %12s %10s %10s %9s %12s %10s %8s\n",
+		"spec", "rep", "events", "events/s", "peak q", "sim s", "wall s", "msgs", "heap MiB", "B/node")
 	for _, row := range tel.Runs {
-		fmt.Fprintf(&b, "  %-10s %3d %12d %12.0f %10d %10.1f %9.2f %12d\n",
+		fmt.Fprintf(&b, "  %-10s %3d %12d %12.0f %10d %10.1f %9.2f %12d %10.1f %8.0f\n",
 			row.Spec, row.Repeat, row.Events, row.EventsPerSec,
-			row.PeakQueue, float64(row.SimMS)/1e3, row.ElapsedMS/1e3, row.Messages)
+			row.PeakQueue, float64(row.SimMS)/1e3, row.ElapsedMS/1e3, row.Messages,
+			float64(row.PeakHeapBytes)/(1<<20), row.BytesPerNode)
 	}
 	fmt.Fprintf(&b, "  process: heap %.1f MiB, %d GCs (%.1f ms pause), GOMAXPROCS %d\n",
 		float64(tel.Process.HeapAllocBytes)/(1<<20), tel.Process.NumGC,

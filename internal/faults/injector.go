@@ -27,26 +27,51 @@ type Injector struct {
 	cfg    Config
 	degree int
 
+	// Per-node state lives in dense slices indexed by NodeID-1 — IDs
+	// are sequential and never reused, so a slice slot per node beats a
+	// map entry; churn joins grow the slices (see slot).
+	//
 	// protected nodes never crash or leave: measurement vantage points
 	// and pool gateways, matching the paper's always-on infrastructure.
-	protected map[p2p.NodeID]bool
-	// eligible is the index-addressed crash/leave candidate pool.
+	protected []bool
+	// eligible is the index-addressed crash/leave candidate pool; pos
+	// is each node's index into it (-1 when absent).
 	eligible []*p2p.Node
-	pos      map[p2p.NodeID]int
+	pos      []int32
 
 	// Discovery substrate for peer-table rewiring: recovered and
 	// freshly joined nodes redial through converged Kademlia tables,
-	// the way a restarted devp2p client refills its peer set.
+	// the way a restarted devp2p client refills its peer set. toDisc
+	// is dense (hasDisc marks registered nodes); fromDisc stays a map
+	// because discovery IDs are hashes, not dense indices.
 	universe *discovery.Universe
-	toDisc   map[p2p.NodeID]discovery.NodeID
+	toDisc   []discovery.NodeID
+	hasDisc  []bool
 	fromDisc map[discovery.NodeID]*p2p.Node
 
 	crashTimer *sim.Timer
 	churnTimer *sim.Timer
 	stopped    bool
 
-	downSince map[p2p.NodeID]sim.Time
+	// downSince is each node's crash start (-1 when up); downCount
+	// tracks how many are currently down.
+	downSince []sim.Time
+	downCount int
 	stats     Stats
+}
+
+// slot returns the dense index for id, growing the per-node slices to
+// cover it (churn joins allocate fresh IDs past the initial overlay).
+func (inj *Injector) slot(id p2p.NodeID) int32 {
+	i := int32(id - 1)
+	for int(i) >= len(inj.pos) {
+		inj.protected = append(inj.protected, false)
+		inj.pos = append(inj.pos, -1)
+		inj.downSince = append(inj.downSince, -1)
+		inj.toDisc = append(inj.toDisc, discovery.NodeID{})
+		inj.hasDisc = append(inj.hasDisc, false)
+	}
+	return i
 }
 
 // Typed event opcodes for HandleEvent.
@@ -73,26 +98,24 @@ func New(engine *sim.Engine, rng *sim.RNG, net *p2p.Network, cfg Config, degree 
 		degree = 1
 	}
 	inj := &Injector{
-		engine:    engine,
-		rng:       rng,
-		net:       net,
-		cfg:       cfg,
-		degree:    degree,
-		protected: make(map[p2p.NodeID]bool, len(protected)),
-		pos:       make(map[p2p.NodeID]int),
-		downSince: make(map[p2p.NodeID]sim.Time),
+		engine: engine,
+		rng:    rng,
+		net:    net,
+		cfg:    cfg,
+		degree: degree,
 	}
 	for _, n := range protected {
 		if n != nil {
-			inj.protected[n.ID()] = true
+			inj.protected[inj.slot(n.ID())] = true
 		}
 	}
 	for i := 0; i < net.Len(); i++ {
 		n := net.NodeAt(i)
-		if inj.protected[n.ID()] {
+		s := inj.slot(n.ID())
+		if inj.protected[s] {
 			continue
 		}
-		inj.pos[n.ID()] = len(inj.eligible)
+		inj.pos[s] = int32(len(inj.eligible))
 		inj.eligible = append(inj.eligible, n)
 	}
 	// The discovery universe is only needed when membership changes
@@ -114,7 +137,6 @@ func (inj *Injector) buildUniverse() error {
 		return err
 	}
 	inj.universe = u
-	inj.toDisc = make(map[p2p.NodeID]discovery.NodeID, inj.net.Len())
 	inj.fromDisc = make(map[discovery.NodeID]*p2p.Node, inj.net.Len())
 	for i := 0; i < inj.net.Len(); i++ {
 		n := inj.net.NodeAt(i)
@@ -131,7 +153,9 @@ func (inj *Injector) joinUniverse(n *p2p.Node) error {
 	if err := inj.universe.Join(id); err != nil {
 		return err
 	}
-	inj.toDisc[n.ID()] = id
+	s := inj.slot(n.ID())
+	inj.toDisc[s] = id
+	inj.hasDisc[s] = true
 	inj.fromDisc[id] = n
 	return nil
 }
@@ -194,7 +218,8 @@ func (inj *Injector) crashTick(now sim.Time) {
 func (inj *Injector) crash(now sim.Time, victim *p2p.Node) {
 	inj.net.CrashNode(victim)
 	inj.removeEligible(victim)
-	inj.downSince[victim.ID()] = now
+	inj.downSince[inj.slot(victim.ID())] = now
+	inj.downCount++
 	inj.stats.Crashes++
 	down := inj.interval(inj.cfg.Crash.MeanDowntime)
 	inj.engine.ScheduleCall(down, inj, opRecover, uint64(victim.ID()))
@@ -227,9 +252,10 @@ func (inj *Injector) recover(now sim.Time, n *p2p.Node) {
 	}
 	inj.net.RecoverNode(n)
 	inj.stats.Recoveries++
-	if since, ok := inj.downSince[n.ID()]; ok {
-		inj.stats.CrashDowntime += now - since
-		delete(inj.downSince, n.ID())
+	if s := inj.slot(n.ID()); inj.downSince[s] >= 0 {
+		inj.stats.CrashDowntime += now - inj.downSince[s]
+		inj.downSince[s] = -1
+		inj.downCount--
 	}
 	inj.rewire(n)
 	inj.addEligible(n)
@@ -253,8 +279,8 @@ func (inj *Injector) rewire(n *p2p.Node) {
 		}
 	}
 	if inj.universe != nil {
-		if id, ok := inj.toDisc[n.ID()]; ok {
-			peers, err := inj.universe.SamplePeers(inj.rng, id, 2*inj.degree)
+		if s := inj.slot(n.ID()); inj.hasDisc[s] {
+			peers, err := inj.universe.SamplePeers(inj.rng, inj.toDisc[s], 2*inj.degree)
 			if err == nil {
 				for _, pid := range peers {
 					if dialed >= inj.degree {
@@ -309,7 +335,7 @@ func (inj *Injector) join(now sim.Time) {
 	inj.stats.Joins++
 	if inj.universe != nil {
 		if err := inj.joinUniverse(n); err == nil {
-			id := inj.toDisc[n.ID()]
+			id := inj.toDisc[inj.slot(n.ID())]
 			table, err := inj.universe.Table(id)
 			if err == nil {
 				// Seed the newcomer with bootstrap contacts, then one
@@ -317,8 +343,8 @@ func (inj *Injector) join(now sim.Time) {
 				// sequence in miniature.
 				for s := 0; s < 3 && inj.net.Len() > 1; s++ {
 					contact := inj.net.NodeAt(inj.rng.IntN(inj.net.Len()))
-					if cid, ok := inj.toDisc[contact.ID()]; ok && cid != id {
-						_, _ = table.Add(cid)
+					if cs := inj.slot(contact.ID()); inj.hasDisc[cs] && inj.toDisc[cs] != id {
+						_, _ = table.Add(inj.toDisc[cs])
 					}
 				}
 				_, _ = inj.universe.Lookup(id, id, 3)
@@ -341,27 +367,26 @@ func (inj *Injector) leave(victim *p2p.Node) {
 // addEligible / removeEligible maintain the index-addressed candidate
 // pool (swap-delete, O(1), deterministic).
 func (inj *Injector) addEligible(n *p2p.Node) {
-	if inj.protected[n.ID()] {
+	s := inj.slot(n.ID())
+	if inj.protected[s] || inj.pos[s] >= 0 {
 		return
 	}
-	if _, ok := inj.pos[n.ID()]; ok {
-		return
-	}
-	inj.pos[n.ID()] = len(inj.eligible)
+	inj.pos[s] = int32(len(inj.eligible))
 	inj.eligible = append(inj.eligible, n)
 }
 
 func (inj *Injector) removeEligible(n *p2p.Node) {
-	i, ok := inj.pos[n.ID()]
-	if !ok {
+	s := inj.slot(n.ID())
+	i := inj.pos[s]
+	if i < 0 {
 		return
 	}
 	last := len(inj.eligible) - 1
 	moved := inj.eligible[last]
 	inj.eligible[i] = moved
-	inj.pos[moved.ID()] = i
+	inj.pos[inj.slot(moved.ID())] = i
 	inj.eligible = inj.eligible[:last]
-	delete(inj.pos, n.ID())
+	inj.pos[s] = -1
 }
 
 // FilterLink implements p2p.LinkFilter: partition cuts drop the send,
@@ -398,9 +423,11 @@ func (inj *Injector) VisibilityDeferral(now sim.Time, from, to geo.Region) sim.T
 // folded into total partition time.
 func (inj *Injector) Finalize(now sim.Time) {
 	for _, since := range inj.downSince {
-		inj.stats.CrashDowntime += now - since
+		if since >= 0 {
+			inj.stats.CrashDowntime += now - since
+		}
 	}
-	inj.stats.DownAtEnd = len(inj.downSince)
+	inj.stats.DownAtEnd = inj.downCount
 	for _, p := range inj.cfg.Partitions {
 		start, end := p.Start, p.End()
 		if end > now {

@@ -40,6 +40,9 @@ type RunSample struct {
 	Messages uint64
 	Bytes    uint64
 	Dropped  uint64
+	// Nodes is the overlay's node count (zero for chain-only runs) —
+	// the denominator for the bytes-per-node memory figure.
+	Nodes int
 }
 
 // RunTelemetry aggregates every engine run reporting under one seed —
@@ -69,6 +72,13 @@ type RunTelemetry struct {
 	Messages uint64
 	Bytes    uint64
 	Dropped  uint64
+	// PeakHeapBytes is the largest live-heap reading taken as each
+	// engine finished (the campaign's state is fully resident then);
+	// Nodes the largest overlay size among them. Process-wide heap, so
+	// concurrent campaigns inflate each other's reading — documented
+	// in docs/PERFORMANCE.md.
+	PeakHeapBytes uint64
+	Nodes         int
 	// Kinds is the per-event-kind dispatch profile, merged across
 	// engines by kind name, sorted by descending wall time. Empty
 	// unless tracing was enabled.
@@ -85,6 +95,15 @@ func (r *RunTelemetry) EventsPerSec() float64 {
 		return 0
 	}
 	return float64(r.Events) / (float64(r.RunNanos) / 1e9)
+}
+
+// BytesPerNode is the peak-heap cost per overlay node, the telemetry
+// counterpart of the committed bytes-per-node ceiling test.
+func (r *RunTelemetry) BytesPerNode() float64 {
+	if r.Nodes <= 0 {
+		return 0
+	}
+	return float64(r.PeakHeapBytes) / float64(r.Nodes)
 }
 
 // Collector accumulates RunTelemetry per seed. The zero value is
@@ -212,6 +231,13 @@ func (s *RunScope) Finish(sample RunSample) {
 	r.Messages += sample.Messages
 	r.Bytes += sample.Bytes
 	r.Dropped += sample.Dropped
+	// Heap sampling happens only on the telemetry path (scope is nil
+	// when collection is off), so untraced runs never pay for
+	// ReadMemStats.
+	var m runtime.MemStats
+	runtime.ReadMemStats(&m)
+	r.PeakHeapBytes = max(r.PeakHeapBytes, m.HeapAlloc)
+	r.Nodes = max(r.Nodes, sample.Nodes)
 	if s.tracer != nil {
 		r.Kinds = mergeKinds(r.Kinds, s.tracer.Kinds())
 		r.Tracers = append(r.Tracers, s.tracer)

@@ -1,0 +1,154 @@
+package p2p
+
+// CSR-style adjacency for the struct-of-arrays node core.
+//
+// All peer lists live in one shared arena: node i owns the contiguous
+// window adj[spans[i].off : spans[i].off+spans[i].len], in dial order
+// (the exact order the old per-node []*Node peer slices kept, so every
+// fan-out permutation and candidate scan draws identically). Two
+// parallel arenas ride on the same edge indexing:
+//
+//   - revAdj[e] is the *position* (not offset) of the reverse edge in
+//     the target's span. Positions survive span relocation, so only
+//     in-span shifts (Disconnect, CrashNode) need fixups — and each
+//     fixup is O(1) because the reverse edge tells us where to look.
+//     Sends capture revAdj so the receiver can mark per-peer knowledge
+//     without scanning its span (measurement nodes hold thousands of
+//     peers).
+//   - knowMask[e] is the per-directed-edge suppression word: bit s set
+//     means the peer on this edge is known to have the block in window
+//     slot s of the owning node's recent-block window (see know.go).
+//
+// Growth is the mutable overflow path churn and rewiring need: a full
+// span relocates to the arena tail with doubled capacity. Relocation
+// leaves the old window dead, bounding arena garbage at roughly the
+// live edge count; campaigns wire once and churn lightly, so the arena
+// stays compact in practice.
+
+// span is one node's window into the adjacency arena.
+type span struct {
+	off, len, cap int32
+}
+
+// adjacency is the network-owned CSR peer table.
+type adjacency struct {
+	spans    []span
+	adj      []int32  // peer node indices (NodeID-1)
+	revAdj   []int32  // position of the reverse edge in the peer's span
+	knowMask []uint64 // per-edge recent-window suppression bits
+}
+
+const adjInitialCap = 8
+
+// addNode appends an empty span for a freshly registered node.
+func (t *adjacency) addNode() {
+	t.spans = append(t.spans, span{})
+}
+
+// degree returns node i's current connection count.
+func (t *adjacency) degree(i int32) int { return int(t.spans[i].len) }
+
+// peerAt returns the peer index at position p of node i's span.
+func (t *adjacency) peerAt(i int32, p int32) int32 {
+	return t.adj[t.spans[i].off+p]
+}
+
+// position scans node i's span for peer j, returning its position or
+// -1. O(degree); hot paths avoid it by carrying positions (fromPos on
+// deliveries, revAdj on sends).
+func (t *adjacency) position(i, j int32) int32 {
+	s := t.spans[i]
+	base := t.adj[s.off : s.off+s.len : s.off+s.len]
+	for p := range base {
+		if base[p] == j {
+			return int32(p)
+		}
+	}
+	return -1
+}
+
+// connected reports whether i and j share an edge, scanning the
+// shorter span so attaching a huge-degree node stays cheap.
+func (t *adjacency) connected(i, j int32) bool {
+	if t.spans[j].len < t.spans[i].len {
+		i, j = j, i
+	}
+	return t.position(i, j) >= 0
+}
+
+// grow relocates node i's span to the arena tail with at least double
+// the capacity, copying edges, reverse positions and suppression masks.
+func (t *adjacency) grow(i int32) {
+	s := t.spans[i]
+	newCap := s.cap * 2
+	if newCap < adjInitialCap {
+		newCap = adjInitialCap
+	}
+	newOff := int32(len(t.adj))
+	t.adj = append(t.adj, make([]int32, newCap)...)
+	t.revAdj = append(t.revAdj, make([]int32, newCap)...)
+	t.knowMask = append(t.knowMask, make([]uint64, newCap)...)
+	copy(t.adj[newOff:newOff+s.len], t.adj[s.off:s.off+s.len])
+	copy(t.revAdj[newOff:newOff+s.len], t.revAdj[s.off:s.off+s.len])
+	copy(t.knowMask[newOff:newOff+s.len], t.knowMask[s.off:s.off+s.len])
+	t.spans[i] = span{off: newOff, len: s.len, cap: newCap}
+}
+
+// link appends the undirected edge i<->j, wiring both reverse
+// positions. The caller has already checked limits and duplicates.
+func (t *adjacency) link(i, j int32) {
+	if t.spans[i].len == t.spans[i].cap {
+		t.grow(i)
+	}
+	if t.spans[j].len == t.spans[j].cap {
+		t.grow(j)
+	}
+	si, sj := &t.spans[i], &t.spans[j]
+	ei := si.off + si.len
+	ej := sj.off + sj.len
+	t.adj[ei] = j
+	t.adj[ej] = i
+	t.revAdj[ei] = sj.len
+	t.revAdj[ej] = si.len
+	t.knowMask[ei] = 0
+	t.knowMask[ej] = 0
+	si.len++
+	sj.len++
+}
+
+// removeAt deletes the edge at position p of node i's span,
+// shifting later entries left (order-preserving, so surviving peer
+// iteration stays deterministic) and repairing the reverse positions
+// of every shifted edge. Returns the suppression mask the removed edge
+// held, so the caller can preserve its knowledge (spill list).
+func (t *adjacency) removeAt(i int32, p int32) uint64 {
+	s := &t.spans[i]
+	e := s.off + p
+	mask := t.knowMask[e]
+	for q := p + 1; q < s.len; q++ {
+		from := s.off + q
+		to := from - 1
+		peer := t.adj[from]
+		t.adj[to] = peer
+		t.revAdj[to] = t.revAdj[from]
+		t.knowMask[to] = t.knowMask[from]
+		// The reverse edge stored position q for us; it is now q-1.
+		t.revAdj[t.spans[peer].off+t.revAdj[from]] = q - 1
+	}
+	s.len--
+	return mask
+}
+
+// unlink removes the undirected edge between i and j, returning the
+// two suppression masks (i's view of j, j's view of i). ok reports
+// whether the edge existed.
+func (t *adjacency) unlink(i, j int32) (maskI, maskJ uint64, ok bool) {
+	pi := t.position(i, j)
+	if pi < 0 {
+		return 0, 0, false
+	}
+	pj := t.revAdj[t.spans[i].off+pi]
+	maskJ = t.removeAt(j, pj)
+	maskI = t.removeAt(i, pi)
+	return maskI, maskJ, true
+}

@@ -2,12 +2,36 @@ package p2p
 
 import (
 	"fmt"
+	"math/bits"
 	"testing"
 
 	"repro/internal/geo"
 	"repro/internal/sim"
 	"repro/internal/types"
 )
+
+// cacheLen reports how many bodies node n can still serve.
+func cacheLen(n *Node) int { return len(n.net.cacheQ[n.idx()]) }
+
+// cacheHas reports whether node n can still serve the body for h.
+func cacheHas(n *Node, h types.Hash) bool {
+	_, ok := n.cachedBlock(h)
+	return ok
+}
+
+// haveCount counts node n's dedup bits across all interned blocks.
+func haveCount(n *Node) int {
+	g := &n.net.haveBits
+	i := n.idx()
+	if i >= g.rows {
+		return 0
+	}
+	c := 0
+	for _, w := range g.words[i*g.stride : (i+1)*g.stride] {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
 
 // TestBlockCacheBounded relays far more blocks than blockCacheCap and
 // verifies the body cache stays bounded while the dedup ground truth
@@ -24,20 +48,20 @@ func TestBlockCacheBounded(t *testing.T) {
 		a.InjectBlock(sim.Time(i), testBlock(uint64(i+1), "Ethermine"))
 		net.Engine().Run()
 	}
-	if len(a.knownBlocks) > blockCacheCap {
-		t.Fatalf("body cache grew to %d entries (cap %d)", len(a.knownBlocks), blockCacheCap)
+	if cacheLen(a) > blockCacheCap {
+		t.Fatalf("body cache grew to %d entries (cap %d)", cacheLen(a), blockCacheCap)
 	}
-	if len(a.haveBlocks) != total {
-		t.Fatalf("haveBlocks has %d hashes, want %d", len(a.haveBlocks), total)
+	if haveCount(a) != total {
+		t.Fatalf("dedup bits cover %d hashes, want %d", haveCount(a), total)
 	}
 	// Eviction is FIFO: the most recent blocks are still servable, the
 	// oldest are not — but both still count as known (no re-relay).
 	newest := testBlock(uint64(total), "Ethermine").Hash()
-	if _, ok := a.knownBlocks[newest]; !ok {
+	if !cacheHas(a, newest) {
 		t.Fatal("newest block evicted from body cache")
 	}
 	oldest := testBlock(1, "Ethermine").Hash()
-	if _, ok := a.knownBlocks[oldest]; ok {
+	if cacheHas(a, oldest) {
 		t.Fatal("oldest block survived past the cap")
 	}
 	if !a.KnowsBlock(oldest) {
@@ -59,23 +83,23 @@ func TestBlockCacheEvictionOrder(t *testing.T) {
 	for i := 0; i < blockCacheCap; i++ {
 		a.rememberBlock(hashAt(i), testBlock(uint64(i+1), "Ethermine"))
 	}
-	if len(a.knownBlocks) != blockCacheCap {
+	if cacheLen(a) != blockCacheCap {
 		t.Fatalf("cache holds %d bodies at exactly cap inserts, want %d (on-insert eviction off-by-one)",
-			len(a.knownBlocks), blockCacheCap)
+			cacheLen(a), blockCacheCap)
 	}
-	if _, ok := a.knownBlocks[hashAt(0)]; !ok {
+	if !cacheHas(a, hashAt(0)) {
 		t.Fatal("oldest body evicted at exactly cap inserts (on-insert eviction off-by-one)")
 	}
 
 	// One past the cap evicts exactly the first insert, nothing else.
 	a.rememberBlock(hashAt(blockCacheCap), testBlock(uint64(blockCacheCap+1), "Ethermine"))
-	if len(a.knownBlocks) != blockCacheCap {
-		t.Fatalf("cache holds %d bodies past cap, want %d", len(a.knownBlocks), blockCacheCap)
+	if cacheLen(a) != blockCacheCap {
+		t.Fatalf("cache holds %d bodies past cap, want %d", cacheLen(a), blockCacheCap)
 	}
-	if _, ok := a.knownBlocks[hashAt(0)]; ok {
+	if cacheHas(a, hashAt(0)) {
 		t.Fatal("first insert survived the cap+1-th insert")
 	}
-	if _, ok := a.knownBlocks[hashAt(1)]; !ok {
+	if !cacheHas(a, hashAt(1)) {
 		t.Fatal("second insert evicted out of FIFO order")
 	}
 
@@ -86,7 +110,7 @@ func TestBlockCacheEvictionOrder(t *testing.T) {
 		a.rememberBlock(hashAt(blockCacheCap+i), testBlock(uint64(blockCacheCap+i+1), "Ethermine"))
 	}
 	for i := 0; i < extra; i++ {
-		if _, ok := a.knownBlocks[hashAt(i)]; ok {
+		if cacheHas(a, hashAt(i)) {
 			t.Fatalf("insert %d survived past its FIFO eviction point", i)
 		}
 		if !a.KnowsBlock(hashAt(i)) {
@@ -94,15 +118,16 @@ func TestBlockCacheEvictionOrder(t *testing.T) {
 		}
 	}
 	for i := extra; i < extra+5; i++ {
-		if _, ok := a.knownBlocks[hashAt(i)]; !ok {
+		if !cacheHas(a, hashAt(i)) {
 			t.Fatalf("insert %d evicted early (non-FIFO order)", i)
 		}
 	}
 	// The queue mirrors the cache exactly.
-	if len(a.blockQueue) != blockCacheCap {
-		t.Fatalf("eviction queue length %d, want %d", len(a.blockQueue), blockCacheCap)
+	if cacheLen(a) != blockCacheCap {
+		t.Fatalf("eviction queue length %d, want %d", cacheLen(a), blockCacheCap)
 	}
-	if a.blockQueue[0] != hashAt(extra) {
+	headIdx, ok := net.blockIdx.lookup(hashAt(extra))
+	if !ok || net.cacheQ[a.idx()][0] != headIdx {
 		t.Fatal("eviction queue head is not the oldest retained insert")
 	}
 }

@@ -99,9 +99,10 @@ func TestDisconnectIsSymmetricAndOrderPreserving(t *testing.T) {
 		t.Fatal("disconnect was not symmetric")
 	}
 	want := []NodeID{leaves[0].ID(), leaves[2].ID(), leaves[3].ID()}
-	for i, p := range hub.peers {
-		if p.ID() != want[i] {
-			t.Fatalf("peer order disturbed at %d: %d want %d", i, p.ID(), want[i])
+	for i := range want {
+		got := NodeID(net.top.peerAt(hub.idx(), int32(i)) + 1)
+		if got != want[i] {
+			t.Fatalf("peer order disturbed at %d: %d want %d", i, got, want[i])
 		}
 	}
 	// Disconnecting an unconnected pair is a no-op.
@@ -179,7 +180,7 @@ func TestParentPullRecoversMissedAncestry(t *testing.T) {
 	tip := chain[4]
 	m := net.newMessage(MsgNewBlock)
 	m.Block = tip
-	net.send(0, src, lagger, m)
+	net.send(0, src, lagger, m, -1)
 	net.Engine().Run()
 
 	for i, b := range chain {
@@ -200,7 +201,7 @@ func TestParentPullRecoversMissedAncestry(t *testing.T) {
 	}
 	m2 := net2.newMessage(MsgNewBlock)
 	m2.Block = tip
-	net2.send(0, src2, lag2, m2)
+	net2.send(0, src2, lag2, m2, -1)
 	net2.Engine().Run()
 	if lag2.KnowsBlock(chain[0].Hash()) {
 		t.Fatal("parent pull ran with ParentPull disabled")

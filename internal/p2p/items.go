@@ -1,0 +1,114 @@
+package p2p
+
+import "repro/internal/types"
+
+// Compact item indices for the struct-of-arrays node core.
+//
+// Blocks and transactions get a dense int32 index the first time the
+// network sees their hash (mining injection, relay receipt, or a bare
+// announcement). Per-node dedup state then lives in flat bit grids
+// keyed by (node index, item index) — one bit per pair instead of a
+// ~50-byte map entry per pair — and the 32-byte hashes survive only at
+// the wire and artifact boundaries, where messages and reports need
+// them.
+
+// itemIndex interns hashes to dense indices. One instance per item
+// family (blocks, transactions) per network; the map here is the
+// single hash-keyed structure the whole node core retains.
+type itemIndex struct {
+	idx map[types.Hash]int32
+	n   int32
+}
+
+// lookup returns the index for h if it has been interned.
+func (x *itemIndex) lookup(h types.Hash) (int32, bool) {
+	i, ok := x.idx[h]
+	return i, ok
+}
+
+// intern returns h's index, assigning the next dense index on first
+// sight.
+func (x *itemIndex) intern(h types.Hash) int32 {
+	if x.idx == nil {
+		x.idx = make(map[types.Hash]int32, 64)
+	}
+	if i, ok := x.idx[h]; ok {
+		return i
+	}
+	i := x.n
+	x.idx[h] = i
+	x.n++
+	return i
+}
+
+// bitGrid is a dense 2-D bitmap: one row per node, one column per
+// item. Rows are node indices (NodeID-1), columns item indices. The
+// grid grows in both directions — columns as items are interned (the
+// stride doubles, re-laying rows out), rows as churn adds nodes — so a
+// campaign never sizes it up front.
+type bitGrid struct {
+	words  []uint64
+	stride int32 // words per row
+	rows   int32
+}
+
+// set marks (row, col), growing the grid as needed.
+func (g *bitGrid) set(row, col int32) {
+	w := col >> 6
+	if w >= g.stride {
+		g.growStride(w + 1)
+	}
+	if row >= g.rows {
+		g.growRows(row + 1)
+	}
+	g.words[row*g.stride+w] |= 1 << (uint(col) & 63)
+}
+
+// get reports (row, col); out-of-range coordinates are unset.
+func (g *bitGrid) get(row, col int32) bool {
+	w := col >> 6
+	if row >= g.rows || w >= g.stride {
+		return false
+	}
+	return g.words[row*g.stride+w]&(1<<(uint(col)&63)) != 0
+}
+
+// clear unmarks (row, col) if in range.
+func (g *bitGrid) clear(row, col int32) {
+	w := col >> 6
+	if row >= g.rows || w >= g.stride {
+		return
+	}
+	g.words[row*g.stride+w] &^= 1 << (uint(col) & 63)
+}
+
+// growStride widens every row to at least need words, doubling to
+// amortize the re-layout copy.
+func (g *bitGrid) growStride(need int32) {
+	ns := g.stride * 2
+	if ns < need {
+		ns = need
+	}
+	if ns < 2 {
+		ns = 2
+	}
+	nw := make([]uint64, int(g.rows)*int(ns))
+	for r := int32(0); r < g.rows; r++ {
+		copy(nw[r*ns:r*ns+g.stride], g.words[r*g.stride:(r+1)*g.stride])
+	}
+	g.words = nw
+	g.stride = ns
+}
+
+// growRows appends zeroed rows up to need.
+func (g *bitGrid) growRows(need int32) {
+	if g.stride == 0 {
+		g.rows = need
+		return
+	}
+	total := int(need) * int(g.stride)
+	if total > len(g.words) {
+		g.words = append(g.words, make([]uint64, total-len(g.words))...)
+	}
+	g.rows = need
+}

@@ -1,0 +1,60 @@
+package p2p
+
+import (
+	"runtime"
+	"testing"
+
+	"repro/internal/geo"
+	"repro/internal/sim"
+)
+
+// bytesPerNodeBudget is the documented steady-state heap budget for
+// one overlay node (struct-of-arrays core, degree-8 wiring, no
+// traffic). docs/PERFORMANCE.md ("Memory layout") explains where the
+// bytes go; raise it only with a matching doc update.
+const bytesPerNodeBudget = 4096
+
+// heapAlloc settles the heap and reports live bytes.
+func heapAlloc() uint64 {
+	runtime.GC()
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.HeapAlloc
+}
+
+// TestBytesPerNodeCeiling pins the per-node heap cost of the
+// struct-of-arrays core: a wired 10,000-node overlay must stay under
+// bytesPerNodeBudget per node. This is the short tier of `make
+// test-stress` — a layout regression (per-node maps creeping back in,
+// a dense slice gaining a fat field) fails here long before the 100k
+// tier becomes unaffordable.
+func TestBytesPerNodeCeiling(t *testing.T) {
+	const n = 10_000
+	before := heapAlloc()
+	engine := sim.NewEngine()
+	net := NewNetwork(engine, sim.NewRNG(7), geo.DefaultLatencyModel())
+	share := geo.DefaultNodeShare
+	placement, err := geo.PlaceNodes(n, share)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range placement {
+		if _, err := net.AddNode(r, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := net.WireRandom(8); err != nil {
+		t.Fatal(err)
+	}
+	after := heapAlloc()
+	perNode := (after - before) / n
+	t.Logf("steady-state heap: %d bytes total, %d bytes/node (budget %d)",
+		after-before, perNode, bytesPerNodeBudget)
+	if perNode > bytesPerNodeBudget {
+		t.Fatalf("bytes per node %d exceeds budget %d — update docs/PERFORMANCE.md if the layout change is intentional",
+			perNode, bytesPerNodeBudget)
+	}
+	runtime.KeepAlive(net)
+	runtime.KeepAlive(engine)
+}

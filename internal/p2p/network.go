@@ -13,6 +13,17 @@ import (
 // Network owns the overlay: node registry, random peer wiring, and
 // message transport over the geographic latency model.
 //
+// The node core is struct-of-arrays: every piece of per-node state —
+// region, peer limit, down flag, traffic counters, dedup bits, the
+// recent-block suppression window — lives in a dense Network-owned
+// slice indexed by NodeID-1 (IDs are assigned sequentially and never
+// reused). Peer adjacency is a CSR arena (adjacency.go), blocks and
+// transactions are interned to compact indices (items.go), and the
+// per-peer suppression state is one uint64 per directed edge
+// (know.go). A *Node is a thin stable handle into these arrays; at
+// 100k nodes the overlay is a handful of large allocations instead of
+// ~a million live maps.
+//
 // Transport is allocation-free in the steady state: messages and
 // delivery slots come from free lists, deliveries and deferred
 // announce waves are dispatched through the engine's typed-handler
@@ -23,9 +34,53 @@ type Network struct {
 	engine  *sim.Engine
 	rng     *sim.RNG
 	latency geo.LatencyModel
-	nodes   map[NodeID]*Node
-	order   []NodeID // insertion order, for deterministic iteration
 	nextID  NodeID
+
+	// handles is the stable arena of node handles: fixed-size chunks,
+	// so AddNode never relocates an issued *Node.
+	handles [][]Node
+
+	// Flat per-node state, indexed by NodeID-1.
+	regions   []geo.Region
+	maxPeers  []int32 // 0 = unlimited
+	down      []bool
+	relayOn   []bool
+	observers []Observer
+	msgsIn    []uint64
+	msgsOut   []uint64
+	bytesIn   []uint64
+	bytesOut  []uint64
+
+	// top is the CSR adjacency (peer spans + per-edge suppression
+	// masks + reverse positions).
+	top adjacency
+
+	// Compact item registries: blocks additionally keep the canonical
+	// body pointer for GetBlock serving.
+	blockIdx  itemIndex
+	blockBody []*types.Block
+	txIdx     itemIndex
+
+	// Per-(node, item) dedup bits: full bodies received, hashes seen
+	// (received or announced), tx-pool visibility, and FIFO body-cache
+	// residency.
+	haveBits   bitGrid
+	seenBits   bitGrid
+	txBits     bitGrid
+	cachedBits bitGrid
+
+	// cacheQ is each node's FIFO body-cache eviction order (block
+	// indices); pending tracks in-flight compact-relay fetches.
+	cacheQ  [][]int32
+	pending [][]pendingEntry
+
+	// Recent-block suppression windows (know.go): an N×knownPeerCap
+	// ring of block indices plus head/count cursors, and the off-edge
+	// spill marks.
+	knowSlot  []int32
+	knowHead  []uint8
+	knowCount []uint8
+	spill     [][]spillMark
 
 	// MessagesSent counts transport-level sends, for redundancy and
 	// overhead accounting.
@@ -71,22 +126,37 @@ type Network struct {
 	ann       []announce
 	annFree   []int32
 
-	// Shared fan-out scratch: candidate peers and permutation order.
-	candBuf  []*Node
-	orderBuf []int
-	// knowPool recycles per-block peer-knowledge sets evicted by the
-	// nodes' suppression caches.
-	knowPool []map[NodeID]bool
+	// Shared fan-out scratch: candidate span positions, permutation
+	// order, and the membership bitmap ConnectSampleBiased uses to
+	// filter candidates in O(1) per node.
+	candBuf    []int32
+	orderBuf   []int
+	memberBits []uint64
+}
+
+// handleChunk sizes the node-handle arena chunks.
+const handleChunk = 4096
+
+// pendingEntry is one in-flight compact-relay fetch: a retained sketch
+// awaiting its missing-transaction round trip, or a nil body for a
+// full-body fallback.
+type pendingEntry struct {
+	idx int32
+	b   *types.Block
 }
 
 // delivery is one in-flight message: destination, sender, payload and
 // the serialized size counted at send time (carried so ingress
-// accounting does not re-derive it on arrival).
+// accounting does not re-derive it on arrival). srcPos is the sender's
+// position in the destination's peer span at send time (-1 unknown);
+// the receiver validates it and falls back to a scan, so per-peer
+// bookkeeping on receipt is O(1) even at measurement-node degrees.
 type delivery struct {
-	to   *Node
-	from NodeID
-	msg  *Message
-	size int32
+	to     *Node
+	from   NodeID
+	msg    *Message
+	size   int32
+	srcPos int32
 }
 
 // announce is one deferred announce wave (relayBlock's phase 2).
@@ -156,18 +226,29 @@ func NewNetwork(engine *sim.Engine, rng *sim.RNG, latency geo.LatencyModel) *Net
 		engine:  engine,
 		rng:     rng,
 		latency: latency,
-		nodes:   make(map[NodeID]*Node),
 	}
 	net.SetRelay(relay.MustNew(relay.Config{}))
 	net.env.net = net
 	return net
 }
 
-// envFor points the network's shared relay.Env view at a node. Calls
-// are strictly nested within one engine event, so the single instance
-// is never aliased across nodes concurrently.
+// envFor points the network's shared relay.Env view at a node with no
+// in-flight sender context. Calls are strictly nested within one
+// engine event, so the single instance is never aliased across nodes
+// concurrently.
 func (net *Network) envFor(n *Node) *relayEnv {
+	return net.envForMsg(n, -1, -1)
+}
+
+// envForMsg points the shared env at a node while recording the sender
+// of the message being dispatched (validated span position pos, or
+// -1), so protocol pulls back to the sender reuse the position instead
+// of scanning.
+func (net *Network) envForMsg(n *Node, fromIdx, pos int32) *relayEnv {
 	net.env.node = n
+	net.env.nodeIdx = n.idx()
+	net.env.fromIdx = fromIdx
+	net.env.fromPos = pos
 	return &net.env
 }
 
@@ -179,28 +260,45 @@ func (net *Network) AddNode(region geo.Region, maxPeers int) (*Node, error) {
 		return nil, fmt.Errorf("p2p: invalid region %v", region)
 	}
 	net.nextID++
-	n := &Node{
-		id:          net.nextID,
-		region:      region,
-		net:         net,
-		peerSet:     make(map[NodeID]bool),
-		maxPeers:    maxPeers,
-		haveBlocks:  make(map[types.Hash]bool),
-		knownBlocks: make(map[types.Hash]*types.Block),
-		seenHashes:  make(map[types.Hash]bool),
-		knownTxs:    make(map[types.Hash]bool),
-		peerKnows:   make(map[types.Hash]map[NodeID]bool),
-		relay:       true,
+	if len(net.handles) == 0 || len(net.handles[len(net.handles)-1]) == handleChunk {
+		net.handles = append(net.handles, make([]Node, 0, handleChunk))
 	}
-	net.nodes[n.id] = n
-	net.order = append(net.order, n.id)
+	c := len(net.handles) - 1
+	net.handles[c] = append(net.handles[c], Node{id: net.nextID, net: net})
+	n := &net.handles[c][len(net.handles[c])-1]
+
+	net.regions = append(net.regions, region)
+	net.maxPeers = append(net.maxPeers, int32(maxPeers))
+	net.down = append(net.down, false)
+	net.relayOn = append(net.relayOn, true)
+	net.observers = append(net.observers, nil)
+	net.msgsIn = append(net.msgsIn, 0)
+	net.msgsOut = append(net.msgsOut, 0)
+	net.bytesIn = append(net.bytesIn, 0)
+	net.bytesOut = append(net.bytesOut, 0)
+	net.top.addNode()
+	net.cacheQ = append(net.cacheQ, nil)
+	net.pending = append(net.pending, nil)
+	net.knowSlot = append(net.knowSlot, make([]int32, knownPeerCap)...)
+	net.knowHead = append(net.knowHead, 0)
+	net.knowCount = append(net.knowCount, 0)
+	net.spill = append(net.spill, nil)
 	return n, nil
+}
+
+// nodeByID resolves an ID to its stable handle, nil when unknown.
+func (net *Network) nodeByID(id NodeID) *Node {
+	if id < 1 || id > net.nextID {
+		return nil
+	}
+	i := int(id - 1)
+	return &net.handles[i/handleChunk][i%handleChunk]
 }
 
 // Node returns a node by ID.
 func (net *Network) Node(id NodeID) (*Node, error) {
-	n, ok := net.nodes[id]
-	if !ok {
+	n := net.nodeByID(id)
+	if n == nil {
 		return nil, fmt.Errorf("%w: %d", ErrUnknownNode, id)
 	}
 	return n, nil
@@ -208,21 +306,23 @@ func (net *Network) Node(id NodeID) (*Node, error) {
 
 // Nodes returns all nodes in insertion order.
 func (net *Network) Nodes() []*Node {
-	out := make([]*Node, 0, len(net.order))
-	for _, id := range net.order {
-		out = append(out, net.nodes[id])
+	out := make([]*Node, 0, net.nextID)
+	for id := NodeID(1); id <= net.nextID; id++ {
+		out = append(out, net.nodeByID(id))
 	}
 	return out
 }
 
 // Len returns the number of nodes ever added (crashed and departed
 // nodes included — slots are never reused).
-func (net *Network) Len() int { return len(net.nodes) }
+func (net *Network) Len() int { return int(net.nextID) }
 
 // NodeAt returns the i-th node in insertion order. Fault injection
 // uses it for index-addressed sampling without materializing the full
 // node slice per draw.
-func (net *Network) NodeAt(i int) *Node { return net.nodes[net.order[i]] }
+func (net *Network) NodeAt(i int) *Node {
+	return &net.handles[i/handleChunk][i%handleChunk]
+}
 
 // Engine exposes the simulation engine driving this network.
 func (net *Network) Engine() *sim.Engine { return net.engine }
@@ -237,19 +337,17 @@ func (net *Network) Connect(a, b *Node) error {
 	if a.id == b.id {
 		return ErrSelfDial
 	}
-	if a.peerSet[b.id] {
+	i, j := a.idx(), b.idx()
+	if net.top.connected(i, j) {
 		return nil
 	}
-	if a.maxPeers > 0 && len(a.peers) >= a.maxPeers {
-		return fmt.Errorf("p2p: node %d at peer limit %d", a.id, a.maxPeers)
+	if net.maxPeers[i] > 0 && net.top.degree(i) >= int(net.maxPeers[i]) {
+		return fmt.Errorf("p2p: node %d at peer limit %d", a.id, net.maxPeers[i])
 	}
-	if b.maxPeers > 0 && len(b.peers) >= b.maxPeers {
-		return fmt.Errorf("p2p: node %d at peer limit %d", b.id, b.maxPeers)
+	if net.maxPeers[j] > 0 && net.top.degree(j) >= int(net.maxPeers[j]) {
+		return fmt.Errorf("p2p: node %d at peer limit %d", b.id, net.maxPeers[j])
 	}
-	a.peers = append(a.peers, b)
-	b.peers = append(b.peers, a)
-	a.peerSet[b.id] = true
-	b.peerSet[a.id] = true
+	net.top.link(i, j)
 	return nil
 }
 
@@ -262,24 +360,26 @@ func (net *Network) WireRandom(degree int) error {
 	if degree < 1 {
 		return fmt.Errorf("p2p: degree %d < 1", degree)
 	}
-	n := len(net.order)
+	n := net.Len()
 	if n < 2 {
 		return nil
 	}
-	for _, id := range net.order {
-		node := net.nodes[id]
+	for id := NodeID(1); id <= net.nextID; id++ {
+		node := net.nodeByID(id)
+		i := node.idx()
 		attempts := 0
 		dialed := 0
 		for dialed < degree && attempts < 20*degree {
 			attempts++
-			target := net.nodes[net.order[net.rng.IntN(n)]]
-			if target.id == node.id || node.peerSet[target.id] {
+			target := net.NodeAt(net.rng.IntN(n))
+			j := target.idx()
+			if j == i || net.top.connected(i, j) {
 				continue
 			}
-			if node.maxPeers > 0 && len(node.peers) >= node.maxPeers {
+			if net.maxPeers[i] > 0 && net.top.degree(i) >= int(net.maxPeers[i]) {
 				break
 			}
-			if target.maxPeers > 0 && len(target.peers) >= target.maxPeers {
+			if net.maxPeers[j] > 0 && net.top.degree(j) >= int(net.maxPeers[j]) {
 				continue
 			}
 			if err := net.Connect(node, target); err != nil {
@@ -306,16 +406,35 @@ func (net *Network) ConnectSampleBiased(node *Node, k int, regionBias float64) e
 	if node == nil {
 		return ErrUnknownNode
 	}
+	i := node.idx()
+	// Mark the node's current peers in the shared membership bitmap so
+	// the candidate sweep below is O(1) per node even when attaching a
+	// huge-degree gateway or measurement node.
+	words := (net.Len() + 63) / 64
+	if cap(net.memberBits) < words {
+		net.memberBits = make([]uint64, words)
+	}
+	member := net.memberBits[:words]
+	s := net.top.spans[i]
+	for p := int32(0); p < s.len; p++ {
+		j := net.top.adj[s.off+p]
+		member[j>>6] |= 1 << (uint(j) & 63)
+	}
 	var local, global []NodeID
-	for _, id := range net.order {
-		if id == node.id || node.peerSet[id] {
+	for id := NodeID(1); id <= net.nextID; id++ {
+		j := int32(id - 1)
+		if j == i || member[j>>6]&(1<<(uint(j)&63)) != 0 {
 			continue
 		}
-		if regionBias > 0 && net.nodes[id].region == node.region {
+		if regionBias > 0 && net.regions[j] == net.regions[i] {
 			local = append(local, id)
 		} else {
 			global = append(global, id)
 		}
+	}
+	for p := int32(0); p < s.len; p++ {
+		j := net.top.adj[s.off+p]
+		member[j>>6] &^= 1 << (uint(j) & 63)
 	}
 	sim.Shuffle(net.rng, local)
 	sim.Shuffle(net.rng, global)
@@ -325,7 +444,7 @@ func (net *Network) ConnectSampleBiased(node *Node, k int, regionBias float64) e
 		for len(pool) > 0 && connected < want {
 			id := pool[0]
 			pool = pool[1:]
-			if err := net.Connect(node, net.nodes[id]); err != nil {
+			if err := net.Connect(node, net.nodeByID(id)); err != nil {
 				continue
 			}
 			connected++
@@ -339,7 +458,7 @@ func (net *Network) ConnectSampleBiased(node *Node, k int, regionBias float64) e
 	if connected < k && connected < len(local)+len(global)+connected {
 		// Some candidates refused (peer limits); only report failure
 		// when nothing more could possibly be dialed.
-		if connected == 0 && k > 0 && len(net.order) > 1 {
+		if connected == 0 && k > 0 && net.Len() > 1 {
 			return fmt.Errorf("p2p: connected 0 of %d requested peers", k)
 		}
 	}
@@ -348,49 +467,53 @@ func (net *Network) ConnectSampleBiased(node *Node, k int, regionBias float64) e
 
 // Connected reports whether two nodes currently hold a connection.
 func (net *Network) Connected(a, b *Node) bool {
-	return a != nil && b != nil && a.peerSet[b.id]
+	return a != nil && b != nil && net.top.connected(a.idx(), b.idx())
 }
 
 // Disconnect tears down the connection between two nodes (a no-op for
 // unconnected pairs). Peer-list order of the survivors is preserved,
-// so disconnects are deterministic.
+// so disconnects are deterministic; the edge's suppression bits are
+// spilled, because peer knowledge is keyed by node identity, not by
+// connection.
 func (net *Network) Disconnect(a, b *Node) {
-	if a == nil || b == nil || !a.peerSet[b.id] {
+	if a == nil || b == nil {
 		return
 	}
-	delete(a.peerSet, b.id)
-	delete(b.peerSet, a.id)
-	a.peers = removePeer(a.peers, b.id)
-	b.peers = removePeer(b.peers, a.id)
-}
-
-// removePeer deletes the peer with the given id, preserving order.
-func removePeer(peers []*Node, id NodeID) []*Node {
-	for i, p := range peers {
-		if p.id == id {
-			return append(peers[:i], peers[i+1:]...)
-		}
+	i, j := a.idx(), b.idx()
+	maskI, maskJ, ok := net.top.unlink(i, j)
+	if !ok {
+		return
 	}
-	return peers
+	net.spillEdgeMask(i, j, maskI)
+	net.spillEdgeMask(j, i, maskJ)
 }
 
 // CrashNode takes a node down: every connection is torn down (its
 // peers see the TCP sessions die) and in-flight messages to it are
 // discarded on arrival. The node's durable state — received blocks,
-// seen hashes — persists, like a real client's disk across a process
-// crash. A down node schedules no events, so outages cost nothing on
-// the event queue.
+// seen hashes, peer knowledge — persists, like a real client's disk
+// across a process crash. A down node schedules no events, so outages
+// cost nothing on the event queue.
 func (net *Network) CrashNode(n *Node) {
-	if n == nil || n.down {
+	if n == nil {
 		return
 	}
-	n.down = true
-	for _, peer := range n.peers {
-		delete(peer.peerSet, n.id)
-		peer.peers = removePeer(peer.peers, n.id)
+	i := n.idx()
+	if net.down[i] {
+		return
 	}
-	clear(n.peerSet)
-	n.peers = n.peers[:0]
+	net.down[i] = true
+	s := net.top.spans[i]
+	for p := int32(0); p < s.len; p++ {
+		e := s.off + p
+		j := net.top.adj[e]
+		// Remove n from the peer's span, preserving both directions'
+		// suppression bits.
+		maskJ := net.top.removeAt(j, net.top.revAdj[e])
+		net.spillEdgeMask(j, i, maskJ)
+		net.spillEdgeMask(i, j, net.top.knowMask[e])
+	}
+	net.top.spans[i].len = 0
 }
 
 // RecoverNode brings a crashed node back up with an empty peer table;
@@ -399,7 +522,7 @@ func (net *Network) RecoverNode(n *Node) {
 	if n == nil {
 		return
 	}
-	n.down = false
+	net.down[n.idx()] = false
 }
 
 // newMessage takes a message from the pool (or allocates the pool's
@@ -433,10 +556,14 @@ func (net *Network) releaseMessage(m *Message) {
 // send schedules delivery of msg from a to b at the latency-model
 // sampled arrival time relative to `at`. The delivery is a typed
 // engine event referencing a pooled delivery slot — no closure.
-// Sends touching a down endpoint, or vetoed by the fault filter, are
-// dropped (released back to the pool and counted in MessagesDropped).
-func (net *Network) send(at sim.Time, from, to *Node, msg *Message) {
-	if from.down || to.down {
+// srcPos is the sender's position in the destination's peer span when
+// the caller knows it (reverse-edge lookup), -1 otherwise; the
+// receiver re-validates it. Sends touching a down endpoint, or vetoed
+// by the fault filter, are dropped (released back to the pool and
+// counted in MessagesDropped).
+func (net *Network) send(at sim.Time, from, to *Node, msg *Message, srcPos int32) {
+	fi, ti := from.idx(), to.idx()
+	if net.down[fi] || net.down[ti] {
 		net.MessagesDropped++
 		net.releaseMessage(msg)
 		return
@@ -452,7 +579,7 @@ func (net *Network) send(at sim.Time, from, to *Node, msg *Message) {
 		}
 	}
 	size := msg.Size()
-	delay, err := net.latency.Sample(net.rng, from.region, to.region, size)
+	delay, err := net.latency.Sample(net.rng, net.regions[fi], net.regions[ti], size)
 	if err != nil {
 		// Regions are validated at AddNode; a failure here is a
 		// programming error and dropping the message would silently
@@ -463,8 +590,8 @@ func (net *Network) send(at sim.Time, from, to *Node, msg *Message) {
 	net.BytesSent += uint64(size)
 	net.classMsgs[msg.Kind]++
 	net.classBytes[msg.Kind] += uint64(size)
-	from.msgsOut++
-	from.bytesOut += uint64(size)
+	net.msgsOut[fi]++
+	net.bytesOut[fi] += uint64(size)
 	var idx int32
 	if n := len(net.delivFree); n > 0 {
 		idx = net.delivFree[n-1]
@@ -473,7 +600,7 @@ func (net *Network) send(at sim.Time, from, to *Node, msg *Message) {
 		net.deliv = append(net.deliv, delivery{})
 		idx = int32(len(net.deliv) - 1)
 	}
-	net.deliv[idx] = delivery{to: to, from: from.id, msg: msg, size: int32(size)}
+	net.deliv[idx] = delivery{to: to, from: from.id, msg: msg, size: int32(size), srcPos: srcPos}
 	net.engine.ScheduleCallAt(at+delay+extra, net, opDeliver, uint64(idx))
 }
 
@@ -501,22 +628,23 @@ func (net *Network) HandleEvent(now sim.Time, op, idx uint64) {
 		d := net.deliv[idx]
 		net.deliv[idx] = delivery{}
 		net.delivFree = append(net.delivFree, int32(idx))
-		if d.to.down {
+		ti := d.to.idx()
+		if net.down[ti] {
 			// The destination crashed while the message was in flight;
 			// its TCP connections are gone, so the bytes never arrive.
 			net.MessagesDropped++
 			net.releaseMessage(d.msg)
 			return
 		}
-		d.to.msgsIn++
-		d.to.bytesIn += uint64(d.size)
-		d.to.handle(now, d.from, d.msg)
+		net.msgsIn[ti]++
+		net.bytesIn[ti] += uint64(d.size)
+		d.to.handle(now, d.from, d.srcPos, d.msg)
 		net.releaseMessage(d.msg)
 	case opAnnounce:
 		a := net.ann[idx]
 		net.ann[idx] = announce{}
 		net.annFree = append(net.annFree, int32(idx))
-		if a.node.down {
+		if net.down[a.node.idx()] {
 			// The wave was scheduled before the node crashed.
 			return
 		}
@@ -546,20 +674,4 @@ func (net *Network) fanoutOrder(n int) []int {
 	buf := net.orderBuf[:n]
 	net.rng.PermInto(buf)
 	return buf
-}
-
-// getKnowSet / putKnowSet recycle the per-block peer-knowledge sets
-// bounded by the nodes' suppression caches.
-func (net *Network) getKnowSet() map[NodeID]bool {
-	if n := len(net.knowPool); n > 0 {
-		s := net.knowPool[n-1]
-		net.knowPool = net.knowPool[:n-1]
-		return s
-	}
-	return make(map[NodeID]bool, 8)
-}
-
-func (net *Network) putKnowSet(s map[NodeID]bool) {
-	clear(s)
-	net.knowPool = append(net.knowPool, s)
 }

@@ -9,15 +9,23 @@ import (
 // relayEnv is the p2p implementation of relay.Env: the narrow,
 // allocation-free view of one node's network surface that relay
 // protocols drive. The network keeps a single instance and repoints
-// it per dispatch (envFor); protocol calls are strictly nested inside
-// one engine event, so the shared scratch is never aliased.
+// it per dispatch (envFor / envForMsg); protocol calls are strictly
+// nested inside one engine event, so the shared scratch is never
+// aliased.
 type relayEnv struct {
-	net  *Network
-	node *Node
-	// cand is the candidate view filled by Candidates — the same
-	// shared scratch buffer (Network.candBuf) the pre-extraction relay
-	// path used.
-	cand []*Node
+	net     *Network
+	node    *Node
+	nodeIdx int32
+	// fromIdx/fromPos record the sender of the message currently being
+	// dispatched (and its validated position in the node's span), so
+	// protocol pulls back to the sender derive the reverse position in
+	// O(1). -1 outside a message dispatch.
+	fromIdx int32
+	fromPos int32
+	// cand is the candidate view filled by Candidates — span positions
+	// into the node's adjacency window, backed by the shared scratch
+	// buffer Network.candBuf.
+	cand []int32
 }
 
 var _ relay.Env = (*relayEnv)(nil)
@@ -26,18 +34,46 @@ var _ relay.Env = (*relayEnv)(nil)
 func (e *relayEnv) NodeID() int { return int(e.node.id) }
 
 // HasBlock reports whether the node holds the full block.
-func (e *relayEnv) HasBlock(h types.Hash) bool { return e.node.haveBlocks[h] }
+func (e *relayEnv) HasBlock(h types.Hash) bool {
+	idx, ok := e.net.blockIdx.lookup(h)
+	return ok && e.net.haveBits.get(e.nodeIdx, idx)
+}
 
 // KnownTx reports transaction-pool visibility (gossip-seen hashes).
-func (e *relayEnv) KnownTx(h types.Hash) bool { return e.node.knownTxs[h] }
+func (e *relayEnv) KnownTx(h types.Hash) bool {
+	idx, ok := e.net.txIdx.lookup(h)
+	return ok && e.net.txBits.get(e.nodeIdx, idx)
+}
 
-// Candidates fills the shared scratch with the node's peers not yet
-// known to have h, in peer order, and returns the count.
+// Candidates fills the shared scratch with the span positions of the
+// node's peers not yet known to have h, in peer order, and returns the
+// count. One window lookup up front, then one mask bit per peer — no
+// per-peer hashing.
 func (e *relayEnv) Candidates(h types.Hash) int {
 	c := e.net.candBuf[:0]
-	for _, peer := range e.node.peers {
-		if !e.node.peerKnowsBlock(h, peer.id) {
-			c = append(c, peer)
+	i := e.nodeIdx
+	s := e.net.top.spans[i]
+	slot := int32(-1)
+	if idx, ok := e.net.blockIdx.lookup(h); ok {
+		slot = e.net.windowSlot(i, idx)
+	}
+	if slot < 0 {
+		// Block outside the suppression window: every peer is a
+		// candidate.
+		for p := int32(0); p < s.len; p++ {
+			c = append(c, p)
+		}
+	} else {
+		bit := uint64(1) << uint(slot)
+		spilled := len(e.net.spill[i]) > 0
+		for p := int32(0); p < s.len; p++ {
+			if e.net.top.knowMask[s.off+p]&bit != 0 {
+				continue
+			}
+			if spilled && e.net.spillHas(i, e.net.top.adj[s.off+p], slot) {
+				continue
+			}
+			c = append(c, p)
 		}
 	}
 	e.net.candBuf = c[:0]
@@ -48,42 +84,61 @@ func (e *relayEnv) Candidates(h types.Hash) int {
 // Fanout returns a shared-scratch random permutation of [0, n).
 func (e *relayEnv) Fanout(n int) []int { return e.net.fanoutOrder(n) }
 
+// peerAt resolves candidate i to its span position, edge index and
+// node handle.
+func (e *relayEnv) peerAt(i int) (pos, edge int32, peer *Node) {
+	pos = e.cand[i]
+	edge = e.net.top.spans[e.nodeIdx].off + pos
+	return pos, edge, e.net.NodeAt(int(e.net.top.adj[edge]))
+}
+
 // PushBlock sends the full body to candidate i, marking it known.
 func (e *relayEnv) PushBlock(i int, at sim.Time, b *types.Block) {
-	peer := e.cand[i]
-	e.node.markPeerKnows(b.Hash(), peer.id)
+	pos, edge, peer := e.peerAt(i)
+	e.node.markPeerKnows(b.Hash(), peer.id, pos)
 	m := e.net.newMessage(MsgNewBlock)
 	m.Block = b
-	e.net.send(at, e.node, peer, m)
+	e.net.send(at, e.node, peer, m, e.net.top.revAdj[edge])
 }
 
 // PushCompact sends a short-ID sketch to candidate i, marking it
 // known (it will hold the block after reconstruction or fallback).
 func (e *relayEnv) PushCompact(i int, at sim.Time, b *types.Block) {
-	peer := e.cand[i]
-	e.node.markPeerKnows(b.Hash(), peer.id)
+	pos, edge, peer := e.peerAt(i)
+	e.node.markPeerKnows(b.Hash(), peer.id, pos)
 	m := e.net.newMessage(MsgCompactBlock)
 	m.Block = b
-	e.net.send(at, e.node, peer, m)
+	e.net.send(at, e.node, peer, m, e.net.top.revAdj[edge])
 }
 
 // Announce sends a hash announcement to candidate i.
 func (e *relayEnv) Announce(i int, at sim.Time, h types.Hash) {
-	peer := e.cand[i]
-	e.node.markPeerKnows(h, peer.id)
+	pos, edge, peer := e.peerAt(i)
+	e.node.markPeerKnows(h, peer.id, pos)
 	m := e.net.newMessage(MsgNewBlockHashes)
 	m.hash1[0] = h
 	m.Hashes = m.hash1[:1]
-	e.net.send(at, e.node, peer, m)
+	e.net.send(at, e.node, peer, m, e.net.top.revAdj[edge])
 }
 
 // peerByID resolves a pull target, refusing self-sends.
 func (e *relayEnv) peerByID(peer int) *Node {
-	to, ok := e.net.nodes[NodeID(peer)]
-	if !ok || to.id == e.node.id {
+	to := e.net.nodeByID(NodeID(peer))
+	if to == nil || to.id == e.node.id {
 		return nil
 	}
 	return to
+}
+
+// srcPosFor returns the position of the hosting node in the target's
+// span for a pull send: protocols pull from the sender of the message
+// being dispatched, whose reverse position is one arena read away.
+// -1 otherwise (the receiver falls back to a scan).
+func (e *relayEnv) srcPosFor(toIdx int32) int32 {
+	if toIdx == e.fromIdx && e.fromPos >= 0 {
+		return e.net.top.revAdj[e.net.top.spans[e.nodeIdx].off+e.fromPos]
+	}
+	return -1
 }
 
 // RequestBlock asks peer for the full body (GetBlock).
@@ -94,7 +149,7 @@ func (e *relayEnv) RequestBlock(peer int, at sim.Time, h types.Hash) {
 	}
 	m := e.net.newMessage(MsgGetBlock)
 	m.Want = h
-	e.net.send(at, e.node, to, m)
+	e.net.send(at, e.node, to, m, e.srcPosFor(to.idx()))
 }
 
 // RequestCompact asks peer for a sketch (GetCompact).
@@ -105,7 +160,7 @@ func (e *relayEnv) RequestCompact(peer int, at sim.Time, h types.Hash) {
 	}
 	m := e.net.newMessage(MsgGetCompact)
 	m.Want = h
-	e.net.send(at, e.node, to, m)
+	e.net.send(at, e.node, to, m, e.srcPosFor(to.idx()))
 }
 
 // RequestTxns runs the missing-transaction round trip's request leg.
@@ -118,7 +173,7 @@ func (e *relayEnv) RequestTxns(peer int, at sim.Time, h types.Hash, count, bytes
 	m.Want = h
 	m.TxCount = count
 	m.TxBytes = bytes
-	e.net.send(at, e.node, to, m)
+	e.net.send(at, e.node, to, m, e.srcPosFor(to.idx()))
 }
 
 // ScheduleWave queues the node's deferred announce wave.
@@ -133,26 +188,45 @@ func (e *relayEnv) AcceptBlock(now sim.Time, b *types.Block) {
 
 // SetPending records an in-flight reconstruction or fallback fetch.
 func (e *relayEnv) SetPending(h types.Hash, b *types.Block) bool {
-	if e.node.pendingRelay == nil {
-		e.node.pendingRelay = make(map[types.Hash]*types.Block, 4)
-	} else if _, exists := e.node.pendingRelay[h]; exists {
-		return false
+	i := e.nodeIdx
+	idx := e.net.blockIdx.intern(h)
+	for _, p := range e.net.pending[i] {
+		if p.idx == idx {
+			return false
+		}
 	}
-	e.node.pendingRelay[h] = b
+	e.net.pending[i] = append(e.net.pending[i], pendingEntry{idx: idx, b: b})
 	return true
 }
 
 // HasPending reports an in-flight fetch for h.
 func (e *relayEnv) HasPending(h types.Hash) bool {
-	_, ok := e.node.pendingRelay[h]
-	return ok
+	idx, ok := e.net.blockIdx.lookup(h)
+	if !ok {
+		return false
+	}
+	for _, p := range e.net.pending[e.nodeIdx] {
+		if p.idx == idx {
+			return true
+		}
+	}
+	return false
 }
 
 // TakePending removes and returns the pending entry for h.
 func (e *relayEnv) TakePending(h types.Hash) (*types.Block, bool) {
-	b, ok := e.node.pendingRelay[h]
-	if ok {
-		delete(e.node.pendingRelay, h)
+	idx, ok := e.net.blockIdx.lookup(h)
+	if !ok {
+		return nil, false
 	}
-	return b, ok
+	ps := e.net.pending[e.nodeIdx]
+	for k := range ps {
+		if ps[k].idx == idx {
+			b := ps[k].b
+			ps[k] = ps[len(ps)-1]
+			e.net.pending[e.nodeIdx] = ps[:len(ps)-1]
+			return b, true
+		}
+	}
+	return nil, false
 }

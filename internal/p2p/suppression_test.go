@@ -69,7 +69,7 @@ func TestOriginAnnouncesImmediately(t *testing.T) {
 	var watchers []*Node
 	for i := 0; i < 16; i++ {
 		w := addNode(t, net, geo.WesternEurope, 0)
-		w.relay = false // pure observers: no relaying noise
+		w.setRelayEnabled(false) // pure observers: no relaying noise
 		if err := net.Connect(origin, w); err != nil {
 			t.Fatal(err)
 		}
@@ -105,7 +105,7 @@ func TestRelayerAnnouncesAfterImport(t *testing.T) {
 	var watchers []*Node
 	for i := 0; i < 16; i++ {
 		w := addNode(t, net, geo.WesternEurope, 0)
-		w.relay = false
+		w.setRelayEnabled(false)
 		if err := net.Connect(relayer, w); err != nil {
 			t.Fatal(err)
 		}
@@ -142,11 +142,11 @@ func TestKnownPeerEviction(t *testing.T) {
 		a.InjectBlock(0, testBlock(uint64(i+1), "Ethermine"))
 		net.Engine().Run()
 	}
-	if len(a.peerKnows) > knownPeerCap {
-		t.Fatalf("suppression state grew to %d entries (cap %d)", len(a.peerKnows), knownPeerCap)
+	if got := int(net.knowCount[a.idx()]); got > knownPeerCap {
+		t.Fatalf("suppression window grew to %d entries (cap %d)", got, knownPeerCap)
 	}
-	if len(a.knowQueue) > knownPeerCap {
-		t.Fatalf("eviction queue grew to %d", len(a.knowQueue))
+	if got := len(net.spill[a.idx()]); got != 0 {
+		t.Fatalf("healthy run produced %d spill marks", got)
 	}
 }
 
@@ -161,7 +161,7 @@ func TestAnnouncementMarksSenderAsKnowing(t *testing.T) {
 	h := blk.Hash()
 	// b hears an announcement from a; b must record that a knows the
 	// block even before fetching it.
-	b.handle(0, a.ID(), &Message{Kind: MsgNewBlockHashes, Hashes: []types.Hash{h}})
+	b.handle(0, a.ID(), -1, &Message{Kind: MsgNewBlockHashes, Hashes: []types.Hash{h}})
 	if !b.peerKnowsBlock(h, a.ID()) {
 		t.Fatal("announcement did not mark sender knowledge")
 	}
@@ -174,7 +174,7 @@ func TestPushPolicies(t *testing.T) {
 		origin := addNode(t, net, geo.WesternEurope, 0)
 		for i := 0; i < 16; i++ {
 			w := addNode(t, net, geo.WesternEurope, 0)
-			w.relay = false
+			w.setRelayEnabled(false)
 			if err := net.Connect(origin, w); err != nil {
 				t.Fatal(err)
 			}

@@ -77,10 +77,10 @@ type Scenario struct {
 	// Repeats suggests a repeat count to the runner; ethrepro uses it
 	// when -repeats is not given explicitly.
 	Repeats int `json:"repeats,omitempty"`
-	// ScaleFactors maps scale names (small|medium|paper|stress) to
-	// multipliers applied to node and block counts. The file's
-	// literal numbers are the medium scale; defaults are
-	// {small: 0.25, medium: 1, paper: 2, stress: 8}.
+	// ScaleFactors maps scale names (small|medium|paper|stress|
+	// stress100k) to multipliers applied to node and block counts.
+	// The file's literal numbers are the medium scale; defaults are
+	// {small: 0.25, medium: 1, paper: 2, stress: 8, stress100k: 80}.
 	ScaleFactors map[string]float64 `json:"scale_factors,omitempty"`
 }
 
@@ -237,10 +237,11 @@ type WorkloadSection struct {
 // nodes reaches 10k-node territory via `ethrepro -scale stress`
 // without a separate file.
 var defaultScaleFactors = map[string]float64{
-	"small":  0.25,
-	"medium": 1,
-	"paper":  2,
-	"stress": 8,
+	"small":      0.25,
+	"medium":     1,
+	"paper":      2,
+	"stress":     8,
+	"stress100k": 80,
 }
 
 // RunMode returns the effective execution mode (Mode, defaulted).

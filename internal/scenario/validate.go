@@ -42,7 +42,7 @@ func (s *Scenario) Validate() error {
 	}
 	for name, f := range s.ScaleFactors {
 		if _, ok := defaultScaleFactors[name]; !ok {
-			return fmt.Errorf("scenario %s: unknown scale %q (small|medium|paper)", s.Name, name)
+			return fmt.Errorf("scenario %s: unknown scale %q (small|medium|paper|stress|stress100k)", s.Name, name)
 		}
 		if f <= 0 {
 			return fmt.Errorf("scenario %s: scale factor %s=%v must be > 0", s.Name, name, f)
