@@ -299,6 +299,50 @@ func BenchmarkStress100k(b *testing.B) {
 	}
 }
 
+// BenchmarkStress100kSharded is BenchmarkStress100k with the sharded
+// conductor at the full worker count (ETHREPRO_SHARDS=6): one region
+// lane per geographic region advancing under conservative lookahead.
+// The events/sec delta against the unsharded figure is the headline
+// number for intra-run sharding, committed next to it in
+// BENCH_stress.json. Opt-in via STRESS100K like the rest of the tier.
+func BenchmarkStress100kSharded(b *testing.B) {
+	if os.Getenv("STRESS100K") == "" {
+		b.Skip("set STRESS100K=1 (make bench-stress) to run the 100k tier")
+	}
+	b.Setenv("ETHREPRO_SHARDS", "6")
+	set, err := scenario.Load("examples/scenarios/stress-100k.json")
+	if err != nil {
+		b.Fatal(err)
+	}
+	specs, err := set.Compile()
+	if err != nil {
+		b.Fatal(err)
+	}
+	obs.Default.EnableTelemetry()
+	defer obs.Default.Disable()
+	for i := 0; i < b.N; i++ {
+		report, err := experiments.Run(context.Background(), specs, experiments.RunnerConfig{
+			Seed:  benchSeed(i),
+			Scale: experiments.ScaleMedium, // the file's literal 100k sizing
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		taken := obs.Default.Take(experiments.ReportSeeds(report))
+		if i == b.N-1 {
+			var peak obs.RunTelemetry
+			for _, rt := range taken {
+				if rt.Nodes > peak.Nodes {
+					peak = rt
+				}
+			}
+			b.ReportMetric(peak.EventsPerSec(), "events/sec")
+			b.ReportMetric(peak.BytesPerNode(), "bytes/node")
+			b.ReportMetric(float64(peak.ShardStalled), "stalled_lane_windows")
+		}
+	}
+}
+
 // BenchmarkCampaignRunner measures the parallel campaign runner
 // end-to-end: the network and redundancy campaigns, two repeats each,
 // fanned across workers.

@@ -7,6 +7,15 @@
 //
 //	go test -bench=. -benchmem -benchtime=1x -run='^$' . | benchjson -note "..." > BENCH_baseline.json
 //
+// With -best-of N the input is expected to hold N runs of every
+// benchmark (go test -count=N); each is collapsed to a min/max
+// envelope — the per-metric minimum lands in metrics (what -compare
+// gates on, being the least noise-contaminated run) and the maximum in
+// metrics_max. The bench-compare target measures with -count=3 this
+// way, so a single slow run cannot fail the gate:
+//
+//	go test -bench=. -benchmem -benchtime=1x -count=3 -run='^$' . | benchjson -best-of 3
+//
 // Compare mode diffs two snapshots and fails on ns/op, B/op or
 // allocs/op regressions — the Makefile's bench-compare target and the
 // CI perf gate:
@@ -41,11 +50,16 @@ import (
 	"time"
 )
 
-// Entry is one benchmark result.
+// Entry is one benchmark result. In -best-of mode Metrics holds the
+// per-metric minimum over the N runs (the envelope floor the compare
+// gate diffs against), MetricsMax the per-metric maximum (the noise
+// envelope's ceiling, recorded for provenance) and Runs the N.
 type Entry struct {
 	Name       string             `json:"name"`
 	Iterations int64              `json:"iterations"`
 	Metrics    map[string]float64 `json:"metrics"`
+	MetricsMax map[string]float64 `json:"metrics_max,omitempty"`
+	Runs       int                `json:"runs,omitempty"`
 }
 
 // Snapshot is the on-disk format: the entries plus provenance — when
@@ -64,6 +78,7 @@ func main() {
 		allocFloor = flag.Float64("alloc-floor", 100, "baseline allocs/op below which allocation regressions are reported but never fail")
 		bytesFloor = flag.Float64("bytes-floor", 64*1024, "baseline B/op below which byte regressions are reported but never fail")
 		note       = flag.String("note", "", "provenance note recorded in the snapshot")
+		bestOf     = flag.Int("best-of", 1, "collapse N repeated runs per benchmark (go test -count=N) into a min/max envelope; the min is what -compare gates on")
 	)
 	flag.Parse()
 	if *compare {
@@ -86,6 +101,13 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+	if *bestOf > 1 {
+		entries, err = envelope(entries, *bestOf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+	}
 	snap := Snapshot{
 		Generated: time.Now().UTC().Format("2006-01-02"),
 		Note:      *note,
@@ -97,6 +119,55 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Println(string(out))
+}
+
+// envelope collapses n repeated runs of each benchmark into one entry
+// per name: the per-metric minimum in Metrics (the best run is the
+// least noise-contaminated measurement, so it is the stable value to
+// baseline and gate on) and the per-metric maximum in MetricsMax.
+// Every benchmark must appear exactly n times — anything else means
+// the -count flag and -best-of disagree, which would silently gate on
+// a partial envelope.
+func envelope(entries []Entry, n int) ([]Entry, error) {
+	byName := make(map[string]*Entry)
+	seen := make(map[string]int)
+	var order []string
+	for _, e := range entries {
+		seen[e.Name]++
+		acc, ok := byName[e.Name]
+		if !ok {
+			c := e
+			c.Runs = n
+			c.Metrics = make(map[string]float64, len(e.Metrics))
+			c.MetricsMax = make(map[string]float64, len(e.Metrics))
+			for k, v := range e.Metrics {
+				c.Metrics[k] = v
+				c.MetricsMax[k] = v
+			}
+			byName[e.Name] = &c
+			order = append(order, e.Name)
+			continue
+		}
+		if e.Iterations > acc.Iterations {
+			acc.Iterations = e.Iterations
+		}
+		for k, v := range e.Metrics {
+			if lo, ok := acc.Metrics[k]; !ok || v < lo {
+				acc.Metrics[k] = v
+			}
+			if hi, ok := acc.MetricsMax[k]; !ok || v > hi {
+				acc.MetricsMax[k] = v
+			}
+		}
+	}
+	out := make([]Entry, 0, len(order))
+	for _, name := range order {
+		if seen[name] != n {
+			return nil, fmt.Errorf("-best-of %d: benchmark %s ran %d time(s); pass -count=%d to go test", n, name, seen[name], n)
+		}
+		out = append(out, *byName[name])
+	}
+	return out, nil
 }
 
 // loadSnapshot reads a snapshot file: the current object format, or a

@@ -316,3 +316,90 @@ func TestSnapshotFormats(t *testing.T) {
 		t.Fatalf("legacy snapshot: %+v", byName)
 	}
 }
+
+func TestEnvelopeBestOf(t *testing.T) {
+	in := `BenchmarkA-8   1   300 ns/op   512 B/op   7 allocs/op
+BenchmarkB-8   1   900 ns/op
+BenchmarkA-8   2   100 ns/op   640 B/op   7 allocs/op
+BenchmarkB-8   1   800 ns/op
+BenchmarkA-8   1   200 ns/op   512 B/op   9 allocs/op
+BenchmarkB-8   1   850 ns/op
+`
+	entries, err := parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := envelope(entries, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 {
+		t.Fatalf("entries: %d", len(out))
+	}
+	a := out[0]
+	if a.Name != "BenchmarkA" || a.Runs != 3 || a.Iterations != 2 {
+		t.Fatalf("A header: %+v", a)
+	}
+	// Min per metric gates; max per metric records the envelope top.
+	if a.Metrics["ns/op"] != 100 || a.Metrics["B/op"] != 512 || a.Metrics["allocs/op"] != 7 {
+		t.Fatalf("A min metrics: %v", a.Metrics)
+	}
+	if a.MetricsMax["ns/op"] != 300 || a.MetricsMax["B/op"] != 640 || a.MetricsMax["allocs/op"] != 9 {
+		t.Fatalf("A max metrics: %v", a.MetricsMax)
+	}
+	if out[1].Metrics["ns/op"] != 800 || out[1].MetricsMax["ns/op"] != 900 {
+		t.Fatalf("B envelope: %v / %v", out[1].Metrics, out[1].MetricsMax)
+	}
+}
+
+func TestEnvelopeRunCountMismatch(t *testing.T) {
+	in := `BenchmarkA-8   1   300 ns/op
+BenchmarkA-8   1   200 ns/op
+BenchmarkB-8   1   900 ns/op
+BenchmarkA-8   1   100 ns/op
+`
+	entries, err := parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := envelope(entries, 3); err == nil || !strings.Contains(err.Error(), "BenchmarkB") {
+		t.Fatalf("want run-count mismatch naming BenchmarkB, got %v", err)
+	}
+}
+
+func TestEnvelopeSnapshotCompares(t *testing.T) {
+	// A best-of snapshot must flow through -compare unchanged: the
+	// gate reads the min metrics and ignores the envelope ceiling.
+	dir := t.TempDir()
+	write := func(name string, snap Snapshot) string {
+		data, err := json.MarshalIndent(snap, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	oldPath := write("old.json", Snapshot{Entries: []Entry{{
+		Name: "BenchmarkA", Iterations: 1,
+		Metrics:    map[string]float64{"ns/op": 2e6},
+		MetricsMax: map[string]float64{"ns/op": 3e6},
+		Runs:       3,
+	}}})
+	newPath := write("new.json", Snapshot{Entries: []Entry{{
+		Name: "BenchmarkA", Iterations: 1,
+		Metrics:    map[string]float64{"ns/op": 2.1e6},
+		MetricsMax: map[string]float64{"ns/op": 9e6},
+		Runs:       3,
+	}}})
+	var buf strings.Builder
+	ok, err := runCompare(&buf, oldPath, newPath, 0.20, 1e6, 100, 64*1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatalf("5%% min-envelope drift must pass despite max drift:\n%s", buf.String())
+	}
+}

@@ -17,9 +17,17 @@
 // Usage:
 //
 //	ethrepro [-seed 42] [-scale small|medium|paper|stress] [-only F1,chain,...]
-//	         [-parallel N] [-repeats N] [-out paper_runs/run1]
+//	         [-parallel N] [-repeats N] [-shards N] [-out paper_runs/run1]
 //	         [-scenario file.json,...] [-list]
 //	         [-telemetry=false] [-trace trace.json]
+//
+// -shards N (or the ETHREPRO_SHARDS environment variable) runs each
+// campaign on the sharded conductor: one event lane per geographic
+// region advanced concurrently by N workers under conservative
+// lookahead. Artifacts are byte-identical across every -shards value
+// >= 1 (and across -parallel, as always); they form a separate
+// deterministic family from -shards 0, the single-engine default.
+// See docs/PERFORMANCE.md, "Sharded execution".
 //
 // With -out, a telemetry.json performance record (events/sec, wall
 // time per phase, peak queue depth, transport counters, GC stats) is
@@ -68,6 +76,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		scaleStr = fs.String("scale", "small", "experiment scale: small|medium|paper|stress")
 		only     = fs.String("only", "", "comma-separated experiment or outcome IDs (default: all)")
 		parallel = fs.Int("parallel", 0, "concurrent experiments (0 = GOMAXPROCS)")
+		shards   = fs.Int("shards", 0, "intra-run execution workers on the sharded conductor (0 = single engine; >=1 shards each run by region, byte-identical across values)")
 		repeats  = fs.Int("repeats", 1, "independent repeats per experiment")
 		outDir   = fs.String("out", "", "run directory for CSV/JSON artifacts (default: none)")
 		scenFlag = fs.String("scenario", "", "comma-separated scenario files to compile into the registry")
@@ -136,6 +145,16 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		*seed, scale, max(*repeats, 1), len(specs))
 	fmt.Fprintf(stderr, "ethrepro: parallel=%d\n",
 		experiments.EffectiveParallel(*parallel, len(specs), *repeats, 0))
+	// -shards rides the same environment knob campaigns already read,
+	// so it reaches every spec builder without threading a parameter
+	// through the registry. Like -parallel it never prints to stdout:
+	// artifacts (and stdout) are byte-identical across shard counts.
+	if *shards > 0 {
+		if err := os.Setenv("ETHREPRO_SHARDS", fmt.Sprint(*shards)); err != nil {
+			return err
+		}
+		fmt.Fprintf(stderr, "ethrepro: shards=%d\n", *shards)
+	}
 	// Observability is opt-in per invocation. Tracing and telemetry
 	// read only engine counters and wall clocks, never RNG, so the
 	// artifact bytes (outcomes, CSVs, manifest) are identical either

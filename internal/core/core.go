@@ -18,6 +18,8 @@ package core
 import (
 	"errors"
 	"fmt"
+	"os"
+	"strconv"
 
 	"repro/internal/analysis"
 	"repro/internal/chain"
@@ -115,6 +117,19 @@ type CampaignConfig struct {
 	// paper's always-on infrastructure. Nil keeps the campaign healthy
 	// — and byte-identical to the pre-fault engine.
 	Faults *faults.Config
+	// Shards enables sharded intra-run execution: the overlay is
+	// partitioned into one event lane per region, advanced concurrently
+	// under conservative lookahead by up to Shards worker goroutines.
+	// 0 (the default) keeps the single-engine path and its byte-exact
+	// artifact streams; when 0, the ETHREPRO_SHARDS environment
+	// variable (a positive integer) supplies the value instead. Any
+	// value >= 1 selects the sharded schedule, whose artifacts are
+	// byte-identical across all Shards values — the lane decomposition
+	// is fixed by the region enum, and Shards only sets the worker
+	// count (clamped to the region count). Sharded artifacts may differ
+	// from single-engine ones: per-lane RNG streams replace the single
+	// transport stream.
+	Shards int
 }
 
 // DefaultCampaignConfig returns a network-level campaign sized for the
@@ -171,8 +186,13 @@ type CampaignResult struct {
 
 // Campaign is a configured, runnable measurement campaign.
 type Campaign struct {
-	cfg     CampaignConfig
-	engine  *sim.Engine
+	cfg    CampaignConfig
+	engine *sim.Engine
+	// cond drives sharded execution (nil single-engine); shards is the
+	// resolved worker count. engine is then the conductor's global lane
+	// — mining, workload and fault timers all live there.
+	cond    *sim.Conductor
+	shards  int
 	rng     *sim.RNG
 	network *p2p.Network
 	// byRegn indexes overlay nodes by region (regions are a dense
@@ -207,12 +227,25 @@ func NewCampaign(cfg CampaignConfig) (*Campaign, error) {
 	if len(cfg.Measurement) == 0 {
 		return nil, errors.New("core: campaign needs measurement nodes")
 	}
+	shards := resolveShards(cfg.Shards)
+	var cond *sim.Conductor
 	engine := sim.NewEngine()
+	if shards > 0 {
+		// Sharded: one lane per region plus the global lane every
+		// centrally scheduled subsystem (mining, workload, faults,
+		// injection) runs on. The decomposition is fixed — shards only
+		// sets phase-B worker concurrency — so artifacts are identical
+		// at every shards value.
+		cond = sim.NewConductor(geo.NumRegions)
+		engine = cond.Global()
+	}
 	rootRNG := sim.NewRNG(cfg.Seed)
 
 	c := &Campaign{
 		cfg:    cfg,
 		engine: engine,
+		cond:   cond,
+		shards: shards,
 		rng:    rootRNG,
 		// Observability reads engine counters and wall clocks only —
 		// it touches no RNG, so a traced campaign replays the untraced
@@ -367,7 +400,37 @@ func NewCampaign(cfg CampaignConfig) (*Campaign, error) {
 		return nil, fmt.Errorf("core: mining: %w", err)
 	}
 	c.miners = miners
+
+	// Shard the transport last, after every build-time RNG draw
+	// (wiring, gateways, fault schedule): per-lane streams fork from
+	// the network RNG here, at a point that is the same no matter what
+	// the rest of the configuration did.
+	if cond != nil {
+		c.network.EnableSharding(cond, func() relay.Protocol {
+			return relay.MustNew(cfg.Relay)
+		})
+		if c.injector != nil {
+			c.injector.EnableSharding()
+		}
+	}
 	return c, nil
+}
+
+// resolveShards maps the Shards knob (with the ETHREPRO_SHARDS
+// fallback when unset) to a worker count: 0 single-engine, otherwise
+// clamped to [1, NumRegions] — more workers than lanes cannot help.
+func resolveShards(shards int) int {
+	if shards == 0 {
+		if v := os.Getenv("ETHREPRO_SHARDS"); v != "" {
+			if n, err := strconv.Atoi(v); err == nil {
+				shards = n
+			}
+		}
+	}
+	if shards <= 0 {
+		return 0
+	}
+	return min(shards, geo.NumRegions)
 }
 
 // submitTx delivers a workload transaction into the overlay at a node
@@ -436,16 +499,24 @@ func (c *Campaign) Run() (*CampaignResult, error) {
 	// Mining's OnDone stops the workload and fault processes after the
 	// last block; the run then drains propagation events, held
 	// releases and pending recoveries.
-	c.engine.Run()
+	if c.cond != nil {
+		c.cond.Run(c.shards)
+		// Fold per-lane transport and protocol counters back into the
+		// network's public accounting before anything reads it.
+		c.network.FinishSharded()
+	} else {
+		c.engine.Run()
+	}
 	if c.injector != nil {
-		c.injector.Finalize(c.engine.Now())
+		c.injector.Finalize(c.now())
 	}
 	c.obsScope.Finish(obs.RunSample{
-		Engine:   c.engine.Stats(),
+		Engine:   c.engineStats(),
 		Messages: c.network.MessagesSent,
 		Bytes:    c.network.BytesSent,
 		Dropped:  c.network.MessagesDropped,
 		Nodes:    c.network.Len(),
+		Shard:    c.shardSample(),
 	})
 
 	var (
@@ -487,7 +558,7 @@ func (c *Campaign) Run() (*CampaignResult, error) {
 		BytesSent:          c.network.BytesSent,
 		MessagesDropped:    c.network.MessagesDropped,
 		Bandwidth:          c.bandwidth(),
-		Duration:           c.engine.Now(),
+		Duration:           c.now(),
 	}
 	if c.injector != nil {
 		stats := c.injector.Stats()
@@ -497,6 +568,64 @@ func (c *Campaign) Run() (*CampaignResult, error) {
 		res.TxRecords = c.gen.Records()
 	}
 	return res, nil
+}
+
+// now returns the run's time frontier: the maximum lane clock sharded,
+// the engine clock otherwise.
+func (c *Campaign) now() sim.Time {
+	if c.cond != nil {
+		return c.cond.Now()
+	}
+	return c.engine.Now()
+}
+
+// engineStats snapshots the run's engine counters: the single engine's
+// unsharded, or the cross-lane aggregate — counter sums, max clock,
+// summed queue high-water marks (total in-flight depth) — sharded.
+func (c *Campaign) engineStats() sim.EngineStats {
+	if c.cond == nil {
+		return c.engine.Stats()
+	}
+	var agg sim.EngineStats
+	for _, s := range c.laneStats() {
+		agg.Processed += s.Processed
+		agg.Scheduled += s.Scheduled
+		agg.Pending += s.Pending
+		agg.MaxPending += s.MaxPending
+		agg.Slots += s.Slots
+		if s.Now > agg.Now {
+			agg.Now = s.Now
+		}
+	}
+	return agg
+}
+
+// laneStats returns per-lane engine snapshots, global lane first.
+func (c *Campaign) laneStats() []sim.EngineStats {
+	out := make([]sim.EngineStats, 0, geo.NumRegions+1)
+	out = append(out, c.cond.Global().Stats())
+	for r := 0; r < c.cond.Regions(); r++ {
+		out = append(out, c.cond.Lane(r).Stats())
+	}
+	return out
+}
+
+// shardSample builds the telemetry record for a sharded run (nil
+// single-engine).
+func (c *Campaign) shardSample() *obs.ShardSample {
+	if c.cond == nil {
+		return nil
+	}
+	cs := c.cond.Stats()
+	return &obs.ShardSample{
+		Workers:       c.shards,
+		Windows:       cs.Windows,
+		GlobalWindows: cs.GlobalWindows,
+		LaneWindows:   cs.LaneWindows,
+		Stalled:       cs.Stalled,
+		Merged:        cs.Merged,
+		Lanes:         c.laneStats(),
+	}
 }
 
 // bandwidth assembles the per-protocol transport accounting from the

@@ -1,0 +1,144 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/faults"
+	"repro/internal/geo"
+	"repro/internal/sim"
+	"repro/internal/txgen"
+)
+
+// The sharded-execution determinism contract at the campaign level:
+// every artifact — measurement records, transport totals, fault books,
+// virtual duration — is a pure function of the configuration, never of
+// the shard (worker) count. Run with -race these tests also exercise
+// the cross-lane merge, the phase-A/phase-B barrier, and the lane-
+// local pools under real concurrency; `make test-shard` selects them.
+
+// shardDigest is the cross-shard comparison surface: everything a
+// campaign reports that could conceivably wobble under concurrency.
+type shardDigest struct {
+	Messages uint64
+	Bytes    uint64
+	Dropped  uint64
+	Duration sim.Time
+	Records  int
+	Main     int
+	TxCount  int
+}
+
+func digestOf(t *testing.T, cfg CampaignConfig) (shardDigest, *CampaignResult) {
+	t.Helper()
+	res, err := RunCampaign(cfg)
+	if err != nil {
+		t.Fatalf("shards=%d: %v", cfg.Shards, err)
+	}
+	return shardDigest{
+		Messages: res.MessagesSent,
+		Bytes:    res.BytesSent,
+		Dropped:  res.MessagesDropped,
+		Duration: res.Duration,
+		Records:  len(res.Dataset.Records),
+		Main:     len(res.View.Main),
+		TxCount:  len(res.TxRecords),
+	}, res
+}
+
+// shardCampaign is a small healthy campaign with a transaction
+// workload, so the invariance check covers block relay, tx gossip and
+// the pull paths together.
+func shardCampaign(seed uint64) CampaignConfig {
+	cfg := DefaultCampaignConfig(seed)
+	cfg.NetworkNodes = 150
+	cfg.Blocks = 30
+	wl := txgen.DefaultConfig()
+	wl.Senders = 40
+	wl.MeanInterArrival = 1600 // ~0.6 tx/s: enough gossip to cross lanes
+	cfg.Workload = &wl
+	return cfg
+}
+
+// TestShardedCampaignInvariantAcrossShardCounts: identical artifacts
+// at shards 1, 2 and 6 — the lane decomposition is fixed by the region
+// enum, so the worker count must be invisible in every output,
+// including the exact per-record reception times.
+func TestShardedCampaignInvariantAcrossShardCounts(t *testing.T) {
+	base := shardCampaign(23)
+	base.Shards = 1
+	ref, refRes := digestOf(t, base)
+	if ref.Records == 0 || ref.Main < 10 || ref.TxCount == 0 {
+		t.Fatalf("reference sharded campaign too small to be meaningful: %+v", ref)
+	}
+	for _, shards := range []int{2, 6} {
+		cfg := shardCampaign(23)
+		cfg.Shards = shards
+		got, res := digestOf(t, cfg)
+		if got != ref {
+			t.Fatalf("shards=%d digest %+v, want %+v", shards, got, ref)
+		}
+		if !reflect.DeepEqual(res.Dataset.Records, refRes.Dataset.Records) {
+			t.Fatalf("shards=%d: measurement records differ from shards=1", shards)
+		}
+	}
+}
+
+// TestShardedFaultedCampaignInvariance runs all four fault classes
+// sharded and asserts shard-count invariance: partitions, loss draws,
+// crash/churn timing and the catch-up fetch must all come out of
+// region-keyed streams, never worker-keyed ones.
+func TestShardedFaultedCampaignInvariance(t *testing.T) {
+	horizon := 50 * 13300 * sim.Millisecond
+	faulted := func(shards int) CampaignConfig {
+		cfg := faultCampaign(31, &faults.Config{
+			Crash: &faults.Crash{MeanBetween: horizon / 20, MeanDowntime: 30 * sim.Second},
+			Partitions: []faults.Partition{{
+				Start:    horizon / 4,
+				Duration: horizon / 4,
+				Regions:  []geo.Region{geo.EasternAsia, geo.Oceania},
+			}},
+			Loss:  &faults.Loss{DropProb: 0.01, ExtraDelayMean: 10 * sim.Millisecond},
+			Churn: &faults.Churn{MeanBetween: horizon / 30},
+		})
+		cfg.Streaming = false
+		cfg.Shards = shards
+		return cfg
+	}
+	ref, refRes := digestOf(t, faulted(1))
+	if ref.Dropped == 0 {
+		t.Fatal("faulted reference dropped nothing; the test is vacuous")
+	}
+	refStats := *refRes.Faults
+	for _, shards := range []int{2, 6} {
+		got, res := digestOf(t, faulted(shards))
+		if got != ref {
+			t.Fatalf("shards=%d digest %+v, want %+v", shards, got, ref)
+		}
+		if *res.Faults != refStats {
+			t.Fatalf("shards=%d fault stats %+v, want %+v", shards, *res.Faults, refStats)
+		}
+		if !reflect.DeepEqual(res.Dataset.Records, refRes.Dataset.Records) {
+			t.Fatalf("shards=%d: measurement records differ from shards=1", shards)
+		}
+	}
+}
+
+// TestShardedEnvKnob pins the ETHREPRO_SHARDS fallback: an unset
+// Shards field defers to the environment, an explicit field wins.
+func TestShardedEnvKnob(t *testing.T) {
+	t.Setenv("ETHREPRO_SHARDS", "6")
+	if got := resolveShards(0); got != 6 {
+		t.Fatalf("resolveShards(0) with env = %d, want 6", got)
+	}
+	if got := resolveShards(2); got != 2 {
+		t.Fatalf("resolveShards(2) = %d, want 2 (explicit beats env)", got)
+	}
+	if got := resolveShards(100); got != geo.NumRegions {
+		t.Fatalf("resolveShards(100) = %d, want clamp to %d", got, geo.NumRegions)
+	}
+	t.Setenv("ETHREPRO_SHARDS", "")
+	if got := resolveShards(0); got != 0 {
+		t.Fatalf("resolveShards(0) without env = %d, want 0", got)
+	}
+}

@@ -56,6 +56,15 @@ type TelemetryRow struct {
 	PeakHeapBytes uint64  `json:"peak_heap_bytes,omitempty"`
 	Nodes         int     `json:"nodes,omitempty"`
 	BytesPerNode  float64 `json:"bytes_per_node,omitempty"`
+	// Shard* describe the conductor's window loop when the run
+	// executed sharded (ETHREPRO_SHARDS / -shards); all omitted for
+	// single-engine runs. ShardStalled counts lane-windows lost to the
+	// conservative-lookahead bound — the sharding efficiency metric.
+	ShardWorkers int                 `json:"shard_workers,omitempty"`
+	ShardWindows uint64              `json:"shard_windows,omitempty"`
+	ShardStalled uint64              `json:"shard_stalled,omitempty"`
+	ShardMerged  uint64              `json:"shard_merged,omitempty"`
+	Lanes        []obs.LaneTelemetry `json:"lanes,omitempty"`
 	// Kinds is the per-event-kind dispatch profile (tracing runs
 	// only).
 	Kinds []obs.KindStats `json:"kinds,omitempty"`
@@ -118,6 +127,11 @@ func BuildTelemetry(r *Report, taken map[uint64]obs.RunTelemetry) *Telemetry {
 			row.PeakHeapBytes = rt.PeakHeapBytes
 			row.Nodes = rt.Nodes
 			row.BytesPerNode = rt.BytesPerNode()
+			row.ShardWorkers = rt.ShardWorkers
+			row.ShardWindows = rt.ShardWindows
+			row.ShardStalled = rt.ShardStalled
+			row.ShardMerged = rt.ShardMerged
+			row.Lanes = rt.Lanes
 			row.Kinds = rt.Kinds
 		}
 		tel.Runs = append(tel.Runs, row)

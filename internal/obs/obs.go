@@ -43,6 +43,29 @@ type RunSample struct {
 	// Nodes is the overlay's node count (zero for chain-only runs) —
 	// the denominator for the bytes-per-node memory figure.
 	Nodes int
+	// Shard describes the conductor's window loop when the run executed
+	// sharded (nil for single-engine runs). Engine above is then the
+	// cross-lane aggregate; Shard keeps the per-lane breakdown.
+	Shard *ShardSample
+}
+
+// ShardSample is one sharded run's conductor activity: window-loop
+// counters plus per-lane engine snapshots. Every field is a pure
+// function of the simulation — worker count appears only as the
+// configured knob, never as a source of variation.
+type ShardSample struct {
+	// Workers is the configured phase-B worker count.
+	Workers int
+	// Windows/GlobalWindows/LaneWindows/Stalled/Merged mirror
+	// sim.ConductorStats.
+	Windows       uint64
+	GlobalWindows uint64
+	LaneWindows   uint64
+	Stalled       uint64
+	Merged        uint64
+	// Lanes are the per-lane engine snapshots, global lane first, then
+	// region lanes in region order.
+	Lanes []sim.EngineStats
 }
 
 // RunTelemetry aggregates every engine run reporting under one seed —
@@ -79,6 +102,15 @@ type RunTelemetry struct {
 	// in docs/PERFORMANCE.md.
 	PeakHeapBytes uint64
 	Nodes         int
+	// Sharded-run aggregates, all zero when every folded run was
+	// single-engine: conductor counters summed across runs, the largest
+	// configured worker count, and per-lane engine stats merged by lane
+	// position (global lane first).
+	ShardWorkers int
+	ShardWindows uint64
+	ShardStalled uint64
+	ShardMerged  uint64
+	Lanes        []LaneTelemetry
 	// Kinds is the per-event-kind dispatch profile, merged across
 	// engines by kind name, sorted by descending wall time. Empty
 	// unless tracing was enabled.
@@ -86,6 +118,16 @@ type RunTelemetry struct {
 	// Tracers holds each engine's full tracer (ring spans and progress
 	// samples) when tracing was enabled, in completion order.
 	Tracers []*Tracer
+}
+
+// LaneTelemetry is one conductor lane's contribution across the folded
+// sharded runs: dispatch/enqueue sums, summed final clocks, and the
+// largest queue-depth high-water mark.
+type LaneTelemetry struct {
+	Events    uint64 `json:"events"`
+	Scheduled uint64 `json:"scheduled"`
+	SimMS     int64  `json:"sim_ms"`
+	PeakQueue int    `json:"peak_queue"`
 }
 
 // EventsPerSec is the run's dispatch throughput over its engine-run
@@ -238,6 +280,21 @@ func (s *RunScope) Finish(sample RunSample) {
 	runtime.ReadMemStats(&m)
 	r.PeakHeapBytes = max(r.PeakHeapBytes, m.HeapAlloc)
 	r.Nodes = max(r.Nodes, sample.Nodes)
+	if sh := sample.Shard; sh != nil {
+		r.ShardWorkers = max(r.ShardWorkers, sh.Workers)
+		r.ShardWindows += sh.Windows
+		r.ShardStalled += sh.Stalled
+		r.ShardMerged += sh.Merged
+		for i, ls := range sh.Lanes {
+			if i >= len(r.Lanes) {
+				r.Lanes = append(r.Lanes, LaneTelemetry{})
+			}
+			r.Lanes[i].Events += ls.Processed
+			r.Lanes[i].Scheduled += ls.Scheduled
+			r.Lanes[i].SimMS += int64(ls.Now)
+			r.Lanes[i].PeakQueue = max(r.Lanes[i].PeakQueue, ls.MaxPending)
+		}
+	}
 	if s.tracer != nil {
 		r.Kinds = mergeKinds(r.Kinds, s.tracer.Kinds())
 		r.Tracers = append(r.Tracers, s.tracer)

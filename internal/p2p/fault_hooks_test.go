@@ -178,7 +178,7 @@ func TestParentPullRecoversMissedAncestry(t *testing.T) {
 		t.Fatal(err)
 	}
 	tip := chain[4]
-	m := net.newMessage(MsgNewBlock)
+	m := net.newMessage(src.idx(), MsgNewBlock)
 	m.Block = tip
 	net.send(0, src, lagger, m, -1)
 	net.Engine().Run()
@@ -199,7 +199,7 @@ func TestParentPullRecoversMissedAncestry(t *testing.T) {
 	if err := net2.Connect(src2, lag2); err != nil {
 		t.Fatal(err)
 	}
-	m2 := net2.newMessage(MsgNewBlock)
+	m2 := net2.newMessage(src2.idx(), MsgNewBlock)
 	m2.Block = tip
 	net2.send(0, src2, lag2, m2, -1)
 	net2.Engine().Run()

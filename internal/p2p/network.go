@@ -132,6 +132,11 @@ type Network struct {
 	candBuf    []int32
 	orderBuf   []int
 	memberBits []uint64
+
+	// sh, when non-nil, partitions the transport across per-region
+	// lanes driven by a sim.Conductor (shard.go). Nil keeps every path
+	// below byte-identical to the single-engine transport.
+	sh *shardState
 }
 
 // handleChunk sizes the node-handle arena chunks.
@@ -232,24 +237,31 @@ func NewNetwork(engine *sim.Engine, rng *sim.RNG, latency geo.LatencyModel) *Net
 	return net
 }
 
-// envFor points the network's shared relay.Env view at a node with no
-// in-flight sender context. Calls are strictly nested within one
-// engine event, so the single instance is never aliased across nodes
-// concurrently.
-func (net *Network) envFor(n *Node) *relayEnv {
-	return net.envForMsg(n, -1, -1)
+// envFor points the network's reusable relay.Env view at a node with
+// no in-flight sender context. Calls are strictly nested within one
+// engine event, so an instance is never aliased across nodes
+// concurrently — in sharded mode each lane repoints its own env.
+func (net *Network) envFor(n *Node, now sim.Time) *relayEnv {
+	return net.envForMsg(n, now, -1, -1)
 }
 
-// envForMsg points the shared env at a node while recording the sender
-// of the message being dispatched (validated span position pos, or
-// -1), so protocol pulls back to the sender reuse the position instead
-// of scanning.
-func (net *Network) envForMsg(n *Node, fromIdx, pos int32) *relayEnv {
-	net.env.node = n
-	net.env.nodeIdx = n.idx()
-	net.env.fromIdx = fromIdx
-	net.env.fromPos = pos
-	return &net.env
+// envForMsg points the env at a node while recording the sender of the
+// message being dispatched (validated span position pos, or -1), so
+// protocol pulls back to the sender reuse the position instead of
+// scanning. now is the virtual time of the enclosing event: protocols
+// schedule through the env relative to it, which must stay correct
+// even when the executing lane's clock trails global time (phase A).
+func (net *Network) envForMsg(n *Node, now sim.Time, fromIdx, pos int32) *relayEnv {
+	env := &net.env
+	if ln := net.laneOf(n.idx()); ln != nil {
+		env = &ln.env
+	}
+	env.node = n
+	env.nodeIdx = n.idx()
+	env.fromIdx = fromIdx
+	env.fromPos = pos
+	env.now = now
+	return env
 }
 
 // AddNode registers a node in a region. maxPeers bounds how many
@@ -525,31 +537,43 @@ func (net *Network) RecoverNode(n *Node) {
 	net.down[n.idx()] = false
 }
 
-// newMessage takes a message from the pool (or allocates the pool's
-// first copies). The caller fills exactly the payload field its kind
-// requires; every other payload field is zero.
-func (net *Network) newMessage(kind MsgKind) *Message {
-	if n := len(net.msgFree); n > 0 {
-		m := net.msgFree[n-1]
-		net.msgFree = net.msgFree[:n-1]
+// newMessage takes a message from the executing lane's pool — the
+// network pool unsharded, the lane owning node i sharded (the handler
+// running on node i's lane is the only writer of that pool; a message
+// may be released into a different lane's pool after a cross-lane
+// hop, which is fine — pools are plain free lists). The caller fills
+// exactly the payload field its kind requires; every other payload
+// field is zero.
+func (net *Network) newMessage(i int32, kind MsgKind) *Message {
+	free := &net.msgFree
+	if ln := net.laneOf(i); ln != nil {
+		free = &ln.msgFree
+	}
+	if n := len(*free); n > 0 {
+		m := (*free)[n-1]
+		*free = (*free)[:n-1]
 		m.Kind = kind
 		return m
 	}
 	return &Message{Kind: kind}
 }
 
-// releaseMessage recycles a delivered message. Payload slices are
-// dropped, not reused: a transaction batch is shared by every fan-out
-// copy, so its backing array must never be rewritten. The inline
-// single-hash buffer is owned by the message and is safely rewritten
-// on reuse.
-func (net *Network) releaseMessage(m *Message) {
+// releaseMessage recycles a delivered message into the executing
+// lane's pool (ln nil unsharded). Payload slices are dropped, not
+// reused: a transaction batch is shared by every fan-out copy, so its
+// backing array must never be rewritten. The inline single-hash buffer
+// is owned by the message and is safely rewritten on reuse.
+func (net *Network) releaseMessageIn(ln *netLane, m *Message) {
 	m.Block = nil
 	m.Hashes = nil
 	m.Txs = nil
 	m.Want = types.Hash{}
 	m.TxCount = 0
 	m.TxBytes = 0
+	if ln != nil {
+		ln.msgFree = append(ln.msgFree, m)
+		return
+	}
 	net.msgFree = append(net.msgFree, m)
 }
 
@@ -563,9 +587,9 @@ func (net *Network) releaseMessage(m *Message) {
 // counted in MessagesDropped).
 func (net *Network) send(at sim.Time, from, to *Node, msg *Message, srcPos int32) {
 	fi, ti := from.idx(), to.idx()
+	ln := net.laneOf(fi) // executing lane; nil unsharded
 	if net.down[fi] || net.down[ti] {
-		net.MessagesDropped++
-		net.releaseMessage(msg)
+		net.drop(ln, msg)
 		return
 	}
 	var extra sim.Time
@@ -573,50 +597,105 @@ func (net *Network) send(at sim.Time, from, to *Node, msg *Message, srcPos int32
 		var err error
 		extra, err = net.Fault.FilterLink(at, from, to)
 		if err != nil {
-			net.MessagesDropped++
-			net.releaseMessage(msg)
+			net.drop(ln, msg)
 			return
 		}
 	}
 	size := msg.Size()
-	delay, err := net.latency.Sample(net.rng, net.regions[fi], net.regions[ti], size)
+	rng := net.rng
+	if ln != nil {
+		rng = ln.rng
+	}
+	delay, err := net.latency.Sample(rng, net.regions[fi], net.regions[ti], size)
 	if err != nil {
 		// Regions are validated at AddNode; a failure here is a
 		// programming error and dropping the message would silently
 		// bias measurements, so treat delay as zero instead.
 		delay = 0
 	}
-	net.MessagesSent++
-	net.BytesSent += uint64(size)
-	net.classMsgs[msg.Kind]++
-	net.classBytes[msg.Kind] += uint64(size)
+	if ln == nil {
+		net.MessagesSent++
+		net.BytesSent += uint64(size)
+		net.classMsgs[msg.Kind]++
+		net.classBytes[msg.Kind] += uint64(size)
+	} else {
+		ln.msgsSent++
+		ln.bytesSent += uint64(size)
+		ln.classMsgs[msg.Kind]++
+		ln.classBytes[msg.Kind] += uint64(size)
+	}
 	net.msgsOut[fi]++
 	net.bytesOut[fi] += uint64(size)
-	var idx int32
-	if n := len(net.delivFree); n > 0 {
-		idx = net.delivFree[n-1]
-		net.delivFree = net.delivFree[:n-1]
-	} else {
-		net.deliv = append(net.deliv, delivery{})
-		idx = int32(len(net.deliv) - 1)
+	if ln == nil {
+		var idx int32
+		if n := len(net.delivFree); n > 0 {
+			idx = net.delivFree[n-1]
+			net.delivFree = net.delivFree[:n-1]
+		} else {
+			net.deliv = append(net.deliv, delivery{})
+			idx = int32(len(net.deliv) - 1)
+		}
+		net.deliv[idx] = delivery{to: to, from: from.id, msg: msg, size: int32(size), srcPos: srcPos}
+		net.engine.ScheduleCallAt(at+delay+extra, net, opDeliver, uint64(idx))
+		return
 	}
-	net.deliv[idx] = delivery{to: to, from: from.id, msg: msg, size: int32(size), srcPos: srcPos}
-	net.engine.ScheduleCallAt(at+delay+extra, net, opDeliver, uint64(idx))
+	if dl := net.sh.lanes[net.regions[ti]]; dl == ln {
+		idx := ln.acquireDeliv()
+		ln.deliv[idx] = delivery{to: to, from: from.id, msg: msg, size: int32(size), srcPos: srcPos}
+		ln.engine.ScheduleCallAt(at+delay+extra, ln, opDeliver, uint64(idx))
+		return
+	}
+	// Cross-lane: never touch the destination lane from here — buffer
+	// for the next conductor merge. Arrival is always strictly in the
+	// destination's future (delay >= the 1 ms latency floor backing the
+	// conductor's lookahead), so merging never back-dates an event.
+	ln.cross = append(ln.cross, crossMsg{
+		at: at + delay + extra, to: to, from: from.id,
+		msg: msg, size: int32(size), srcPos: srcPos,
+	})
+}
+
+// drop counts and recycles an undeliverable message on the executing
+// lane.
+func (net *Network) drop(ln *netLane, msg *Message) {
+	if ln != nil {
+		ln.dropped++
+	} else {
+		net.MessagesDropped++
+	}
+	net.releaseMessageIn(ln, msg)
 }
 
 // scheduleAnnounce queues a node's deferred announce wave (relay
-// phase 2) through the typed dispatch path.
-func (net *Network) scheduleAnnounce(delay sim.Time, n *Node, h types.Hash, origin bool) {
-	var idx int32
-	if k := len(net.annFree); k > 0 {
-		idx = net.annFree[k-1]
-		net.annFree = net.annFree[:k-1]
-	} else {
-		net.ann = append(net.ann, announce{})
-		idx = int32(len(net.ann) - 1)
+// phase 2) through the typed dispatch path, at an absolute virtual
+// time. Announce waves always run on the node's own lane; absolute
+// scheduling keeps them correct when the lane clock trails the
+// emitting event's time (phase A injections in sharded mode).
+func (net *Network) scheduleAnnounce(at sim.Time, n *Node, h types.Hash, origin bool) {
+	ln := net.laneOf(n.idx())
+	if ln == nil {
+		var idx int32
+		if k := len(net.annFree); k > 0 {
+			idx = net.annFree[k-1]
+			net.annFree = net.annFree[:k-1]
+		} else {
+			net.ann = append(net.ann, announce{})
+			idx = int32(len(net.ann) - 1)
+		}
+		net.ann[idx] = announce{node: n, hash: h, origin: origin}
+		net.engine.ScheduleCallAt(at, net, opAnnounce, uint64(idx))
+		return
 	}
-	net.ann[idx] = announce{node: n, hash: h, origin: origin}
-	net.engine.ScheduleCall(delay, net, opAnnounce, uint64(idx))
+	var idx int32
+	if k := len(ln.annFree); k > 0 {
+		idx = ln.annFree[k-1]
+		ln.annFree = ln.annFree[:k-1]
+	} else {
+		ln.ann = append(ln.ann, announce{})
+		idx = int32(len(ln.ann) - 1)
+	}
+	ln.ann[idx] = announce{node: n, hash: h, origin: origin}
+	ln.engine.ScheduleCallAt(at, ln, opAnnounce, uint64(idx))
 }
 
 // HandleEvent implements sim.Handler: it dispatches the network's two
@@ -633,13 +712,13 @@ func (net *Network) HandleEvent(now sim.Time, op, idx uint64) {
 			// The destination crashed while the message was in flight;
 			// its TCP connections are gone, so the bytes never arrive.
 			net.MessagesDropped++
-			net.releaseMessage(d.msg)
+			net.releaseMessageIn(nil, d.msg)
 			return
 		}
 		net.msgsIn[ti]++
 		net.bytesIn[ti] += uint64(d.size)
 		d.to.handle(now, d.from, d.srcPos, d.msg)
-		net.releaseMessage(d.msg)
+		net.releaseMessageIn(nil, d.msg)
 	case opAnnounce:
 		a := net.ann[idx]
 		net.ann[idx] = announce{}
@@ -648,7 +727,7 @@ func (net *Network) HandleEvent(now sim.Time, op, idx uint64) {
 			// The wave was scheduled before the node crashed.
 			return
 		}
-		net.relayProto.OnWave(net.envFor(a.node), now, a.hash, a.origin)
+		net.relayProto.OnWave(net.envFor(a.node, now), now, a.hash, a.origin)
 	}
 }
 
@@ -665,13 +744,18 @@ func (net *Network) EventName(op uint64) string {
 	}
 }
 
-// fanoutOrder fills the shared permutation scratch with a random
-// ordering of [0, n), drawing exactly as rng.Perm(n) would.
-func (net *Network) fanoutOrder(n int) []int {
-	if cap(net.orderBuf) < n {
-		net.orderBuf = make([]int, n)
+// fanoutOrder fills the executing lane's permutation scratch with a
+// random ordering of [0, n), drawing exactly as rng.Perm(n) would
+// from that lane's stream (ln nil: the network scratch and RNG).
+func (net *Network) fanoutOrder(ln *netLane, n int) []int {
+	buf, rng := &net.orderBuf, net.rng
+	if ln != nil {
+		buf, rng = &ln.orderBuf, ln.rng
 	}
-	buf := net.orderBuf[:n]
-	net.rng.PermInto(buf)
-	return buf
+	if cap(*buf) < n {
+		*buf = make([]int, n)
+	}
+	out := (*buf)[:n]
+	rng.PermInto(out)
+	return out
 }

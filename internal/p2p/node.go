@@ -104,7 +104,13 @@ func (n *Node) rememberBlock(h types.Hash, b *types.Block) {
 		n.net.blockBody = append(n.net.blockBody, nil)
 	}
 	n.net.haveBits.set(i, idx)
-	n.net.blockBody[idx] = b
+	if n.net.blockBody[idx] == nil {
+		// The canonical body pointer for idx is always the same object
+		// (blocks are built once by mining); setting it only on first
+		// sight keeps phase-B lanes read-only here — the origin's
+		// phase-A injection has already published it.
+		n.net.blockBody[idx] = b
+	}
 	n.net.cacheQ[i] = append(n.net.cacheQ[i], idx)
 	n.net.cachedBits.set(i, idx)
 	if len(n.net.cacheQ[i]) > blockCacheCap {
@@ -183,7 +189,7 @@ func (n *Node) handle(now sim.Time, from NodeID, srcPos int32, msg *Message) {
 		}
 		n.markPeerKnows(msg.Block.Hash(), from, pos)
 		n.maybePullParent(now, from, pos, msg.Block)
-		n.net.relayCompact.OnCompact(n.net.envForMsg(n, fi, pos), now, int(from), msg.Block)
+		n.net.compactFor(i).OnCompact(n.net.envForMsg(n, now, fi, pos), now, int(from), msg.Block)
 	case MsgGetCompact:
 		n.handleGetCompact(now, from, pos, msg.Want)
 	case MsgGetBlockTxns:
@@ -192,7 +198,7 @@ func (n *Node) handle(now sim.Time, from NodeID, srcPos int32, msg *Message) {
 		if n.net.relayCompact == nil {
 			return
 		}
-		n.net.relayCompact.OnBlockTxns(n.net.envForMsg(n, fi, pos), now, int(from), msg.Want)
+		n.net.compactFor(i).OnBlockTxns(n.net.envForMsg(n, now, fi, pos), now, int(from), msg.Want)
 	}
 }
 
@@ -214,6 +220,13 @@ func (n *Node) InjectBlock(now sim.Time, b *types.Block) {
 	if n.net.down[n.idx()] {
 		return
 	}
+	if n.net.sh != nil {
+		// Sharded: force the block's lazily cached derived values while
+		// still single-threaded (injection runs in phase A). Peers in
+		// different lanes may serve the body concurrently later, and a
+		// first-call cache fill from phase B would race.
+		precomputeSizes(b)
+	}
 	n.acceptBlock(now, b, true)
 }
 
@@ -222,6 +235,11 @@ func (n *Node) InjectBlock(now sim.Time, b *types.Block) {
 func (n *Node) InjectTx(now sim.Time, tx *types.Transaction) {
 	if n.net.down[n.idx()] {
 		return
+	}
+	if n.net.sh != nil {
+		// Same phase-A cache-fill rule as InjectBlock.
+		_ = tx.Hash()
+		_ = tx.EncodedSize()
 	}
 	n.handleTxs(now, n.id, []*types.Transaction{tx})
 }
@@ -248,7 +266,7 @@ func (n *Node) maybePullParent(now sim.Time, from NodeID, pos int32, b *types.Bl
 	if sender == nil || sender.id == n.id {
 		return
 	}
-	m := n.net.newMessage(MsgGetBlock)
+	m := n.net.newMessage(n.idx(), MsgGetBlock)
 	m.Want = parent
 	n.net.send(now+announceHandleMillis, n, sender, m, n.respPos(pos))
 }
@@ -289,7 +307,7 @@ func (n *Node) acceptBlock(now sim.Time, b *types.Block, origin bool) {
 	if !n.net.relayOn[i] || n.net.top.degree(i) == 0 {
 		return
 	}
-	n.net.relayProto.OnBlock(n.net.envFor(n), now, b, origin)
+	n.net.protoFor(i).OnBlock(n.net.envFor(n, now), now, b, origin)
 }
 
 func (n *Node) handleAnnouncement(now sim.Time, from NodeID, pos int32, hashes []types.Hash) {
@@ -307,7 +325,7 @@ func (n *Node) handleAnnouncement(now sim.Time, from NodeID, pos int32, hashes [
 		n.net.seenBits.set(i, idx)
 		// Pull the unknown block from the announcer, in whatever form
 		// the relay discipline fetches bodies.
-		n.net.relayProto.OnAnnouncePull(n.net.envForMsg(n, int32(from-1), pos), now, int(from), h)
+		n.net.protoFor(i).OnAnnouncePull(n.net.envForMsg(n, now, int32(from-1), pos), now, int(from), h)
 	}
 }
 
@@ -321,7 +339,7 @@ func (n *Node) handleGetBlock(now sim.Time, from NodeID, pos int32, want types.H
 		return
 	}
 	n.markPeerKnows(want, from, pos)
-	m := n.net.newMessage(MsgNewBlock)
+	m := n.net.newMessage(n.idx(), MsgNewBlock)
 	m.Block = b
 	n.net.send(now+blockRequestRespondMs, n, requester, m, n.respPos(pos))
 }
@@ -342,8 +360,8 @@ func (n *Node) handleGetCompact(now sim.Time, from NodeID, pos int32, want types
 	// Pull responses count as sent sketches alongside the push wave's,
 	// keeping Counters.SketchesSent equal to the CompactBlock class
 	// counter.
-	n.net.relayProto.Counters().SketchesSent++
-	m := n.net.newMessage(MsgCompactBlock)
+	n.net.protoFor(n.idx()).Counters().SketchesSent++
+	m := n.net.newMessage(n.idx(), MsgCompactBlock)
 	m.Block = b
 	n.net.send(now+blockRequestRespondMs, n, requester, m, n.respPos(pos))
 }
@@ -361,7 +379,7 @@ func (n *Node) handleGetBlockTxns(now sim.Time, from NodeID, pos int32, req *Mes
 		return
 	}
 	n.markPeerKnows(req.Want, from, pos)
-	m := n.net.newMessage(MsgBlockTxns)
+	m := n.net.newMessage(n.idx(), MsgBlockTxns)
 	m.Want = req.Want
 	m.TxCount = req.TxCount
 	m.TxBytes = req.TxBytes
@@ -397,7 +415,7 @@ func (n *Node) handleTxs(now sim.Time, from NodeID, txs []*types.Transaction) {
 		// Each peer gets its own pooled message; the fresh batch slice
 		// is shared by every copy (released messages drop, never
 		// rewrite, it).
-		m := n.net.newMessage(MsgTransactions)
+		m := n.net.newMessage(n.idx(), MsgTransactions)
 		m.Txs = fresh
 		n.net.send(now+delay, n, peer, m, n.net.top.revAdj[e])
 	}

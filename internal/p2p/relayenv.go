@@ -13,9 +13,18 @@ import (
 // nested inside one engine event, so the shared scratch is never
 // aliased.
 type relayEnv struct {
-	net     *Network
+	net *Network
+	// lane is the owning netLane in sharded mode (nil unsharded): the
+	// source of scratch buffers, RNG draws and message pool for every
+	// call made through this env.
+	lane    *netLane
 	node    *Node
 	nodeIdx int32
+	// now is the virtual time of the event this env was repointed for.
+	// Deferred scheduling (ScheduleWave) is anchored to it rather than
+	// to an engine clock: in sharded mode the executing engine's clock
+	// can trail the event time (phase A runs on the global lane).
+	now sim.Time
 	// fromIdx/fromPos record the sender of the message currently being
 	// dispatched (and its validated position in the node's span), so
 	// protocol pulls back to the sender derive the reverse position in
@@ -50,7 +59,11 @@ func (e *relayEnv) KnownTx(h types.Hash) bool {
 // count. One window lookup up front, then one mask bit per peer — no
 // per-peer hashing.
 func (e *relayEnv) Candidates(h types.Hash) int {
-	c := e.net.candBuf[:0]
+	buf := &e.net.candBuf
+	if e.lane != nil {
+		buf = &e.lane.candBuf
+	}
+	c := (*buf)[:0]
 	i := e.nodeIdx
 	s := e.net.top.spans[i]
 	slot := int32(-1)
@@ -76,13 +89,13 @@ func (e *relayEnv) Candidates(h types.Hash) int {
 			c = append(c, p)
 		}
 	}
-	e.net.candBuf = c[:0]
+	*buf = c[:0]
 	e.cand = c
 	return len(c)
 }
 
 // Fanout returns a shared-scratch random permutation of [0, n).
-func (e *relayEnv) Fanout(n int) []int { return e.net.fanoutOrder(n) }
+func (e *relayEnv) Fanout(n int) []int { return e.net.fanoutOrder(e.lane, n) }
 
 // peerAt resolves candidate i to its span position, edge index and
 // node handle.
@@ -96,7 +109,7 @@ func (e *relayEnv) peerAt(i int) (pos, edge int32, peer *Node) {
 func (e *relayEnv) PushBlock(i int, at sim.Time, b *types.Block) {
 	pos, edge, peer := e.peerAt(i)
 	e.node.markPeerKnows(b.Hash(), peer.id, pos)
-	m := e.net.newMessage(MsgNewBlock)
+	m := e.net.newMessage(e.nodeIdx, MsgNewBlock)
 	m.Block = b
 	e.net.send(at, e.node, peer, m, e.net.top.revAdj[edge])
 }
@@ -106,7 +119,7 @@ func (e *relayEnv) PushBlock(i int, at sim.Time, b *types.Block) {
 func (e *relayEnv) PushCompact(i int, at sim.Time, b *types.Block) {
 	pos, edge, peer := e.peerAt(i)
 	e.node.markPeerKnows(b.Hash(), peer.id, pos)
-	m := e.net.newMessage(MsgCompactBlock)
+	m := e.net.newMessage(e.nodeIdx, MsgCompactBlock)
 	m.Block = b
 	e.net.send(at, e.node, peer, m, e.net.top.revAdj[edge])
 }
@@ -115,7 +128,7 @@ func (e *relayEnv) PushCompact(i int, at sim.Time, b *types.Block) {
 func (e *relayEnv) Announce(i int, at sim.Time, h types.Hash) {
 	pos, edge, peer := e.peerAt(i)
 	e.node.markPeerKnows(h, peer.id, pos)
-	m := e.net.newMessage(MsgNewBlockHashes)
+	m := e.net.newMessage(e.nodeIdx, MsgNewBlockHashes)
 	m.hash1[0] = h
 	m.Hashes = m.hash1[:1]
 	e.net.send(at, e.node, peer, m, e.net.top.revAdj[edge])
@@ -147,7 +160,7 @@ func (e *relayEnv) RequestBlock(peer int, at sim.Time, h types.Hash) {
 	if to == nil {
 		return
 	}
-	m := e.net.newMessage(MsgGetBlock)
+	m := e.net.newMessage(e.nodeIdx, MsgGetBlock)
 	m.Want = h
 	e.net.send(at, e.node, to, m, e.srcPosFor(to.idx()))
 }
@@ -158,7 +171,7 @@ func (e *relayEnv) RequestCompact(peer int, at sim.Time, h types.Hash) {
 	if to == nil {
 		return
 	}
-	m := e.net.newMessage(MsgGetCompact)
+	m := e.net.newMessage(e.nodeIdx, MsgGetCompact)
 	m.Want = h
 	e.net.send(at, e.node, to, m, e.srcPosFor(to.idx()))
 }
@@ -169,16 +182,17 @@ func (e *relayEnv) RequestTxns(peer int, at sim.Time, h types.Hash, count, bytes
 	if to == nil {
 		return
 	}
-	m := e.net.newMessage(MsgGetBlockTxns)
+	m := e.net.newMessage(e.nodeIdx, MsgGetBlockTxns)
 	m.Want = h
 	m.TxCount = count
 	m.TxBytes = bytes
 	e.net.send(at, e.node, to, m, e.srcPosFor(to.idx()))
 }
 
-// ScheduleWave queues the node's deferred announce wave.
+// ScheduleWave queues the node's deferred announce wave, anchored to
+// the event time this env was repointed for.
 func (e *relayEnv) ScheduleWave(delay sim.Time, h types.Hash, origin bool) {
-	e.net.scheduleAnnounce(delay, e.node, h, origin)
+	e.net.scheduleAnnounce(e.now+delay, e.node, h, origin)
 }
 
 // AcceptBlock hands the node a fully available body.

@@ -1,0 +1,332 @@
+package p2p
+
+import (
+	"slices"
+
+	"repro/internal/geo"
+	"repro/internal/p2p/relay"
+	"repro/internal/sim"
+	"repro/internal/types"
+)
+
+// Sharded transport: one netLane per geographic region, each bound to
+// a region lane of a sim.Conductor. The lane decomposition is fixed by
+// the region enum — never by worker count — so every lane's event
+// schedule and RNG stream is identical at any shard setting, which is
+// what makes sharded artifacts byte-identical across shard counts.
+//
+// Ownership rules (the whole memory model):
+//
+//   - Per-node state (bit rows, caches, suppression windows, traffic
+//     counters) is only ever written by the lane owning that node's
+//     region, or by the global lane while every region engine is idle
+//     (phase A). Shared arenas that grow by reallocation — the bit
+//     grids and the block-body table — are presized after each phase A
+//     (presizeArenas), so phase B only writes in place.
+//   - Anything a lane shares with other lanes is lane-local here:
+//     message/delivery/announce pools, fan-out scratch, RNG, relay
+//     protocol instance, and the transport counters, which fold into
+//     the Network's public fields at FinishSharded.
+//   - A send whose destination lives in another lane NEVER touches the
+//     destination lane: it is buffered as a crossMsg and drained by
+//     mergeCross at the next conductor merge point, single-threaded,
+//     in deterministic (arrival, source lane, emission index) order.
+type shardState struct {
+	cond *sim.Conductor
+	// lanes is indexed by geo.Region (1-based; slot 0 unused).
+	lanes [geo.NumRegions + 1]*netLane
+	// all is the dense region-ordered view for iteration.
+	all []*netLane
+	// refs is the persistent merge scratch (see mergeCross).
+	refs []crossRef
+}
+
+// netLane is one region's private transport state: its engine, RNG
+// stream, relay protocol instance, pools and counters. It implements
+// sim.Handler for the region's deliveries and announce waves.
+type netLane struct {
+	net    *Network
+	region geo.Region
+	engine *sim.Engine
+	rng    *sim.RNG
+
+	// Per-lane relay protocol instance: protocols are stateless beyond
+	// their counters, so per-lane instances produce identical behavior
+	// while keeping counter writes lane-local (folded at finish).
+	proto   relay.Protocol
+	compact relay.CompactHandler
+	env     relayEnv
+
+	// Lane-local halves of the Network transport counters.
+	msgsSent   uint64
+	bytesSent  uint64
+	dropped    uint64
+	classMsgs  [msgKindCount]uint64
+	classBytes [msgKindCount]uint64
+
+	// Lane-local pools and scratch, mirroring the Network's.
+	msgFree   []*Message
+	deliv     []delivery
+	delivFree []int32
+	ann       []announce
+	annFree   []int32
+	candBuf   []int32
+	orderBuf  []int
+
+	// cross buffers this lane's sends to other lanes until the next
+	// merge. Slice order is emission order — the merge tiebreaker.
+	cross []crossMsg
+}
+
+// crossMsg is one buffered cross-lane delivery, carrying everything
+// the destination lane needs to schedule it.
+type crossMsg struct {
+	at     sim.Time
+	to     *Node
+	from   NodeID
+	msg    *Message
+	size   int32
+	srcPos int32
+}
+
+// crossRef keys one buffered message for the merge sort: arrival time,
+// then source lane, then emission index — a total order independent of
+// worker interleaving.
+type crossRef struct {
+	at   sim.Time
+	lane int16
+	idx  int32
+}
+
+// EnableSharding partitions the transport across the conductor's
+// region lanes. newProto constructs one relay protocol instance per
+// lane (same configuration as the network's primary — per-lane
+// counters fold back into the primary at FinishSharded). Call it after
+// the overlay is built and before the run starts; per-lane RNG streams
+// fork from the network RNG here, after all wiring draws.
+func (net *Network) EnableSharding(cond *sim.Conductor, newProto func() relay.Protocol) {
+	if cond.Regions() != geo.NumRegions {
+		panic("p2p: conductor must have one lane per region")
+	}
+	sh := &shardState{cond: cond}
+	for r := geo.Region(1); r <= geo.NumRegions; r++ {
+		ln := &netLane{
+			net:    net,
+			region: r,
+			engine: cond.Lane(int(r) - 1),
+			rng:    net.rng.Fork("lane-" + r.String()),
+		}
+		ln.proto = newProto()
+		ln.compact, _ = ln.proto.(relay.CompactHandler)
+		ln.env = relayEnv{net: net, lane: ln, fromIdx: -1, fromPos: -1}
+		sh.lanes[r] = ln
+		sh.all = append(sh.all, ln)
+	}
+	net.sh = sh
+	cond.Merge = net.mergeCross
+	cond.AfterGlobal = net.presizeArenas
+}
+
+// laneOf returns the lane owning node index i, nil when unsharded.
+func (net *Network) laneOf(i int32) *netLane {
+	if net.sh == nil {
+		return nil
+	}
+	return net.sh.lanes[net.regions[i]]
+}
+
+// protoFor returns the relay protocol instance serving node i's lane.
+func (net *Network) protoFor(i int32) relay.Protocol {
+	if ln := net.laneOf(i); ln != nil {
+		return ln.proto
+	}
+	return net.relayProto
+}
+
+// compactFor returns the compact handler serving node i's lane (nil
+// when the discipline does not speak the compact family).
+func (net *Network) compactFor(i int32) relay.CompactHandler {
+	if ln := net.laneOf(i); ln != nil {
+		return ln.compact
+	}
+	return net.relayCompact
+}
+
+// acquireDeliv takes a delivery slot from the lane pool.
+func (ln *netLane) acquireDeliv() int32 {
+	if n := len(ln.delivFree); n > 0 {
+		idx := ln.delivFree[n-1]
+		ln.delivFree = ln.delivFree[:n-1]
+		return idx
+	}
+	ln.deliv = append(ln.deliv, delivery{})
+	return int32(len(ln.deliv) - 1)
+}
+
+// HandleEvent implements sim.Handler for the lane's engine: the same
+// two typed event kinds as the unsharded Network, against lane-local
+// slots, pools and counters.
+func (ln *netLane) HandleEvent(now sim.Time, op, idx uint64) {
+	net := ln.net
+	switch op {
+	case opDeliver:
+		d := ln.deliv[idx]
+		ln.deliv[idx] = delivery{}
+		ln.delivFree = append(ln.delivFree, int32(idx))
+		ti := d.to.idx()
+		if net.down[ti] {
+			ln.dropped++
+			net.releaseMessageIn(ln, d.msg)
+			return
+		}
+		net.msgsIn[ti]++
+		net.bytesIn[ti] += uint64(d.size)
+		d.to.handle(now, d.from, d.srcPos, d.msg)
+		net.releaseMessageIn(ln, d.msg)
+	case opAnnounce:
+		a := ln.ann[idx]
+		ln.ann[idx] = announce{}
+		ln.annFree = append(ln.annFree, int32(idx))
+		if net.down[a.node.idx()] {
+			return
+		}
+		ln.proto.OnWave(net.envFor(a.node, now), now, a.hash, a.origin)
+	}
+}
+
+// EventName implements sim.EventNamer for lane events.
+func (ln *netLane) EventName(op uint64) string {
+	switch op {
+	case opDeliver:
+		return "p2p.deliver"
+	case opAnnounce:
+		return "p2p.announce"
+	default:
+		return "p2p.unknown"
+	}
+}
+
+// presizeArenas is the conductor's AfterGlobal hook: it grows the
+// shared bit grids and the block-body table to cover every node and
+// every item interned so far, so phase B lanes never trigger a
+// concurrent reallocation. New items only enter through phase A
+// (mining and workload injection); phase B interning always hits.
+func (net *Network) presizeArenas() {
+	rows := int32(net.nextID)
+	net.haveBits.presize(rows, net.blockIdx.n)
+	net.seenBits.presize(rows, net.blockIdx.n)
+	net.cachedBits.presize(rows, net.blockIdx.n)
+	net.txBits.presize(rows, net.txIdx.n)
+	for int(net.blockIdx.n) > len(net.blockBody) {
+		net.blockBody = append(net.blockBody, nil)
+	}
+}
+
+// mergeCross is the conductor's Merge hook: it drains every lane's
+// cross buffer into the destination lanes' delivery queues, sorted by
+// (arrival, source lane, emission index). All lanes are idle when it
+// runs, so acquiring destination slots here is single-threaded. The
+// sort key is a pure function of the simulation, never of worker
+// interleaving, so the destination engines' sequence-number assignment
+// is deterministic.
+func (net *Network) mergeCross() int {
+	sh := net.sh
+	refs := sh.refs[:0]
+	for l, ln := range sh.all {
+		for k := range ln.cross {
+			refs = append(refs, crossRef{at: ln.cross[k].at, lane: int16(l), idx: int32(k)})
+		}
+	}
+	if len(refs) == 0 {
+		sh.refs = refs
+		return 0
+	}
+	slices.SortFunc(refs, func(a, b crossRef) int {
+		switch {
+		case a.at != b.at:
+			if a.at < b.at {
+				return -1
+			}
+			return 1
+		case a.lane != b.lane:
+			return int(a.lane) - int(b.lane)
+		default:
+			return int(a.idx) - int(b.idx)
+		}
+	})
+	for _, ref := range refs {
+		cm := &sh.all[ref.lane].cross[ref.idx]
+		dl := sh.lanes[net.regions[cm.to.idx()]]
+		idx := dl.acquireDeliv()
+		dl.deliv[idx] = delivery{to: cm.to, from: cm.from, msg: cm.msg, size: cm.size, srcPos: cm.srcPos}
+		dl.engine.ScheduleCallAt(cm.at, dl, opDeliver, uint64(idx))
+	}
+	n := len(refs)
+	for _, ln := range sh.all {
+		// Zero drained entries so the backing array retains no payloads.
+		for k := range ln.cross {
+			ln.cross[k] = crossMsg{}
+		}
+		ln.cross = ln.cross[:0]
+	}
+	sh.refs = refs[:0]
+	return n
+}
+
+// FinishSharded folds every lane's transport and protocol counters
+// into the Network's public fields and the primary relay protocol's
+// counters, restoring the unsharded accounting surface (ClassTotals,
+// MessagesSent, Relay().Counters()) after a sharded run. Call it once,
+// after the conductor drains.
+func (net *Network) FinishSharded() {
+	if net.sh == nil {
+		return
+	}
+	pc := net.relayProto.Counters()
+	for _, ln := range net.sh.all {
+		net.MessagesSent += ln.msgsSent
+		net.BytesSent += ln.bytesSent
+		net.MessagesDropped += ln.dropped
+		for k := range ln.classMsgs {
+			net.classMsgs[k] += ln.classMsgs[k]
+			net.classBytes[k] += ln.classBytes[k]
+		}
+		lc := ln.proto.Counters()
+		pc.SketchesSent += lc.SketchesSent
+		pc.SketchesReceived += lc.SketchesReceived
+		pc.ReconstructFull += lc.ReconstructFull
+		pc.ReconstructPartial += lc.ReconstructPartial
+		pc.ReconstructFallback += lc.ReconstructFallback
+		pc.MissingTxs += lc.MissingTxs
+		pc.MissingTxBytes += lc.MissingTxBytes
+	}
+}
+
+// presize grows the grid to cover rows×cols without setting any bit,
+// so concurrent in-range set/get/clear calls never reallocate.
+func (g *bitGrid) presize(rows, cols int32) {
+	if cols > 0 {
+		if w := (cols-1)>>6 + 1; w > g.stride {
+			g.growStride(w)
+		}
+	}
+	if rows > g.rows {
+		g.growRows(rows)
+	}
+}
+
+// Sharded reports whether the transport is running in sharded mode.
+func (net *Network) Sharded() bool { return net.sh != nil }
+
+// precomputeSizes forces a block's lazily cached derived values (hash,
+// encoded sizes) while single-threaded. Injection paths call it so
+// phase-B lanes only ever read the caches concurrently.
+func precomputeSizes(b *types.Block) {
+	_ = b.Hash()
+	_ = b.EncodedSize()
+	_ = b.TxsSize()
+	for _, tx := range b.Txs {
+		_ = tx.Hash()
+		_ = tx.EncodedSize()
+	}
+}

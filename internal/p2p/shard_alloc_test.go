@@ -1,0 +1,117 @@
+package p2p_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/geo"
+	"repro/internal/p2p"
+	"repro/internal/p2p/relay"
+	"repro/internal/sim"
+	"repro/internal/types"
+)
+
+// shardAllocFixture builds a warmed sharded overlay: a conductor with
+// the full region-lane layout, 30 nodes spread across every region
+// (so block spreads cross lanes constantly), and a pre-built chain.
+func shardAllocFixture(t testing.TB, total int) (*sim.Conductor, []*p2p.Node, []*types.Block) {
+	t.Helper()
+	cond := sim.NewConductor(geo.NumRegions)
+	rng := sim.NewRNG(7)
+	net := p2p.NewNetwork(cond.Global(), rng.Fork("network"), geo.DefaultLatencyModel())
+	net.SetRelay(relay.MustNew(relay.Config{Mode: relay.SqrtPush}))
+	var nodes []*p2p.Node
+	regions := geo.Regions()
+	for i := 0; i < 30; i++ {
+		n, err := net.AddNode(regions[i%len(regions)], 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes = append(nodes, n)
+	}
+	if err := net.WireRandom(6); err != nil {
+		t.Fatal(err)
+	}
+	net.EnableSharding(cond, func() relay.Protocol {
+		return relay.MustNew(relay.Config{Mode: relay.SqrtPush})
+	})
+	parent := types.Hash{}
+	blocks := make([]*types.Block, 0, total)
+	for k := 0; k < total; k++ {
+		blk := types.NewBlock(types.Header{
+			ParentHash: parent,
+			Number:     uint64(k + 1),
+			MinerLabel: "Alloc",
+			TimeMillis: uint64(k),
+			GasLimit:   8_000_000,
+		}, nil, nil)
+		parent = blk.Hash()
+		blocks = append(blocks, blk)
+	}
+	return cond, nodes, blocks
+}
+
+// shardedAllocsPerSpread measures steady-state heap allocations for
+// one sharded block spread: inject at the frontier, then run the
+// conductor's window loop to drain — merges, cross-buffer appends and
+// phase-B lane execution included.
+func shardedAllocsPerSpread(t testing.TB, workers int) float64 {
+	const warmup, measured = 120, 60
+	cond, nodes, blocks := shardAllocFixture(t, warmup+measured+1)
+	next := 0
+	spread := func() {
+		blk := blocks[next]
+		origin := nodes[(7*next)%len(nodes)]
+		next++
+		origin.InjectBlock(cond.Now(), blk)
+		cond.Run(workers)
+	}
+	for i := 0; i < warmup; i++ {
+		spread()
+	}
+	return testing.AllocsPerRun(measured, spread)
+}
+
+// The cross-shard queue's allocation contract: in steady state the
+// per-lane cross buffers, the merge's sort scratch, the lane message
+// pools and the lane delivery slots are all recycled, so a sharded
+// spread costs the same per-node bookkeeping as an unsharded one
+// (haveBlocks/peerKnows map inserts, ~14 on this fixture) plus a
+// small constant from each Conductor.Run call (the phase-B worker
+// pool: jobs channel, goroutines, snapshot slices). A regression
+// that allocates per cross-lane *message* — a fresh crossMsg, an
+// unpooled sort buffer, a per-merge refs slice — would show up at
+// hundreds per spread. Measured: 13 at workers=1, 18 at workers=6.
+const shardedSpreadAllocCeiling = 60
+
+// TestShardedAllocationCeiling guards the cross-shard queue's
+// steady-state allocation behaviour at both ends of the worker knob.
+func TestShardedAllocationCeiling(t *testing.T) {
+	for _, workers := range []int{1, 6} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			got := shardedAllocsPerSpread(t, workers)
+			t.Logf("workers=%d: %.1f allocs per sharded block spread", workers, got)
+			if got > shardedSpreadAllocCeiling {
+				t.Fatalf("sharded spread allocates %.1f (ceiling %v) — a cross-shard queue structure stopped recycling",
+					got, shardedSpreadAllocCeiling)
+			}
+		})
+	}
+}
+
+// BenchmarkShardedBlockSpread reports ns and B/op for one sharded
+// block spread (inject + window-loop drain) on the warmed fixture.
+func BenchmarkShardedBlockSpread(b *testing.B) {
+	for _, workers := range []int{1, 6} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			cond, nodes, blocks := shardAllocFixture(b, b.N+1)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				origin := nodes[(7*i)%len(nodes)]
+				origin.InjectBlock(cond.Now(), blocks[i])
+				cond.Run(workers)
+			}
+		})
+	}
+}

@@ -1,0 +1,246 @@
+// Sharded intra-run execution: a Conductor advances several Engines —
+// one "global" lane plus one lane per node partition — in conservative
+// lookahead windows, so one big run can use multiple cores without
+// giving up determinism.
+//
+// The decomposition is fixed: the lane layout, every lane's event
+// schedule and every RNG draw are identical regardless of how many
+// worker goroutines execute the region lanes. Worker count is purely a
+// throughput knob, which is what makes sharded artifacts byte-identical
+// across shard settings.
+//
+// Each window proceeds in three strictly ordered steps:
+//
+//  1. Merge: the owner-supplied Merge hook drains cross-lane traffic
+//     buffered during the previous window into the destination lanes'
+//     queues, in a deterministic order (the p2p layer sorts by
+//     (arrival, source lane, emission index)).
+//  2. Phase A: if the global lane owns the earliest event, it runs
+//     solo up to that timestamp. The global lane is a pure source
+//     (mining, workload, fault timers): it may touch any lane's state
+//     directly because every region engine is idle here.
+//  3. Phase B: region lanes run concurrently, each up to a per-lane
+//     deadline no later than the earliest instant anything outside the
+//     lane could affect it — the global lane's next event, or another
+//     region lane's next event plus the minimum cross-lane delay
+//     (1 ms, the transport's MinDelayMillis floor).
+//
+// Region lanes never write each other's state; cross-lane sends go
+// into per-source buffers and wait for the next Merge. That, plus the
+// idle-engines rule in phase A, is the entire memory model.
+package sim
+
+import (
+	"math"
+	"sync"
+)
+
+// maxTime is the "no constraint" sentinel for window deadlines.
+const maxTime = Time(math.MaxInt64)
+
+// ConductorStats counts window-loop activity. All fields are pure
+// functions of the simulation (never of worker count or wall time), so
+// they are safe to fold into deterministic telemetry.
+type ConductorStats struct {
+	// Windows counts barrier-to-barrier iterations that had any event.
+	Windows uint64
+	// GlobalWindows counts windows in which the global lane ran (phase A).
+	GlobalWindows uint64
+	// LaneWindows counts region-lane executions across all windows.
+	LaneWindows uint64
+	// Stalled counts lane-windows in which a region lane held pending
+	// events but its lookahead deadline preceded all of them — the
+	// conservative-lookahead stall metric.
+	Stalled uint64
+	// Merged counts cross-lane messages moved into destination queues.
+	Merged uint64
+}
+
+// Conductor coordinates one global lane (index 0) and N region lanes
+// (indices 1..N) through the window loop described in the package
+// comment. It owns only scheduling; buffering and draining cross-lane
+// traffic belongs to the transport via the Merge hook.
+type Conductor struct {
+	lanes []*Engine
+
+	// Merge drains cross-lane buffers into destination lanes and
+	// returns how many messages it moved. Called single-threaded at
+	// every window start (all lanes idle). May be nil.
+	Merge func() int
+
+	// AfterGlobal runs single-threaded after each phase A, before any
+	// region lane starts. The transport uses it to presize shared
+	// append-only arenas (item bitsets, block bodies) so phase B never
+	// reallocates them concurrently. May be nil.
+	AfterGlobal func()
+
+	stats ConductorStats
+}
+
+// NewConductor creates a conductor with one global lane plus regions
+// region lanes, all engines fresh at time zero.
+func NewConductor(regions int) *Conductor {
+	if regions < 1 {
+		panic("sim: conductor needs at least one region lane")
+	}
+	c := &Conductor{lanes: make([]*Engine, 1+regions)}
+	for i := range c.lanes {
+		c.lanes[i] = NewEngine()
+	}
+	return c
+}
+
+// Global returns the global lane (mining, workload, fault timers).
+func (c *Conductor) Global() *Engine { return c.lanes[0] }
+
+// Lane returns region lane r (0-based region index).
+func (c *Conductor) Lane(r int) *Engine { return c.lanes[1+r] }
+
+// Regions returns the number of region lanes.
+func (c *Conductor) Regions() int { return len(c.lanes) - 1 }
+
+// Stats snapshots the window-loop counters.
+func (c *Conductor) Stats() ConductorStats { return c.stats }
+
+// Now returns the maximum clock across lanes — the frontier the run
+// has reached. Lane clocks may legitimately trail it.
+func (c *Conductor) Now() Time {
+	var t Time
+	for _, e := range c.lanes {
+		if e.Now() > t {
+			t = e.Now()
+		}
+	}
+	return t
+}
+
+// laneJob is one phase-B work item: run lane until deadline (or drain
+// it completely when drain is set).
+type laneJob struct {
+	lane     int
+	deadline Time
+	drain    bool
+}
+
+// Run executes the window loop until every lane drains and the Merge
+// hook has nothing left to move. workers bounds the goroutines that
+// execute phase B; it is clamped to [1, Regions()] and has no effect on
+// the schedule, only on wall-clock time.
+func (c *Conductor) Run(workers int) {
+	regions := len(c.lanes) - 1
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > regions {
+		workers = regions
+	}
+
+	jobs := make(chan laneJob)
+	var window sync.WaitGroup // one phase B barrier per window
+	var pool sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		pool.Add(1)
+		go func() {
+			defer pool.Done()
+			for j := range jobs {
+				e := c.lanes[j.lane]
+				if j.drain {
+					e.Run()
+				} else {
+					e.RunUntil(j.deadline)
+				}
+				window.Done()
+			}
+		}()
+	}
+	defer func() {
+		close(jobs)
+		pool.Wait()
+	}()
+
+	next := make([]Time, len(c.lanes))
+	has := make([]bool, len(c.lanes))
+	snapshot := func() (min Time, any bool) {
+		min = maxTime
+		for i, e := range c.lanes {
+			next[i], has[i] = e.NextEventAt()
+			if has[i] && next[i] < min {
+				min, any = next[i], true
+			}
+		}
+		return min, any
+	}
+
+	for {
+		merged := 0
+		if c.Merge != nil {
+			merged = c.Merge()
+		}
+		c.stats.Merged += uint64(merged)
+
+		t, any := snapshot()
+		if !any {
+			if merged == 0 {
+				return
+			}
+			continue
+		}
+		c.stats.Windows++
+
+		// Phase A: the global lane runs solo when it owns the earliest
+		// event. Global events at t execute before region events at t —
+		// sound because the global lane is a pure source: region lanes
+		// never write global state, so no region event at t can change
+		// what the global lane does at t.
+		if has[0] && next[0] <= t {
+			c.lanes[0].RunUntil(t)
+			c.stats.GlobalWindows++
+			if c.AfterGlobal != nil {
+				c.AfterGlobal()
+			}
+			// Phase A schedules fresh work: same-lane deliveries land on
+			// region queues directly, but an injected block's cross-lane
+			// sends sit in the transport's buffers — drain them NOW, or a
+			// region lane could run past an arrival this window's first
+			// merge never saw. Then re-snapshot so the phase B deadlines
+			// see everything phase A produced.
+			if c.Merge != nil {
+				c.stats.Merged += uint64(c.Merge())
+			}
+			snapshot()
+		}
+
+		// Phase B: each region lane may run strictly past its own next
+		// event, up to the earliest external influence. Influences are
+		// (a) the global lane's next event, which can mutate any lane's
+		// state directly at that instant, and (b) another region lane's
+		// next event plus the 1 ms minimum cross-lane delay — a message
+		// emitted at u arrives no earlier than u+1, and it only enters
+		// this lane's queue at a future Merge anyway.
+		for i := 1; i < len(c.lanes); i++ {
+			if !has[i] {
+				continue
+			}
+			d := maxTime
+			if has[0] && next[0]-1 < d {
+				d = next[0] - 1
+			}
+			for j := 1; j < len(c.lanes); j++ {
+				if j == i || !has[j] {
+					continue
+				}
+				if next[j] < d {
+					d = next[j]
+				}
+			}
+			if d < next[i] {
+				c.stats.Stalled++
+				continue
+			}
+			c.stats.LaneWindows++
+			window.Add(1)
+			jobs <- laneJob{lane: i, deadline: d, drain: d == maxTime}
+		}
+		window.Wait()
+	}
+}

@@ -1,0 +1,185 @@
+package sim
+
+import (
+	"sort"
+	"testing"
+)
+
+// crossEntry is a buffered cross-lane message in the test harness:
+// a ping emitted by srcLane during phase B, destined for dstLane.
+type crossEntry struct {
+	at      Time
+	srcLane int
+	emitIdx int
+	dstLane int
+	hops    uint64
+}
+
+// pingPong bounces events between region lanes through the conductor's
+// merge: every handled event re-emits to the next lane with a 1-tick
+// delay until the hop budget is spent. It models the p2p transport's
+// contract — phase-B cross sends only append to the per-source buffer.
+type pingPong struct {
+	c       *Conductor
+	buf     [][]crossEntry // per source lane
+	emitted []int
+	totals  []int // per source lane: lanes run concurrently in phase B
+}
+
+func (p *pingPong) HandleEvent(now Time, lane, hops uint64) {
+	p.totals[int(lane)-1]++
+	if hops == 0 {
+		return
+	}
+	src := int(lane)
+	dst := src%len(p.buf) + 1 // next region lane, 1-based
+	p.buf[src-1] = append(p.buf[src-1], crossEntry{
+		at: now + 1, srcLane: src, emitIdx: p.emitted[src-1],
+		dstLane: dst, hops: hops - 1,
+	})
+	p.emitted[src-1]++
+}
+
+// merge drains the buffers in (at, srcLane, emitIdx) order — the same
+// discipline the p2p merge uses — into the destination lanes.
+func (p *pingPong) merge() int {
+	var all []crossEntry
+	for i := range p.buf {
+		all = append(all, p.buf[i]...)
+		p.buf[i] = p.buf[i][:0]
+	}
+	sort.Slice(all, func(i, j int) bool {
+		a, b := all[i], all[j]
+		if a.at != b.at {
+			return a.at < b.at
+		}
+		if a.srcLane != b.srcLane {
+			return a.srcLane < b.srcLane
+		}
+		return a.emitIdx < b.emitIdx
+	})
+	for _, e := range all {
+		p.c.Lane(e.dstLane-1).ScheduleCallAt(e.at, p, uint64(e.dstLane), e.hops)
+	}
+	return len(all)
+}
+
+// runPingPong executes the ping-pong model over `regions` lanes with
+// the given worker count and returns total events plus per-lane stats.
+func runPingPong(regions, workers int) (total int, stats []EngineStats, cstats ConductorStats) {
+	c := NewConductor(regions)
+	p := &pingPong{c: c, buf: make([][]crossEntry, regions), emitted: make([]int, regions), totals: make([]int, regions)}
+	p.merge() // harmless empty drain, proves the hook tolerates idle calls
+	c.Merge = p.merge
+	// Seed every region lane with a bouncing chain plus some local-only
+	// events, at staggered times so lanes genuinely interleave.
+	for r := 0; r < regions; r++ {
+		lane := c.Lane(r)
+		lane.ScheduleCallAt(Time(r), p, uint64(r+1), 40)
+		for k := 0; k < 5; k++ {
+			lane.ScheduleCallAt(Time(10*k+r), p, uint64(r+1), 0)
+		}
+	}
+	// The global lane injects into region 1 mid-run, exercising phase A
+	// ordering ahead of region events at the same timestamp.
+	c.Global().ScheduleAt(7, func(now Time) {
+		c.Lane(0).ScheduleCallAt(now+1, p, 1, 3)
+	})
+	c.Run(workers)
+	for i := 0; i <= regions; i++ {
+		stats = append(stats, c.lanes[i].Stats())
+	}
+	for _, n := range p.totals {
+		total += n
+	}
+	return total, stats, c.Stats()
+}
+
+// TestConductorMatchesAcrossWorkerCounts is the core determinism
+// contract: the schedule — event counts, per-lane clocks, sequence
+// counters, window counts — is identical no matter how many worker
+// goroutines execute phase B. Run with -race this also exercises the
+// cross-lane merge under real concurrency.
+func TestConductorMatchesAcrossWorkerCounts(t *testing.T) {
+	refTotal, refStats, refC := runPingPong(6, 1)
+	if refTotal == 0 {
+		t.Fatal("ping-pong model ran no events")
+	}
+	if refC.Merged == 0 {
+		t.Fatal("no cross-lane messages merged; the test is vacuous")
+	}
+	for _, workers := range []int{2, 4, 6, 16} {
+		total, stats, cs := runPingPong(6, workers)
+		if total != refTotal {
+			t.Fatalf("workers=%d: %d events, want %d", workers, total, refTotal)
+		}
+		if cs != refC {
+			t.Fatalf("workers=%d: conductor stats %+v, want %+v", workers, cs, refC)
+		}
+		for i := range stats {
+			if stats[i] != refStats[i] {
+				t.Fatalf("workers=%d lane %d: stats %+v, want %+v", workers, i, stats[i], refStats[i])
+			}
+		}
+	}
+}
+
+// TestConductorGlobalRunsFirstAtTie pins the phase ordering: a global
+// event and a region event at the same timestamp execute global-first,
+// because the global lane is a pure source feeding the regions.
+func TestConductorGlobalRunsFirstAtTie(t *testing.T) {
+	c := NewConductor(2)
+	var order []string
+	c.Global().ScheduleAt(5, func(Time) { order = append(order, "global") })
+	c.Lane(0).ScheduleAt(5, func(Time) { order = append(order, "region") })
+	c.Run(2)
+	if len(order) != 2 || order[0] != "global" || order[1] != "region" {
+		t.Fatalf("execution order %v, want [global region]", order)
+	}
+}
+
+// TestConductorStallCounter pins the lookahead-stall telemetry: a
+// region lane whose only event lies at or past every deadline must be
+// counted as stalled, then run once the constraint clears.
+func TestConductorStallCounter(t *testing.T) {
+	c := NewConductor(2)
+	ran := 0
+	// Lane 1's event at t=3 forces lane 0's first window deadline to 3,
+	// stalling lane 0's own event at t=9 until lane 1 has advanced.
+	c.Lane(0).ScheduleAt(9, func(Time) { ran++ })
+	c.Lane(1).ScheduleAt(3, func(Time) { ran++ })
+	c.Run(2)
+	if ran != 2 {
+		t.Fatalf("ran %d events, want 2", ran)
+	}
+	if s := c.Stats(); s.Stalled == 0 {
+		t.Fatalf("expected lookahead stalls, got stats %+v", s)
+	}
+}
+
+// TestConductorDrainsSingleLane pins the drain fast path: when only
+// one region lane holds events and the global lane is empty, the lane
+// runs to completion without per-millisecond barriers.
+func TestConductorDrainsSingleLane(t *testing.T) {
+	c := NewConductor(3)
+	left := 1000
+	var h Handler
+	h = handlerFunc(func(now Time, a, b uint64) {
+		if left--; left > 0 {
+			c.Lane(2).ScheduleCall(1, h, 0, 0)
+		}
+	})
+	c.Lane(2).ScheduleCall(0, h, 0, 0)
+	c.Run(3)
+	if left != 0 {
+		t.Fatalf("chain left %d events unrun", left)
+	}
+	if s := c.Stats(); s.Windows != 1 {
+		t.Fatalf("expected a single drain window, got stats %+v", s)
+	}
+}
+
+// handlerFunc adapts a function to the Handler interface for tests.
+type handlerFunc func(now Time, a, b uint64)
+
+func (f handlerFunc) HandleEvent(now Time, a, b uint64) { f(now, a, b) }

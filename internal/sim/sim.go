@@ -388,9 +388,25 @@ func (e *Engine) ScheduleCallAt(at Time, h Handler, a, b uint64) {
 	e.ScheduleCall(at-e.now, h, a, b)
 }
 
-// Stop halts the engine: the currently executing event finishes, and
-// no further events run until the next Run* call resets the flag.
+// Stop halts the engine: the currently executing event finishes, no
+// further events run during the active Run* call, and the queue is left
+// intact. Stop is one-shot — it halts at most one Run* call. Issued
+// while the engine is idle, it inhibits exactly the next Run*/RunFor
+// call, which returns immediately without executing anything (and, for
+// RunUntil, without advancing the clock). The call after that resumes
+// normally, so stop-then-rerun still drains the queue.
 func (e *Engine) Stop() { e.stopped = true }
+
+// consumeStop reports and clears a pending stop request. Clearing at
+// the point of consumption (rather than on Run* entry) is what makes a
+// pre-run Stop effective instead of silently discarded.
+func (e *Engine) consumeStop() bool {
+	if e.stopped {
+		e.stopped = false
+		return true
+	}
+	return false
+}
 
 // step executes the next event. It reports false when the queue is
 // empty.
@@ -443,27 +459,47 @@ func (e *Engine) dispatchProbed(fn Event, h Handler, a, b uint64, t *Timer) {
 	e.probe.Dispatch(e.now, class, h, a, time.Since(start))
 }
 
-// Run executes events until the queue drains or Stop is called.
+// Run executes events until the queue drains or Stop is called. A Stop
+// issued before Run starts inhibits this call entirely (see Stop).
 func (e *Engine) Run() {
-	e.stopped = false
-	for !e.stopped && e.step() {
+	if e.consumeStop() {
+		return
+	}
+	for e.step() {
+		if e.consumeStop() {
+			return
+		}
 	}
 }
 
 // RunUntil executes events with timestamps <= deadline. The clock is
 // advanced to the deadline even if the queue drains earlier, so
-// repeated RunUntil calls walk time forward monotonically.
+// repeated RunUntil calls walk time forward monotonically. When the run
+// is halted by Stop — including a Stop issued before the call — the
+// clock is not advanced past the last executed event.
 func (e *Engine) RunUntil(deadline Time) {
-	e.stopped = false
-	for !e.stopped {
-		if len(e.heap) == 0 || e.slots[e.heap[0]].at > deadline {
-			break
-		}
-		e.step()
+	if e.consumeStop() {
+		return
 	}
-	if !e.stopped && e.now < deadline {
+	for len(e.heap) != 0 && e.slots[e.heap[0]].at <= deadline {
+		e.step()
+		if e.consumeStop() {
+			return
+		}
+	}
+	if e.now < deadline {
 		e.now = deadline
 	}
+}
+
+// NextEventAt returns the timestamp of the earliest queued event; ok is
+// false when the queue is empty. The conductor uses it to derive each
+// lookahead window without disturbing the queue.
+func (e *Engine) NextEventAt() (at Time, ok bool) {
+	if len(e.heap) == 0 {
+		return 0, false
+	}
+	return e.slots[e.heap[0]].at, true
 }
 
 // RunFor advances the simulation by d from the current time.

@@ -8,16 +8,23 @@ import (
 )
 
 // Histogram is a fixed-width-bin histogram over a half-open range
-// [Min, Max). Samples below Min are clamped into the first bin and
-// samples at or above Max into the last bin, so a histogram never
-// silently drops data (the paper's Fig. 1 x-axis is truncated at
-// 500 ms the same way).
+// [Min, Max). Finite samples below Min are clamped into the first bin
+// and samples at or above Max into the last bin, so a histogram never
+// drops data (the paper's Fig. 1 x-axis is truncated at 500 ms the
+// same way) — but the clamping is no longer silent: Underflow and
+// Overflow report how many samples were folded into the edge bins.
+// NaN samples are excluded from the bins and the total entirely
+// (int(math.Floor(NaN)) used to dump them into the first bin, which
+// quietly skewed the low tail) and are reported by NaNs.
 type Histogram struct {
 	min    float64
 	max    float64
 	width  float64
 	counts []int
 	total  int
+	nans   int
+	under  int
+	over   int
 }
 
 // NewHistogram creates a histogram with n equal-width bins covering
@@ -37,14 +44,35 @@ func NewHistogram(min, max float64, n int) (*Histogram, error) {
 	}, nil
 }
 
-// Add records one sample.
+// Add records one sample. NaN is counted separately and never enters
+// a bin; finite out-of-range samples clamp into the edge bins as
+// before, with the fold tallied in Underflow/Overflow.
 func (h *Histogram) Add(x float64) {
-	idx := int(math.Floor((x - h.min) / h.width))
-	if idx < 0 {
-		idx = 0
+	if math.IsNaN(x) {
+		h.nans++
+		return
 	}
-	if idx >= len(h.counts) {
+	var idx int
+	switch {
+	case x < h.min:
+		// Clamp directly: converting the float quotient would already
+		// be negative here, and for -Inf the conversion is undefined.
+		h.under++
+		idx = 0
+	case x >= h.max:
+		// Likewise: int(+Inf) is architecture-defined (minimum int on
+		// amd64), which used to drop +Inf into the FIRST bin.
+		h.over++
 		idx = len(h.counts) - 1
+	default:
+		idx = int(math.Floor((x - h.min) / h.width))
+		// Guard float rounding at the edges of an in-range sample.
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(h.counts) {
+			idx = len(h.counts) - 1
+		}
 	}
 	h.counts[idx]++
 	h.total++
@@ -57,8 +85,19 @@ func (h *Histogram) AddAll(xs []float64) {
 	}
 }
 
-// Total returns the number of recorded samples.
+// Total returns the number of binned samples (NaN inputs excluded).
 func (h *Histogram) Total() int { return h.total }
+
+// NaNs returns the number of NaN samples rejected by Add.
+func (h *Histogram) NaNs() int { return h.nans }
+
+// Underflow returns the number of samples below Min that were clamped
+// into the first bin.
+func (h *Histogram) Underflow() int { return h.under }
+
+// Overflow returns the number of samples at or above Max that were
+// clamped into the last bin.
+func (h *Histogram) Overflow() int { return h.over }
 
 // Bins returns the number of bins.
 func (h *Histogram) Bins() int { return len(h.counts) }

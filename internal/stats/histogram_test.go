@@ -53,6 +53,72 @@ func TestHistogramClamping(t *testing.T) {
 	if h.Count(1) != 2 {
 		t.Errorf("bin1: want 2, got %d", h.Count(1))
 	}
+	if h.Underflow() != 1 {
+		t.Errorf("underflow: want 1, got %d", h.Underflow())
+	}
+	if h.Overflow() != 2 {
+		t.Errorf("overflow: want 2, got %d", h.Overflow())
+	}
+}
+
+// Regression: NaN used to ride int(math.Floor(NaN)) into the first
+// bin, silently inflating the low tail. It must stay out of the bins
+// and the total, and be visible through the NaNs accessor.
+func TestHistogramNaN(t *testing.T) {
+	h, err := NewHistogram(0, 10, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.AddAll([]float64{math.NaN(), 1, math.NaN(), 8})
+	if h.Total() != 2 {
+		t.Fatalf("total: want 2 (NaN excluded), got %d", h.Total())
+	}
+	if h.Count(0) != 1 || h.Count(1) != 1 {
+		t.Errorf("bins: want [1 1], got [%d %d]", h.Count(0), h.Count(1))
+	}
+	if h.NaNs() != 2 {
+		t.Errorf("nans: want 2, got %d", h.NaNs())
+	}
+	if h.Underflow() != 0 || h.Overflow() != 0 {
+		t.Errorf("NaN must not count as underflow/overflow: %d/%d", h.Underflow(), h.Overflow())
+	}
+	if d := h.Density(0) + h.Density(1); d != 1 {
+		t.Errorf("density sum with NaNs present: want 1, got %v", d)
+	}
+}
+
+// Regression: infinities are not NaN — they clamp into the edge bins
+// like any other out-of-range sample, tallied as under/overflow.
+func TestHistogramInfClamping(t *testing.T) {
+	h, err := NewHistogram(0, 10, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Add(math.Inf(-1))
+	h.Add(math.Inf(1))
+	if h.Count(0) != 1 || h.Count(1) != 1 {
+		t.Errorf("bins: want [1 1], got [%d %d]", h.Count(0), h.Count(1))
+	}
+	if h.Underflow() != 1 || h.Overflow() != 1 {
+		t.Errorf("under/overflow: want 1/1, got %d/%d", h.Underflow(), h.Overflow())
+	}
+	if h.NaNs() != 0 {
+		t.Errorf("nans: want 0, got %d", h.NaNs())
+	}
+}
+
+// In-range samples must never touch the outlier counters, and the
+// render of a purely in-range histogram is unchanged by the fix.
+func TestHistogramInRangeAccessorsZero(t *testing.T) {
+	h, err := NewHistogram(0, 100, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.AddAll([]float64{0, 5, 50, 99.999})
+	if h.NaNs() != 0 || h.Underflow() != 0 || h.Overflow() != 0 {
+		t.Errorf("in-range samples tripped outlier counters: nan=%d under=%d over=%d",
+			h.NaNs(), h.Underflow(), h.Overflow())
+	}
 }
 
 func TestHistogramDensitySumsToOne(t *testing.T) {
