@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test test-full test-faults test-relay test-server test-obs test-stress test-shard fuzz race bench bench-smoke bench-compare bench-baseline bench-stress fmt fmt-check vet examples examples-full validate-scenarios
+.PHONY: build test test-full test-faults test-relay test-server test-obs test-stress test-shard fuzz race bench bench-smoke bench-compare bench-baseline bench-stress bench-stress-compare fmt fmt-check vet examples examples-full validate-scenarios
 
 build:
 	$(GO) build ./...
@@ -128,15 +128,28 @@ bench-baseline:
 	$(GO) run ./cmd/benchjson -note "$(BENCH_NOTE)" < "$$tmp" > BENCH_baseline.json; \
 	echo "wrote BENCH_baseline.json"
 
-# Regenerate the committed 100k-tier snapshot (BenchmarkStress100k:
-# events/sec and bytes/node for the full stress-100k scenario). Run on
-# a quiet machine; the figures are provenance for the scale tier, not
-# a CI gate.
+# Regenerate the committed 100k-tier snapshot (BenchmarkStress100k /
+# BenchmarkStress100kSharded: events/sec, bytes/node and
+# stalled_lane_windows for the full stress-100k scenario). Run on a
+# quiet machine; the figures are provenance for the scale tier — the
+# gate against them is bench-stress-compare.
 bench-stress:
 	@set -e; tmp=$$(mktemp); trap 'rm -f "$$tmp"' EXIT; \
 	STRESS100K=1 $(GO) test -bench BenchmarkStress100k -benchmem -benchtime=1x -run='^$$' -timeout 30m . > "$$tmp"; \
 	$(GO) run ./cmd/benchjson -note "$(BENCH_NOTE)" < "$$tmp" > BENCH_stress.json; \
 	echo "wrote BENCH_stress.json"
+
+# Diff a fresh 100k-tier run against the committed BENCH_stress.json.
+# On top of the ns/op, B/op and allocs/op gates this is where
+# stalled_lane_windows is enforced: the sharded conductor's
+# scheduling-quality metric is a deterministic event count, so any
+# >20% growth over the committed figure means the lookahead bounds or
+# the deadline computation regressed, even if wall-clock stayed flat.
+bench-stress-compare:
+	@set -e; tmp=$$(mktemp); trap 'rm -f "$$tmp" "$$tmp.json"' EXIT; \
+	STRESS100K=1 $(GO) test -bench BenchmarkStress100k -benchmem -benchtime=1x -run='^$$' -timeout 30m . > "$$tmp"; \
+	$(GO) run ./cmd/benchjson < "$$tmp" > "$$tmp.json"; \
+	$(GO) run ./cmd/benchjson -compare BENCH_stress.json "$$tmp.json"
 
 # Build and execute every example program, downscaled (-short): each
 # is a documented entry point, so CI proves they all still run.

@@ -16,9 +16,14 @@
 //
 //	go test -bench=. -benchmem -benchtime=1x -count=3 -run='^$' . | benchjson -best-of 3
 //
-// Compare mode diffs two snapshots and fails on ns/op, B/op or
-// allocs/op regressions — the Makefile's bench-compare target and the
-// CI perf gate:
+// Compare mode diffs two snapshots and fails on ns/op, B/op,
+// allocs/op or stalled_lane_windows regressions — the Makefile's
+// bench-compare / bench-stress-compare targets and the CI perf gate.
+// stalled_lane_windows is the sharded conductor's scheduling-quality
+// metric (lane-windows lost to the conservative lookahead, reported
+// by the stress benchmarks); being a deterministic event count it
+// gets its own small noise floor (-stall-floor) rather than the
+// allocation one:
 //
 //	benchjson -compare [-threshold 0.20] old.json new.json
 //
@@ -77,6 +82,7 @@ func main() {
 		floor      = flag.Float64("floor", 1e6, "baseline ns/op below which regressions are reported but never fail (noise floor)")
 		allocFloor = flag.Float64("alloc-floor", 100, "baseline allocs/op below which allocation regressions are reported but never fail")
 		bytesFloor = flag.Float64("bytes-floor", 64*1024, "baseline B/op below which byte regressions are reported but never fail")
+		stallFloor = flag.Float64("stall-floor", 64, "baseline stalled_lane_windows below which stall regressions are reported but never fail")
 		note       = flag.String("note", "", "provenance note recorded in the snapshot")
 		bestOf     = flag.Int("best-of", 1, "collapse N repeated runs per benchmark (go test -count=N) into a min/max envelope; the min is what -compare gates on")
 	)
@@ -86,7 +92,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "benchjson: -compare needs exactly two snapshot files (old.json new.json)")
 			os.Exit(2)
 		}
-		ok, err := runCompare(os.Stdout, flag.Arg(0), flag.Arg(1), *threshold, *floor, *allocFloor, *bytesFloor)
+		ok, err := runCompare(os.Stdout, flag.Arg(0), flag.Arg(1), *threshold, *floor, *allocFloor, *bytesFloor, *stallFloor)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "benchjson:", err)
 			os.Exit(2)
@@ -192,12 +198,12 @@ func loadSnapshot(path string) (map[string]Entry, error) {
 	return byName, nil
 }
 
-// runCompare diffs new against old on ns/op, B/op and allocs/op,
-// printing one line per shared benchmark and metric. It reports
-// ok=false when any regression exceeds threshold on a benchmark whose
-// baseline is at or above the metric's noise floor; sub-floor
-// regressions are flagged NOISE and never fail.
-func runCompare(w io.Writer, oldPath, newPath string, threshold, floor, allocFloor, bytesFloor float64) (bool, error) {
+// runCompare diffs new against old on ns/op, B/op, allocs/op and
+// stalled_lane_windows, printing one line per shared benchmark and
+// metric. It reports ok=false when any regression exceeds threshold
+// on a benchmark whose baseline is at or above the metric's noise
+// floor; sub-floor regressions are flagged NOISE and never fail.
+func runCompare(w io.Writer, oldPath, newPath string, threshold, floor, allocFloor, bytesFloor, stallFloor float64) (bool, error) {
 	oldBy, err := loadSnapshot(oldPath)
 	if err != nil {
 		return false, err
@@ -262,13 +268,26 @@ func runCompare(w io.Writer, oldPath, newPath string, threshold, floor, allocFlo
 			regressions++
 			fmt.Fprintf(w, "REGR  %-36s %14.0f -> %14.0f allocs/op\n", name, oldAllocs, newAllocs)
 		}
+		oldStall, okOld := oldE.Metrics["stalled_lane_windows"]
+		newStall, okNew := newE.Metrics["stalled_lane_windows"]
+		switch {
+		case !okOld || !okNew:
+			// Not a sharded stress benchmark: nothing to gate.
+		case oldStall > 0:
+			diff(name, "stalled_lane_windows", oldStall, newStall, stallFloor)
+		case newStall >= stallFloor:
+			// A stall-free benchmark started stalling materially — the
+			// lookahead bounds (or the deadline computation) regressed.
+			regressions++
+			fmt.Fprintf(w, "REGR  %-36s %14.0f -> %14.0f stalled_lane_windows\n", name, oldStall, newStall)
+		}
 	}
 	if regressions > 0 {
 		fmt.Fprintf(w, "\n%d benchmark(s) regressed more than %.0f%% vs %s\n",
 			regressions, threshold*100, oldPath)
 		return false, nil
 	}
-	fmt.Fprintf(w, "\nno ns/op, B/op or allocs/op regression beyond %.0f%% vs %s\n", threshold*100, oldPath)
+	fmt.Fprintf(w, "\nno ns/op, B/op, allocs/op or stalled_lane_windows regression beyond %.0f%% vs %s\n", threshold*100, oldPath)
 	return true, nil
 }
 

@@ -90,7 +90,7 @@ func TestCompareMode(t *testing.T) {
 		{Name: "BenchmarkNew", Metrics: map[string]float64{"ns/op": 9}},
 	})
 	var out strings.Builder
-	ok, err := runCompare(&out, old, within, 0.20, 0, 0, 0)
+	ok, err := runCompare(&out, old, within, 0.20, 0, 0, 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -107,7 +107,7 @@ func TestCompareMode(t *testing.T) {
 		{Name: "BenchmarkB", Metrics: map[string]float64{"ns/op": 900}},
 	})
 	out.Reset()
-	ok, err = runCompare(&out, old, regressed, 0.20, 0, 0, 0)
+	ok, err = runCompare(&out, old, regressed, 0.20, 0, 0, 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -120,7 +120,7 @@ func TestCompareMode(t *testing.T) {
 
 	// A wider threshold tolerates the same delta.
 	out.Reset()
-	ok, err = runCompare(&out, old, regressed, 0.50, 0, 0, 0)
+	ok, err = runCompare(&out, old, regressed, 0.50, 0, 0, 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -142,7 +142,7 @@ func TestCompareNoiseFloor(t *testing.T) {
 		{Name: "BenchmarkMacro", Metrics: map[string]float64{"ns/op": 5.5e8}},  // +10%, fine
 	})
 	var out strings.Builder
-	ok, err := runCompare(&out, old, noisy, 0.20, 1e6, 0, 0)
+	ok, err := runCompare(&out, old, noisy, 0.20, 1e6, 0, 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -159,7 +159,7 @@ func TestCompareNoiseFloor(t *testing.T) {
 		{Name: "BenchmarkMacro", Metrics: map[string]float64{"ns/op": 7e8}}, // +40%
 	})
 	out.Reset()
-	ok, err = runCompare(&out, old, slowMacro, 0.20, 1e6, 0, 0)
+	ok, err = runCompare(&out, old, slowMacro, 0.20, 1e6, 0, 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -185,7 +185,7 @@ func TestCompareAllocs(t *testing.T) {
 		{Name: "BenchmarkTiny", Metrics: map[string]float64{"ns/op": 5e8, "allocs/op": 8}},
 	})
 	var out strings.Builder
-	ok, err := runCompare(&out, old, moreAllocs, 0.20, 1e6, 100, 0)
+	ok, err := runCompare(&out, old, moreAllocs, 0.20, 1e6, 100, 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -204,7 +204,7 @@ func TestCompareAllocs(t *testing.T) {
 		{Name: "BenchmarkTiny", Metrics: map[string]float64{"ns/op": 5e8, "allocs/op": 20}}, // +150%, under floor
 	})
 	out.Reset()
-	ok, err = runCompare(&out, old, noisy, 0.20, 1e6, 100, 0)
+	ok, err = runCompare(&out, old, noisy, 0.20, 1e6, 100, 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -218,7 +218,7 @@ func TestCompareAllocs(t *testing.T) {
 		{Name: "BenchmarkTiny", Metrics: map[string]float64{"ns/op": 5e8, "allocs/op": 8}},
 	})
 	out.Reset()
-	ok, err = runCompare(&out, old, brokeZero, 0.20, 1e6, 100, 0)
+	ok, err = runCompare(&out, old, brokeZero, 0.20, 1e6, 100, 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -244,7 +244,7 @@ func TestCompareBytes(t *testing.T) {
 		{Name: "BenchmarkTiny", Metrics: map[string]float64{"ns/op": 5e8, "B/op": 2048}},
 	})
 	var out strings.Builder
-	ok, err := runCompare(&out, old, moreBytes, 0.20, 1e6, 100, 64*1024)
+	ok, err := runCompare(&out, old, moreBytes, 0.20, 1e6, 100, 64*1024, 64)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -263,7 +263,7 @@ func TestCompareBytes(t *testing.T) {
 		{Name: "BenchmarkTiny", Metrics: map[string]float64{"ns/op": 5e8, "B/op": 8192}}, // +300%, under floor
 	})
 	out.Reset()
-	ok, err = runCompare(&out, old, noisy, 0.20, 1e6, 100, 64*1024)
+	ok, err = runCompare(&out, old, noisy, 0.20, 1e6, 100, 64*1024, 64)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -277,12 +277,79 @@ func TestCompareBytes(t *testing.T) {
 		{Name: "BenchmarkTiny", Metrics: map[string]float64{"ns/op": 5e8, "B/op": 2048}},
 	})
 	out.Reset()
-	ok, err = runCompare(&out, old, brokeZero, 0.20, 1e6, 100, 64*1024)
+	ok, err = runCompare(&out, old, brokeZero, 0.20, 1e6, 100, 64*1024, 64)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if ok {
 		t.Fatalf("zero-byte benchmark started allocating and passed:\n%s", out.String())
+	}
+}
+
+// TestCompareStalledLaneWindows: the sharded scheduling-quality gate.
+// stalled_lane_windows regressions fail like any other metric, the
+// metric is simply absent from unsharded benchmarks, sub-floor counts
+// are noise, and improvements pass.
+func TestCompareStalledLaneWindows(t *testing.T) {
+	old := writeSnapshot(t, []Entry{
+		{Name: "BenchmarkStress100kSharded", Metrics: map[string]float64{"ns/op": 5e9, "stalled_lane_windows": 8000}},
+		{Name: "BenchmarkStress100k", Metrics: map[string]float64{"ns/op": 5e9}},
+		{Name: "BenchmarkNoStall", Metrics: map[string]float64{"ns/op": 5e9, "stalled_lane_windows": 0}},
+		{Name: "BenchmarkQuiet", Metrics: map[string]float64{"ns/op": 5e9, "stalled_lane_windows": 10}},
+	})
+
+	// A stall regression fails even with ns/op flat: the run got no
+	// slower yet, but the lookahead lost parallelism.
+	regressed := writeSnapshot(t, []Entry{
+		{Name: "BenchmarkStress100kSharded", Metrics: map[string]float64{"ns/op": 5e9, "stalled_lane_windows": 44000}},
+		{Name: "BenchmarkStress100k", Metrics: map[string]float64{"ns/op": 5e9}},
+		{Name: "BenchmarkNoStall", Metrics: map[string]float64{"ns/op": 5e9, "stalled_lane_windows": 0}},
+		{Name: "BenchmarkQuiet", Metrics: map[string]float64{"ns/op": 5e9, "stalled_lane_windows": 10}},
+	})
+	var out strings.Builder
+	ok, err := runCompare(&out, old, regressed, 0.20, 1e6, 100, 64*1024, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatalf("stalled_lane_windows regression slipped through:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "stalled_lane_windows") {
+		t.Errorf("report does not name stalled_lane_windows:\n%s", out.String())
+	}
+
+	// Improvements and sub-floor churn pass; the unsharded benchmark is
+	// simply not gated on the metric it does not report.
+	improved := writeSnapshot(t, []Entry{
+		{Name: "BenchmarkStress100kSharded", Metrics: map[string]float64{"ns/op": 5e9, "stalled_lane_windows": 900}},
+		{Name: "BenchmarkStress100k", Metrics: map[string]float64{"ns/op": 5e9}},
+		{Name: "BenchmarkNoStall", Metrics: map[string]float64{"ns/op": 5e9, "stalled_lane_windows": 0}},
+		{Name: "BenchmarkQuiet", Metrics: map[string]float64{"ns/op": 5e9, "stalled_lane_windows": 40}}, // 4x, under floor
+	})
+	out.Reset()
+	ok, err = runCompare(&out, old, improved, 0.20, 1e6, 100, 64*1024, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatalf("stall improvement or sub-floor churn failed the gate:\n%s", out.String())
+	}
+
+	// A formerly stall-free benchmark that starts stalling at or above
+	// the floor fails.
+	brokeZero := writeSnapshot(t, []Entry{
+		{Name: "BenchmarkStress100kSharded", Metrics: map[string]float64{"ns/op": 5e9, "stalled_lane_windows": 8000}},
+		{Name: "BenchmarkStress100k", Metrics: map[string]float64{"ns/op": 5e9}},
+		{Name: "BenchmarkNoStall", Metrics: map[string]float64{"ns/op": 5e9, "stalled_lane_windows": 500}},
+		{Name: "BenchmarkQuiet", Metrics: map[string]float64{"ns/op": 5e9, "stalled_lane_windows": 10}},
+	})
+	out.Reset()
+	ok, err = runCompare(&out, old, brokeZero, 0.20, 1e6, 100, 64*1024, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatalf("stall-free benchmark started stalling and passed:\n%s", out.String())
 	}
 }
 
@@ -395,7 +462,7 @@ func TestEnvelopeSnapshotCompares(t *testing.T) {
 		Runs:       3,
 	}}})
 	var buf strings.Builder
-	ok, err := runCompare(&buf, oldPath, newPath, 0.20, 1e6, 100, 64*1024)
+	ok, err := runCompare(&buf, oldPath, newPath, 0.20, 1e6, 100, 64*1024, 64)
 	if err != nil {
 		t.Fatal(err)
 	}

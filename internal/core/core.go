@@ -406,6 +406,18 @@ func NewCampaign(cfg CampaignConfig) (*Campaign, error) {
 	// the network RNG here, at a point that is the same no matter what
 	// the rest of the configuration did.
 	if cond != nil {
+		cond.SetBounds(lookaheadBounds(cfg.Latency))
+		// The global lane's only lane-touching events are block
+		// injections, and those all fire inside mining race wins — the
+		// other global events (per-pool head-visibility updates) are
+		// internal, so the pending race timer is a sound lookahead
+		// horizon. A workload or fault plan adds global events that
+		// touch arbitrary nodes (transaction submission, crash/link
+		// timers), so those campaigns keep the conservative
+		// next-global-event bound.
+		if cfg.Workload == nil && cfg.Faults == nil {
+			cond.GlobalHorizon = miners.NextInjectionAt
+		}
 		c.network.EnableSharding(cond, func() relay.Protocol {
 			return relay.MustNew(cfg.Relay)
 		})
@@ -414,6 +426,40 @@ func NewCampaign(cfg CampaignConfig) (*Campaign, error) {
 		}
 	}
 	return c, nil
+}
+
+// lookaheadBounds derives the conductor's per-lane-pair lookahead
+// matrix from the campaign's latency model: bound[src][dst] is the
+// smallest delay the transport can sample between the two regions
+// (geo.MinPairDelay — for the default model max(1 ms, 0.25 × base),
+// e.g. ~18 ms for NA↔EA against the uniform 1 ms floor). The bound
+// stays sound under every fault class: link faults only *add* delay
+// (FilterLink's extra is drawn from an exponential, never negative)
+// and partitions/crashes only drop messages outright — no fault can
+// accelerate a delivery below the model's floor.
+//
+// ETHREPRO_UNIFORM_LOOKAHEAD=1 forces the pre-topology uniform 1 ms
+// matrix. The bounds only move phase-B window deadlines, never the
+// event schedule, so artifacts must be byte-identical either way —
+// the golden shard harness pins exactly that.
+func lookaheadBounds(m geo.LatencyModel) [][]sim.Time {
+	uniform := os.Getenv("ETHREPRO_UNIFORM_LOOKAHEAD") == "1"
+	bounds := make([][]sim.Time, geo.NumRegions)
+	for i, from := range geo.Regions() {
+		bounds[i] = make([]sim.Time, geo.NumRegions)
+		for j, to := range geo.Regions() {
+			if uniform {
+				bounds[i][j] = 1
+				continue
+			}
+			d, err := m.MinPairDelay(from, to)
+			if err != nil {
+				panic(err) // unreachable: Regions() only yields valid regions
+			}
+			bounds[i][j] = d
+		}
+	}
+	return bounds
 }
 
 // resolveShards maps the Shards knob (with the ETHREPRO_SHARDS
@@ -570,11 +616,15 @@ func (c *Campaign) Run() (*CampaignResult, error) {
 	return res, nil
 }
 
-// now returns the run's time frontier: the maximum lane clock sharded,
-// the engine clock otherwise.
+// now returns the run's time frontier: the last executed event across
+// lanes when sharded, the engine clock otherwise. The sharded branch
+// deliberately avoids Conductor.Now — final lane clocks sit at granted
+// deadlines, whose overshoot past the last event depends on the
+// lookahead bound matrix, and this frontier feeds artifacts (campaign
+// Duration, fault-outage truncation) that must not.
 func (c *Campaign) now() sim.Time {
 	if c.cond != nil {
-		return c.cond.Now()
+		return c.cond.Frontier()
 	}
 	return c.engine.Now()
 }
@@ -625,6 +675,7 @@ func (c *Campaign) shardSample() *obs.ShardSample {
 		Stalled:       cs.Stalled,
 		Merged:        cs.Merged,
 		Lanes:         c.laneStats(),
+		Pairs:         cs.Pairs,
 	}
 }
 

@@ -126,7 +126,7 @@ func assertDirsIdentical(t *testing.T, a, b string) {
 			t.Fatal(err)
 		}
 		if !bytes.Equal(da, db) {
-			t.Errorf("%s differs between parallel=1 and parallel=8 (%d vs %d bytes)", rel, len(da), len(db))
+			t.Errorf("%s differs between the compared runs (%d vs %d bytes)", rel, len(da), len(db))
 		}
 	}
 }

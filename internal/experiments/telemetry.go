@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/geo"
 	"repro/internal/obs"
 	"repro/internal/store"
 )
@@ -65,6 +66,11 @@ type TelemetryRow struct {
 	ShardStalled uint64              `json:"shard_stalled,omitempty"`
 	ShardMerged  uint64              `json:"shard_merged,omitempty"`
 	Lanes        []obs.LaneTelemetry `json:"lanes,omitempty"`
+	// PairWindows is the conductor's per-lane-pair window-width
+	// histogram: which lane bound which lane's phase-B deadline, how
+	// often it stalled, and how wide the granted windows were — the
+	// observability surface for the topology-aware lookahead.
+	PairWindows []obs.PairWindowTelemetry `json:"pair_windows,omitempty"`
 	// Kinds is the per-event-kind dispatch profile (tracing runs
 	// only).
 	Kinds []obs.KindStats `json:"kinds,omitempty"`
@@ -132,6 +138,7 @@ func BuildTelemetry(r *Report, taken map[uint64]obs.RunTelemetry) *Telemetry {
 			row.ShardStalled = rt.ShardStalled
 			row.ShardMerged = rt.ShardMerged
 			row.Lanes = rt.Lanes
+			row.PairWindows = rt.PairWindows
 			row.Kinds = rt.Kinds
 		}
 		tel.Runs = append(tel.Runs, row)
@@ -159,7 +166,9 @@ func ReadTelemetry(st store.Store) (*Telemetry, error) {
 }
 
 // RenderTelemetry renders the per-spec throughput table ethanalyze
-// -run appends when a run directory carries telemetry.
+// -run appends when a run directory carries telemetry, followed by a
+// sharding section (stalled lane windows and the per-lane-pair window
+// breakdown) for rows that executed under the conductor.
 func RenderTelemetry(tel *Telemetry) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Run telemetry — %s, %d run(s)\n", tel.Process.GoVersion, len(tel.Runs))
@@ -171,8 +180,39 @@ func RenderTelemetry(tel *Telemetry) string {
 			row.PeakQueue, float64(row.SimMS)/1e3, row.ElapsedMS/1e3, row.Messages,
 			float64(row.PeakHeapBytes)/(1<<20), row.BytesPerNode)
 	}
+	for _, row := range tel.Runs {
+		if row.ShardWindows == 0 {
+			continue
+		}
+		stallPct := 0.0
+		if row.ShardWindows > 0 {
+			stallPct = 100 * float64(row.ShardStalled) / float64(row.ShardWindows)
+		}
+		fmt.Fprintf(&b, "  shard %s/%d: %d workers, %d windows, %d stalled lane windows (%.1f%% of windows), %d merged\n",
+			row.Spec, row.Repeat, row.ShardWorkers, row.ShardWindows, row.ShardStalled, stallPct, row.ShardMerged)
+		if len(row.PairWindows) > 0 {
+			fmt.Fprintf(&b, "    %-9s %12s %10s %12s %10s\n", "src→dst", "windows", "stalled", "width ms", "mean ms")
+			for _, p := range row.PairWindows {
+				fmt.Fprintf(&b, "    %-9s %12d %10d %12d %10.1f\n",
+					laneName(p.Src)+"→"+laneName(p.Dst), p.Count, p.Stalled, p.WidthSum, p.MeanWidth())
+			}
+		}
+	}
 	fmt.Fprintf(&b, "  process: heap %.1f MiB, %d GCs (%.1f ms pause), GOMAXPROCS %d\n",
 		float64(tel.Process.HeapAllocBytes)/(1<<20), tel.Process.NumGC,
 		tel.Process.GCPauseTotalMS, tel.Process.GOMAXPROCS)
 	return b.String()
+}
+
+// laneName maps a conductor lane index to its display name: "G" for
+// the global lane, otherwise the region abbreviation.
+func laneName(i int) string {
+	if i == 0 {
+		return "G"
+	}
+	regions := geo.Regions()
+	if i-1 < len(regions) {
+		return regions[i-1].String()
+	}
+	return fmt.Sprintf("L%d", i)
 }

@@ -116,6 +116,17 @@ type LatencyModel struct {
 	// applied to the base delay (mu=0 so the multiplier's median is
 	// 1.0).
 	JitterSigma float64
+	// JitterFloor clamps the final sampled delay from below at
+	// JitterFloor × base(from, to): no sample may undercut that
+	// fraction of the pair's median backbone delay. A log-normal
+	// multiplier is unbounded below, so without this clamp the only
+	// latency every pair is guaranteed to pay is MinDelayMillis —
+	// which is also the only per-pair lower bound the sharded
+	// conductor could assume for its lookahead. The clamp is what
+	// makes MinPairDelay (and therefore a topology-aware lookahead
+	// bound) non-trivial. Zero disables the clamp; the effective
+	// floor is always max(MinDelayMillis, JitterFloor × base).
+	JitterFloor float64
 	// BytesPerMillisecond models last-mile/backbone throughput. The
 	// paper's measurement hosts had >= 8 Gbps; typical full nodes are
 	// far slower, dominating block transfer time. 1250 B/ms = 10 Mbps.
@@ -137,6 +148,7 @@ type LatencyModel struct {
 func DefaultLatencyModel() LatencyModel {
 	return LatencyModel{
 		JitterSigma:             0.25,
+		JitterFloor:             0.25,
 		BytesPerMillisecond:     1250, // 10 Mbps
 		MinDelayMillis:          1,
 		RetransmitProb:          0.03,
@@ -173,10 +185,39 @@ func (m LatencyModel) Sample(rng *sim.RNG, from, to Region, bytes int) (sim.Time
 		// One loss episode: RTO plus a fresh traversal of the path.
 		d += m.RetransmitPenaltyMillis + base
 	}
-	if d < m.MinDelayMillis {
-		d = m.MinDelayMillis
+	// The final clamp mirrors minPairMillis exactly so that
+	// MinPairDelay is a true lower bound on every sample. It runs
+	// after all RNG draws: a clamped sample consumes the same draw
+	// count as an unclamped one, so the rest of the stream is
+	// unaffected.
+	if f := m.minPairMillis(base); d < f {
+		d = f
 	}
 	return sim.Time(d), nil
+}
+
+// minPairMillis is the effective per-pair floor in milliseconds for a
+// given base delay: max(MinDelayMillis, JitterFloor × base).
+func (m LatencyModel) minPairMillis(base float64) float64 {
+	f := m.MinDelayMillis
+	if jf := m.JitterFloor * base; jf > f {
+		f = jf
+	}
+	return f
+}
+
+// MinPairDelay returns the smallest delay Sample can return for the
+// region pair: max(MinDelayMillis, JitterFloor × base(from, to)),
+// truncated to sim.Time exactly as Sample truncates its result. The
+// jitter clamp enforces the floor directly; the transfer and
+// retransmit terms only ever add delay, so they cannot undercut it.
+// This is the quantity the sharded conductor may soundly use as a
+// cross-lane lookahead bound.
+func (m LatencyModel) MinPairDelay(from, to Region) (sim.Time, error) {
+	if !from.Valid() || !to.Valid() {
+		return 0, fmt.Errorf("geo: invalid region pair (%v, %v)", from, to)
+	}
+	return sim.Time(m.minPairMillis(baseOneWayMillis[from][to])), nil
 }
 
 // PlaceNodes assigns n nodes to regions proportionally to share,

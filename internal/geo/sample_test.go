@@ -100,3 +100,84 @@ func TestSampleJitterBounds(t *testing.T) {
 		t.Fatalf("spread must grow with sigma: sd(0.5)=%v <= sd(0.1)=%v", wideSD, narrowSD)
 	}
 }
+
+// TestMinPairDelayIsTightLowerBound is the property test backing the
+// sharded conductor's lookahead soundness: over adversarial model
+// configurations — jitter sigma from zero to extreme, floors off and
+// dominant, retransmission forced on, transfer terms on and off — no
+// Sample for any region pair may ever undercut MinPairDelay for that
+// pair. The conductor turns MinPairDelay into phase-B deadlines; one
+// undercutting sample would back-date a cross-lane event.
+func TestMinPairDelayIsTightLowerBound(t *testing.T) {
+	models := []struct {
+		name string
+		m    LatencyModel
+	}{
+		{"default", DefaultLatencyModel()},
+		{"no jitter", LatencyModel{MinDelayMillis: 1, JitterFloor: 0.25}},
+		{"extreme sigma", LatencyModel{JitterSigma: 3.0, JitterFloor: 0.25, MinDelayMillis: 1}},
+		{"floor disabled", LatencyModel{JitterSigma: 1.5, MinDelayMillis: 1}},
+		{"floor dominant", LatencyModel{JitterSigma: 2.0, JitterFloor: 1.5, MinDelayMillis: 1}},
+		{"min-delay dominant", LatencyModel{JitterSigma: 0.5, JitterFloor: 0.01, MinDelayMillis: 40}},
+		{"retransmit always", LatencyModel{JitterSigma: 1.0, JitterFloor: 0.25, MinDelayMillis: 1, RetransmitProb: 1, RetransmitPenaltyMillis: 180}},
+		{"transfer heavy", LatencyModel{JitterSigma: 1.0, JitterFloor: 0.25, MinDelayMillis: 1, BytesPerMillisecond: 10}},
+		{"everything on", LatencyModel{JitterSigma: 2.5, JitterFloor: 0.6, MinDelayMillis: 3, BytesPerMillisecond: 1250, RetransmitProb: 0.5, RetransmitPenaltyMillis: 90}},
+	}
+	sizes := []int{0, 1, 100_000}
+	const perPair = 400
+	for _, tc := range models {
+		t.Run(tc.name, func(t *testing.T) {
+			rng := sim.NewRNG(1234)
+			for _, from := range Regions() {
+				for _, to := range Regions() {
+					floor, err := tc.m.MinPairDelay(from, to)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if floor < sim.Time(tc.m.MinDelayMillis) {
+						t.Fatalf("MinPairDelay(%v,%v)=%v under MinDelayMillis %v",
+							from, to, floor, tc.m.MinDelayMillis)
+					}
+					for _, size := range sizes {
+						for i := 0; i < perPair; i++ {
+							d, err := tc.m.Sample(rng, from, to, size)
+							if err != nil {
+								t.Fatal(err)
+							}
+							if d < floor {
+								t.Fatalf("Sample(%v->%v, %d bytes) = %v undercuts MinPairDelay %v (model %s, draw %d)",
+									from, to, size, d, floor, tc.name, i)
+							}
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestMinPairDelayDefaultWidensLookahead pins the concrete bound the
+// tentpole is about: under the default model the NA->EA floor is 18 ms
+// (0.25 x 75), not the uniform 1 ms the conductor assumed before
+// per-pair bounds.
+func TestMinPairDelayDefaultWidensLookahead(t *testing.T) {
+	m := DefaultLatencyModel()
+	d, err := m.MinPairDelay(NorthAmerica, EasternAsia)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 18 {
+		t.Fatalf("NA->EA MinPairDelay = %v, want 18 (0.25 x 75 ms truncated)", d)
+	}
+	// Intra-region floors stay above the global 1 ms minimum too.
+	d, err = m.MinPairDelay(WesternEurope, WesternEurope)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 2 {
+		t.Fatalf("WE->WE MinPairDelay = %v, want 2 (0.25 x 8 ms)", d)
+	}
+	if _, err := m.MinPairDelay(Region(0), NorthAmerica); err == nil {
+		t.Fatal("MinPairDelay accepted an invalid region")
+	}
+}

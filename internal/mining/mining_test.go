@@ -451,3 +451,47 @@ func TestValidatePoolsScenarioConfigs(t *testing.T) {
 		})
 	}
 }
+
+// TestNextInjectionAt pins the sharded conductor's global-horizon
+// contract: before Start and after the block limit drains there is no
+// pending injection (sim.Never); while racing, the horizon is exactly
+// the pending race timer's deadline, and it never reports a time in
+// the engine's past.
+func TestNextInjectionAt(t *testing.T) {
+	engine := sim.NewEngine()
+	rng := sim.NewRNG(7)
+	cfg := DefaultConfig()
+	cfg.BlockLimit = 5
+	s, err := NewSimulator(engine, rng, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.NextInjectionAt(); got != sim.Never {
+		t.Fatalf("horizon before Start: %d, want sim.Never", got)
+	}
+	s.Start()
+	at, ok := s.raceTimer.When()
+	if !ok {
+		t.Fatal("race timer not pending after Start")
+	}
+	if got := s.NextInjectionAt(); got != at {
+		t.Fatalf("horizon %d != pending race deadline %d", got, at)
+	}
+	races := 0
+	s.cfg.OnBlock = func(BlockEvent) { races++ }
+	for s.NextInjectionAt() != sim.Never {
+		next := s.NextInjectionAt()
+		if next < engine.Now() {
+			t.Fatalf("horizon %d behind engine clock %d", next, engine.Now())
+		}
+		engine.RunUntil(next)
+	}
+	if s.Produced() != 5 {
+		t.Fatalf("produced %d heights, want 5", s.Produced())
+	}
+	if got := s.NextInjectionAt(); got != sim.Never {
+		t.Fatalf("horizon after limit: %d, want sim.Never", got)
+	}
+	s.Stop()
+	engine.Run()
+}

@@ -208,6 +208,23 @@ func NewSimulator(engine *sim.Engine, rng *sim.RNG, cfg Config) (*Simulator, err
 // run).
 func (s *Simulator) Tree() *chain.BlockTree { return s.tree }
 
+// NextInjectionAt returns the earliest simulated time at which the
+// simulator might next publish a block into the overlay, or sim.Never
+// when no race is pending (stopped, or the block limit was reached).
+// Every injection — primary blocks, extra same-miner versions and
+// withheld-chain releases — happens synchronously inside a race-win
+// event, so the pending race timer's deadline bounds them all. The
+// remaining typed mining events are per-pool head-visibility updates,
+// which touch pool state only; sharded campaigns use this as the
+// conductor's GlobalHorizon so those updates never pin region-lane
+// deadlines. Reads the timer only — no RNG draws, no state changes.
+func (s *Simulator) NextInjectionAt() sim.Time {
+	if at, ok := s.raceTimer.When(); ok {
+		return at
+	}
+	return sim.Never
+}
+
 // Produced returns the number of block heights attempted so far.
 func (s *Simulator) Produced() uint64 { return s.produced }
 

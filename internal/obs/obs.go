@@ -66,6 +66,36 @@ type ShardSample struct {
 	// Lanes are the per-lane engine snapshots, global lane first, then
 	// region lanes in region order.
 	Lanes []sim.EngineStats
+	// Pairs is the conductor's per-lane-pair window-width histogram
+	// (sim.ConductorStats.Pairs): Pairs[src][dst] aggregates the
+	// phase-B windows in which lane src was the binding lookahead
+	// constraint on lane dst. Nil when the conductor recorded none.
+	Pairs [][]sim.PairWindowStats
+}
+
+// PairWindowTelemetry is one (bounding lane → bounded lane) pair's
+// phase-B window aggregate across the folded sharded runs. Lane
+// indices follow the conductor layout: 0 is the global lane, then
+// region lanes in region order.
+type PairWindowTelemetry struct {
+	Src      int    `json:"src"`
+	Dst      int    `json:"dst"`
+	Count    uint64 `json:"count"`
+	Stalled  uint64 `json:"stalled,omitempty"`
+	WidthSum uint64 `json:"width_ms_sum,omitempty"`
+	// Widths is the log2 window-width histogram: bucket 0 counts
+	// stalls, bucket k widths in [2^(k-1), 2^k) ms.
+	Widths []uint64 `json:"width_hist,omitempty"`
+}
+
+// MeanWidth is the average runnable window width in milliseconds over
+// the pair's non-stalled windows.
+func (p PairWindowTelemetry) MeanWidth() float64 {
+	run := p.Count - p.Stalled
+	if run == 0 {
+		return 0
+	}
+	return float64(p.WidthSum) / float64(run)
 }
 
 // RunTelemetry aggregates every engine run reporting under one seed —
@@ -111,6 +141,10 @@ type RunTelemetry struct {
 	ShardStalled uint64
 	ShardMerged  uint64
 	Lanes        []LaneTelemetry
+	// PairWindows is the conductor's per-lane-pair window-width
+	// histogram summed across runs, sorted by (src, dst), zero-count
+	// pairs omitted.
+	PairWindows []PairWindowTelemetry
 	// Kinds is the per-event-kind dispatch profile, merged across
 	// engines by kind name, sorted by descending wall time. Empty
 	// unless tracing was enabled.
@@ -294,11 +328,52 @@ func (s *RunScope) Finish(sample RunSample) {
 			r.Lanes[i].SimMS += int64(ls.Now)
 			r.Lanes[i].PeakQueue = max(r.Lanes[i].PeakQueue, ls.MaxPending)
 		}
+		for src := range sh.Pairs {
+			for dst := range sh.Pairs[src] {
+				p := sh.Pairs[src][dst]
+				if p.Count == 0 {
+					continue
+				}
+				r.foldPair(src, dst, p)
+			}
+		}
 	}
 	if s.tracer != nil {
 		r.Kinds = mergeKinds(r.Kinds, s.tracer.Kinds())
 		r.Tracers = append(r.Tracers, s.tracer)
 	}
+}
+
+// foldPair sums one conductor pair-window record into the run's
+// PairWindows list, keeping the list sorted by (src, dst). The pair
+// count is tiny (at most lanes²), so linear insertion is fine.
+func (r *RunTelemetry) foldPair(src, dst int, p sim.PairWindowStats) {
+	at := len(r.PairWindows)
+	for i := range r.PairWindows {
+		e := &r.PairWindows[i]
+		if e.Src == src && e.Dst == dst {
+			e.Count += p.Count
+			e.Stalled += p.Stalled
+			e.WidthSum += p.WidthSum
+			for k, n := range p.Widths {
+				e.Widths[k] += n
+			}
+			return
+		}
+		if e.Src > src || (e.Src == src && e.Dst > dst) {
+			at = i
+			break
+		}
+	}
+	entry := PairWindowTelemetry{
+		Src: src, Dst: dst,
+		Count: p.Count, Stalled: p.Stalled, WidthSum: p.WidthSum,
+		Widths: make([]uint64, sim.WindowWidthBuckets),
+	}
+	copy(entry.Widths, p.Widths[:])
+	r.PairWindows = append(r.PairWindows, PairWindowTelemetry{})
+	copy(r.PairWindows[at+1:], r.PairWindows[at:])
+	r.PairWindows[at] = entry
 }
 
 // Take removes and returns the telemetry for the given seeds — the

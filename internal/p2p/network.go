@@ -609,9 +609,18 @@ func (net *Network) send(at sim.Time, from, to *Node, msg *Message, srcPos int32
 	delay, err := net.latency.Sample(rng, net.regions[fi], net.regions[ti], size)
 	if err != nil {
 		// Regions are validated at AddNode; a failure here is a
-		// programming error and dropping the message would silently
-		// bias measurements, so treat delay as zero instead.
-		delay = 0
+		// programming error. The old zero-delay fallback was a time
+		// bomb: in sharded mode a zero-delay cross-lane message can
+		// arrive at or before the destination lane's clock, silently
+		// violating the lookahead invariant mergeCross asserts. Clamp
+		// to the pair floor instead; if even that fails the regions
+		// really are invalid and continuing would corrupt the run.
+		if delay, err = net.latency.MinPairDelay(net.regions[fi], net.regions[ti]); err != nil {
+			panic(fmt.Sprintf("p2p: latency sample %v->%v: %v", net.regions[fi], net.regions[ti], err))
+		}
+		if delay < 1 {
+			delay = 1
+		}
 	}
 	if ln == nil {
 		net.MessagesSent++
@@ -647,12 +656,16 @@ func (net *Network) send(at sim.Time, from, to *Node, msg *Message, srcPos int32
 	}
 	// Cross-lane: never touch the destination lane from here — buffer
 	// for the next conductor merge. Arrival is always strictly in the
-	// destination's future (delay >= the 1 ms latency floor backing the
-	// conductor's lookahead), so merging never back-dates an event.
+	// destination's future: delay >= LatencyModel.MinPairDelay(from,
+	// to), the per-pair floor backing the conductor's SetBounds
+	// lookahead matrix (faults only add delay or drop, never
+	// accelerate), so merging never back-dates an event — mergeCross
+	// asserts exactly this.
 	ln.cross = append(ln.cross, crossMsg{
 		at: at + delay + extra, to: to, from: from.id,
-		msg: msg, size: int32(size), srcPos: srcPos,
+		msg: msg, size: int32(size), srcPos: srcPos, seq: ln.emitSeq,
 	})
+	ln.emitSeq++
 }
 
 // drop counts and recycles an undeliverable message on the executing

@@ -228,6 +228,14 @@ func (n *Node) InjectBlock(now sim.Time, b *types.Block) {
 		precomputeSizes(b)
 	}
 	n.acceptBlock(now, b, true)
+	if n.net.sh != nil {
+		// acceptBlock interned the new block; size the shared bit
+		// grids for it now, while lanes are idle. Growth from phase B
+		// would relocate grid storage under concurrent lane reads —
+		// conductor-driven runs presize again via AfterGlobal, but
+		// direct injections (workloads, tests) get no phase A.
+		n.net.presizeArenas()
+	}
 }
 
 // InjectTx makes this node the origin of a new transaction. Like
@@ -242,6 +250,10 @@ func (n *Node) InjectTx(now sim.Time, tx *types.Transaction) {
 		_ = tx.EncodedSize()
 	}
 	n.handleTxs(now, n.id, []*types.Transaction{tx})
+	if n.net.sh != nil {
+		// Same phase-A presize rule as InjectBlock (txBits grew).
+		n.net.presizeArenas()
+	}
 }
 
 // maybePullParent is the catch-up fetch (Network.ParentPull): a block

@@ -1,7 +1,7 @@
 package p2p
 
 import (
-	"slices"
+	"fmt"
 
 	"repro/internal/geo"
 	"repro/internal/p2p/relay"
@@ -30,15 +30,14 @@ import (
 //   - A send whose destination lives in another lane NEVER touches the
 //     destination lane: it is buffered as a crossMsg and drained by
 //     mergeCross at the next conductor merge point, single-threaded,
-//     in deterministic (arrival, source lane, emission index) order.
+//     ordered on the destination engine by (arrival, source lane,
+//     lifetime emission number) via the engine's ordered tie band.
 type shardState struct {
 	cond *sim.Conductor
 	// lanes is indexed by geo.Region (1-based; slot 0 unused).
 	lanes [geo.NumRegions + 1]*netLane
 	// all is the dense region-ordered view for iteration.
 	all []*netLane
-	// refs is the persistent merge scratch (see mergeCross).
-	refs []crossRef
 }
 
 // netLane is one region's private transport state: its engine, RNG
@@ -74,8 +73,15 @@ type netLane struct {
 	orderBuf  []int
 
 	// cross buffers this lane's sends to other lanes until the next
-	// merge. Slice order is emission order — the merge tiebreaker.
+	// merge, each stamped with the lane-lifetime emission number that
+	// becomes its equal-time tie key on the destination engine.
 	cross []crossMsg
+
+	// emitSeq counts this lane's cross-lane sends over the whole run.
+	// It never resets at merges: a per-batch index would make equal-time
+	// ties between messages merged in different rounds depend on where
+	// the window boundaries fell, i.e. on the lookahead bound matrix.
+	emitSeq uint64
 }
 
 // crossMsg is one buffered cross-lane delivery, carrying everything
@@ -87,15 +93,7 @@ type crossMsg struct {
 	msg    *Message
 	size   int32
 	srcPos int32
-}
-
-// crossRef keys one buffered message for the merge sort: arrival time,
-// then source lane, then emission index — a total order independent of
-// worker interleaving.
-type crossRef struct {
-	at   sim.Time
-	lane int16
-	idx  int32
+	seq    uint64 // source lane's lifetime emission number
 }
 
 // EnableSharding partitions the transport across the conductor's
@@ -223,54 +221,85 @@ func (net *Network) presizeArenas() {
 }
 
 // mergeCross is the conductor's Merge hook: it drains every lane's
-// cross buffer into the destination lanes' delivery queues, sorted by
-// (arrival, source lane, emission index). All lanes are idle when it
-// runs, so acquiring destination slots here is single-threaded. The
-// sort key is a pure function of the simulation, never of worker
-// interleaving, so the destination engines' sequence-number assignment
-// is deterministic.
+// cross buffer into the destination lanes' delivery queues. All lanes
+// are idle when it runs, so acquiring destination slots here is
+// single-threaded. Equal-time ordering on the destination engine comes
+// from the (source lane, lifetime emission number) tie key, a pure
+// function of each source lane's own execution — never of worker
+// interleaving, merge-batch composition, or the lookahead bound
+// matrix. Two sharded runs that differ only in window sizing therefore
+// build byte-identical destination schedules.
 func (net *Network) mergeCross() int {
 	sh := net.sh
-	refs := sh.refs[:0]
+	sh.levelMsgPools()
+	n := 0
 	for l, ln := range sh.all {
 		for k := range ln.cross {
-			refs = append(refs, crossRef{at: ln.cross[k].at, lane: int16(l), idx: int32(k)})
-		}
-	}
-	if len(refs) == 0 {
-		sh.refs = refs
-		return 0
-	}
-	slices.SortFunc(refs, func(a, b crossRef) int {
-		switch {
-		case a.at != b.at:
-			if a.at < b.at {
-				return -1
+			cm := &ln.cross[k]
+			dl := sh.lanes[net.regions[cm.to.idx()]]
+			// Lookahead invariant: a cross-lane arrival is strictly in
+			// the destination lane's future — send guarantees delay >=
+			// the pair floor, and the conductor never ran the
+			// destination past next(src) + bound - 1. A merge at or
+			// before the lane clock would silently back-date the event
+			// (the engine would clamp it to "now", reordering it after
+			// same-time events that already ran), so corrupt time
+			// discipline is a panic, not a skew.
+			if now := dl.engine.Now(); cm.at <= now {
+				panic(fmt.Sprintf("p2p: cross-lane merge back-dates event: arrival %d <= lane %v clock %d",
+					cm.at, dl.region, now))
 			}
-			return 1
-		case a.lane != b.lane:
-			return int(a.lane) - int(b.lane)
-		default:
-			return int(a.idx) - int(b.idx)
+			idx := dl.acquireDeliv()
+			dl.deliv[idx] = delivery{to: cm.to, from: cm.from, msg: cm.msg, size: cm.size, srcPos: cm.srcPos}
+			dl.engine.ScheduleCallAtOrdered(cm.at, dl, opDeliver, uint64(idx), uint64(l)<<48|cm.seq)
+			n++
 		}
-	})
-	for _, ref := range refs {
-		cm := &sh.all[ref.lane].cross[ref.idx]
-		dl := sh.lanes[net.regions[cm.to.idx()]]
-		idx := dl.acquireDeliv()
-		dl.deliv[idx] = delivery{to: cm.to, from: cm.from, msg: cm.msg, size: cm.size, srcPos: cm.srcPos}
-		dl.engine.ScheduleCallAt(cm.at, dl, opDeliver, uint64(idx))
-	}
-	n := len(refs)
-	for _, ln := range sh.all {
 		// Zero drained entries so the backing array retains no payloads.
 		for k := range ln.cross {
 			ln.cross[k] = crossMsg{}
 		}
 		ln.cross = ln.cross[:0]
 	}
-	sh.refs = refs[:0]
 	return n
+}
+
+// levelMsgPools evens the lane message free lists out to the mean.
+// A cross-lane delivery releases its message into the destination
+// lane's pool, so under asymmetric flows (one region originating most
+// blocks) the exporter lanes' free lists drain while the importers'
+// grow without bound — every exporter send then allocates a fresh
+// Message, which is where sharded runs used to pay ~3× the unsharded
+// allocation rate. All lanes are idle at the merge point, so moving
+// free messages between pools here is race-free; released messages
+// are fully zeroed and interchangeable, so which pool a send draws
+// from never affects simulation behavior or artifacts. The skim per
+// merge is bounded by the cross flow since the previous merge.
+func (sh *shardState) levelMsgPools() {
+	total := 0
+	for _, ln := range sh.all {
+		total += len(ln.msgFree)
+	}
+	target := total / len(sh.all)
+	d := 0
+	for _, ln := range sh.all {
+		need := target - len(ln.msgFree)
+		for need > 0 {
+			donor := sh.all[d]
+			excess := len(donor.msgFree) - target
+			if excess <= 0 {
+				d++
+				continue
+			}
+			k := min(excess, need)
+			n := len(donor.msgFree)
+			ln.msgFree = append(ln.msgFree, donor.msgFree[n-k:]...)
+			for j := n - k; j < n; j++ {
+				donor.msgFree[j] = nil
+			}
+			donor.msgFree = donor.msgFree[:n-k]
+			need -= k
+		}
+	}
 }
 
 // FinishSharded folds every lane's transport and protocol counters

@@ -32,6 +32,22 @@ func shardAllocFixture(t testing.TB, total int) (*sim.Conductor, []*p2p.Node, []
 	if err := net.WireRandom(6); err != nil {
 		t.Fatal(err)
 	}
+	// Per-pair lookahead bounds from the latency model, as core wires
+	// them — so the measurement covers the topology-aware deadline path
+	// and its pair-window accounting, not just uniform bounds.
+	model := geo.DefaultLatencyModel()
+	bounds := make([][]sim.Time, geo.NumRegions)
+	for i, from := range regions {
+		bounds[i] = make([]sim.Time, geo.NumRegions)
+		for j, to := range regions {
+			d, err := model.MinPairDelay(from, to)
+			if err != nil {
+				t.Fatal(err)
+			}
+			bounds[i][j] = d
+		}
+	}
+	cond.SetBounds(bounds)
 	net.EnableSharding(cond, func() relay.Protocol {
 		return relay.MustNew(relay.Config{Mode: relay.SqrtPush})
 	})
@@ -74,15 +90,17 @@ func shardedAllocsPerSpread(t testing.TB, workers int) float64 {
 
 // The cross-shard queue's allocation contract: in steady state the
 // per-lane cross buffers, the merge's sort scratch, the lane message
-// pools and the lane delivery slots are all recycled, so a sharded
-// spread costs the same per-node bookkeeping as an unsharded one
-// (haveBlocks/peerKnows map inserts, ~14 on this fixture) plus a
-// small constant from each Conductor.Run call (the phase-B worker
-// pool: jobs channel, goroutines, snapshot slices). A regression
-// that allocates per cross-lane *message* — a fresh crossMsg, an
-// unpooled sort buffer, a per-merge refs slice — would show up at
-// hundreds per spread. Measured: 13 at workers=1, 18 at workers=6.
-const shardedSpreadAllocCeiling = 60
+// pools (leveled across lanes at each merge, so exporter lanes never
+// drain), the pair-window stats and the lane delivery slots are all
+// recycled, so a sharded spread costs the same per-node bookkeeping
+// as an unsharded one (haveBlocks/peerKnows map inserts, ~14 on this
+// fixture) plus a small constant from each Conductor.Run call (the
+// phase-B worker pool: jobs channel, goroutines, snapshot slices). A
+// regression that allocates per cross-lane *message* — a fresh
+// crossMsg, an unpooled sort buffer, a per-merge refs slice, a
+// message pool drained by one-way flows — would show up at hundreds
+// per spread. Measured: 12 at workers=1, 17 at workers=6.
+const shardedSpreadAllocCeiling = 30
 
 // TestShardedAllocationCeiling guards the cross-shard queue's
 // steady-state allocation behaviour at both ends of the worker knob.

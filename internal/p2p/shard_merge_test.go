@@ -1,0 +1,79 @@
+package p2p
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/geo"
+	"repro/internal/p2p/relay"
+	"repro/internal/sim"
+)
+
+// shardedPair builds a minimal sharded network: one node in each of
+// two regions, sharding enabled, no traffic yet.
+func shardedPair(t *testing.T) (*Network, *Node, *Node) {
+	t.Helper()
+	cond := sim.NewConductor(geo.NumRegions)
+	rng := sim.NewRNG(11)
+	net := NewNetwork(cond.Global(), rng.Fork("network"), geo.DefaultLatencyModel())
+	net.SetRelay(relay.MustNew(relay.Config{Mode: relay.SqrtPush}))
+	a := addNode(t, net, geo.NorthAmerica, 0)
+	b := addNode(t, net, geo.EasternAsia, 0)
+	if err := net.Connect(a, b); err != nil {
+		t.Fatal(err)
+	}
+	net.EnableSharding(cond, func() relay.Protocol {
+		return relay.MustNew(relay.Config{Mode: relay.SqrtPush})
+	})
+	return net, a, b
+}
+
+// TestMergeCrossBackdatePanics pins the merge's time-discipline
+// assertion: a cross-lane message whose arrival is at or before the
+// destination lane's clock must panic loudly instead of being clamped
+// to "now" by the engine (which would silently reorder it after
+// same-time events that already ran). This is the regression test for
+// the conductor deadline bug where multi-hop causal chains let a
+// lane's clock outrun future arrivals.
+func TestMergeCrossBackdatePanics(t *testing.T) {
+	net, a, b := shardedPair(t)
+	src := net.sh.lanes[net.regions[a.idx()]]
+	dst := net.sh.lanes[net.regions[b.idx()]]
+
+	// Advance the destination lane's clock past the manufactured
+	// arrival time, as a buggy deadline computation would.
+	dst.engine.RunUntil(100)
+
+	m := net.newMessage(a.idx(), MsgNewBlock)
+	src.cross = append(src.cross, crossMsg{at: 100, to: b, from: a.ID(), msg: m, size: 64, srcPos: -1})
+
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("mergeCross accepted a back-dated cross-lane message")
+		}
+		msg, ok := r.(string)
+		if !ok || !strings.Contains(msg, "back-dates") {
+			t.Fatalf("unexpected panic: %v", r)
+		}
+	}()
+	net.mergeCross()
+}
+
+// TestMergeCrossFutureArrivalOK is the control: an arrival strictly
+// after the destination lane's clock merges cleanly.
+func TestMergeCrossFutureArrivalOK(t *testing.T) {
+	net, a, b := shardedPair(t)
+	src := net.sh.lanes[net.regions[a.idx()]]
+	dst := net.sh.lanes[net.regions[b.idx()]]
+	dst.engine.RunUntil(100)
+
+	m := net.newMessage(a.idx(), MsgNewBlock)
+	src.cross = append(src.cross, crossMsg{at: 101, to: b, from: a.ID(), msg: m, size: 64, srcPos: -1})
+	if got := net.mergeCross(); got != 1 {
+		t.Fatalf("mergeCross merged %d messages, want 1", got)
+	}
+	if len(src.cross) != 0 {
+		t.Fatal("cross buffer not drained")
+	}
+}

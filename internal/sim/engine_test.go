@@ -146,6 +146,56 @@ func TestTimerResetWhilePending(t *testing.T) {
 	}
 }
 
+// TestTimerResetAtPastIsMonotonic is the regression test for the
+// ResetAt "clamped to now" contract: resetting a timer into the past —
+// from callbacks mid-run, onto a pending occurrence, and after
+// RunUntil has advanced an idle clock — must never rewind the engine
+// clock. Every observed firing time and every Now() reading must be
+// non-decreasing.
+func TestTimerResetAtPastIsMonotonic(t *testing.T) {
+	e := NewEngine()
+	var fired []Time
+	last := Time(-1)
+	observe := func(now Time) {
+		if now < last {
+			t.Fatalf("clock rewound: event at %v after %v", now, last)
+		}
+		if e.Now() != now {
+			t.Fatalf("Now() = %v inside event at %v", e.Now(), now)
+		}
+		last = now
+	}
+	timer := e.NewTimer(func(now Time) { observe(now); fired = append(fired, now) })
+	// Abuse 1: re-queue a pending occurrence into the past from a
+	// callback. The timer is pending at 500; at t=100 it is reset to
+	// t=5, which must clamp to 100 and fire there.
+	timer.Reset(500)
+	e.Schedule(100, func(now Time) { observe(now); timer.ResetAt(5) })
+	e.Schedule(200, func(now Time) { observe(now) })
+	e.Run()
+	if len(fired) != 1 || fired[0] != 100 {
+		t.Fatalf("fired %v, want exactly [100] (clamped to now)", fired)
+	}
+	// Abuse 2: schedule an idle timer into the past after RunUntil has
+	// advanced the clock past every event. The occurrence must fire at
+	// the clamped clock, not rewind it.
+	e.RunUntil(1000)
+	if e.Now() != 1000 {
+		t.Fatalf("clock %v after RunUntil, want 1000", e.Now())
+	}
+	timer.ResetAt(e.Now() - 999)
+	if at, ok := timer.When(); !ok || at != 1000 {
+		t.Fatalf("pending at %v (ok=%v), want clamp to 1000", at, ok)
+	}
+	e.Run()
+	if len(fired) != 2 || fired[1] != 1000 {
+		t.Fatalf("fired %v, want second firing at 1000", fired)
+	}
+	if e.Now() != 1000 {
+		t.Fatalf("clock %v after clamped firing, want 1000", e.Now())
+	}
+}
+
 // TestTimerFIFOAgainstSchedule asserts the determinism contract: a
 // Reset consumes the next sequence number exactly like a Schedule, so
 // a timer firing at the same timestamp as plain events keeps its

@@ -158,6 +158,7 @@ type slot struct {
 // a binary heap and keeps parent/child slots on fewer cache lines.
 type Engine struct {
 	now        Time
+	lastAt     Time
 	slots      []slot
 	free       []int32
 	heap       []int32
@@ -175,6 +176,14 @@ func NewEngine() *Engine {
 
 // Now returns the current virtual time.
 func (e *Engine) Now() Time { return e.now }
+
+// LastEventAt returns the timestamp of the most recently executed
+// event (zero before any event runs). Unlike Now, it never reflects a
+// RunUntil deadline the clock coasted to without executing anything —
+// making it the right "how far did the simulation actually get"
+// frontier for lanes whose granted deadlines overshoot their last
+// event by a lookahead-bound-dependent margin.
+func (e *Engine) LastEventAt() Time { return e.lastAt }
 
 // Processed returns the number of events executed so far. Cancelled
 // timers do not count: unlike the pre-Timer engine, dead events are
@@ -388,6 +397,42 @@ func (e *Engine) ScheduleCallAt(at Time, h Handler, a, b uint64) {
 	e.ScheduleCall(at-e.now, h, a, b)
 }
 
+// orderedBand marks sequence numbers supplied by the caller through
+// ScheduleCallAtOrdered. It sits above every FIFO sequence the engine
+// can assign (seq is a counter starting at 1), so at equal timestamps
+// all FIFO-scheduled events run before all ordered events.
+const orderedBand uint64 = 1 << 63
+
+// ScheduleCallAtOrdered is ScheduleCallAt with a caller-supplied tie
+// key in place of the engine's FIFO sequence number. At equal
+// timestamps, ordered events run after every FIFO-scheduled event and
+// among themselves in ascending key order — regardless of the order
+// the ScheduleCallAtOrdered calls were made in. Keys must be unique
+// per engine among pending ordered events and below 1<<63.
+//
+// This exists for cross-shard message merging: deliveries buffered on
+// other lanes are injected in batches whose composition depends on
+// window sizing, so FIFO sequence numbers would make equal-time tie
+// order depend on the lookahead bound matrix. A key derived from the
+// sending lane's own execution order keeps the merged schedule a pure
+// function of simulation state.
+func (e *Engine) ScheduleCallAtOrdered(at Time, h Handler, a, b uint64, key uint64) {
+	if h == nil {
+		return
+	}
+	if at < e.now {
+		at = e.now
+	}
+	i := e.acquire()
+	s := &e.slots[i]
+	s.h = h
+	s.a, s.b = a, b
+	e.seq++ // counts toward Scheduled; the tie key below replaces it in the heap
+	s.at = at
+	s.seq = orderedBand | key
+	e.push(i)
+}
+
 // Stop halts the engine: the currently executing event finishes, no
 // further events run during the active Run* call, and the queue is left
 // intact. Stop is one-shot — it halts at most one Run* call. Issued
@@ -416,7 +461,13 @@ func (e *Engine) step() bool {
 	}
 	i := e.popMin()
 	s := &e.slots[i]
-	e.now = s.at
+	// Every schedule path clamps to now, so s.at >= e.now always; the
+	// guard makes the clock monotonic by construction rather than by
+	// trusting every (current and future) enqueue call site.
+	if s.at > e.now {
+		e.now = s.at
+	}
+	e.lastAt = e.now
 	e.ran++
 	fn, h, a, b, t := s.fn, s.h, s.a, s.b, s.timer
 	e.release(i)
@@ -540,9 +591,15 @@ func (t *Timer) Reset(delay Time) {
 }
 
 // ResetAt (re)schedules the timer to fire at an absolute time (clamped
-// to now), cancelling any pending occurrence.
+// to now), cancelling any pending occurrence. The clamp is enforced
+// here, not only in enqueue: step trusts every queued timestamp to be
+// >= the clock, so the documented "clamped to now" contract must hold
+// at this boundary no matter how the queue internals evolve.
 func (t *Timer) ResetAt(at Time) {
 	e := t.e
+	if at < e.now {
+		at = e.now
+	}
 	if t.slot >= 0 {
 		e.detach(t.slot)
 		e.enqueue(t.slot, at)

@@ -58,6 +58,50 @@ func TestEngineFIFOTies(t *testing.T) {
 	}
 }
 
+// TestEngineOrderedTies pins the ordered-band contract: at an equal
+// timestamp, every FIFO-scheduled event runs before every ordered
+// event, and ordered events run in ascending key order no matter what
+// order the ScheduleCallAtOrdered calls arrived in.
+func TestEngineOrderedTies(t *testing.T) {
+	e := NewEngine()
+	var order []uint64
+	h := handlerFunc(func(_ Time, a, _ uint64) { order = append(order, a) })
+	// Ordered events submitted with shuffled keys, before the FIFO ones.
+	for _, key := range []uint64{40, 10, 30, 20} {
+		e.ScheduleCallAtOrdered(5, h, 100+key, 0, key)
+	}
+	e.ScheduleCallAt(5, h, 1, 0)
+	e.ScheduleCallAt(5, h, 2, 0)
+	e.Run()
+	want := []uint64{1, 2, 110, 120, 130, 140}
+	if len(order) != len(want) {
+		t.Fatalf("ran %d events, want %d: %v", len(order), len(want), order)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("tie order: got %v, want %v", order, want)
+		}
+	}
+	if e.Stats().Scheduled != 6 {
+		t.Fatalf("scheduled: %d, want 6", e.Stats().Scheduled)
+	}
+}
+
+// TestEngineOrderedPastClamp mirrors the FIFO clamp: an ordered event
+// aimed at the past runs at the current clock, never before it.
+func TestEngineOrderedPastClamp(t *testing.T) {
+	e := NewEngine()
+	var got Time
+	h := handlerFunc(func(now Time, _, _ uint64) { got = now })
+	e.Schedule(50, func(now Time) {
+		e.ScheduleCallAtOrdered(10, h, 0, 0, 1)
+	})
+	e.Run()
+	if got != 50 {
+		t.Fatalf("clamped ordered event ran at %d, want 50", got)
+	}
+}
+
 func TestEngineNestedScheduling(t *testing.T) {
 	e := NewEngine()
 	var fired []Time
